@@ -1,0 +1,468 @@
+(* hftsim: command-line driver for the fault-tolerant virtual machine.
+
+   Subcommands:
+   - run:   execute one workload, bare or replicated, with optional
+            crash injection and reintegration, and print the outcome;
+   - sweep: the paper's epoch-length parameter sweep for a workload;
+   - model: evaluate the analytic models of section 4;
+   - trace: run a small replicated scenario and dump the event trace. *)
+
+open Cmdliner
+open Hft_core
+
+(* ---------- shared argument parsing ---------- *)
+
+let workload_of_string s =
+  match s with
+  | "cpu" -> Ok (Hft_guest.Workload.dhrystone ~iterations:20_000)
+  | "write" -> Ok (Hft_guest.Workload.disk_write ~ops:24 ())
+  | "read" -> Ok (Hft_guest.Workload.disk_read ~ops:24 ())
+  | "mixed" -> Ok (Hft_guest.Workload.mixed ~compute:100 ~ops:12 ())
+  | "clock" -> Ok (Hft_guest.Workload.clock_sampler ~samples:2_000)
+  | "timer" -> Ok (Hft_guest.Workload.timer_tick ~period_us:1000 ~ticks:50)
+  | "hello" -> Ok (Hft_guest.Workload.console_hello ~text:"hello from the replicated machine\n")
+  | "probe" -> Ok Hft_guest.Workload.probe_priv
+  | "masked" -> Ok (Hft_guest.Workload.masked_io ~ops:4)
+  | "queued" -> Ok (Hft_guest.Workload.queued_io ~pairs:8)
+  | "server" -> Ok (Hft_guest.Workload.server ~requests:10 ~period_us:3000)
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown workload %S \
+            (cpu|write|read|mixed|clock|timer|hello|probe|masked|queued|server)"
+           s))
+
+let workload_conv =
+  Arg.conv
+    ( workload_of_string,
+      fun fmt w -> Format.pp_print_string fmt w.Hft_guest.Workload.name )
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv (Hft_guest.Workload.dhrystone ~iterations:20_000)
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload: cpu, write, read, mixed, clock, timer, hello, probe, \
+           masked or queued.")
+
+let epoch_arg =
+  Arg.(
+    value
+    & opt int Params.default.Params.epoch_length
+    & info [ "e"; "epoch" ] ~docv:"N" ~doc:"Epoch length in instructions.")
+
+let protocol_conv =
+  Arg.conv
+    ( (function
+       | "original" | "old" -> Ok Params.Original
+       | "revised" | "new" -> Ok Params.Revised
+       | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))),
+      fun fmt p -> Params.pp_protocol fmt p )
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv Params.Original
+    & info [ "p"; "protocol" ] ~docv:"P"
+        ~doc:"Replica-coordination protocol: original or revised.")
+
+let link_conv =
+  Arg.conv
+    ( (function
+       | "ethernet" -> Ok Hft_net.Link.ethernet
+       | "atm" -> Ok Hft_net.Link.atm
+       | s -> Error (`Msg (Printf.sprintf "unknown link %S" s))),
+      fun fmt l -> Format.pp_print_string fmt l.Hft_net.Link.name )
+
+let link_arg =
+  Arg.(
+    value
+    & opt link_conv Hft_net.Link.ethernet
+    & info [ "l"; "link" ] ~docv:"LINK"
+        ~doc:"Hypervisor-to-hypervisor link: ethernet or atm.")
+
+let mechanism_conv =
+  Arg.conv
+    ( (function
+       | "recovery" | "recovery-register" -> Ok Params.Recovery_register
+       | "rewriting" | "code-rewriting" -> Ok Params.Code_rewriting
+       | s -> Error (`Msg (Printf.sprintf "unknown epoch mechanism %S" s))),
+      fun fmt m ->
+        Format.pp_print_string fmt
+          (match m with
+          | Params.Recovery_register -> "recovery-register"
+          | Params.Code_rewriting -> "code-rewriting") )
+
+let mechanism_arg =
+  Arg.(
+    value
+    & opt mechanism_conv Params.Recovery_register
+    & info [ "m"; "mechanism" ] ~docv:"M"
+        ~doc:
+          "Epoch mechanism: recovery-register (the PA-RISC feature the            prototype used) or code-rewriting (section 2.1's object-code            editing alternative).")
+
+let params_of ~epoch ~protocol ~link ~mechanism =
+  {
+    (Params.with_link
+       (Params.with_protocol (Params.with_epoch_length Params.default epoch)
+          protocol)
+       link)
+    with
+    Params.epoch_mechanism = mechanism;
+  }
+
+(* ---------- run ---------- *)
+
+let print_outcome (o : System.outcome) =
+  Format.printf "completed by   : %s@."
+    (match o.System.completed_by with
+    | `Primary -> "primary"
+    | `Promoted_backup -> "promoted backup (failover)");
+  Format.printf "virtual time   : %a@." Hft_sim.Time.pp o.System.time;
+  Format.printf "guest results  : %a@." Guest_results.pp o.System.results;
+  Format.printf "epochs         : %d (primary)@."
+    o.System.primary_stats.Stats.epochs;
+  Format.printf "messages       : %d (%d bytes)@." o.System.messages_sent
+    o.System.bytes_sent;
+  Format.printf "disk history   : %s@."
+    (if o.System.disk_consistent then "single-processor consistent"
+     else "INCONSISTENT");
+  List.iter (fun e -> Format.printf "  error: %s@." e) o.System.disk_errors;
+  if o.System.console <> "" then
+    Format.printf "console        : %S@." o.System.console
+
+let run_cmd =
+  let bare =
+    Arg.(
+      value & flag
+      & info [ "bare" ] ~doc:"Run on the bare machine, without replication.")
+  in
+  let crash_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~docv:"MS"
+          ~doc:"Fail-stop the primary at this many virtual milliseconds.")
+  in
+  let reintegrate_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reintegrate" ] ~docv:"MS"
+          ~doc:
+            "After a failover, revive the failed node as a new backup this \
+             many milliseconds later.")
+  in
+  let action workload epoch protocol link mechanism bare crash_ms
+      reintegrate_ms =
+    let params = params_of ~epoch ~protocol ~link ~mechanism in
+    if bare then begin
+      let b = Bare.create ~params ~workload () in
+      Bare.init_disk_blocks b;
+      let o = Bare.run b in
+      Format.printf "bare machine@.";
+      Format.printf "virtual time   : %a@." Hft_sim.Time.pp o.Bare.time;
+      Format.printf "instructions   : %d@." o.Bare.instructions;
+      Format.printf "guest results  : %a@." Guest_results.pp o.Bare.results;
+      if o.Bare.console <> "" then
+        Format.printf "console        : %S@." o.Bare.console
+    end
+    else begin
+      let sys = System.create ~params ~workload () in
+      (match crash_ms with
+      | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
+      | None -> ());
+      (match reintegrate_ms with
+      | Some ms ->
+        System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms ms)
+      | None -> ());
+      Format.printf "replicated system (%a)@." Params.pp params;
+      print_outcome (System.run sys)
+    end
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
+      $ mechanism_arg $ bare $ crash_ms $ reintegrate_ms)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload, bare or replicated.")
+    term
+
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let epochs =
+    Arg.(
+      value
+      & opt (list int) [ 1024; 2048; 4096; 8192; 16384; 32768 ]
+      & info [ "epochs" ] ~docv:"N,N,..." ~doc:"Epoch lengths to sweep.")
+  in
+  let both =
+    Arg.(
+      value & flag
+      & info [ "both-protocols" ]
+          ~doc:"Sweep the original and the revised protocol.")
+  in
+  let action workload epochs protocol link both =
+    let params =
+      params_of ~epoch:4096 ~protocol ~link
+        ~mechanism:Params.Recovery_register
+    in
+    let protocols =
+      if both then [ Params.Original; Params.Revised ] else [ protocol ]
+    in
+    let runs =
+      Hft_harness.Scenario.sweep ~params ~epoch_lengths:epochs ~protocols
+        workload
+    in
+    let rows =
+      List.map
+        (fun (r : Hft_harness.Scenario.run) ->
+          [
+            string_of_int r.Hft_harness.Scenario.epoch_length;
+            Format.asprintf "%a" Params.pp_protocol
+              r.Hft_harness.Scenario.protocol;
+            Format.asprintf "%a" Hft_sim.Time.pp
+              r.Hft_harness.Scenario.replicated_time;
+            Hft_harness.Report.fnum r.Hft_harness.Scenario.np;
+          ])
+        runs
+    in
+    Hft_harness.Report.table
+      ~title:
+        (Printf.sprintf "normalized performance: %s on %s"
+           workload.Hft_guest.Workload.name link.Hft_net.Link.name)
+      ~header:[ "EL"; "protocol"; "time"; "NP" ]
+      rows
+  in
+  let term =
+    Term.(const action $ workload_arg $ epochs $ protocol_arg $ link_arg $ both)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Epoch-length sweep (the paper's figures 2-4 and table 1).")
+    term
+
+(* ---------- model ---------- *)
+
+let model_cmd =
+  let action link =
+    let els = Hft_model.Model.standard_epoch_lengths @ [ 385_000 ] in
+    let rows =
+      List.map
+        (fun el ->
+          [
+            string_of_int el;
+            Hft_harness.Report.fnum (Hft_model.Model.npc ~link ~el ());
+            Hft_harness.Report.fnum
+              (Hft_model.Model.npc ~protocol:Hft_model.Model.Revised ~link ~el ());
+            Hft_harness.Report.fnum (Hft_model.Model.npw ~link ~el ());
+            Hft_harness.Report.fnum (Hft_model.Model.npr ~link ~el ());
+          ])
+        els
+    in
+    Hft_harness.Report.table
+      ~title:(Printf.sprintf "analytic models on %s" link.Hft_net.Link.name)
+      ~header:[ "EL"; "NPC"; "NPC(new)"; "NPW"; "NPR" ]
+      rows
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Evaluate the paper's analytic models (section 4).")
+    Term.(const action $ link_arg)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let lines =
+    Arg.(
+      value & opt int 80
+      & info [ "n" ] ~docv:"N" ~doc:"Number of trace lines to print.")
+  in
+  let crash_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~docv:"MS" ~doc:"Crash the primary at MS.")
+  in
+  let action workload epoch protocol link lines crash_ms =
+    let params =
+      params_of ~epoch ~protocol ~link ~mechanism:Params.Recovery_register
+    in
+    let tr = Hft_sim.Trace.create ~capacity:(max lines 1024) () in
+    let sys = System.create ~params ~trace:tr ~workload () in
+    (match crash_ms with
+    | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
+    | None -> ());
+    let o = System.run sys in
+    let entries = Hft_sim.Trace.entries tr in
+    let skip = max 0 (List.length entries - lines) in
+    List.iteri
+      (fun i e ->
+        if i >= skip then
+          Format.printf "%10.3fms %-10s %s@."
+            (Hft_sim.Time.to_ms e.Hft_sim.Trace.time)
+            e.Hft_sim.Trace.source e.Hft_sim.Trace.event)
+      entries;
+    Format.printf "...@.";
+    print_outcome o
+  in
+  let term =
+    Term.(
+      const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg $ lines
+      $ crash_ms)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run replicated and dump the protocol event trace.")
+    term
+
+(* ---------- selftest ---------- *)
+
+(* A compact conformance matrix: every workload is run replicated with
+   lockstep checking, across protocol and epoch-mechanism variants and
+   a failover scenario.  Small sizes: the whole matrix takes seconds
+   and is the first thing to run on a new machine. *)
+let selftest_cmd =
+  let action () =
+    let failures = ref 0 in
+    let case name f =
+      let ok, detail = try f () with e -> (false, Printexc.to_string e) in
+      if not ok then incr failures;
+      Format.printf "%-58s %s%s@." name
+        (if ok then "PASS" else "FAIL")
+        (if detail = "" then "" else " (" ^ detail ^ ")")
+    in
+    let base = { Params.default with Params.epoch_length = 512 } in
+    let lockstep_case name ?(params = base) ?crash_ms w =
+      case name (fun () ->
+          let sys = System.create ~params ~lockstep:true ~workload:w () in
+          (match crash_ms with
+          | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
+          | None -> ());
+          let o = System.run sys in
+          let ok =
+            o.System.lockstep_mismatches = []
+            && o.System.disk_consistent
+            && (crash_ms = None || o.System.failover)
+          in
+          ( ok,
+            if ok then ""
+            else
+              Printf.sprintf "%d diverged, consistent=%b"
+                (List.length o.System.lockstep_mismatches)
+                o.System.disk_consistent ))
+    in
+    let open Hft_guest.Workload in
+    lockstep_case "cpu / original / recovery register"
+      (dhrystone ~iterations:2000);
+    lockstep_case "cpu / revised protocol"
+      ~params:(Params.with_protocol base Params.Revised)
+      (dhrystone ~iterations:2000);
+    lockstep_case "cpu / code rewriting"
+      ~params:{ base with Params.epoch_mechanism = Params.Code_rewriting }
+      (dhrystone ~iterations:2000);
+    lockstep_case "cpu / ATM link"
+      ~params:(Params.with_link base Hft_net.Link.atm)
+      (dhrystone ~iterations:2000);
+    lockstep_case "disk writes" (disk_write ~ops:3 ~pad:20 ~spin:20 ());
+    lockstep_case "disk reads" (disk_read ~ops:3 ~pad:20 ~spin:20 ());
+    lockstep_case "queued io" (queued_io ~pairs:2);
+    lockstep_case "clock forwarding" (clock_sampler ~samples:100);
+    lockstep_case "timer ticks" (timer_tick ~period_us:400 ~ticks:4);
+    lockstep_case "timer-paced server" (server ~requests:3 ~period_us:2000);
+    lockstep_case "failover mid-write" ~crash_ms:20
+      (disk_write ~ops:3 ~pad:20 ~spin:20 ());
+    lockstep_case "failover / revised protocol" ~crash_ms:20
+      ~params:(Params.with_protocol base Params.Revised)
+      (disk_write ~ops:3 ~pad:20 ~spin:20 ());
+    case "reintegration after failover" (fun () ->
+        let w = dhrystone ~iterations:40_000 in
+        let sys = System.create ~params:base ~lockstep:true ~workload:w () in
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 5);
+        System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms 5);
+        let o = System.run sys in
+        ( o.System.lockstep_mismatches = []
+          && o.System.results.Guest_results.ops = 40_000,
+          "" ));
+    case "backup chain (t = 2), double failure" (fun () ->
+        let w = disk_write ~ops:3 ~pad:20 ~spin:20 () in
+        let sys = System.create ~params:base ~second_backup:true ~workload:w () in
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 20);
+        ignore
+          (Hft_sim.Engine.at (System.engine sys) (Hft_sim.Time.of_ms 250)
+             (fun () -> Hypervisor.crash (System.backup sys)));
+        let o = System.run sys in
+        ( o.System.results.Guest_results.ops = 3 && o.System.disk_consistent,
+          "" ));
+    case "probe quirk (section 3.1)" (fun () ->
+        let sys = System.create ~params:base ~workload:probe_priv () in
+        let o = System.run sys in
+        (o.System.results.Guest_results.scratch = 1, ""));
+    Format.printf "@.";
+    if !failures = 0 then begin
+      Format.printf "selftest: all conformance cases passed@.";
+      `Ok ()
+    end
+    else begin
+      Format.printf "selftest: %d case(s) FAILED@." !failures;
+      `Error (false, "selftest failed")
+    end
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Run the conformance matrix: every workload replicated with           lockstep checking, protocol/mechanism variants, failover and           reintegration.")
+    Term.(ret (const action $ const ()))
+
+(* ---------- disasm ---------- *)
+
+let disasm_cmd =
+  let rewrite_el =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rewrite" ] ~docv:"EL"
+          ~doc:
+            "Show the image after object-code editing with this epoch              length (section 2.1).")
+  in
+  let save_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Also write the program image to FILE (HFT1 format).")
+  in
+  let action workload rewrite_el save_path =
+    let program = workload.Hft_guest.Workload.program in
+    let program =
+      match rewrite_el with
+      | Some el -> Hft_machine.Rewrite.rewrite_program ~every:el program
+      | None -> program
+    in
+    Format.printf "%a" Hft_machine.Asm.pp_program program;
+    Format.printf "; %d instructions, image hash 0x%x@."
+      (Array.length program.Hft_machine.Asm.code)
+      (Hft_machine.Encode.program_hash program.Hft_machine.Asm.code);
+    match save_path with
+    | Some path ->
+      Hft_machine.Image.save ~path program;
+      Format.printf "; image written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Print a workload's program listing (optionally rewritten).")
+    Term.(const action $ workload_arg $ rewrite_el $ save_path)
+
+let () =
+  let doc =
+    "hypervisor-based fault-tolerance: primary/backup virtual-machine \
+     replication (Bressoud & Schneider, SOSP 1995)"
+  in
+  let info = Cmd.info "hftsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; model_cmd; trace_cmd; disasm_cmd; selftest_cmd ]))

@@ -1,0 +1,1 @@
+examples/epoch_tuning.ml: Format Hft_core Hft_guest Hft_harness Hft_model List Params Scenario String

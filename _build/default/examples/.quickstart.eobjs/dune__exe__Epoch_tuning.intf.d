@@ -1,0 +1,1 @@
+examples/epoch_tuning.mli:

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Format Guest_results Hft_core Hft_devices Hft_guest Hft_sim List Params Stats String System

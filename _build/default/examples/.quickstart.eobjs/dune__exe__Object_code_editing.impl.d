@@ -1,0 +1,1 @@
+examples/object_code_editing.ml: Asm Bare Format Guest_results Hft_core Hft_guest Hft_machine Hft_sim List Params Rewrite Stats System

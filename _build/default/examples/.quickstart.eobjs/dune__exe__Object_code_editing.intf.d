@@ -1,0 +1,1 @@
+examples/object_code_editing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bare Format Guest_results Hft_core Hft_guest Hft_sim Hypervisor List Params System

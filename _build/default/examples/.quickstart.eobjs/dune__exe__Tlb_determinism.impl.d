@@ -1,0 +1,1 @@
+examples/tlb_determinism.ml: Format Hft_core Hft_guest Hft_machine Hft_sim Hypervisor List Params Stats System

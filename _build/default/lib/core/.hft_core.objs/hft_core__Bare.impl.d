@@ -1,0 +1,1 @@
+lib/core/bare.ml: Array Asm Clock Console Cpu Disk Disk_ctl Engine Guest_results Hft_devices Hft_guest Hft_machine Hft_sim Interrupt Interval_timer Isa Memory Params Rng Time Word

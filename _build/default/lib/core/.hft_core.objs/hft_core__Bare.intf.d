@@ -1,0 +1,1 @@
+lib/core/bare.mli: Guest_results Hft_devices Hft_guest Hft_machine Hft_sim Params

@@ -1,0 +1,1 @@
+lib/core/guest_results.ml: Cpu Format Hft_guest Hft_machine Layout List Memory Word

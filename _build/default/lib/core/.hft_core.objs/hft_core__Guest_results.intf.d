@@ -1,0 +1,1 @@
+lib/core/guest_results.mli: Format Hft_machine

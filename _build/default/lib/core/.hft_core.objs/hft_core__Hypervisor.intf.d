@@ -1,0 +1,1 @@
+lib/core/hypervisor.mli: Guest_results Hft_devices Hft_guest Hft_machine Hft_net Hft_sim Message Params Stats

@@ -1,0 +1,1 @@
+lib/core/message.ml: Array Format Hft_machine Printf

@@ -1,0 +1,1 @@
+lib/core/message.mli: Format Hft_machine

@@ -1,0 +1,1 @@
+lib/core/params.ml: Format Hft_devices Hft_machine Hft_net Hft_sim Time

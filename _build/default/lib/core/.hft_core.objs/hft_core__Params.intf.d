@@ -1,0 +1,1 @@
+lib/core/params.mli: Format Hft_devices Hft_machine Hft_net Hft_sim

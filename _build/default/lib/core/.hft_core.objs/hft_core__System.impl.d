@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Clock Console Disk Engine Guest_results Hashtbl Hft_devices Hft_guest Hft_machine Hft_net Hft_sim Hypervisor List Message Option Params Rng Stats Time

@@ -1,0 +1,1 @@
+lib/core/system.mli: Guest_results Hft_devices Hft_guest Hft_net Hft_sim Hypervisor Message Params Stats

@@ -1,0 +1,33 @@
+open Hft_machine
+open Hft_guest
+
+type t = {
+  checksum : Word.t;
+  ops : int;
+  retries : int;
+  scratch : Word.t;
+  ticks : int;
+  syscalls : int;
+}
+
+let read cpu =
+  let mem = Cpu.mem cpu in
+  {
+    checksum = Memory.read mem Layout.res_checksum;
+    ops = Memory.read mem Layout.res_ops;
+    retries = Memory.read mem Layout.res_retries;
+    scratch = Memory.read mem Layout.res_scratch;
+    ticks = Memory.read mem Layout.ticks;
+    syscalls = Memory.read mem Layout.syscalls;
+  }
+
+let write_config cpu config =
+  let mem = Cpu.mem cpu in
+  List.iter (fun (addr, value) -> Memory.write mem addr value) config
+
+let pp fmt t =
+  Format.fprintf fmt
+    "checksum=%a ops=%d retries=%d scratch=%a ticks=%d syscalls=%d" Word.pp
+    t.checksum t.ops t.retries Word.pp t.scratch t.ticks t.syscalls
+
+let equal a b = a = b

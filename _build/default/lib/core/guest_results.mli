@@ -1,0 +1,20 @@
+(** Reading workload results back out of guest memory after a run. *)
+
+type t = {
+  checksum : Hft_machine.Word.t;
+  ops : int;
+  retries : int;
+  scratch : Hft_machine.Word.t;
+  ticks : int;
+  syscalls : int;
+}
+
+val read : Hft_machine.Cpu.t -> t
+
+val write_config : Hft_machine.Cpu.t -> (int * int) list -> unit
+(** Write a workload's configuration words into guest memory before
+    boot. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,1123 @@
+open Hft_sim
+open Hft_machine
+open Hft_devices
+module Channel = Hft_net.Channel
+module Layout = Hft_guest.Layout
+
+let max_burst = 2_000_000
+
+type role = Primary | Backup | Promoted
+
+type io_req = { cmd : int; block : int; dma : int }
+
+type buffered_intr =
+  | Bi_disk of Message.relayed_completion
+  | Bi_timer
+
+(* arrival-stamped buffer entry, for the delay(EL) measurement *)
+type stamped = { bi : buffered_intr; since : Time.t }
+
+(* What the actor is waiting for.  While blocked the VM makes no
+   progress; message arrivals (or the failure detector) resume it. *)
+type blocked =
+  | Not_blocked
+  | B_acks of { upto : int; resume : ack_resume }
+  | B_tme
+  | B_end
+  | B_env
+  | B_snapshot
+
+and ack_resume = R_boundary | R_io of io_req
+
+type snapshot = {
+  s_cpu : Cpu.snapshot;
+  s_vcrs : int array;
+  s_ctl : Disk_ctl.t;
+  s_outstanding : io_req list;
+  s_pending : stamped list;
+  s_vtimer : int;
+  s_vtod : int;
+  s_epoch : int;
+}
+
+type t = {
+  name_ : string;
+  engine : Engine.t;
+  p : Params.t;
+  vm : Cpu.t;
+  clock : Clock.t;
+  disk : Disk.t;
+  console : Console.t;
+  port : int;
+  workload : Hft_guest.Workload.t;
+  ctl : Disk_ctl.t;
+  st : Stats.t;
+  vcrs : int array;
+  mutable role_ : role;
+  mutable alive_ : bool;
+  mutable peer_alive : bool;
+  mutable tx_data : Message.t Channel.t option;
+      (* downstream: protocol data (primary), forwarded stream (chained
+         backup) *)
+  mutable tx_ack : Message.t Channel.t option;
+      (* upstream: acknowledgements and the reintegration handshake *)
+  mutable peer : t option;
+  mutable failover_notice : int option;
+      (* chain: upstream backup promoted at this epoch; perform the
+         same failover delivery without promoting *)
+  mutable epoch_ : int;
+  mutable relay_epoch : int;
+  mutable env_idx : int;
+  mutable debt : Time.t;
+  mutable blocked : blocked;
+  mutable detector : Engine.handle option;
+  (* messaging *)
+  mutable send_seq : int;   (* wire-level sequence, all messages *)
+  mutable data_sent : int;  (* data messages only: what acks cover *)
+  mutable acked : int;
+  mutable data_recvd : int;
+  mutable ack_wait_start : Time.t;
+  mutable boundary_tod : int;
+      (* the time-of-day value sent in this boundary's [Tme]; the timer
+         check must use exactly this value or the replicas could
+         disagree about a timer expiry *)
+  (* interrupt buffering *)
+  mutable buffered_current : stamped list; (* primary, reversed *)
+  buffered_by_epoch : (int, stamped list ref) Hashtbl.t; (* backup *)
+  env_vals : (int * int, Word.t) Hashtbl.t;
+  tmes : (int, Word.t * int) Hashtbl.t;
+  ends : (int, unit) Hashtbl.t;
+  mutable pending_delivery : stamped list;
+  outstanding : io_req Queue.t;
+  (* virtual clocks *)
+  mutable vtimer_deadline_us : int; (* -1 = unarmed; in virtual-TOD us *)
+  mutable vtod_us : int;            (* backup: last synchronised TOD *)
+  mutable vtod_offset_us : int;     (* promoted: own-clock correction *)
+  (* lifecycle *)
+  mutable halted_ : bool;
+  mutable halt_time_ : Time.t;
+  mutable reintegrate_requested : bool;
+  mutable snapshot_box : snapshot option;
+  (* hooks *)
+  mutable on_epoch_boundary : epoch:int -> hash:int -> unit;
+  mutable on_halt : t -> unit;
+  mutable on_promote : t -> unit;
+}
+
+let name t = t.name_
+let role t = t.role_
+let alive t = t.alive_
+let halted t = t.halted_
+let halt_time t = t.halt_time_
+let epoch t = t.epoch_
+let cpu t = t.vm
+let stats t = t.st
+
+let results t = Guest_results.read t.vm
+
+let trace t fmt =
+  Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
+    ~source:t.name_ fmt
+
+let fnv_prime = 0x100000001b3
+let fnv_mask = (1 lsl 62) - 1
+
+let vm_state_hash t =
+  let h = ref (Cpu.state_hash ~include_tlb:false t.vm) in
+  Array.iter (fun v -> h := (!h lxor v) * fnv_prime land fnv_mask) t.vcrs;
+  !h
+
+let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock ()
+    =
+  let vm =
+    Cpu.create ~config:params.Params.cpu_config
+      ~code:workload.Hft_guest.Workload.program.Asm.code ()
+  in
+  {
+    name_ = name;
+    engine;
+    p = params;
+    vm;
+    clock;
+    disk;
+    console;
+    port;
+    workload;
+    ctl = Disk_ctl.create ();
+    st = Stats.create ();
+    vcrs = Array.make Isa.num_crs 0;
+    role_ = role;
+    alive_ = true;
+    peer_alive = true;
+    tx_data = None;
+    tx_ack = None;
+    peer = None;
+    failover_notice = None;
+    epoch_ = 0;
+    relay_epoch = 0;
+    env_idx = 0;
+    debt = Time.zero;
+    blocked = Not_blocked;
+    detector = None;
+    send_seq = 0;
+    data_sent = 0;
+    acked = 0;
+    data_recvd = 0;
+    ack_wait_start = Time.zero;
+    boundary_tod = 0;
+    buffered_current = [];
+    buffered_by_epoch = Hashtbl.create 64;
+    env_vals = Hashtbl.create 64;
+    tmes = Hashtbl.create 64;
+    ends = Hashtbl.create 64;
+    pending_delivery = [];
+    outstanding = Queue.create ();
+    vtimer_deadline_us = -1;
+    vtod_us = 0;
+    vtod_offset_us = 0;
+    halted_ = false;
+    halt_time_ = Time.zero;
+    reintegrate_requested = false;
+    snapshot_box = None;
+    on_epoch_boundary = (fun ~epoch:_ ~hash:_ -> ());
+    on_halt = (fun _ -> ());
+    on_promote = (fun _ -> ());
+  }
+
+let connect ?tx_data ?tx_ack t ~peer =
+  t.tx_data <- tx_data;
+  t.tx_ack <- tx_ack;
+  t.peer <- Some peer
+
+let set_on_epoch_boundary t f = t.on_epoch_boundary <- f
+let set_on_halt t f = t.on_halt <- f
+let set_on_promote t f = t.on_promote <- f
+
+(* ---------- virtual clocks ---------- *)
+
+(* The primary (and a promoted backup) reads its own time-of-day
+   device; a backup only ever sees forwarded values, so [vtod] is the
+   last [Tme] synchronisation. *)
+let read_vtod t =
+  match t.role_ with
+  | Primary -> Clock.read_us t.clock
+  | Promoted -> Word.mask (Clock.read_us t.clock + t.vtod_offset_us)
+  | Backup -> t.vtod_us
+
+(* ---------- messaging ---------- *)
+
+let hsim t = Params.hsim t.p
+
+let send_msg ?snapshot_bytes t body =
+  match t.tx_data with
+  | None -> ()
+  | Some ch ->
+    let msg = { Message.seq = t.send_seq; body } in
+    t.send_seq <- t.send_seq + 1;
+    t.data_sent <- t.data_sent + 1;
+    Channel.send ch ~bytes:(Message.bytes ?snapshot_bytes msg) msg
+
+(* Upstream messages (acks, Snapshot_done) have their own sequence
+   space; nothing waits on their acknowledgement. *)
+let send_up t body =
+  match t.tx_ack with
+  | None -> ()
+  | Some ch ->
+    let msg = { Message.seq = t.send_seq; body } in
+    t.send_seq <- t.send_seq + 1;
+    Channel.send ch ~bytes:(Message.bytes msg) msg
+
+let send_ack t = send_up t (Message.Ack { upto = t.data_recvd })
+
+(* ---------- failure detector ---------- *)
+
+let cancel_detector t =
+  match t.detector with
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.detector <- None
+  | None -> ()
+
+let rec arm_detector ?timeout t =
+  cancel_detector t;
+  let timeout =
+    match timeout with Some d -> d | None -> t.p.Params.detector_timeout
+  in
+  if t.peer_alive then
+    t.detector <-
+      Some
+        (Engine.after t.engine timeout (fun () ->
+             t.detector <- None;
+             detector_fired t))
+
+(* ---------- virtual trap delivery ---------- *)
+
+(* Mirror the virtual status register onto the real one: virtual
+   privilege 0 runs at real privilege 1 (section 3.1), the MMU bit is
+   the guest's, and the recovery counter counts whenever it is the
+   epoch mechanism (under code rewriting it stays off — the markers in
+   the instruction stream end epochs instead). *)
+and apply_vstatus t =
+  let v = t.vcrs.(Isa.cr_index Isa.Cr_status) in
+  let vpriv = Isa.status_priv v in
+  let rpriv = if vpriv = 0 then 1 else vpriv in
+  let real = Cpu.cr t.vm Isa.Cr_status in
+  let real = Isa.status_with_priv real rpriv in
+  let real = Isa.status_with_mmu_enable real (Isa.status_mmu_enable v) in
+  let real =
+    Isa.status_with_rc_enable real
+      (t.p.Params.epoch_mechanism = Params.Recovery_register)
+  in
+  Cpu.set_cr t.vm Isa.Cr_status real
+
+and vint_enabled t = Isa.status_int_enable t.vcrs.(Isa.cr_index Isa.Cr_status)
+
+and set_vcr t cr v = t.vcrs.(Isa.cr_index cr) <- Word.mask v
+
+and vcr t cr = t.vcrs.(Isa.cr_index cr)
+
+(* Virtual equivalent of hardware trap delivery (Cpu.deliver_trap),
+   performed against the shadow control registers. *)
+and deliver_virtual_trap t ~cause ~badvaddr ~epc =
+  let s = vcr t Isa.Cr_status in
+  set_vcr t Isa.Cr_istatus s;
+  set_vcr t Isa.Cr_epc epc;
+  set_vcr t Isa.Cr_cause cause;
+  set_vcr t Isa.Cr_badvaddr badvaddr;
+  let s = Isa.status_with_priv s 0 in
+  let s = Isa.status_with_int_enable s false in
+  let s = Isa.status_with_mmu_enable s false in
+  set_vcr t Isa.Cr_status s;
+  apply_vstatus t;
+  Cpu.set_pc t.vm (vcr t Isa.Cr_ivec)
+
+(* Deliver one buffered interrupt into the VM. *)
+and deliver_one_interrupt t { bi; since } =
+  Stats.add_time t.st `Intr_delay (Time.diff (Engine.now t.engine) since);
+  (match bi with
+  | Bi_disk rc ->
+    (match rc.Message.dma with
+    | Some (addr, data) -> Memory.blit_in (Cpu.mem t.vm) ~addr data
+    | None -> ());
+    Disk_ctl.set_status t.ctl rc.Message.status;
+    (match Queue.take_opt t.outstanding with
+    | Some _ -> ()
+    | None -> trace t "warning: disk completion with no outstanding op");
+    set_vcr t Isa.Cr_scratch0 Layout.intr_kind_disk
+  | Bi_timer -> set_vcr t Isa.Cr_scratch0 Layout.intr_kind_timer);
+  t.st.Stats.interrupts_delivered <- t.st.Stats.interrupts_delivered + 1;
+  deliver_virtual_trap t ~cause:Isa.Cause.interrupt ~badvaddr:0
+    ~epc:(Cpu.pc t.vm)
+
+and deliver_pending_if_possible t =
+  match t.pending_delivery with
+  | [] -> ()
+  | bi :: rest ->
+    if vint_enabled t then begin
+      t.pending_delivery <- rest;
+      deliver_one_interrupt t bi
+    end
+
+(* Re-arm the epoch mechanism for the next epoch.  Under code
+   rewriting there is nothing to arm: markers in the instruction
+   stream end epochs. *)
+and arm_epoch t =
+  match t.p.Params.epoch_mechanism with
+  | Params.Recovery_register -> Cpu.set_recovery t.vm t.p.Params.epoch_length
+  | Params.Code_rewriting -> ()
+
+(* ---------- main execution loop ---------- *)
+
+and resume_after t d =
+  ignore (Engine.after t.engine d (fun () -> continue_vm t))
+
+and continue_vm t =
+  if t.alive_ && not t.halted_ then begin
+    if Time.(t.debt > Time.zero) then begin
+      (* pay for work done at interrupt level during the last burst *)
+      let d = t.debt in
+      t.debt <- Time.zero;
+      resume_after t d
+    end
+    else
+      match t.blocked with
+      | Not_blocked ->
+        let fuel =
+          match Engine.next_time t.engine with
+          | Some next ->
+            let gap = Time.to_ns (Time.diff next (Engine.now t.engine)) in
+            let n = gap / Time.to_ns t.p.Params.instr_time in
+            max 1 (min n max_burst)
+          | None -> max_burst
+        in
+        let res = Cpu.run t.vm ~fuel in
+        t.st.Stats.instructions <-
+          t.st.Stats.instructions + res.Cpu.executed;
+        let dt = Time.scale t.p.Params.instr_time res.Cpu.executed in
+        ignore
+          (Engine.after t.engine dt (fun () -> handle_stop t res.Cpu.stop))
+      | _ -> () (* a resume path will reschedule us *)
+  end
+
+and handle_stop t stop =
+  if t.alive_ && not t.halted_ then
+    match stop with
+    | Cpu.Fuel -> continue_vm t
+    | Cpu.Recovery -> epoch_boundary t
+    | Cpu.Stop_wfi -> (
+      match t.p.Params.epoch_mechanism with
+      | Params.Recovery_register ->
+        (* The guest idles: account the rest of the epoch as idle time
+           and take the boundary there, preserving the instruction
+           stream (both replicas reach the Wfi at the same point). *)
+        let rem = Cpu.recovery_remaining t.vm in
+        if rem = 0 then epoch_boundary t
+        else begin
+          let d = Time.scale t.p.Params.instr_time rem in
+          Stats.add_time t.st `Idle d;
+          t.st.Stats.instructions <- t.st.Stats.instructions + rem;
+          ignore (Engine.after t.engine d (fun () -> epoch_boundary t))
+        end
+      | Params.Code_rewriting ->
+        (* no counted epoch to idle towards: the wait loop simply
+           spins until its back-edge marker ends the epoch *)
+        continue_vm t)
+    | Cpu.Stop_halt ->
+      t.halted_ <- true;
+      t.halt_time_ <- Engine.now t.engine;
+      cancel_detector t;
+      trace t "halt at epoch %d" t.epoch_;
+      t.on_halt t
+    | Cpu.Env i -> sim_env t i
+    | Cpu.Priv i -> sim_priv t i
+    | Cpu.Mmio_read { paddr; reg } -> sim_mmio_read t ~paddr ~reg
+    | Cpu.Mmio_write { paddr; value } -> sim_mmio_write t ~paddr ~value
+    | Cpu.Tlb_miss { vaddr; write = _ } -> handle_tlb_miss t ~vaddr
+    | Cpu.Protection { vaddr; write = _ } ->
+      reflect_trap t ~cause:Isa.Cause.protection ~badvaddr:vaddr
+        ~epc:(Cpu.pc t.vm)
+    | Cpu.Syscall code
+      when code = Rewrite.epoch_marker_code
+           && t.p.Params.epoch_mechanism = Params.Code_rewriting ->
+      (* an epoch marker inserted by object-code editing: this IS the
+         hypervisor invocation, not a guest trap; reload the software
+         instruction counter for the next epoch *)
+      Cpu.advance_pc t.vm;
+      Cpu.set_reg t.vm Rewrite.counter_reg t.p.Params.epoch_length;
+      epoch_boundary t
+    | Cpu.Syscall _ ->
+      reflect_trap t ~cause:Isa.Cause.syscall ~badvaddr:0
+        ~epc:(Cpu.pc t.vm + 1)
+    | Cpu.Fault msg -> failwith (t.name_ ^ ": guest fault: " ^ msg)
+
+(* An instruction the hypervisor simulated has completed: advance
+   (unless the simulation moved the pc itself), count it against the
+   recovery counter, and resume after the simulation cost. *)
+and complete_simulated ?(advance = true) ?(extra = Time.zero) t =
+  t.st.Stats.simulated <- t.st.Stats.simulated + 1;
+  if advance then Cpu.advance_pc t.vm;
+  let expired = Cpu.tick_recovery t.vm in
+  let d = Time.add (hsim t) extra in
+  if expired then ignore (Engine.after t.engine d (fun () -> epoch_boundary t))
+  else resume_after t d
+
+(* ---------- environment instructions ---------- *)
+
+and sim_env t i =
+  match t.role_ with
+  | Primary | Promoted -> sim_env_primary t i
+  | Backup -> sim_env_backup t i
+
+and relay_env_value t v =
+  if t.peer_alive then begin
+    send_msg t
+      (Message.Env_val { epoch = t.relay_epoch; idx = t.env_idx; value = v });
+    t.st.Stats.env_values <- t.st.Stats.env_values + 1
+  end
+
+and sim_env_primary t i =
+  let send_cost = if t.peer_alive then t.p.Params.hv_send_setup else Time.zero in
+  match i with
+  | Isa.Rdtod rd ->
+    let v = read_vtod t in
+    Cpu.set_reg t.vm rd v;
+    relay_env_value t v;
+    t.env_idx <- t.env_idx + 1;
+    complete_simulated ~extra:send_cost t
+  | Isa.Rdtmr rd ->
+    let now = read_vtod t in
+    let v =
+      if t.vtimer_deadline_us < 0 || t.vtimer_deadline_us <= now then 0
+      else t.vtimer_deadline_us - now
+    in
+    Cpu.set_reg t.vm rd (Word.mask v);
+    relay_env_value t (Word.mask v);
+    t.env_idx <- t.env_idx + 1;
+    complete_simulated ~extra:send_cost t
+  | Isa.Wrtmr rs ->
+    let v = Cpu.reg t.vm rs in
+    let deadline = if v = 0 then -1 else read_vtod t + v in
+    t.vtimer_deadline_us <- deadline;
+    relay_env_value t (Word.mask (if deadline < 0 then 0 else deadline));
+    t.env_idx <- t.env_idx + 1;
+    complete_simulated ~extra:send_cost t
+  | Isa.Out rs ->
+    Console.put t.console (Cpu.reg t.vm rs);
+    complete_simulated t
+  | _ -> failwith (t.name_ ^ ": unexpected environment instruction")
+
+and sim_env_backup t i =
+  match i with
+  | Isa.Out rs ->
+    (* environment output is suppressed at the backup (case (i) of
+       section 2.2); the register state is already identical *)
+    ignore rs;
+    complete_simulated t
+  | Isa.Rdtod _ | Isa.Rdtmr _ | Isa.Wrtmr _ -> (
+    let key = (t.epoch_, t.env_idx) in
+    match Hashtbl.find_opt t.env_vals key with
+    | Some v ->
+      Hashtbl.remove t.env_vals key;
+      apply_env_value t i v;
+      t.env_idx <- t.env_idx + 1;
+      complete_simulated t
+    | None ->
+      if t.peer_alive then begin
+        t.blocked <- B_env;
+        arm_detector t
+      end
+      else begin
+        (* the primary died before sending this value and therefore
+           before revealing anything that depends on it: the backup is
+           free to use its own environment (section 4.3 reasoning) *)
+        let v =
+          match i with
+          | Isa.Rdtod _ -> Word.mask (Clock.read_us t.clock + t.vtod_offset_us)
+          | Isa.Rdtmr _ ->
+            let now = Word.mask (Clock.read_us t.clock + t.vtod_offset_us) in
+            if t.vtimer_deadline_us < 0 || t.vtimer_deadline_us <= now then 0
+            else Word.mask (t.vtimer_deadline_us - now)
+          | Isa.Wrtmr rs ->
+            let v = Cpu.reg t.vm rs in
+            if v = 0 then 0
+            else Word.mask (Clock.read_us t.clock + t.vtod_offset_us + v)
+          | _ -> 0
+        in
+        apply_env_value t i v;
+        t.env_idx <- t.env_idx + 1;
+        complete_simulated t
+      end)
+  | _ -> failwith (t.name_ ^ ": unexpected environment instruction")
+
+and apply_env_value t i v =
+  match i with
+  | Isa.Rdtod rd | Isa.Rdtmr rd -> Cpu.set_reg t.vm rd v
+  | Isa.Wrtmr _ -> t.vtimer_deadline_us <- (if v = 0 then -1 else v)
+  | _ -> ()
+
+(* ---------- privileged instructions ---------- *)
+
+and sim_priv t i =
+  match i with
+  | Isa.Mfcr (rd, cr) ->
+    Cpu.set_reg t.vm rd (vcr t cr);
+    complete_simulated t
+  | Isa.Mtcr (cr, rs) ->
+    set_vcr t cr (Cpu.reg t.vm rs);
+    if cr = Isa.Cr_status then begin
+      apply_vstatus t;
+      (* re-enabling interrupts releases anything held pending, just
+         as the hardware would deliver on the enable edge *)
+      Cpu.advance_pc t.vm;
+      deliver_pending_if_possible t;
+      complete_simulated ~advance:false t
+    end
+    else complete_simulated t
+  | Isa.Tlbw (r1, r2) ->
+    let vpage = Cpu.reg t.vm r1 in
+    Tlb.insert (Cpu.tlb t.vm) (Tlb.decode_entry_word ~vpage (Cpu.reg t.vm r2));
+    complete_simulated t
+  | Isa.Rfi ->
+    set_vcr t Isa.Cr_status (vcr t Isa.Cr_istatus);
+    apply_vstatus t;
+    Cpu.set_pc t.vm (vcr t Isa.Cr_epc);
+    (* a pending buffered interrupt is delivered as soon as the guest
+       returns with interrupts re-enabled *)
+    deliver_pending_if_possible t;
+    complete_simulated ~advance:false t
+  | _ -> failwith (t.name_ ^ ": unexpected privileged instruction")
+
+(* ---------- MMIO ---------- *)
+
+and sim_mmio_read t ~paddr ~reg =
+  Cpu.set_reg t.vm reg (Disk_ctl.read t.ctl ~paddr);
+  complete_simulated t
+
+and sim_mmio_write t ~paddr ~value =
+  match Disk_ctl.write t.ctl ~paddr ~value with
+  | Disk_ctl.Plain -> complete_simulated t
+  | Disk_ctl.Doorbell db ->
+    let req =
+      { cmd = db.Disk_ctl.cmd; block = db.Disk_ctl.block; dma = db.Disk_ctl.dma }
+    in
+    handle_doorbell t req
+
+and handle_doorbell t req =
+  match t.role_ with
+  | Backup ->
+    (* case (i) of section 2.2: suppress, but remember the initiation
+       so a failover can synthesize its uncertain completion (P7) *)
+    Queue.add req t.outstanding;
+    t.st.Stats.io_suppressed <- t.st.Stats.io_suppressed + 1;
+    complete_simulated t
+  | Primary | Promoted ->
+    if
+      t.p.Params.protocol = Params.Revised
+      && t.peer_alive
+      && t.acked < t.data_sent
+    then begin
+      (* revised protocol: an I/O operation may not be issued until
+         everything sent has been acknowledged *)
+      t.blocked <- B_acks { upto = t.data_sent; resume = R_io req };
+      t.ack_wait_start <- Engine.now t.engine;
+      arm_detector t
+    end
+    else issue_io t req
+
+and issue_io t req =
+  let op =
+    if req.cmd = Layout.cmd_write then
+      Disk.Write
+        {
+          block = req.block;
+          data =
+            Memory.blit_out (Cpu.mem t.vm) ~addr:req.dma
+              ~len:(Disk.params t.disk).Disk.block_words;
+        }
+    else Disk.Read { block = req.block }
+  in
+  Queue.add req t.outstanding;
+  t.st.Stats.io_submitted <- t.st.Stats.io_submitted + 1;
+  let dma = req.dma in
+  ignore
+    (Disk.submit t.disk ~port:t.port op ~on_complete:(fun c ->
+         primary_completion t ~dma c));
+  complete_simulated t
+
+(* A device interrupt arrives at the primary's hypervisor: buffer it
+   for end-of-epoch delivery and relay a copy to the backup (P1). *)
+and primary_completion t ~dma (c : Disk.completion) =
+  if t.alive_ then begin
+    let rc =
+      {
+        Message.status =
+          (match c.Disk.status with
+          | Disk.Ok -> Layout.status_ok
+          | Disk.Uncertain -> Layout.status_uncertain);
+        dma =
+          (match (c.Disk.op, c.Disk.data) with
+          | Disk.Read _, Some data -> Some (dma, data)
+          | _ -> None);
+      }
+    in
+    t.buffered_current <-
+      { bi = Bi_disk rc; since = Engine.now t.engine } :: t.buffered_current;
+    t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1;
+    t.debt <- Time.add t.debt t.p.Params.hv_intr_receive;
+    if t.peer_alive then begin
+      t.debt <- Time.add t.debt t.p.Params.hv_send_setup;
+      send_msg t
+        (Message.Intr { epoch = t.relay_epoch; completion = rc })
+    end;
+    trace t "buffered disk completion #%d for epoch %d" c.Disk.op_id
+      t.relay_epoch
+  end
+
+(* ---------- TLB ---------- *)
+
+and handle_tlb_miss t ~vaddr =
+  match t.p.Params.tlb_mode with
+  | Params.Hypervisor_managed ->
+    (* section 3.2: the hypervisor performs the page-table search and
+       insert itself, so the guest never observes TLB state *)
+    let vpage = vaddr lsr t.p.Params.cpu_config.Cpu.page_shift in
+    let entry_word = Memory.read (Cpu.mem t.vm) (Layout.pt_base + vpage) in
+    if entry_word = 0 then
+      (* page "not in memory": only then does the guest see the miss *)
+      reflect_trap t ~cause:Isa.Cause.tlb_miss ~badvaddr:vaddr
+        ~epc:(Cpu.pc t.vm)
+    else begin
+      Tlb.insert (Cpu.tlb t.vm) (Tlb.decode_entry_word ~vpage entry_word);
+      t.st.Stats.tlb_fills <- t.st.Stats.tlb_fills + 1;
+      (* invisible to the guest: no pc change, no recovery tick *)
+      resume_after t t.p.Params.hv_tlb_fill
+    end
+  | Params.Guest_managed ->
+    reflect_trap t ~cause:Isa.Cause.tlb_miss ~badvaddr:vaddr ~epc:(Cpu.pc t.vm)
+
+and reflect_trap t ~cause ~badvaddr ~epc =
+  t.st.Stats.reflected_traps <- t.st.Stats.reflected_traps + 1;
+  t.st.Stats.simulated <- t.st.Stats.simulated + 1;
+  deliver_virtual_trap t ~cause ~badvaddr ~epc;
+  resume_after t (hsim t)
+
+(* ---------- epoch boundaries ---------- *)
+
+and epoch_boundary t =
+  t.on_epoch_boundary ~epoch:t.epoch_ ~hash:(vm_state_hash t);
+  match t.role_ with
+  | Primary | Promoted -> primary_boundary_phase1 t
+  | Backup -> backup_boundary t
+
+(* P2, first half: send [Tme], then (original protocol) await
+   acknowledgements for everything sent. *)
+and primary_boundary_phase1 t =
+  let tod = read_vtod t in
+  t.boundary_tod <- tod;
+  let cost = Time.add t.p.Params.hv_epoch_local t.p.Params.hv_send_setup in
+  Stats.add_time t.st `Boundary cost;
+  ignore
+    (Engine.after t.engine cost (fun () ->
+         if t.alive_ then begin
+           (* the [Tme] message leaves once the controller set-up is
+              paid for; only then can the ack wait begin *)
+           if t.peer_alive then
+             send_msg t
+               (Message.Tme
+                  {
+                    epoch = t.epoch_;
+                    tod_us = tod;
+                    timer_deadline_us = t.vtimer_deadline_us;
+                  });
+           if
+             t.p.Params.protocol = Params.Original
+             && t.peer_alive
+             && t.acked < t.data_sent
+           then begin
+             t.blocked <- B_acks { upto = t.data_sent; resume = R_boundary };
+             t.ack_wait_start <- Engine.now t.engine;
+             arm_detector t
+           end
+           else primary_boundary_phase2 t ~tod
+         end))
+
+(* P2, second half: interrupts based on Tme, delivery, [end,E]. *)
+and primary_boundary_phase2 t ~tod =
+  check_virtual_timer t ~tod;
+  let ended = t.epoch_ in
+  let deliver_set = List.rev t.buffered_current in
+  t.buffered_current <- [];
+  t.relay_epoch <- t.epoch_ + 1;
+  trace t "end of epoch %d (%d interrupts)" t.epoch_ (List.length deliver_set);
+  t.epoch_ <- t.epoch_ + 1;
+  t.env_idx <- 0;
+  t.st.Stats.epochs <- t.st.Stats.epochs + 1;
+  t.pending_delivery <- t.pending_delivery @ deliver_set;
+  let cost =
+    Time.add t.p.Params.hv_send_setup
+      (Time.scale t.p.Params.hv_intr_deliver (List.length deliver_set))
+  in
+  Stats.add_time t.st `Boundary cost;
+  arm_epoch t;
+  ignore
+    (Engine.after t.engine cost (fun () ->
+         if t.alive_ then begin
+           if t.peer_alive then send_msg t (Message.Epoch_end { epoch = ended });
+           if t.reintegrate_requested then start_reintegration t
+           else begin
+             deliver_pending_if_possible t;
+             continue_vm t
+           end
+         end))
+
+and check_virtual_timer t ~tod =
+  if t.vtimer_deadline_us >= 0 && t.vtimer_deadline_us <= tod then begin
+    t.vtimer_deadline_us <- -1;
+    t.buffered_current <-
+      { bi = Bi_timer; since = Engine.now t.engine } :: t.buffered_current;
+    t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
+  end
+
+(* P5: wait for [Tme] and [end,E], then mirror the primary's epoch
+   end.  P6/P7 take over if the primary has been declared dead. *)
+and backup_boundary t =
+  let e = t.epoch_ in
+  if t.failover_notice = Some e then failover_epoch t ~promoting:false
+  else
+  match Hashtbl.find_opt t.tmes e with
+  | None ->
+    if t.peer_alive then begin
+      t.blocked <- B_tme;
+      arm_detector t
+    end
+    else promote t
+  | Some (tod, deadline) ->
+    if not (Hashtbl.mem t.ends e) then begin
+      if t.peer_alive then begin
+        t.blocked <- B_end;
+        arm_detector t
+      end
+      else promote t
+    end
+    else begin
+      (* Tme_b := Tme_p *)
+      t.vtod_us <- tod;
+      t.vtimer_deadline_us <- deadline;
+      check_virtual_timer_backup t ~tod;
+      let deliver_set = take_buffered t e in
+      trace t "end of epoch %d (%d interrupts)" e (List.length deliver_set);
+      t.epoch_ <- e + 1;
+      t.env_idx <- 0;
+      t.st.Stats.epochs <- t.st.Stats.epochs + 1;
+      t.pending_delivery <- t.pending_delivery @ deliver_set;
+      let cost =
+        Time.add t.p.Params.hv_epoch_local
+          (Time.scale t.p.Params.hv_intr_deliver (List.length deliver_set))
+      in
+      Stats.add_time t.st `Boundary cost;
+      arm_epoch t;
+      ignore
+        (Engine.after t.engine cost (fun () ->
+             if t.alive_ then begin
+               deliver_pending_if_possible t;
+               continue_vm t
+             end))
+    end
+
+and check_virtual_timer_backup t ~tod =
+  if t.vtimer_deadline_us >= 0 && t.vtimer_deadline_us <= tod then begin
+    t.vtimer_deadline_us <- -1;
+    let r = buffered_ref t t.epoch_ in
+    r := { bi = Bi_timer; since = Engine.now t.engine } :: !r;
+    t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
+  end
+
+and buffered_ref t e =
+  match Hashtbl.find_opt t.buffered_by_epoch e with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.buffered_by_epoch e r;
+    r
+
+and take_buffered t e =
+  let l =
+    match Hashtbl.find_opt t.buffered_by_epoch e with
+    | Some r -> List.rev !r
+    | None -> []
+  in
+  Hashtbl.remove t.buffered_by_epoch e;
+  l
+
+(* P6 and P7: the failover epoch.  Deliver what was relayed, then an
+   uncertain completion for every I/O operation still outstanding.
+   With [promoting] the node takes over as primary; without it (the
+   chain extension) a downstream backup performs the identical
+   delivery — it holds the same forwarded stream and the same
+   suppressed-I/O record, so its state stays in lockstep with the new
+   primary's — and then re-homes to the promoted node, whose stream
+   already flows on the same channel. *)
+and failover_epoch t ~promoting =
+  let e = t.epoch_ in
+  let tod =
+    match Hashtbl.find_opt t.tmes e with
+    | Some (tod, deadline) ->
+      t.vtod_us <- tod;
+      t.vtimer_deadline_us <- deadline;
+      tod
+    | None -> t.vtod_us
+  in
+  if promoting then
+    (* virtual time continues from the last synchronised value *)
+    t.vtod_offset_us <- t.vtod_us - Clock.read_us t.clock;
+  check_virtual_timer_backup t ~tod;
+  let deliver_set = take_buffered t e in
+  let relayed_disk =
+    List.length
+      (List.filter
+         (fun { bi; _ } ->
+           match bi with Bi_disk _ -> true | Bi_timer -> false)
+         deliver_set)
+  in
+  let to_synthesize = max 0 (Queue.length t.outstanding - relayed_disk) in
+  let synths =
+    List.init to_synthesize (fun _ ->
+        {
+          bi = Bi_disk { Message.status = Layout.status_uncertain; dma = None };
+          since = Engine.now t.engine;
+        })
+  in
+  t.st.Stats.uncertain_synthesized <-
+    t.st.Stats.uncertain_synthesized + to_synthesize;
+  trace t "%s at epoch %d: %d relayed, %d uncertain synthesized"
+    (if promoting then "FAILOVER" else "failover-follow")
+    e (List.length deliver_set) to_synthesize;
+  t.failover_notice <- None;
+  if promoting then begin
+    t.role_ <- Promoted;
+    (* a chained downstream backup keeps replication alive *)
+    t.peer_alive <- t.tx_data <> None;
+    if t.peer_alive then send_msg t (Message.Failover { epoch = e })
+  end;
+  t.epoch_ <- e + 1;
+  t.relay_epoch <- t.epoch_;
+  t.env_idx <- 0;
+  t.st.Stats.epochs <- t.st.Stats.epochs + 1;
+  t.pending_delivery <- t.pending_delivery @ deliver_set @ synths;
+  let cost =
+    Time.add t.p.Params.hv_epoch_local
+      (Time.scale t.p.Params.hv_intr_deliver (List.length t.pending_delivery))
+  in
+  arm_epoch t;
+  if promoting then t.on_promote t;
+  ignore
+    (Engine.after t.engine cost (fun () ->
+         if t.alive_ then begin
+           deliver_pending_if_possible t;
+           continue_vm t
+         end))
+
+and promote t = failover_epoch t ~promoting:true
+
+(* ---------- failure detection ---------- *)
+
+and detector_fired t =
+  if t.alive_ && not t.halted_ then begin
+    trace t "failure detector fired (blocked=%s)"
+      (match t.blocked with
+      | B_tme -> "tme"
+      | B_end -> "end"
+      | B_env -> "env"
+      | B_acks _ -> "acks"
+      | B_snapshot -> "snapshot"
+      | Not_blocked -> "none");
+    t.peer_alive <- false;
+    match t.blocked with
+    | B_tme | B_end ->
+      t.blocked <- Not_blocked;
+      backup_boundary t
+    | B_env ->
+      t.blocked <- Not_blocked;
+      (* re-enter the environment simulation, which now self-sources *)
+      continue_after_env_retry t
+    | B_acks { resume; _ } ->
+      (* the backup is gone: the primary continues unreplicated *)
+      Stats.add_time t.st `Ack_wait
+        (Time.diff (Engine.now t.engine) t.ack_wait_start);
+      t.blocked <- Not_blocked;
+      (match resume with
+      | R_boundary -> primary_boundary_phase2 t ~tod:t.boundary_tod
+      | R_io req -> issue_io t req)
+    | B_snapshot ->
+      t.blocked <- Not_blocked;
+      t.reintegrate_requested <- false;
+      deliver_pending_if_possible t;
+      continue_vm t
+    | Not_blocked -> ()
+  end
+
+and continue_after_env_retry t =
+  (* the pc still points at the environment instruction *)
+  let i = (Cpu.code t.vm).(Cpu.pc t.vm) in
+  sim_env t i
+
+(* ---------- message handling ---------- *)
+
+and on_message t msg =
+  if t.alive_ then begin
+    match msg.Message.body with
+    | Message.Ack { upto } ->
+      t.acked <- max t.acked upto;
+      (match t.blocked with
+      (* "all messages previously sent" (P2) includes messages sent
+         while the wait was in progress — e.g. a disk-read completion
+         relayed mid-boundary — so the release condition re-checks the
+         live send count, not the count captured when blocking *)
+      | B_acks { upto = _; resume } when t.acked >= t.data_sent ->
+        Stats.add_time t.st `Ack_wait
+          (Time.diff (Engine.now t.engine) t.ack_wait_start);
+        cancel_detector t;
+        t.blocked <- Not_blocked;
+        (match resume with
+        | R_boundary -> primary_boundary_phase2 t ~tod:t.boundary_tod
+        | R_io req -> issue_io t req)
+      | _ -> ())
+    | body ->
+      t.data_recvd <- t.data_recvd + 1;
+      send_ack t;
+      (match body with
+      | Message.Intr { epoch; completion } ->
+        let r = buffered_ref t epoch in
+        r := { bi = Bi_disk completion; since = Engine.now t.engine } :: !r;
+        t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
+      | Message.Env_val { epoch; idx; value } ->
+        Hashtbl.replace t.env_vals (epoch, idx) value
+      | Message.Tme { epoch; tod_us; timer_deadline_us } ->
+        Hashtbl.replace t.tmes epoch (tod_us, timer_deadline_us)
+      | Message.Epoch_end { epoch } -> Hashtbl.replace t.ends epoch ()
+      | Message.Snapshot_offer { epoch; code_hash } ->
+        receive_snapshot t ~epoch ~code_hash
+      | Message.Snapshot_done { epoch = _ } -> (
+        match t.blocked with
+        | B_snapshot ->
+          cancel_detector t;
+          t.blocked <- Not_blocked;
+          t.peer_alive <- true;
+          t.reintegrate_requested <- false;
+          trace t "reintegration complete; replication resumed";
+          deliver_pending_if_possible t;
+          continue_vm t
+        | _ -> ())
+      | Message.Failover { epoch } ->
+        trace t "upstream failover at epoch %d noted" epoch;
+        t.failover_notice <- Some epoch
+      | Message.Ack _ -> assert false);
+      (* chained replication: a backup with a downstream relays the
+         whole stream, preserving order; its own sequence numbers
+         continue seamlessly if it is later promoted *)
+      (match (t.role_, t.tx_data, body) with
+      | Backup, Some _, (Message.Snapshot_offer _ | Message.Snapshot_done _) ->
+        ()
+      | Backup, Some _, _ -> send_msg t body
+      | _ -> ());
+      (* resume a blocked state machine if its wait is satisfied *)
+      match t.blocked with
+      | B_tme | B_end ->
+        cancel_detector t;
+        t.blocked <- Not_blocked;
+        backup_boundary t
+      | B_env ->
+        if Hashtbl.mem t.env_vals (t.epoch_, t.env_idx) then begin
+          cancel_detector t;
+          t.blocked <- Not_blocked;
+          continue_after_env_retry t
+        end
+      | _ -> ()
+  end
+
+(* ---------- reintegration (extension) ---------- *)
+
+and take_snapshot t =
+  let ctl = Disk_ctl.create () in
+  Disk_ctl.copy_state_from ctl t.ctl;
+  {
+    s_cpu = Cpu.snapshot t.vm;
+    s_vcrs = Array.copy t.vcrs;
+    s_ctl = ctl;
+    s_outstanding = List.of_seq (Queue.to_seq t.outstanding);
+    s_pending = t.pending_delivery;
+    s_vtimer = t.vtimer_deadline_us;
+    s_vtod = read_vtod t;
+    s_epoch = t.epoch_;
+  }
+
+and start_reintegration t =
+  match t.peer with
+  | None -> ()
+  | Some peer ->
+    (* fresh messaging epoch: the counters still reflect this node's
+       previous career (as the backup, every ack it sent bumped
+       send_seq), and cumulative acknowledgements only make sense if
+       both sides restart from zero *)
+    t.send_seq <- 0;
+    t.data_sent <- 0;
+    t.acked <- 0;
+    t.data_recvd <- 0;
+    let snap = take_snapshot t in
+    peer.snapshot_box <- Some snap;
+    let mem_bytes = 4 * Memory.size (Cpu.mem t.vm) in
+    send_msg ~snapshot_bytes:mem_bytes t
+      (Message.Snapshot_offer
+         {
+           epoch = t.epoch_;
+           code_hash = Encode.program_hash (Cpu.code t.vm);
+         });
+    t.blocked <- B_snapshot;
+    t.peer_alive <- true (* provisional: allow the offer to flow *);
+    (* the whole VM image travels over the link: the give-up timeout
+       must cover its transfer time, not just the normal heartbeat *)
+    let transfer =
+      Hft_net.Link.transfer_time t.p.Params.link ~bytes:mem_bytes
+    in
+    arm_detector
+      ~timeout:
+        (Time.add (Time.scale transfer 2)
+           (Time.scale t.p.Params.detector_timeout 2))
+      t;
+    trace t "reintegration: snapshot of epoch %d offered (%d bytes)"
+      t.epoch_ mem_bytes
+
+and receive_snapshot t ~epoch ~code_hash =
+  match t.snapshot_box with
+  | None -> trace t "snapshot offer with no snapshot data; ignored"
+  | Some snap ->
+    if code_hash <> Encode.program_hash (Cpu.code t.vm) then
+      failwith (t.name_ ^ ": reintegration with different code image");
+    t.snapshot_box <- None;
+    Cpu.restore t.vm snap.s_cpu;
+    Array.blit snap.s_vcrs 0 t.vcrs 0 Array.(length t.vcrs);
+    apply_vstatus t;
+    Disk_ctl.copy_state_from t.ctl snap.s_ctl;
+    Queue.clear t.outstanding;
+    List.iter (fun r -> Queue.add r t.outstanding) snap.s_outstanding;
+    t.vtimer_deadline_us <- snap.s_vtimer;
+    t.vtod_us <- snap.s_vtod;
+    t.epoch_ <- epoch;
+    t.relay_epoch <- epoch;
+    t.env_idx <- 0;
+    t.role_ <- Backup;
+    t.peer_alive <- true;
+    t.blocked <- Not_blocked;
+    t.pending_delivery <- snap.s_pending;
+    t.buffered_current <- [];
+    Hashtbl.reset t.buffered_by_epoch;
+    Hashtbl.reset t.env_vals;
+    Hashtbl.reset t.tmes;
+    Hashtbl.reset t.ends;
+    (match t.p.Params.epoch_mechanism with
+    | Params.Recovery_register -> Cpu.set_recovery t.vm t.p.Params.epoch_length
+    | Params.Code_rewriting -> Cpu.disable_recovery t.vm);
+    send_up t (Message.Snapshot_done { epoch });
+    trace t "reintegrated as backup at epoch %d" epoch;
+    ignore
+      (Engine.after t.engine Time.zero (fun () ->
+           deliver_pending_if_possible t;
+           continue_vm t))
+
+let request_reintegration t =
+  match t.role_ with
+  | Backup -> invalid_arg "Hypervisor.request_reintegration: not a primary"
+  | Primary | Promoted -> t.reintegrate_requested <- true
+
+let revive_as_backup t =
+  t.alive_ <- true;
+  t.halted_ <- false;
+  t.role_ <- Backup;
+  t.peer_alive <- true;
+  t.blocked <- Not_blocked;
+  t.debt <- Time.zero;
+  t.send_seq <- 0;
+  t.data_sent <- 0;
+  t.acked <- 0;
+  t.data_recvd <- 0;
+  (match t.tx_data with Some ch -> Channel.revive_sender ch | None -> ());
+  (match t.tx_ack with Some ch -> Channel.revive_sender ch | None -> ())
+
+let crash t =
+  t.alive_ <- false;
+  cancel_detector t;
+  (match t.tx_data with Some ch -> Channel.crash_sender ch | None -> ());
+  (match t.tx_ack with Some ch -> Channel.crash_sender ch | None -> ());
+  Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
+    ~source:t.name_ "CRASH"
+
+let start t =
+  Guest_results.write_config t.vm t.workload.Hft_guest.Workload.config;
+  (* the kernel boots at real privilege 1 = virtual privilege 0 *)
+  apply_vstatus t;
+  (match t.p.Params.epoch_mechanism with
+  | Params.Recovery_register -> Cpu.set_recovery t.vm t.p.Params.epoch_length
+  | Params.Code_rewriting ->
+    Cpu.disable_recovery t.vm;
+    Cpu.set_reg t.vm Hft_machine.Rewrite.counter_reg t.p.Params.epoch_length);
+  ignore (Engine.after t.engine Time.zero (fun () -> continue_vm t))

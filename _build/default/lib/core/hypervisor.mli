@@ -1,0 +1,117 @@
+(** The augmented hypervisor: virtualization plus the paper's
+    replica-coordination protocol (rules P1-P7).
+
+    One instance manages one virtual machine on one simulated
+    processor.  The VM's kernel runs at real privilege level 1
+    (virtual level 0) and its applications at level 3, exactly the
+    mapping of section 3.1; every privileged, environment and MMIO
+    instruction traps to this module and is simulated against shadow
+    state at the paper's measured cost of 15.12 us.
+
+    Execution is divided into epochs of [Params.epoch_length]
+    instructions, delimited by the recovery counter.  The two
+    instances cooperate:
+
+    - the {b primary} executes against the real devices, buffers
+      interrupts during an epoch and relays them (P1), and at each
+      epoch end sends [Tme], optionally awaits acknowledgements
+      (original protocol), delivers buffered interrupts and sends
+      [end,E] (P2);
+    - the {b backup} ignores its own device interrupts (P3), acks and
+      buffers relayed ones (P4), suppresses I/O and environment
+      output, replays forwarded environment-instruction results, and
+      at each epoch end waits for [Tme] and [end,E] before delivering
+      the same interrupts at the same instruction-stream point (P5);
+    - if the primary fails, the backup's failure detector fires while
+      it waits, it finishes the failover epoch, delivers what was
+      relayed, synthesizes an {e uncertain} completion for every
+      outstanding I/O operation (P6/P7), and promotes itself.
+
+    With the revised protocol of section 4.3, the boundary ack wait
+    moves to I/O initiation.
+
+    Reintegration of a new backup (left open in the paper) is
+    implemented as an extension: at an epoch boundary the primary
+    snapshots the VM image, ships it over the link (paying its full
+    transfer time), and resumes coordinated execution once the new
+    backup confirms. *)
+
+type role = Primary | Backup | Promoted
+
+type t
+
+val create :
+  name:string ->
+  role:role ->
+  port:int ->
+  engine:Hft_sim.Engine.t ->
+  params:Params.t ->
+  workload:Hft_guest.Workload.t ->
+  disk:Hft_devices.Disk.t ->
+  console:Hft_devices.Console.t ->
+  clock:Hft_devices.Clock.t ->
+  unit ->
+  t
+
+val connect :
+  ?tx_data:Message.t Hft_net.Channel.t ->
+  ?tx_ack:Message.t Hft_net.Channel.t ->
+  t ->
+  peer:t ->
+  unit
+(** Wire the outgoing channels: [tx_data] carries protocol data
+    downstream (primary to backup, or a chained backup's forwarded
+    stream to the next backup), [tx_ack] carries acknowledgements and
+    the reintegration handshake upstream.  The peer reference is used
+    only for the reintegration snapshot's data plane; all coordination
+    goes through messages. *)
+
+val on_message : t -> Message.t -> unit
+(** Deliver an incoming protocol message; installed as the receive
+    callback of the peer's channel. *)
+
+val start : t -> unit
+(** Write the workload configuration, arm the first epoch, and begin
+    executing. *)
+
+val crash : t -> unit
+(** Fail-stop this processor: it stops executing and sending; its
+    in-flight messages are still delivered (the channel handles
+    that). *)
+
+(* Accessors *)
+
+val name : t -> string
+val role : t -> role
+val alive : t -> bool
+val halted : t -> bool
+val halt_time : t -> Hft_sim.Time.t
+val epoch : t -> int
+val cpu : t -> Hft_machine.Cpu.t
+val stats : t -> Stats.t
+val results : t -> Guest_results.t
+
+val vm_state_hash : t -> int
+(** Hash of the architectural VM state including the virtual control
+    registers (and excluding the physical TLB, which the
+    hypervisor-managed mode keeps invisible). *)
+
+(* Hooks installed by {!System}. *)
+
+val set_on_epoch_boundary : t -> (epoch:int -> hash:int -> unit) -> unit
+(** Called at every epoch boundary, before interrupt delivery, with
+    the VM state hash at that instruction-stream point. *)
+
+val set_on_halt : t -> (t -> unit) -> unit
+val set_on_promote : t -> (t -> unit) -> unit
+
+(* Reintegration extension. *)
+
+val request_reintegration : t -> unit
+(** Ask a [Primary] or [Promoted] instance to ship a snapshot to its
+    (revived) peer at the next epoch boundary and resume replication.
+    @raise Invalid_argument on a [Backup]. *)
+
+val revive_as_backup : t -> unit
+(** Reset a crashed instance so it can receive a snapshot and rejoin
+    as the backup. *)

@@ -1,0 +1,56 @@
+type relayed_completion = {
+  status : int;
+  dma : (int * Hft_machine.Word.t array) option;
+}
+
+type body =
+  | Intr of { epoch : int; completion : relayed_completion }
+  | Env_val of { epoch : int; idx : int; value : Hft_machine.Word.t }
+  | Tme of { epoch : int; tod_us : Hft_machine.Word.t; timer_deadline_us : int }
+  | Epoch_end of { epoch : int }
+  | Ack of { upto : int }
+  | Snapshot_offer of { epoch : int; code_hash : int }
+  | Snapshot_done of { epoch : int }
+  | Failover of { epoch : int }
+
+type t = { seq : int; body : body }
+
+let header_bytes = 24
+
+let bytes ?(snapshot_bytes = 0) t =
+  header_bytes
+  +
+  match t.body with
+  | Intr { completion; _ } -> (
+    16
+    + match completion.dma with None -> 0 | Some (_, data) -> 8 + (4 * Array.length data))
+  | Env_val _ -> 16
+  | Tme _ -> 16
+  | Epoch_end _ -> 8
+  | Ack _ -> 8
+  | Snapshot_offer _ -> 16 + snapshot_bytes
+  | Snapshot_done _ -> 8
+  | Failover _ -> 8
+
+let pp fmt t =
+  match t.body with
+  | Intr { epoch; completion } ->
+    Format.fprintf fmt "[#%d intr epoch=%d status=%d%s]" t.seq epoch
+      completion.status
+      (match completion.dma with
+      | None -> ""
+      | Some (addr, data) ->
+        Printf.sprintf " dma@0x%x[%d]" addr (Array.length data))
+  | Env_val { epoch; idx; value } ->
+    Format.fprintf fmt "[#%d env epoch=%d idx=%d value=%d]" t.seq epoch idx value
+  | Tme { epoch; tod_us; timer_deadline_us } ->
+    Format.fprintf fmt "[#%d tme epoch=%d tod=%dus deadline=%d]" t.seq epoch
+      tod_us timer_deadline_us
+  | Epoch_end { epoch } -> Format.fprintf fmt "[#%d end epoch=%d]" t.seq epoch
+  | Ack { upto } -> Format.fprintf fmt "[#%d ack upto=%d]" t.seq upto
+  | Snapshot_offer { epoch; _ } ->
+    Format.fprintf fmt "[#%d snapshot-offer epoch=%d]" t.seq epoch
+  | Snapshot_done { epoch } ->
+    Format.fprintf fmt "[#%d snapshot-done epoch=%d]" t.seq epoch
+  | Failover { epoch } ->
+    Format.fprintf fmt "[#%d failover epoch=%d]" t.seq epoch

@@ -1,0 +1,51 @@
+(** Hypervisor-to-hypervisor protocol messages.
+
+    The forward direction (primary to backup) carries the traffic of
+    rules P1 and P2: relayed interrupts, forwarded
+    environment-instruction results, the end-of-epoch timer state
+    [Tme], and the [end,E] marker.  The reverse direction carries the
+    acknowledgements rule P2 (original) or the I/O gate (revised)
+    waits for, plus the reintegration handshake.
+
+    Every message has a byte size used by the link model; disk-read
+    completions carry the whole data block, which is what makes reads
+    measurably slower than writes under replication (paper
+    section 4.2). *)
+
+type relayed_completion = {
+  status : int;  (** {!Hft_guest.Layout.status_ok} or [status_uncertain] *)
+  dma : (int * Hft_machine.Word.t array) option;
+      (** address and contents for a performed read *)
+}
+
+type body =
+  | Intr of { epoch : int; completion : relayed_completion }
+      (** P1: a device interrupt received and buffered during [epoch] *)
+  | Env_val of { epoch : int; idx : int; value : Hft_machine.Word.t }
+      (** result of the [idx]-th environment instruction simulated in
+          [epoch] *)
+  | Tme of { epoch : int; tod_us : Hft_machine.Word.t; timer_deadline_us : int }
+      (** P2: the primary's virtual clocks at the end of [epoch];
+          [timer_deadline_us = -1] when no interval is armed *)
+  | Epoch_end of { epoch : int }  (** P2: [end, E] *)
+  | Ack of { upto : int }
+      (** P4: cumulative acknowledgement of the first [upto] messages *)
+  | Snapshot_offer of { epoch : int; code_hash : int }
+      (** reintegration: a state snapshot follows *)
+  | Snapshot_done of { epoch : int }
+      (** reintegration: the new backup restored the snapshot *)
+  | Failover of { epoch : int }
+      (** chain extension (t = 2): a promoting backup tells its
+          downstream backup which epoch was the failover epoch, so the
+          downstream performs the same P6/P7 delivery and re-homes to
+          the new primary without promoting itself *)
+
+type t = { seq : int; body : body }
+(** [seq] numbers messages per sender, starting at 0, so cumulative
+    acks identify "all messages previously sent" (rule P2). *)
+
+val bytes : ?snapshot_bytes:int -> t -> int
+(** Wire size.  [snapshot_bytes] sizes a [Snapshot_offer], whose
+    payload (the whole VM image) travels with it. *)
+
+val pp : Format.formatter -> t -> unit

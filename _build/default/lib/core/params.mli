@@ -1,0 +1,87 @@
+(** Configuration and cost model for the replicated system.
+
+    Every timing constant is taken from, or calibrated against, the
+    measurements in section 4 of the paper:
+
+    - instructions execute in 0.02 us (the HP 9000/720 is a 50 MIPS
+      processor);
+    - simulating a privileged/environment instruction costs 15.12 us
+      (8 us hypervisor entry/exit + 7.12 us of work);
+    - epoch-boundary processing under the original protocol averages
+      443.59 us, decomposed here into local processing, two message
+      set-ups (the [Tme] and [end,E] sends) and — in the original
+      protocol only — the acknowledgement round trip;
+    - the hypervisor-to-hypervisor link is a 10 Mbps Ethernet by
+      default (155 Mbps ATM reproduces figure 4). *)
+
+type protocol =
+  | Original
+      (** rule P2 as first stated: the primary awaits acknowledgements
+          for all messages at every epoch boundary *)
+  | Revised
+      (** section 4.3: the boundary ack wait is dropped; instead the
+          primary may not issue an I/O operation until all messages it
+          has sent have been acknowledged *)
+
+type tlb_mode =
+  | Hypervisor_managed
+      (** the section 3.2 fix: the hypervisor services TLB misses for
+          resident pages, so TLB state is invisible to the guest *)
+  | Guest_managed
+      (** misses are reflected to the guest kernel, faithful to the
+          raw PA-RISC — combined with a nondeterministic replacement
+          policy this breaks replica determinism, as the paper found *)
+
+type epoch_mechanism =
+  | Recovery_register
+      (** the PA-RISC mechanism the prototype used: an interrupt after
+          exactly [epoch_length] completed instructions *)
+  | Code_rewriting
+      (** section 2.1's alternative: the object code is edited so the
+          hypervisor is invoked periodically ({!Hft_machine.Rewrite});
+          epochs become variable-length, bounded by [epoch_length] *)
+
+type t = {
+  epoch_length : int;        (** instructions per epoch (the recovery
+                                 register load, or the marker spacing
+                                 under code rewriting) *)
+  protocol : protocol;
+  tlb_mode : tlb_mode;
+  epoch_mechanism : epoch_mechanism;
+  instr_time : Hft_sim.Time.t;
+  hv_entry_exit : Hft_sim.Time.t;
+  hv_work : Hft_sim.Time.t;
+  hv_epoch_local : Hft_sim.Time.t;
+      (** epoch-boundary bookkeeping excluding sends and ack wait *)
+  hv_send_setup : Hft_sim.Time.t;
+      (** CPU cost of initiating one hypervisor-to-hypervisor message *)
+  hv_intr_deliver : Hft_sim.Time.t;
+      (** cost of delivering one buffered interrupt to the VM *)
+  hv_intr_receive : Hft_sim.Time.t;
+      (** cost of fielding a device interrupt and relaying it *)
+  hv_tlb_fill : Hft_sim.Time.t;
+      (** hypervisor-managed TLB fill (invisible to the guest) *)
+  bare_trap_latency : Hft_sim.Time.t;
+      (** hardware trap reflection on the bare machine *)
+  link : Hft_net.Link.t;
+  detector_timeout : Hft_sim.Time.t;
+  backup_clock_skew : Hft_sim.Time.t;
+      (** time-of-day skew of the backup processor's clock — the
+          reason clock reads must be forwarded, not read locally *)
+  disk : Hft_devices.Disk.params;
+  cpu_config : Hft_machine.Cpu.config;
+}
+
+val default : t
+(** Paper calibration: 4 K-instruction epochs, original protocol,
+    hypervisor-managed TLB, Ethernet link. *)
+
+val hsim : t -> Hft_sim.Time.t
+(** [hv_entry_exit + hv_work] = 15.12 us with defaults. *)
+
+val with_epoch_length : t -> int -> t
+val with_protocol : t -> protocol -> t
+val with_link : t -> Hft_net.Link.t -> t
+
+val pp_protocol : Format.formatter -> protocol -> unit
+val pp : Format.formatter -> t -> unit

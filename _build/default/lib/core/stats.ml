@@ -1,0 +1,60 @@
+open Hft_sim
+
+type t = {
+  mutable instructions : int;
+  mutable simulated : int;
+  mutable epochs : int;
+  mutable interrupts_buffered : int;
+  mutable interrupts_delivered : int;
+  mutable env_values : int;
+  mutable io_submitted : int;
+  mutable io_suppressed : int;
+  mutable uncertain_synthesized : int;
+  mutable tlb_fills : int;
+  mutable reflected_traps : int;
+  mutable ack_wait : Time.t;
+  mutable boundary : Time.t;
+  mutable idle : Time.t;
+  mutable intr_delay : Time.t;
+}
+
+let create () =
+  {
+    instructions = 0;
+    simulated = 0;
+    epochs = 0;
+    interrupts_buffered = 0;
+    interrupts_delivered = 0;
+    env_values = 0;
+    io_submitted = 0;
+    io_suppressed = 0;
+    uncertain_synthesized = 0;
+    tlb_fills = 0;
+    reflected_traps = 0;
+    ack_wait = Time.zero;
+    boundary = Time.zero;
+    idle = Time.zero;
+    intr_delay = Time.zero;
+  }
+
+let add_time t kind d =
+  match kind with
+  | `Ack_wait -> t.ack_wait <- Time.add t.ack_wait d
+  | `Boundary -> t.boundary <- Time.add t.boundary d
+  | `Idle -> t.idle <- Time.add t.idle d
+  | `Intr_delay -> t.intr_delay <- Time.add t.intr_delay d
+
+let mean_intr_delay_us t =
+  if t.interrupts_delivered = 0 then 0.0
+  else Time.to_us t.intr_delay /. float_of_int t.interrupts_delivered
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>instructions: %d@ simulated: %d@ epochs: %d@ interrupts: %d \
+     buffered, %d delivered@ env values: %d@ io: %d submitted, %d \
+     suppressed, %d uncertain synthesized@ tlb fills: %d@ reflected traps: \
+     %d@ ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: %.1fus@]"
+    t.instructions t.simulated t.epochs t.interrupts_buffered
+    t.interrupts_delivered t.env_values t.io_submitted t.io_suppressed
+    t.uncertain_synthesized t.tlb_fills t.reflected_traps Time.pp t.ack_wait
+    Time.pp t.boundary Time.pp t.idle (mean_intr_delay_us t)

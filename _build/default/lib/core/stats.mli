@@ -1,0 +1,38 @@
+(** Per-hypervisor counters, the raw material of section 4's
+    measurements. *)
+
+type t = {
+  mutable instructions : int;
+      (** ordinary instructions executed directly by the VM *)
+  mutable simulated : int;
+      (** privileged / environment / MMIO instructions simulated by
+          the hypervisor — the [nsim] of the paper's model *)
+  mutable epochs : int;
+  mutable interrupts_buffered : int;
+  mutable interrupts_delivered : int;
+  mutable env_values : int;
+  mutable io_submitted : int;
+  mutable io_suppressed : int;     (** backup-side suppressions *)
+  mutable uncertain_synthesized : int;  (** P7 interrupts at failover *)
+  mutable tlb_fills : int;
+  mutable reflected_traps : int;   (** traps delivered to the guest *)
+  mutable ack_wait : Hft_sim.Time.t;
+      (** time the primary spent awaiting acknowledgements *)
+  mutable boundary : Hft_sim.Time.t;
+      (** time spent in epoch-boundary processing *)
+  mutable idle : Hft_sim.Time.t;   (** WFI idle time *)
+  mutable intr_delay : Hft_sim.Time.t;
+      (** total time device interrupts spent buffered before delivery
+          — the paper's delay(EL) term, summed *)
+}
+
+val create : unit -> t
+
+val add_time :
+  t -> [ `Ack_wait | `Boundary | `Idle | `Intr_delay ] -> Hft_sim.Time.t -> unit
+
+val mean_intr_delay_us : t -> float
+(** Average buffered-to-delivered latency of an interrupt, in
+    microseconds; 0 when none were delivered. *)
+
+val pp : Format.formatter -> t -> unit

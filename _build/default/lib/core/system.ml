@@ -1,0 +1,280 @@
+open Hft_sim
+open Hft_devices
+module Channel = Hft_net.Channel
+
+type lockstep = {
+  hashes : (int, int) Hashtbl.t;  (* epoch -> first reporter's hash *)
+  mutable compared : int;
+  mutable mismatches : int list;  (* reversed *)
+}
+
+type t = {
+  engine : Engine.t;
+  p : Params.t;
+  workload : Hft_guest.Workload.t;
+  primary_ : Hypervisor.t;
+  backup_ : Hypervisor.t;
+  backup2_ : Hypervisor.t option;
+  disk_ : Disk.t;
+  console_ : Console.t;
+  ch_pb : Message.t Channel.t;
+  ch_bp : Message.t Channel.t;
+  ls : lockstep option;
+  mutable failover_ : bool;
+  mutable reintegration_delay : Time.t option;
+}
+
+let fill_block ~block_words block =
+  Array.init block_words (fun i ->
+      Hft_machine.Word.mask ((block * 0x01000193) + i))
+
+let record_boundary ls ~epoch ~hash =
+  match Hashtbl.find_opt ls.hashes epoch with
+  | None -> Hashtbl.replace ls.hashes epoch hash
+  | Some other ->
+    ls.compared <- ls.compared + 1;
+    if other <> hash then ls.mismatches <- epoch :: ls.mismatches
+
+let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
+    ?(lockstep = true) ?(init_disk = true) ?(second_backup = false) ?trace
+    ~workload () =
+  let workload =
+    match params.Params.epoch_mechanism with
+    | Params.Recovery_register -> workload
+    | Params.Code_rewriting ->
+      {
+        workload with
+        Hft_guest.Workload.program =
+          Hft_machine.Rewrite.rewrite_program ~every:params.Params.epoch_length
+            workload.Hft_guest.Workload.program;
+      }
+  in
+  let engine = Engine.create ?trace () in
+  let disk_ =
+    Disk.create ~engine ~rng:(Rng.create disk_seed) params.Params.disk
+  in
+  if init_disk then begin
+    let prm = Disk.params disk_ in
+    for block = 0 to prm.Disk.blocks - 1 do
+      Disk.write_block_now disk_ block
+        (fill_block ~block_words:prm.Disk.block_words block)
+    done
+  end;
+  let console_ = Console.create () in
+  let clock_p = Clock.create ~engine () in
+  let clock_b = Clock.create ~engine ~skew:params.Params.backup_clock_skew () in
+  (* Give each processor its own TLB-replacement stream when the
+     policy is random: that is the hardware nondeterminism of
+     section 3.2. *)
+  let params_for seed =
+    match (params.Params.cpu_config.Hft_machine.Cpu.tlb_policy, tlb_seeds) with
+    | Hft_machine.Tlb.Random _, Some _ ->
+      {
+        params with
+        Params.cpu_config =
+          {
+            params.Params.cpu_config with
+            Hft_machine.Cpu.tlb_policy = Hft_machine.Tlb.Random (Rng.create seed);
+          };
+      }
+    | _ -> params
+  in
+  let seeds = match tlb_seeds with Some (a, b) -> (a, b) | None -> (1, 1) in
+  let primary_ =
+    Hypervisor.create ~name:"primary" ~role:Hypervisor.Primary ~port:0 ~engine
+      ~params:(params_for (fst seeds)) ~workload ~disk:disk_ ~console:console_
+      ~clock:clock_p ()
+  in
+  let backup_ =
+    Hypervisor.create ~name:"backup" ~role:Hypervisor.Backup ~port:1 ~engine
+      ~params:(params_for (snd seeds)) ~workload ~disk:disk_ ~console:console_
+      ~clock:clock_b ()
+  in
+  let ch_pb =
+    Channel.create ~engine ~link:params.Params.link ~name:"primary->backup" ()
+  in
+  let ch_bp =
+    Channel.create ~engine ~link:params.Params.link ~name:"backup->primary" ()
+  in
+  (* chain extension (t = 2): a second backup hangs off the first,
+     which forwards the whole coordination stream *)
+  let backup2_ =
+    if not second_backup then None
+    else begin
+      let clock_b2 =
+        Clock.create ~engine
+          ~skew:(Time.scale params.Params.backup_clock_skew 2)
+          ()
+      in
+      (* the downstream backup must outlast the first backup's
+         detection and takeover before suspecting the whole chain *)
+      let params2 =
+        {
+          (params_for (snd seeds)) with
+          Params.detector_timeout = Time.scale params.Params.detector_timeout 3;
+        }
+      in
+      let b2 =
+        Hypervisor.create ~name:"backup2" ~role:Hypervisor.Backup ~port:2
+          ~engine ~params:params2 ~workload ~disk:disk_ ~console:console_
+          ~clock:clock_b2 ()
+      in
+      let ch_b1b2 =
+        Channel.create ~engine ~link:params.Params.link ~name:"backup->backup2"
+          ()
+      in
+      let ch_b2b1 =
+        Channel.create ~engine ~link:params.Params.link ~name:"backup2->backup"
+          ()
+      in
+      Hypervisor.connect backup_ ~tx_ack:ch_bp ~tx_data:ch_b1b2 ~peer:primary_;
+      Hypervisor.connect b2 ~tx_ack:ch_b2b1 ~peer:backup_;
+      Channel.connect ch_b1b2 (fun msg -> Hypervisor.on_message b2 msg);
+      Channel.connect ch_b2b1 (fun msg -> Hypervisor.on_message backup_ msg);
+      Some b2
+    end
+  in
+  Hypervisor.connect primary_ ~tx_data:ch_pb ~peer:backup_;
+  if backup2_ = None then
+    Hypervisor.connect backup_ ~tx_ack:ch_bp ~peer:primary_;
+  Channel.connect ch_pb (fun msg -> Hypervisor.on_message backup_ msg);
+  Channel.connect ch_bp (fun msg -> Hypervisor.on_message primary_ msg);
+  let ls =
+    if lockstep then
+      Some { hashes = Hashtbl.create 1024; compared = 0; mismatches = [] }
+    else None
+  in
+  (match ls with
+  | Some ls ->
+    Hypervisor.set_on_epoch_boundary primary_ (record_boundary ls);
+    Hypervisor.set_on_epoch_boundary backup_ (record_boundary ls);
+    (match backup2_ with
+    | Some b2 -> Hypervisor.set_on_epoch_boundary b2 (record_boundary ls)
+    | None -> ())
+  | None -> ());
+  let t =
+    {
+      engine;
+      p = params;
+      workload;
+      primary_;
+      backup_;
+      backup2_;
+      disk_;
+      console_;
+      ch_pb;
+      ch_bp;
+      ls;
+      failover_ = false;
+      reintegration_delay = None;
+    }
+  in
+  Hypervisor.set_on_promote backup_ (fun _ ->
+      t.failover_ <- true;
+      match t.reintegration_delay with
+      | None -> ()
+      | Some delay ->
+        ignore
+          (Engine.after engine delay (fun () ->
+               Hypervisor.revive_as_backup t.primary_;
+               Hypervisor.request_reintegration t.backup_)));
+  (match backup2_ with
+  | Some b2 -> Hypervisor.set_on_promote b2 (fun _ -> t.failover_ <- true)
+  | None -> ());
+  t
+
+let engine t = t.engine
+let primary t = t.primary_
+let backup t = t.backup_
+let backup2 t = t.backup2_
+let disk t = t.disk_
+let console t = t.console_
+let channel_to_backup t = t.ch_pb
+let channel_to_primary t = t.ch_bp
+
+let crash_primary_at t time =
+  ignore
+    (Engine.at t.engine time (fun () -> Hypervisor.crash t.primary_))
+
+let crash_primary_on_epoch t target =
+  let previous = ref (fun ~epoch:_ ~hash:_ -> ()) in
+  (match t.ls with
+  | Some ls -> previous := record_boundary ls
+  | None -> ());
+  Hypervisor.set_on_epoch_boundary t.primary_ (fun ~epoch ~hash ->
+      if epoch = target && Hypervisor.alive t.primary_ then
+        Hypervisor.crash t.primary_
+      else !previous ~epoch ~hash)
+
+let reintegrate_after_failover t ~delay =
+  if t.backup2_ <> None then
+    invalid_arg
+      "System.reintegrate_after_failover: not supported with a backup chain";
+  t.reintegration_delay <- Some delay
+
+type outcome = {
+  completed_by : [ `Primary | `Promoted_backup ];
+  time : Time.t;
+  results : Guest_results.t;
+  console : string;
+  primary_stats : Stats.t;
+  backup_stats : Stats.t;
+  epochs_compared : int;
+  lockstep_mismatches : int list;
+  disk_consistent : bool;
+  disk_errors : string list;
+  failover : bool;
+  messages_sent : int;
+  bytes_sent : int;
+}
+
+let run ?(limit = 200_000_000) t =
+  Hypervisor.start t.primary_;
+  Hypervisor.start t.backup_;
+  (match t.backup2_ with Some b2 -> Hypervisor.start b2 | None -> ());
+  Engine.run ~limit t.engine;
+  let survivor =
+    (* the authoritative machine is the one still acting as a primary;
+       after reintegration the original node is alive but has become
+       the new backup *)
+    if
+      Hypervisor.alive t.primary_
+      && Hypervisor.halted t.primary_
+      && Hypervisor.role t.primary_ = Hypervisor.Primary
+    then Some (`Primary, t.primary_)
+    else if Hypervisor.alive t.backup_ && Hypervisor.halted t.backup_ then
+      Some (`Promoted_backup, t.backup_)
+    else if
+      match t.backup2_ with
+      | Some b2 -> Hypervisor.halted b2
+      | None -> false
+    then Some (`Promoted_backup, Option.get t.backup2_)
+    else if Hypervisor.alive t.primary_ && Hypervisor.halted t.primary_ then
+      Some (`Primary, t.primary_)
+    else None
+  in
+  match survivor with
+  | None -> failwith "System.run: no virtual machine completed the workload"
+  | Some (who, hv) ->
+    let errors = ref [] in
+    let consistent =
+      Disk.Log.check_single_processor_consistency t.disk_ ~errors:(fun e ->
+          errors := e :: !errors)
+    in
+    {
+      completed_by = who;
+      time = Hypervisor.halt_time hv;
+      results = Hypervisor.results hv;
+      console = Console.contents t.console_;
+      primary_stats = Hypervisor.stats t.primary_;
+      backup_stats = Hypervisor.stats t.backup_;
+      epochs_compared =
+        (match t.ls with Some ls -> ls.compared | None -> 0);
+      lockstep_mismatches =
+        (match t.ls with Some ls -> List.rev ls.mismatches | None -> []);
+      disk_consistent = consistent;
+      disk_errors = List.rev !errors;
+      failover = t.failover_;
+      messages_sent = Channel.messages_sent t.ch_pb;
+      bytes_sent = Channel.bytes_sent t.ch_pb;
+    }

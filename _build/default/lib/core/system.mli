@@ -1,0 +1,94 @@
+(** Assembly of the complete 1-fault-tolerant virtual machine: two
+    simulated processors (each with its own clock), the shared
+    dual-ported disk, a console, the FIFO channels between the
+    hypervisors, and optional fault-injection and lockstep checking.
+
+    This is the module examples and benchmarks talk to:
+
+    {[
+      let sys =
+        System.create ~params:Params.default
+          ~workload:(Workload.dhrystone ~iterations:100_000) () in
+      let outcome = System.run sys in
+      Format.printf "finished in %a@." Hft_sim.Time.pp outcome.time
+    ]} *)
+
+type t
+
+val create :
+  ?params:Params.t ->
+  ?disk_seed:int ->
+  ?tlb_seeds:int * int ->
+  ?lockstep:bool ->
+  ?init_disk:bool ->
+  ?second_backup:bool ->
+  ?trace:Hft_sim.Trace.t ->
+  workload:Hft_guest.Workload.t ->
+  unit ->
+  t
+(** [tlb_seeds] gives each processor's TLB-replacement RNG when the
+    CPU config uses a [Random] policy — pass different seeds to
+    reproduce the paper's nondeterministic-TLB divergence.
+    [lockstep] (default true) records the VM state hash at every epoch
+    boundary on both replicas and compares them; disable for large
+    benchmark runs (hashing all of guest memory every epoch is slow).
+    [init_disk] (default true) pre-fills the disk blocks.
+    [second_backup] (default false) chains a second backup behind the
+    first for 2-fault tolerance (failures tolerated in role order). *)
+
+val engine : t -> Hft_sim.Engine.t
+
+val primary : t -> Hypervisor.t
+
+val backup : t -> Hypervisor.t
+
+val backup2 : t -> Hypervisor.t option
+(** The chained second backup, when the system was created with
+    [~second_backup:true] (a 2-fault-tolerant virtual machine: the
+    first backup forwards the coordination stream; failures are
+    tolerated in order — the primary first, then the promoted
+    backup). *)
+
+val disk : t -> Hft_devices.Disk.t
+val console : t -> Hft_devices.Console.t
+
+val channel_to_backup : t -> Message.t Hft_net.Channel.t
+(** The primary-to-backup channel, exposed for fault injection
+    (message-loss plans) and statistics. *)
+
+val channel_to_primary : t -> Message.t Hft_net.Channel.t
+
+val crash_primary_at : t -> Hft_sim.Time.t -> unit
+(** Schedule a fail-stop of the primary's processor. *)
+
+val crash_primary_on_epoch : t -> int -> unit
+(** Fail the primary exactly when it reaches the given epoch boundary
+    (before completing it — the canonical failover epoch of case (ii),
+    section 2.2). *)
+
+val reintegrate_after_failover : t -> delay:Hft_sim.Time.t -> unit
+(** After a promotion, wait [delay], revive the failed processor as a
+    fresh backup and stream a state snapshot to it (extension beyond
+    the paper). *)
+
+type outcome = {
+  completed_by : [ `Primary | `Promoted_backup ];
+  time : Hft_sim.Time.t;        (** virtual completion time *)
+  results : Guest_results.t;    (** from the surviving VM *)
+  console : string;
+  primary_stats : Stats.t;
+  backup_stats : Stats.t;
+  epochs_compared : int;        (** lockstep pairs checked *)
+  lockstep_mismatches : int list;  (** epochs where the replicas diverged *)
+  disk_consistent : bool;       (** single-processor consistency of the
+                                    device's operation history *)
+  disk_errors : string list;
+  failover : bool;
+  messages_sent : int;          (** primary-to-backup channel *)
+  bytes_sent : int;
+}
+
+val run : ?limit:int -> t -> outcome
+(** Start both hypervisors and run the simulation until the surviving
+    virtual machine halts and all events drain.
+    @raise Failure if no VM completes the workload. *)

@@ -1,0 +1,1 @@
+lib/devices/clock.ml: Engine Hft_machine Hft_sim Time

@@ -1,0 +1,1 @@
+lib/devices/clock.mli: Hft_machine Hft_sim

@@ -1,0 +1,1 @@
+lib/devices/console.ml: Buffer Char

@@ -1,0 +1,1 @@
+lib/devices/disk.ml: Array Engine Format Hashtbl Hft_machine Hft_sim List Printf Queue Rng Time Trace

@@ -1,0 +1,1 @@
+lib/devices/disk.mli: Hft_machine Hft_sim

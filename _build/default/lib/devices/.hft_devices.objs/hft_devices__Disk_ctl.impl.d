@@ -1,0 +1,1 @@
+lib/devices/disk_ctl.ml:

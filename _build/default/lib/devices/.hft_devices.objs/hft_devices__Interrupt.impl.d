@@ -1,0 +1,1 @@
+lib/devices/interrupt.ml: Disk Format List Printf Queue

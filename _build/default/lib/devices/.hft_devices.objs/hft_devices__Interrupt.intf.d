@@ -1,0 +1,1 @@
+lib/devices/interrupt.mli: Disk Format

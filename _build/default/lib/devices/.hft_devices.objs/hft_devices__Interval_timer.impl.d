@@ -1,0 +1,1 @@
+lib/devices/interval_timer.ml: Engine Hft_sim Time

@@ -1,0 +1,1 @@
+lib/devices/interval_timer.mli: Hft_sim

@@ -1,0 +1,11 @@
+open Hft_sim
+
+type t = { engine : Engine.t; skew_ : Time.t }
+
+let create ~engine ?(skew = Time.zero) () = { engine; skew_ = skew }
+
+let now t = Time.add (Engine.now t.engine) t.skew_
+
+let read_us t = Hft_machine.Word.mask (int_of_float (Time.to_us (now t)))
+
+let skew t = t.skew_

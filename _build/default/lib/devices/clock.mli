@@ -1,0 +1,22 @@
+(** Per-processor time-of-day clock.
+
+    Reading the time of day is an {e environment instruction} in the
+    paper's classification: its value is not a function of the
+    virtual-machine state, so under replication the primary's
+    hypervisor reads this device and forwards the value to the backup
+    rather than letting the backup read its own clock.
+
+    Each processor's clock may have a skew offset, which is precisely
+    why clock reads cannot be allowed to diverge between replicas. *)
+
+type t
+
+val create : engine:Hft_sim.Engine.t -> ?skew:Hft_sim.Time.t -> unit -> t
+
+val read_us : t -> Hft_machine.Word.t
+(** Current time of day in microseconds, truncated to 32 bits. *)
+
+val now : t -> Hft_sim.Time.t
+(** Skew-adjusted time as a {!Hft_sim.Time.t}. *)
+
+val skew : t -> Hft_sim.Time.t

@@ -1,0 +1,11 @@
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 256 }
+
+let put t w = Buffer.add_char t.buf (Char.chr (w land 0xFF))
+
+let contents t = Buffer.contents t.buf
+
+let length t = Buffer.length t.buf
+
+let clear t = Buffer.clear t.buf

@@ -1,0 +1,265 @@
+open Hft_sim
+
+type status = Ok | Uncertain
+
+type op = Read of { block : int } | Write of { block : int; data : Hft_machine.Word.t array }
+
+type completion = {
+  op_id : int;
+  port : int;
+  op : op;
+  status : status;
+  performed : bool;
+  data : Hft_machine.Word.t array option;
+}
+
+type params = {
+  blocks : int;
+  block_words : int;
+  read_latency : Time.t;
+  write_latency : Time.t;
+  fault_rate : float;
+  fault_performs : float;
+}
+
+let default_params =
+  {
+    blocks = 256;
+    block_words = 2048;
+    read_latency = Time.of_us 24_200;
+    write_latency = Time.of_ms 26;
+    fault_rate = 0.0;
+    fault_performs = 0.5;
+  }
+
+type log_entry = {
+  seq : int;
+  time : Time.t;
+  port : int;
+  op_id : int;
+  block : int;
+  is_write : bool;
+  status : status;
+  performed : bool;
+  content_hash : int;
+}
+
+let hash_content data =
+  let fnv_prime = 0x100000001b3 in
+  let fnv_mask = (1 lsl 62) - 1 in
+  let h = ref 0x1ff29ce484222325 in
+  Array.iter (fun w -> h := (!h lxor w) * fnv_prime land fnv_mask) data;
+  !h
+
+type pending = { p_port : int; p_op : op; p_id : int; p_done : completion -> unit }
+
+type t = {
+  engine : Engine.t;
+  prm : params;
+  rng : Rng.t;
+  storage : Hft_machine.Word.t array array;
+  queue : pending Queue.t;
+  mutable busy_ : bool;
+  mutable next_op_id : int;
+  mutable next_log_seq : int;
+  mutable log_rev : log_entry list;
+}
+
+let create ~engine ?rng prm =
+  if prm.blocks <= 0 || prm.block_words <= 0 then
+    invalid_arg "Disk.create: bad geometry";
+  let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  {
+    engine;
+    prm;
+    rng;
+    storage = Array.init prm.blocks (fun _ -> Array.make prm.block_words 0);
+    queue = Queue.create ();
+    busy_ = false;
+    next_op_id = 0;
+    next_log_seq = 0;
+    log_rev = [];
+  }
+
+let params t = t.prm
+
+let check_block t block =
+  if block < 0 || block >= t.prm.blocks then
+    invalid_arg (Printf.sprintf "Disk: bad block %d" block)
+
+let busy t = t.busy_
+let queue_depth t = Queue.length t.queue + if t.busy_ then 1 else 0
+
+let read_block_now t block =
+  check_block t block;
+  Array.copy t.storage.(block)
+
+let write_block_now t block data =
+  check_block t block;
+  if Array.length data <> t.prm.block_words then
+    invalid_arg "Disk.write_block_now: wrong block size";
+  Array.blit data 0 t.storage.(block) 0 t.prm.block_words
+
+let op_block = function Read { block } -> block | Write { block; _ } -> block
+let op_is_write = function Read _ -> false | Write _ -> true
+
+let log t ~port ~op_id ~op ~status ~performed =
+  let entry =
+    {
+      seq = t.next_log_seq;
+      time = Engine.now t.engine;
+      port;
+      op_id;
+      block = op_block op;
+      is_write = op_is_write op;
+      status;
+      performed;
+      content_hash =
+        (match op with Write { data; _ } -> hash_content data | Read _ -> 0);
+    }
+  in
+  t.next_log_seq <- t.next_log_seq + 1;
+  t.log_rev <- entry :: t.log_rev
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy_ <- false
+  | Some p ->
+    t.busy_ <- true;
+    let latency =
+      match p.p_op with
+      | Read _ -> t.prm.read_latency
+      | Write _ -> t.prm.write_latency
+    in
+    ignore
+      (Engine.after t.engine latency (fun () -> complete t p))
+
+and complete t p =
+  let uncertain = Rng.chance t.rng t.prm.fault_rate in
+  let performed = (not uncertain) || Rng.chance t.rng t.prm.fault_performs in
+  let status = if uncertain then Uncertain else Ok in
+  let data =
+    match p.p_op with
+    | Write { block; data } ->
+      if performed then
+        Array.blit data 0 t.storage.(block) 0 t.prm.block_words;
+      None
+    | Read { block } ->
+      if performed && not uncertain then Some (Array.copy t.storage.(block))
+      else None
+  in
+  log t ~port:p.p_port ~op_id:p.p_id ~op:p.p_op ~status ~performed;
+  Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
+    ~source:"disk" "complete #%d port=%d block=%d %s %s%s" p.p_id p.p_port
+    (op_block p.p_op)
+    (if op_is_write p.p_op then "write" else "read")
+    (match status with Ok -> "ok" | Uncertain -> "uncertain")
+    (if performed then "" else " not-performed");
+  p.p_done
+    { op_id = p.p_id; port = p.p_port; op = p.p_op; status; performed; data };
+  start_next t
+
+let submit t ~port op ~on_complete =
+  (match op with
+  | Read { block } -> check_block t block
+  | Write { block; data } ->
+    check_block t block;
+    if Array.length data <> t.prm.block_words then
+      invalid_arg "Disk.submit: wrong block size");
+  let id = t.next_op_id in
+  t.next_op_id <- id + 1;
+  Queue.add { p_port = port; p_op = op; p_id = id; p_done = on_complete } t.queue;
+  if not t.busy_ then start_next t;
+  id
+
+module Log = struct
+  type entry = log_entry = {
+    seq : int;
+    time : Time.t;
+    port : int;
+    op_id : int;
+    block : int;
+    is_write : bool;
+    status : status;
+    performed : bool;
+    content_hash : int;
+  }
+
+  let entries t = List.rev t.log_rev
+
+  let writes_to_block t block =
+    List.filter (fun e -> e.is_write && e.block = block) (entries t)
+
+  (* A single-processor-consistent history:
+     1. The port sequence never returns to a port it has switched away
+        from (one failover hands the device to the new primary for
+        good).
+     2. A performed write may be repeated only as a retry: the
+        repetition must be adjacent among that block's performed
+        writes, and the earlier attempt must either have completed
+        Uncertain or the repetition must come from a different port
+        (the completion interrupt died with the old primary). *)
+  let check_single_processor_consistency t ~errors =
+    let es = entries t in
+    let ok = ref true in
+    let fail fmt = Format.kasprintf (fun s -> ok := false; errors s) fmt in
+    (* 1: port runs *)
+    let seen_done = Hashtbl.create 4 in
+    let current = ref None in
+    List.iter
+      (fun e ->
+        match !current with
+        | Some p when p = e.port -> ()
+        | Some p ->
+          if Hashtbl.mem seen_done e.port then
+            fail "port %d reappears after failover (op #%d)" e.port e.op_id;
+          Hashtbl.replace seen_done p ();
+          current := Some e.port
+        | None -> current := Some e.port)
+      es;
+    (* 2: write repetitions *)
+    let by_block = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        if e.is_write then
+          Hashtbl.replace by_block e.block
+            (e :: (try Hashtbl.find by_block e.block with Not_found -> [])))
+      es;
+    Hashtbl.iter
+      (fun block entries_rev ->
+        let performed =
+          List.rev entries_rev |> List.filter (fun e -> e.performed)
+        in
+        let rec scan = function
+          | a :: (b :: _ as rest) ->
+            if a.content_hash = b.content_hash then begin
+              (* a repetition: must be a legal retry *)
+              if not (a.status = Uncertain || a.port <> b.port) then
+                fail
+                  "block %d: duplicate performed write (ops #%d, #%d) with no \
+                   uncertain completion or failover to justify the retry"
+                  block a.op_id b.op_id
+            end;
+            scan rest
+          | _ -> ()
+        in
+        scan performed;
+        (* equal contents must be adjacent: a write from a stale source
+           reappearing later would corrupt the block *)
+        let rec non_adjacent = function
+          | a :: (_ :: _ as rest) ->
+            List.iteri
+              (fun i b ->
+                if i > 0 && a.content_hash = b.content_hash then
+                  fail
+                    "block %d: performed write #%d repeats earlier content of \
+                     #%d non-adjacently"
+                    block b.op_id a.op_id)
+              rest;
+            non_adjacent rest
+          | _ -> ()
+        in
+        non_adjacent performed)
+      by_block;
+    !ok
+end

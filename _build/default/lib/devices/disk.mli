@@ -1,0 +1,117 @@
+(** Dual-ported block device with the paper's I/O interface.
+
+    The paper's prototype shared one SCSI disk between the two
+    processors and relied on exactly two properties of the device
+    interface (section 2.2):
+
+    - {b IO1}: if an I/O instruction is issued and performed, the
+      issuing processor receives a completion interrupt;
+    - {b IO2}: if the processor receives an {e uncertain} interrupt
+      (SCSI CHECK_CONDITION), the I/O may or may not have been
+      performed — so drivers must retry, and the device must tolerate
+      repetition.
+
+    This model implements both: every submitted operation completes
+    with either [Ok] or [Uncertain] status; on [Uncertain] the
+    operation was performed or not according to the fault injector.
+    Both ports (primary and backup processor) see the same storage.
+
+    Every submission and its outcome is recorded in an operation log
+    which tests use to check the paper's correctness condition: after
+    a failover, the environment must have seen a sequence of I/O
+    consistent with a single processor — repetitions are legal only as
+    retries following uncertain completions. *)
+
+type status = Ok | Uncertain
+
+type op =
+  | Read of { block : int }
+  | Write of { block : int; data : Hft_machine.Word.t array }
+
+type completion = {
+  op_id : int;       (** unique per submission *)
+  port : int;        (** which processor submitted *)
+  op : op;
+  status : status;
+  performed : bool;  (** whether storage was actually read/written;
+                         on [Ok] always true, on [Uncertain] either *)
+  data : Hft_machine.Word.t array option;
+      (** block contents, for a performed [Read] *)
+}
+
+type params = {
+  blocks : int;
+  block_words : int;        (** 2048 words = 8 KB, as in the paper *)
+  read_latency : Hft_sim.Time.t;   (** 24.2 ms in the paper *)
+  write_latency : Hft_sim.Time.t;  (** 26 ms in the paper *)
+  fault_rate : float;       (** probability a given op completes
+                                [Uncertain] (transient fault) *)
+  fault_performs : float;   (** probability an [Uncertain] op was
+                                nevertheless performed *)
+}
+
+val default_params : params
+(** 256 blocks of 2048 words, paper latencies, no faults. *)
+
+type t
+
+val create :
+  engine:Hft_sim.Engine.t -> ?rng:Hft_sim.Rng.t -> params -> t
+(** [rng] drives fault injection; defaults to a quiet device when
+    [fault_rate] is zero. *)
+
+val params : t -> params
+
+val submit :
+  t -> port:int -> op -> on_complete:(completion -> unit) -> int
+(** Queue an operation; the callback fires when it completes (the
+    device processes one operation at a time, FIFO).  Returns the
+    operation id.
+    @raise Invalid_argument on a bad block number or block size. *)
+
+val busy : t -> bool
+val queue_depth : t -> int
+
+val read_block_now : t -> int -> Hft_machine.Word.t array
+(** Direct storage access for tests and for initialising disk
+    contents; not part of the device interface. *)
+
+val write_block_now : t -> int -> Hft_machine.Word.t array -> unit
+
+(** The environment-visible operation history. *)
+module Log : sig
+  type entry = {
+    seq : int;          (** order in which operations completed *)
+    time : Hft_sim.Time.t;
+    port : int;
+    op_id : int;
+    block : int;
+    is_write : bool;
+    status : status;
+    performed : bool;
+    content_hash : int;  (** fingerprint of the written data; 0 for reads *)
+  }
+
+  val entries : t -> entry list
+  (** Completion order, oldest first. *)
+
+  val writes_to_block : t -> int -> entry list
+
+  val check_single_processor_consistency :
+    t -> errors:(string -> unit) -> bool
+  (** The paper's correctness condition on the environment: the
+      completed-operation sequence must be one a single processor
+      could have produced given drivers that retry on uncertain
+      completions.  Concretely:
+
+      - the port sequence never returns to a port it switched away
+        from (after a failover the old primary is gone for good);
+      - a performed write may repeat (same block, same content) only
+        as an adjacent retry, justified by the earlier attempt having
+        completed [Uncertain] or by the repetition coming from the
+        other port (the completion interrupt died with the old
+        primary).
+
+      Violations are reported through [errors]; returns [true] when
+      the history is consistent. *)
+end

@@ -1,0 +1,40 @@
+(** Disk controller register file: the MMIO front-end of {!Disk}.
+
+    Both executors present these registers to the guest.  The
+    bare-metal runner backs them with the real device; the hypervisor
+    keeps one {e shadow} instance per virtual machine and updates it
+    identically at the primary and the backup, so that MMIO loads
+    (notably the driver reading [disk_status] from its interrupt
+    handler) return identical values in both replicas — MMIO state is
+    part of the virtual-machine state the protocol keeps in lockstep.
+
+    A write to the command register is the doorbell: it returns the
+    decoded operation for the executor to act on (issue to the real
+    device, or record-and-suppress at the backup). *)
+
+type t
+
+type doorbell = { cmd : int; block : int; dma : int }
+
+type write_effect =
+  | Plain         (** register updated, nothing to do *)
+  | Doorbell of doorbell
+
+val create : unit -> t
+
+val read : t -> paddr:int -> Hft_machine.Word.t
+(** Read a controller register.  Unknown registers in the device page
+    read as zero. *)
+
+val write : t -> paddr:int -> value:Hft_machine.Word.t -> write_effect
+(** Write a controller register; a write to the command register
+    latches the doorbell. *)
+
+val set_status : t -> int -> unit
+(** Executor hook: record a completion status for the guest to read
+    ({!Layout.status_ok} / [status_uncertain] equivalents). *)
+
+val status : t -> int
+
+val copy_state_from : t -> t -> unit
+(** [copy_state_from dst src] — used when reintegrating a backup. *)

@@ -1,0 +1,30 @@
+type t = Disk_completion of Disk.completion | Timer_expired
+
+let describe = function
+  | Disk_completion c ->
+    Printf.sprintf "disk-completion #%d (%s%s)" c.Disk.op_id
+      (match c.Disk.status with Disk.Ok -> "ok" | Disk.Uncertain -> "uncertain")
+      (if c.Disk.performed then "" else ", not performed")
+  | Timer_expired -> "timer-expired"
+
+let pp fmt t = Format.pp_print_string fmt (describe t)
+
+module Pending = struct
+  type intr = t
+  type nonrec t = { q : intr Queue.t }
+
+  let create () = { q = Queue.create () }
+  let post t i = Queue.add i t.q
+  let take t = Queue.take_opt t.q
+  let peek t = Queue.peek_opt t.q
+  let is_empty t = Queue.is_empty t.q
+  let count t = Queue.length t.q
+
+  let drain t =
+    let rec loop acc =
+      match Queue.take_opt t.q with
+      | None -> List.rev acc
+      | Some i -> loop (i :: acc)
+    in
+    loop []
+end

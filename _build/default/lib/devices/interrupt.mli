@@ -1,0 +1,34 @@
+(** Interrupts a virtual machine can receive, and the pending-interrupt
+    buffer both executors use.
+
+    Under replication (protocol rule P1) the primary's hypervisor
+    buffers every interrupt it receives during an epoch and relays a
+    copy to the backup; both deliver the buffered interrupts at the
+    end of the epoch.  On bare hardware delivery is immediate when the
+    guest has interrupts enabled, otherwise the interrupt stays
+    pending. *)
+
+type t =
+  | Disk_completion of Disk.completion
+  | Timer_expired
+      (** interval-timer expiry; under replication this is generated
+          from the relayed [Tme] values, never relayed itself *)
+
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** FIFO pending-interrupt buffer. *)
+module Pending : sig
+  type intr := t
+  type t
+
+  val create : unit -> t
+  val post : t -> intr -> unit
+  val take : t -> intr option
+  val peek : t -> intr option
+  val is_empty : t -> bool
+  val count : t -> int
+  val drain : t -> intr list
+  (** Remove and return everything, FIFO order. *)
+end

@@ -1,0 +1,41 @@
+open Hft_sim
+
+type t = {
+  engine : Engine.t;
+  on_expire : unit -> unit;
+  mutable pending : Engine.handle option;
+  mutable deadline : Time.t;
+}
+
+let create ~engine ~on_expire () =
+  { engine; on_expire; pending = None; deadline = Time.zero }
+
+let cancel t =
+  match t.pending with
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.pending <- None
+  | None -> ()
+
+let set t ~us =
+  cancel t;
+  if us < 0 then invalid_arg "Interval_timer.set: negative interval";
+  if us > 0 then begin
+    let d = Time.of_us us in
+    t.deadline <- Time.add (Engine.now t.engine) d;
+    t.pending <-
+      Some
+        (Engine.after t.engine d (fun () ->
+             t.pending <- None;
+             t.on_expire ()))
+  end
+
+let remaining_us t =
+  match t.pending with
+  | None -> 0
+  | Some _ ->
+    let now = Engine.now t.engine in
+    if Time.(t.deadline <= now) then 0
+    else int_of_float (Time.to_us (Time.diff t.deadline now))
+
+let active t = t.pending <> None

@@ -1,0 +1,24 @@
+(** Per-processor interval timer.
+
+    On bare hardware the timer raises an interrupt when the loaded
+    interval elapses.  Under replication the hypervisor virtualises
+    it: the primary evaluates expiry against its own clock at epoch
+    boundaries and the backup re-synchronises from the [Tme] values
+    the primary sends (protocol rules P2/P5), so both deliver the
+    timer interrupt at the same epoch boundary. *)
+
+type t
+
+val create :
+  engine:Hft_sim.Engine.t -> on_expire:(unit -> unit) -> unit -> t
+
+val set : t -> us:int -> unit
+(** Load the interval timer; it fires once after [us] microseconds.
+    Loading 0 cancels a pending interval. *)
+
+val cancel : t -> unit
+
+val remaining_us : t -> int
+(** Microseconds until expiry, or 0 when idle. *)
+
+val active : t -> bool

@@ -1,0 +1,1 @@
+lib/guest/kernel.ml: Cpu Hft_machine Isa Layout

@@ -1,0 +1,1 @@
+lib/guest/kernel.mli: Hft_machine

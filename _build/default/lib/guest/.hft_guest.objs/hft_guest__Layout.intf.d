@@ -1,0 +1,1 @@
+lib/guest/layout.mli:

@@ -1,0 +1,1 @@
+lib/guest/workload.ml: Asm Char Hft_machine Isa Kernel Layout List Seq String

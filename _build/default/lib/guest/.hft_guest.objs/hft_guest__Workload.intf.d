@@ -1,0 +1,1 @@
+lib/guest/workload.mli: Hft_machine

@@ -1,0 +1,146 @@
+open Hft_machine
+open Hft_machine.Asm
+
+let boot_status = 4 lor 8 (* interrupts + MMU, privilege 0 *)
+
+(* Flags for identity page-table entries: writable, user-ok. *)
+let pte_flags = (1 lsl 21) lor (1 lsl 20)
+
+let page_shift = Cpu.default_config.Cpu.page_shift
+let ram_pages = Cpu.default_config.Cpu.mem_words lsr page_shift
+let mmio_vpage = Cpu.default_config.Cpu.mmio_base lsr page_shift
+
+let items () =
+  [
+    comment "---- boot entry (address 0) ----";
+    jmp (lbl "k_boot");
+    (* ---- trap / interrupt vector ---- *)
+    label "k_vector";
+    st r13 r0 Layout.save_r13;
+    st r14 r0 Layout.save_r14;
+    st r15 r0 Layout.save_r15;
+    mfcr r13 Isa.Cr_cause;
+    ldi r14 Isa.Cause.interrupt;
+    beq r13 r14 (lbl "k_intr");
+    ldi r14 Isa.Cause.tlb_miss;
+    beq r13 r14 (lbl "k_tlb");
+    ldi r14 Isa.Cause.syscall;
+    beq r13 r14 (lbl "k_sys");
+    comment "unexpected trap: stop the machine";
+    halt;
+    (* trap calls just count; enough to exercise reflection *)
+    label "k_sys";
+    ld r13 r0 Layout.syscalls;
+    addi r13 r13 1;
+    st r13 r0 Layout.syscalls;
+    jmp (lbl "k_intr_done");
+    (* interrupt dispatch on the kind in scratch0 *)
+    label "k_intr";
+    mfcr r13 Isa.Cr_scratch0;
+    ldi r14 Layout.intr_kind_disk;
+    beq r13 r14 (lbl "k_intr_disk");
+    ldi r14 Layout.intr_kind_timer;
+    beq r13 r14 (lbl "k_intr_timer");
+    jmp (lbl "k_intr_done");
+    label "k_intr_disk";
+    comment "read controller status, post it to the driver mailbox;";
+    comment "the flag counts completions so none is lost when several";
+    comment "deliver back to back at one epoch boundary";
+    ldi r14 Layout.disk_status;
+    ld r13 r14 0;
+    st r13 r0 Layout.mailbox_status;
+    ld r13 r0 Layout.mailbox_flag;
+    addi r13 r13 1;
+    st r13 r0 Layout.mailbox_flag;
+    jmp (lbl "k_intr_done");
+    label "k_intr_timer";
+    ld r13 r0 Layout.ticks;
+    addi r13 r13 1;
+    st r13 r0 Layout.ticks;
+    comment "re-arm the interval timer if a period is configured";
+    ld r13 r0 Layout.cfg_timer_period_us;
+    beq r13 r0 (lbl "k_intr_done");
+    wrtmr r13;
+    jmp (lbl "k_intr_done");
+    label "k_intr_done";
+    ld r13 r0 Layout.save_r13;
+    ld r14 r0 Layout.save_r14;
+    ld r15 r0 Layout.save_r15;
+    rfi;
+    (* TLB miss: software page-table walk, as on PA-RISC *)
+    label "k_tlb";
+    mfcr r13 Isa.Cr_badvaddr;
+    srli r13 r13 page_shift;
+    ldi r14 Layout.pt_base;
+    add r14 r14 r13;
+    ld r14 r14 0;
+    tlbw r13 r14;
+    ld r13 r0 Layout.save_r13;
+    ld r14 r0 Layout.save_r14;
+    ld r15 r0 Layout.save_r15;
+    rfi;
+    (* ---- disk driver ----
+       in: r8 = command, r9 = block, r10 = DMA address, r12 = link *)
+    label "drv_io";
+    comment "controller handshake: cfg_pad programmed-I/O accesses";
+    ld r5 r0 Layout.cfg_pad;
+    ldi r6 Layout.disk_pad;
+    label "drv_pad";
+    beq r5 r0 (lbl "drv_pad_done");
+    st r5 r6 0;
+    subi r5 r5 1;
+    jmp (lbl "drv_pad");
+    label "drv_pad_done";
+    st r0 r0 Layout.mailbox_flag;
+    ldi r6 Layout.disk_base;
+    st r9 r6 1;
+    st r10 r6 2;
+    st r8 r6 0;
+    comment "wait for the completion interrupt";
+    label "drv_wait";
+    ld r7 r0 Layout.mailbox_flag;
+    bne r7 r0 (lbl "drv_got");
+    wfi;
+    jmp (lbl "drv_wait");
+    label "drv_got";
+    ld r7 r0 Layout.mailbox_status;
+    ldi r5 Layout.status_uncertain;
+    bne r7 r5 (lbl "drv_done");
+    comment "uncertain completion: IO2 obliges the driver to retry";
+    ld r5 r0 Layout.res_retries;
+    addi r5 r5 1;
+    st r5 r0 Layout.res_retries;
+    jmp (lbl "drv_io");
+    label "drv_done";
+    jr r12;
+    (* ---- boot sequence ---- *)
+    label "k_boot";
+    ldi_target r5 (lbl "k_vector");
+    mtcr Isa.Cr_ivec r5;
+    comment "build an identity page table for RAM and the MMIO page";
+    ldi r1 Layout.pt_base;
+    ldi r2 0;
+    ldi r3 ram_pages;
+    ldi r4 pte_flags;
+    label "k_fill";
+    or_ r5 r4 r2;
+    add r6 r1 r2;
+    st r5 r6 0;
+    addi r2 r2 1;
+    blt r2 r3 (lbl "k_fill");
+    ldi r2 mmio_vpage;
+    or_ r5 r4 r2;
+    add r6 r1 r2;
+    st r5 r6 0;
+    comment "arm the interval timer if the workload configured one";
+    ld r5 r0 Layout.cfg_timer_period_us;
+    beq r5 r0 (lbl "k_no_timer");
+    wrtmr r5;
+    label "k_no_timer";
+    comment "enable the MMU and interrupts, then enter the workload";
+    ldi r5 boot_status;
+    mtcr Isa.Cr_status r5;
+    jmp (lbl "main");
+  ]
+
+let program ~main = assemble (items () @ [ label "main" ] @ main)

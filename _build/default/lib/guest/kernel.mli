@@ -1,0 +1,41 @@
+(** The guest mini-kernel.
+
+    Plays the role HP-UX played in the paper's prototype: it owns the
+    trap vector, maintains the page table, services TLB misses,
+    handles device interrupts, and provides the disk driver whose
+    retry-on-uncertain behaviour the failover protocol (rule P7)
+    relies on.
+
+    The kernel is entirely ordinary guest code: it runs identically on
+    the bare machine and under the hypervisor, and it never needs to
+    know which one it is on — the paper's central transparency claim.
+
+    Register conventions:
+    - [r1]-[r4]: workload locals (preserved across driver calls)
+    - [r5]-[r11]: driver scratch
+    - [r12]: link register
+    - [r13]-[r15]: interrupt handler only (saved to fixed slots)
+
+    The disk interrupt handler counts completions in
+    {!Layout.mailbox_flag} (several may deliver back to back at one
+    epoch boundary) and latches the last status in
+    {!Layout.mailbox_status}.
+
+    The disk driver is called with [jal r12 (lbl "drv_io")] with the
+    command in [r8] ({!Layout.cmd_read} or {!Layout.cmd_write}), block
+    number in [r9] and DMA address in [r10].  It loops until the
+    operation completes [Ok], retrying on every [Uncertain]
+    completion and counting retries in {!Layout.res_retries}. *)
+
+val boot_status : int
+(** The status word the kernel runs workloads with: privilege 0,
+    interrupts enabled, MMU enabled. *)
+
+val items : unit -> Hft_machine.Asm.item list
+(** Kernel code: boot sequence, trap vector, TLB-miss and interrupt
+    handlers, the disk driver, ending just before the workload's
+    [main] label.  Address 0 is the boot entry point. *)
+
+val program : main:Hft_machine.Asm.item list -> Hft_machine.Asm.program
+(** Assemble the kernel followed by [label "main"; main].  The boot
+    sequence ends with a jump to ["main"]. *)

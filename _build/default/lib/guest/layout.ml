@@ -1,0 +1,51 @@
+(* Kernel save area and counters *)
+let save_r13 = 0x0010
+let save_r14 = 0x0011
+let save_r15 = 0x0012
+let ticks = 0x0018
+let syscalls = 0x0019
+let mailbox_flag = 0x0020
+let mailbox_status = 0x0021
+
+(* Workload configuration *)
+let cfg_iterations = 0x0030
+let cfg_pad = 0x0031
+let cfg_block_range = 0x0032
+let cfg_seed = 0x0033
+let cfg_timer_period_us = 0x0034
+let cfg_spin = 0x0036
+
+(* Workload results *)
+let res_checksum = 0x0040
+let res_ops = 0x0041
+let res_retries = 0x0042
+let res_scratch = 0x0043
+
+(* Page table: covers vpages 0..1023, which spans both RAM (vpages
+   0..63 with the default 64 Ki-word memory and 1 Ki-word pages) and
+   the MMIO page at vpage 960. *)
+let pt_base = 0x0100
+let pt_entries = 1024
+
+(* Buffers *)
+let dma_buffer = 0x0800
+let work_array = 0x1000
+let work_array_len = 64
+
+(* Disk controller MMIO registers *)
+let disk_base = 0xF0000
+let disk_cmd = disk_base
+let disk_block = disk_base + 1
+let disk_dma = disk_base + 2
+let disk_status = disk_base + 3
+let disk_pad = disk_base + 4
+
+let cmd_read = 1
+let cmd_write = 2
+
+let status_none = 0
+let status_ok = 1
+let status_uncertain = 2
+
+let intr_kind_disk = 1
+let intr_kind_timer = 2

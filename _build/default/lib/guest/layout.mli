@@ -1,0 +1,92 @@
+(** Guest memory layout and device register map: the ABI shared
+    between guest programs, the host-side workload runner, the guest
+    kernel, and the hypervisor's MMIO simulation.
+
+    All addresses are word addresses.  Everything below [pt_base] fits
+    in a 16-bit immediate so kernel code can address it relative to
+    register 0. *)
+
+(* Kernel save area and counters. *)
+
+val save_r13 : int
+val save_r14 : int
+val save_r15 : int
+
+val ticks : int
+(** Interval-timer tick counter maintained by the kernel handler. *)
+
+val syscalls : int
+(** Trap-call counter maintained by the kernel handler. *)
+
+val mailbox_flag : int
+(** Set to 1 by the disk-interrupt handler. *)
+
+val mailbox_status : int
+(** Disk completion status as read from the controller: 1 ok,
+    2 uncertain. *)
+
+(* Workload configuration, written by the host before boot. *)
+
+val cfg_iterations : int
+
+val cfg_pad : int
+(** MMIO handshake accesses per I/O operation. *)
+
+val cfg_block_range : int
+val cfg_seed : int
+val cfg_timer_period_us : int
+
+val cfg_spin : int
+(** Ordinary-instruction burst per I/O iteration (block-selection
+    work), ~7 instructions per unit. *)
+
+(* Workload results, read by the host after the guest halts. *)
+
+val res_checksum : int
+val res_ops : int
+val res_retries : int
+val res_scratch : int
+
+(* Page table. *)
+
+val pt_base : int
+val pt_entries : int
+(** The table covers virtual pages [0, pt_entries). *)
+
+(* Buffers and data. *)
+
+val dma_buffer : int
+(** One disk block (2048 words). *)
+
+val work_array : int
+(** Scratch array used by the CPU-intensive workload. *)
+
+val work_array_len : int
+
+(* Disk controller registers (physical MMIO addresses). *)
+
+val disk_base : int
+
+val disk_cmd : int
+(** Write 1 = read, 2 = write; acts as the doorbell. *)
+
+val disk_block : int
+val disk_dma : int
+
+val disk_status : int
+(** Read: 0 none, 1 ok, 2 uncertain. *)
+
+val disk_pad : int
+(** Handshake scratch register. *)
+
+val cmd_read : int
+val cmd_write : int
+
+val status_none : int
+val status_ok : int
+val status_uncertain : int
+
+(** Interrupt kinds, placed in [Cr_scratch0] at delivery. *)
+
+val intr_kind_disk : int
+val intr_kind_timer : int

@@ -1,0 +1,516 @@
+open Hft_machine
+open Hft_machine.Asm
+
+type t = {
+  name : string;
+  description : string;
+  program : Asm.program;
+  config : (int * int) list;
+  instructions_per_iteration : int;
+}
+
+(* The CPU-intensive workload: arithmetic, a short memory walk, and a
+   call per iteration — the instruction mix of a Dhrystone-style
+   benchmark.  About 70 ordinary instructions per iteration. *)
+let dhrystone ~iterations =
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r2 0;
+      ldi r3 0;
+      ldi r4 Layout.work_array;
+      label "dh_loop";
+      bge r2 r1 (lbl "dh_done");
+      comment "arithmetic mix";
+      addi r5 r2 17;
+      mul r6 r5 r5;
+      xor r3 r3 r6;
+      slli r7 r5 3;
+      add r3 r3 r7;
+      subi r6 r6 9;
+      srli r6 r6 2;
+      xor r3 r3 r6;
+      comment "memory walk: a[j+1] = a[j] + x over 8 slots";
+      ldi r8 0;
+      ldi r11 8;
+      label "dh_walk";
+      add r9 r4 r8;
+      ld r10 r9 0;
+      add r10 r10 r5;
+      st r10 r9 1;
+      addi r8 r8 1;
+      blt r8 r11 (lbl "dh_walk");
+      comment "procedure call";
+      jal r12 (lbl "dh_func");
+      add r3 r3 r5;
+      comment "an occasional trap call, standing in for the OS activity";
+      comment "that makes nsim nonzero even in a CPU-bound run";
+      andi r6 r2 127;
+      bne r6 r0 (lbl "dh_next");
+      insn (Isa.Trapc 1);
+      label "dh_next";
+      addi r2 r2 1;
+      jmp (lbl "dh_loop");
+      label "dh_func";
+      muli r5 r5 3;
+      addi r5 r5 1;
+      srli r5 r5 1;
+      xori r5 r5 0x55;
+      jr r12;
+      label "dh_done";
+      st r3 r0 Layout.res_checksum;
+      st r2 r0 Layout.res_ops;
+      halt;
+    ]
+  in
+  {
+    name = "dhrystone";
+    description = "CPU-intensive workload (Dhrystone-style mix)";
+    program = Kernel.program ~main;
+    config = [ (Layout.cfg_iterations, iterations) ];
+    instructions_per_iteration = 70;
+  }
+
+(* Shared skeleton of the random-block I/O benchmarks: per iteration,
+   advance an LCG, pick a block, tag the DMA buffer, and call the
+   driver.  [extra] runs after each completed operation. *)
+let io_main ~cmd ~extra =
+  [
+    ld r1 r0 Layout.cfg_iterations;
+    ldi r2 0;
+    ld r3 r0 Layout.cfg_seed;
+    label "io_loop";
+    bge r2 r1 (lbl "io_done");
+    comment "block-selection compute burst (ordinary instructions)";
+    ldi r4 0;
+    ld r5 r0 Layout.cfg_spin;
+    label "io_spin";
+    bge r4 r5 (lbl "io_pick");
+    mul r6 r4 r4;
+    xor r6 r6 r4;
+    addi r6 r6 3;
+    addi r4 r4 1;
+    jmp (lbl "io_spin");
+    label "io_pick";
+    comment "seed = seed * 1103515245 + 12345";
+    ldi r4 1103515245;
+    mul r3 r3 r4;
+    ldi r4 12345;
+    add r3 r3 r4;
+    comment "block = (seed >> 8) mod range";
+    srli r4 r3 8;
+    ld r5 r0 Layout.cfg_block_range;
+    remu r4 r4 r5;
+    comment "tag the buffer so every write has distinct content";
+    ldi r6 Layout.dma_buffer;
+    addi r7 r2 1;
+    st r7 r6 0;
+    st r4 r6 1;
+    ldi r8 cmd;
+    add r9 r4 r0;
+    ldi r10 Layout.dma_buffer;
+    jal r12 (lbl "drv_io");
+  ]
+  @ extra
+  @ [
+      addi r2 r2 1;
+      st r2 r0 Layout.res_ops;
+      jmp (lbl "io_loop");
+      label "io_done";
+      st r2 r0 Layout.res_ops;
+      halt;
+    ]
+
+let io_config ~pad ~block_range ~seed ~spin ~ops =
+  [
+    (Layout.cfg_iterations, ops);
+    (Layout.cfg_pad, pad);
+    (Layout.cfg_block_range, block_range);
+    (Layout.cfg_seed, seed);
+    (Layout.cfg_spin, spin);
+  ]
+
+let disk_write ?(pad = 1000) ?(block_range = 64) ?(seed = 0x1234) ?(spin = 2000)
+    ~ops () =
+  {
+    name = "disk-write";
+    description = "random-block synchronous writes (paper section 4.2)";
+    program = Kernel.program ~main:(io_main ~cmd:Layout.cmd_write ~extra:[]);
+    config = io_config ~pad ~block_range ~seed ~spin ~ops;
+    instructions_per_iteration = 30 + (spin * 7);
+  }
+
+let disk_read ?(pad = 1000) ?(block_range = 64) ?(seed = 0x4321) ?(spin = 2000)
+    ~ops () =
+  let extra =
+    [
+      comment "fold a little of the data read into the checksum";
+      ldi r6 Layout.dma_buffer;
+      ld r7 r6 0;
+      ld r5 r0 Layout.res_checksum;
+      add r5 r5 r7;
+      st r5 r0 Layout.res_checksum;
+    ]
+  in
+  {
+    name = "disk-read";
+    description = "random-block synchronous reads (paper section 4.2)";
+    program = Kernel.program ~main:(io_main ~cmd:Layout.cmd_read ~extra);
+    config = io_config ~pad ~block_range ~seed ~spin ~ops;
+    instructions_per_iteration = 36 + (spin * 7);
+  }
+
+let mixed ?(pad = 200) ?(block_range = 32) ?(seed = 0x9e37) ~compute ~ops () =
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r2 0;
+      ld r3 r0 Layout.cfg_seed;
+      label "mx_loop";
+      bge r2 r1 (lbl "mx_done");
+      comment "compute burst";
+      ldi r4 0;
+      ldi r5 compute;
+      label "mx_compute";
+      bge r4 r5 (lbl "mx_io");
+      mul r6 r4 r4;
+      xor r3 r3 r6;
+      addi r6 r6 7;
+      add r3 r3 r6;
+      addi r4 r4 1;
+      jmp (lbl "mx_compute");
+      label "mx_io";
+      comment "then one write";
+      ldi r4 1103515245;
+      mul r3 r3 r4;
+      ldi r4 12345;
+      add r3 r3 r4;
+      srli r4 r3 8;
+      ld r5 r0 Layout.cfg_block_range;
+      remu r4 r4 r5;
+      ldi r6 Layout.dma_buffer;
+      addi r7 r2 1;
+      st r7 r6 0;
+      st r3 r6 1;
+      ldi r8 Layout.cmd_write;
+      add r9 r4 r0;
+      ldi r10 Layout.dma_buffer;
+      jal r12 (lbl "drv_io");
+      addi r2 r2 1;
+      st r2 r0 Layout.res_ops;
+      st r3 r0 Layout.res_checksum;
+      jmp (lbl "mx_loop");
+      label "mx_done";
+      halt;
+    ]
+  in
+  {
+    name = "mixed";
+    description = "alternating compute bursts and synchronous writes";
+    program = Kernel.program ~main;
+    config = io_config ~pad ~block_range ~seed ~spin:0 ~ops;
+    instructions_per_iteration = (compute * 7) + 30;
+  }
+
+let clock_sampler ~samples =
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r2 0;
+      ldi r3 0;
+      ldi r4 0;
+      label "cs_loop";
+      bge r2 r1 (lbl "cs_done");
+      rdtod r5;
+      sub r6 r5 r4;
+      add r3 r3 r6;
+      add r4 r5 r0;
+      comment "a little work between samples";
+      ldi r7 0;
+      ldi r8 16;
+      label "cs_work";
+      bge r7 r8 (lbl "cs_next");
+      mul r9 r7 r7;
+      xor r3 r3 r9;
+      addi r7 r7 1;
+      jmp (lbl "cs_work");
+      label "cs_next";
+      addi r2 r2 1;
+      jmp (lbl "cs_loop");
+      label "cs_done";
+      st r3 r0 Layout.res_checksum;
+      st r2 r0 Layout.res_ops;
+      halt;
+    ]
+  in
+  {
+    name = "clock-sampler";
+    description = "time-of-day reads: environment-instruction forwarding";
+    program = Kernel.program ~main;
+    config = [ (Layout.cfg_iterations, samples) ];
+    instructions_per_iteration = 110;
+  }
+
+let timer_tick ~period_us ~ticks =
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r3 0;
+      label "tt_loop";
+      comment "work until the kernel's tick counter reaches the target";
+      addi r3 r3 1;
+      mul r4 r3 r3;
+      xor r4 r4 r3;
+      ld r2 r0 Layout.ticks;
+      blt r2 r1 (lbl "tt_loop");
+      st r3 r0 Layout.res_checksum;
+      st r2 r0 Layout.res_ops;
+      halt;
+    ]
+  in
+  {
+    name = "timer-tick";
+    description = "interval-timer interrupts drive the run";
+    program = Kernel.program ~main;
+    config =
+      [
+        (Layout.cfg_iterations, ticks);
+        (Layout.cfg_timer_period_us, period_us);
+      ];
+    instructions_per_iteration = 6;
+  }
+
+(* Two writes in flight at once: the controller is programmed twice
+   before any completion is awaited, exercising the device queue and
+   the hypervisor's outstanding-operation tracking.  If the last
+   delivered status is uncertain (a transient fault, or synthesized
+   uncertain completions after a failover, rule P7), both operations
+   are re-issued — their content is idempotent. *)
+let queued_io ~pairs =
+  let issue block_reg tag_reg buf =
+    [
+      ldi r6 buf;
+      st tag_reg r6 0;
+      st block_reg r6 1;
+      ldi r5 Layout.disk_base;
+      st block_reg r5 1;
+      st r6 r5 2;
+      ldi r7 Layout.cmd_write;
+      st r7 r5 0;
+    ]
+  in
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r2 0;
+      label "qi_loop";
+      bge r2 r1 (lbl "qi_done");
+      comment "blocks 2i and 2i+1, tags encode the iteration";
+      slli r3 r2 1;
+      addi r4 r3 1;
+      label "qi_issue";
+      st r0 r0 Layout.mailbox_flag;
+      comment "issue both writes back to back";
+      addi r8 r2 1;
+    ]
+    @ issue r3 r8 Layout.dma_buffer
+    @ [ muli r9 r8 3 ]
+    @ issue r4 r9 (Layout.dma_buffer + 64)
+    @ [
+        comment "wait until both completions have been counted";
+        label "qi_wait";
+        ld r7 r0 Layout.mailbox_flag;
+        ldi r5 2;
+        bge r7 r5 (lbl "qi_check");
+        wfi;
+        jmp (lbl "qi_wait");
+        label "qi_check";
+        ld r7 r0 Layout.mailbox_status;
+        ldi r5 Layout.status_uncertain;
+        bne r7 r5 (lbl "qi_next");
+        comment "rule P7 aftermath: retry the pair";
+        ld r5 r0 Layout.res_retries;
+        addi r5 r5 1;
+        st r5 r0 Layout.res_retries;
+        jmp (lbl "qi_issue");
+        label "qi_next";
+        addi r2 r2 1;
+        st r2 r0 Layout.res_ops;
+        jmp (lbl "qi_loop");
+        label "qi_done";
+        halt;
+      ]
+  in
+  {
+    name = "queued-io";
+    description = "two writes in flight per iteration (device queueing)";
+    program = Kernel.program ~main;
+    config = [ (Layout.cfg_iterations, pairs); (Layout.cfg_pad, 0) ];
+    instructions_per_iteration = 60;
+  }
+
+(* Critical section: mask interrupts, start a disk write, compute with
+   interrupts disabled, then unmask and wait for the completion.  The
+   completion interrupt arrives while masked and must stay pending
+   until the guest re-enables interrupts — on both replicas at the
+   same instruction. *)
+let masked_io ~ops =
+  let status_masked = 8 (* MMU on, interrupts off *) in
+  let status_open = 4 lor 8 in
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r2 0;
+      label "mk_loop";
+      bge r2 r1 (lbl "mk_done");
+      comment "enter the critical section: interrupts off";
+      ldi r5 status_masked;
+      insn (Isa.Mtcr (Isa.Cr_status, 5));
+      comment "start a write while masked";
+      st r0 r0 Layout.mailbox_flag;
+      ldi r6 Layout.disk_base;
+      addi r7 r2 1;
+      ldi r4 Layout.dma_buffer;
+      st r7 r4 0;
+      st r2 r6 1;
+      st r4 r6 2;
+      ldi r5 Layout.cmd_write;
+      st r5 r6 0;
+      comment "compute inside the critical section";
+      ldi r5 0;
+      ld r6 r0 Layout.cfg_spin;
+      label "mk_work";
+      bge r5 r6 (lbl "mk_open");
+      mul r7 r5 r5;
+      xor r3 r3 r7;
+      addi r5 r5 1;
+      jmp (lbl "mk_work");
+      label "mk_open";
+      comment "leave the critical section: pending interrupts deliver";
+      ldi r5 status_open;
+      insn (Isa.Mtcr (Isa.Cr_status, 5));
+      label "mk_wait";
+      ld r7 r0 Layout.mailbox_flag;
+      bne r7 r0 (lbl "mk_next");
+      wfi;
+      jmp (lbl "mk_wait");
+      label "mk_next";
+      addi r2 r2 1;
+      st r2 r0 Layout.res_ops;
+      st r3 r0 Layout.res_checksum;
+      jmp (lbl "mk_loop");
+      label "mk_done";
+      halt;
+    ]
+  in
+  {
+    name = "masked-io";
+    description = "disk writes issued inside interrupt-masked critical sections";
+    program = Kernel.program ~main;
+    config =
+      [
+        (Layout.cfg_iterations, ops);
+        (Layout.cfg_pad, 0);
+        (* long enough that the completion lands inside the mask *)
+        (Layout.cfg_spin, 300_000);
+      ];
+    instructions_per_iteration = 1_500_030;
+  }
+
+(* A small "service": the interval timer paces the work — each tick
+   (or the first tick after the previous request finished) triggers
+   one disk write.  The closest thing in this suite to a long-running
+   server whose availability the whole paper is about. *)
+let server ~requests ~period_us =
+  let main =
+    [
+      ld r1 r0 Layout.cfg_iterations;
+      ldi r2 0;
+      ldi r4 0;
+      label "sv_loop";
+      bge r2 r1 (lbl "sv_done");
+      comment "wait for the next timer tick";
+      label "sv_wait";
+      ld r3 r0 Layout.ticks;
+      blt r4 r3 (lbl "sv_go");
+      wfi;
+      jmp (lbl "sv_wait");
+      label "sv_go";
+      add r4 r3 r0;
+      comment "serve one request: write a tagged block";
+      ldi r6 Layout.dma_buffer;
+      addi r7 r2 1;
+      st r7 r6 0;
+      ldi r8 Layout.cmd_write;
+      ld r5 r0 Layout.cfg_block_range;
+      remu r9 r2 r5;
+      ldi r10 Layout.dma_buffer;
+      jal r12 (lbl "drv_io");
+      addi r2 r2 1;
+      st r2 r0 Layout.res_ops;
+      jmp (lbl "sv_loop");
+      label "sv_done";
+      halt;
+    ]
+  in
+  {
+    name = "server";
+    description = "timer-paced disk writes: a miniature service";
+    program = Kernel.program ~main;
+    config =
+      [
+        (Layout.cfg_iterations, requests);
+        (Layout.cfg_pad, 50);
+        (Layout.cfg_block_range, 16);
+        (Layout.cfg_timer_period_us, period_us);
+      ];
+    instructions_per_iteration = 120;
+  }
+
+let console_hello ~text =
+  let emit =
+    String.to_seq text
+    |> Seq.concat_map (fun c -> List.to_seq [ ldi r1 (Char.code c); out r1 ])
+    |> List.of_seq
+  in
+  let main =
+    emit
+    @ [
+        ldi r2 (String.length text);
+        st r2 r0 Layout.res_ops;
+        halt;
+      ]
+  in
+  {
+    name = "console-hello";
+    description = "console output through Out environment instructions";
+    program = Kernel.program ~main;
+    config = [];
+    instructions_per_iteration = 2;
+  }
+
+let probe_priv =
+  let main =
+    [
+      comment "Probe reveals the real privilege level (section 3.1)";
+      probe r1;
+      st r1 r0 Layout.res_scratch;
+      comment "the virtualised status register shows virtual level 0";
+      mfcr r2 Isa.Cr_status;
+      andi r3 r2 3;
+      st r3 r0 Layout.res_checksum;
+      comment "branch-and-link deposits the privilege level in the link";
+      jal r4 (lbl "pp_next");
+      label "pp_next";
+      andi r5 r4 3;
+      st r5 r0 Layout.res_ops;
+      halt;
+    ]
+  in
+  {
+    name = "probe-priv";
+    description = "privilege-level observability quirk of section 3.1";
+    program = Kernel.program ~main;
+    config = [];
+    instructions_per_iteration = 9;
+  }

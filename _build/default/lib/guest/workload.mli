@@ -1,0 +1,103 @@
+(** Benchmark workloads: the guest programs of the paper's evaluation.
+
+    Each workload is a complete guest image (kernel + main program)
+    plus the configuration words the host writes into guest memory
+    before boot.  Three reproduce the paper's section 4 benchmarks:
+
+    - {!dhrystone}: the CPU-intensive workload — a tight loop of
+      arithmetic, memory traffic and calls standing in for 1 M
+      Dhrystone 2.1 iterations;
+    - {!disk_write}: random-block writes, each awaited before the
+      next (the paper's write benchmark, 2048 iterations);
+    - {!disk_read}: random-block reads, likewise (the paper's read
+      benchmark).
+
+    The remaining workloads exercise protocol machinery in tests and
+    examples: {!mixed} interleaves compute and I/O, {!clock_sampler}
+    stresses environment-instruction forwarding, {!timer_tick} runs
+    off interval-timer interrupts, {!console_hello} produces
+    environment output, and {!probe_priv} demonstrates the privilege
+    observability quirk of section 3.1. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Hft_machine.Asm.program;
+  config : (int * int) list;
+      (** (address, value) pairs the host writes into guest memory
+          before starting the run *)
+  instructions_per_iteration : int;
+      (** rough ordinary-instruction cost of one iteration, used by
+          the harness to size runs *)
+}
+
+val dhrystone : iterations:int -> t
+
+val disk_write :
+  ?pad:int ->
+  ?block_range:int ->
+  ?seed:int ->
+  ?spin:int ->
+  ops:int ->
+  unit ->
+  t
+(** [pad] is the number of programmed-I/O controller accesses the
+    driver performs per operation, reproducing the paper's observation
+    that I/O involves "a significantly higher proportion of
+    instructions that must be simulated by the hypervisor"
+    (default 1000, which at 15.12 us per simulated instruction matches
+    the measured per-operation hypervisor cost). *)
+
+val disk_read :
+  ?pad:int ->
+  ?block_range:int ->
+  ?seed:int ->
+  ?spin:int ->
+  ops:int ->
+  unit ->
+  t
+(** [spin] sizes the per-iteration block-selection compute burst
+    (about 7 ordinary instructions per unit; default 2000). *)
+
+val mixed :
+  ?pad:int -> ?block_range:int -> ?seed:int -> compute:int -> ops:int ->
+  unit -> t
+(** [compute] inner arithmetic iterations between consecutive I/O
+    operations. *)
+
+val clock_sampler : samples:int -> t
+(** Reads the time-of-day clock in a loop and accumulates deltas;
+    every read is an environment instruction the primary must forward
+    to the backup. *)
+
+val timer_tick : period_us:int -> ticks:int -> t
+(** Arms the interval timer with the given period and spins until the
+    kernel has counted [ticks] expirations. *)
+
+val queued_io : pairs:int -> t
+(** Each iteration programs two writes before awaiting either
+    completion: exercises device queueing, the hypervisor's
+    outstanding-operation FIFO, and pair-wise retry after uncertain
+    completions (including P7's synthesized ones). *)
+
+val masked_io : ops:int -> t
+(** Issues each disk write inside an interrupt-masked critical
+    section: the completion arrives while interrupts are off and must
+    stay pending until the guest re-enables them — at the same
+    instruction on both replicas. *)
+
+val server : requests:int -> period_us:int -> t
+(** Timer-paced disk writes: the interval timer drives one write per
+    tick, combining every interrupt source the protocol coordinates
+    (timer expiry computed from [Tme], disk completions, WFI idling). *)
+
+val console_hello : text:string -> t
+(** Writes [text] to the console with [Out] instructions, one
+    environment interaction per character. *)
+
+val probe_priv : t
+(** Stores the result of [Probe] (real privilege level) and of reading
+    the status register (virtual privilege level) into the result
+    area: on bare hardware both are 0; under the hypervisor [Probe]
+    reveals level 1 — HP-UX "never detects the presence of our
+    hypervisor, although if it looked, it could". *)

@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Bare Hft_core Hft_guest Hft_sim List Params System

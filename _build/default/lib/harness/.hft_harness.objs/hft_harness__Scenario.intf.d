@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Hft_core Hft_guest Hft_sim

@@ -1,0 +1,43 @@
+let std = Format.std_formatter
+
+let fnum v = Printf.sprintf "%.2f" v
+
+let render_row out widths cells =
+  List.iteri
+    (fun i cell ->
+      let pad = List.nth widths i - String.length cell in
+      Format.fprintf out "%s%s  " cell (String.make (max 0 pad) ' '))
+    cells;
+  Format.fprintf out "@."
+
+let table ?(out = std) ~title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Report.table: row arity mismatch")
+    rows;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  Format.fprintf out "@.== %s ==@." title;
+  render_row out widths header;
+  render_row out widths
+    (List.map (fun w -> String.make w '-') widths);
+  List.iter (render_row out widths) rows
+
+let series ?(out = std) ~title ~columns points =
+  let header = "EL" :: columns in
+  let rows =
+    List.map
+      (fun (x, ys) -> string_of_int x :: List.map fnum ys)
+      points
+  in
+  table ~out ~title ~header rows
+
+let check ?(out = std) ~label ok =
+  Format.fprintf out "%-60s %s@." label (if ok then "PASS" else "FAIL")

@@ -1,0 +1,28 @@
+(** Text rendering of experiment results: aligned tables and simple
+    series listings, shaped like the paper's Table 1 and Figures 2-4.
+    Used by [bench/main.exe] and the CLI. *)
+
+val table :
+  ?out:Format.formatter ->
+  title:string ->
+  header:string list ->
+  string list list ->
+  unit
+(** Render an aligned table.  Every row must have the same arity as
+    the header. *)
+
+val series :
+  ?out:Format.formatter ->
+  title:string ->
+  columns:string list ->
+  (int * float list) list ->
+  unit
+(** Render an x/y listing: epoch length against one value per column
+    (e.g. measured NP, predicted NP, paper's NP). *)
+
+val fnum : float -> string
+(** Two-decimal rendering used for normalized performance. *)
+
+val check :
+  ?out:Format.formatter -> label:string -> bool -> unit
+(** A PASS/FAIL line for invariant summaries in benchmark output. *)

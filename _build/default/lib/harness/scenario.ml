@@ -1,0 +1,58 @@
+open Hft_core
+
+type run = {
+  epoch_length : int;
+  protocol : Params.protocol;
+  bare_time : Hft_sim.Time.t;
+  replicated_time : Hft_sim.Time.t;
+  np : float;
+  outcome : System.outcome;
+}
+
+let bare_time ?(params = Params.default) workload =
+  let b = Bare.create ~params ~workload () in
+  Bare.init_disk_blocks b;
+  let o = Bare.run b in
+  o.Bare.time
+
+let replicated ?(lockstep = false) ~params workload =
+  let sys = System.create ~params ~lockstep ~workload () in
+  System.run sys
+
+let normalized ?bare ~params workload =
+  let bare =
+    match bare with Some t -> t | None -> bare_time ~params workload
+  in
+  let outcome = replicated ~params workload in
+  let rep = outcome.System.time in
+  {
+    epoch_length = params.Params.epoch_length;
+    protocol = params.Params.protocol;
+    bare_time = bare;
+    replicated_time = rep;
+    np = Hft_sim.Time.to_sec rep /. Hft_sim.Time.to_sec bare;
+    outcome;
+  }
+
+let sweep ~params ~epoch_lengths ?(protocols = [ params.Params.protocol ])
+    workload =
+  let bare = bare_time ~params workload in
+  List.concat_map
+    (fun protocol ->
+      List.map
+        (fun el ->
+          let params =
+            Params.with_protocol (Params.with_epoch_length params el) protocol
+          in
+          normalized ~bare ~params workload)
+        epoch_lengths)
+    protocols
+
+(* Simulation-scale versions of the paper's three benchmarks. *)
+
+let cpu_workload ?(iterations = 30_000) () =
+  Hft_guest.Workload.dhrystone ~iterations
+
+let write_workload ?(ops = 48) () = Hft_guest.Workload.disk_write ~ops ()
+
+let read_workload ?(ops = 48) () = Hft_guest.Workload.disk_read ~ops ()

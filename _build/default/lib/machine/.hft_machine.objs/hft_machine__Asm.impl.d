@@ -1,0 +1,1 @@
+lib/machine/asm.ml: Array Format Hashtbl Isa List Printf Word

@@ -1,0 +1,1 @@
+lib/machine/asm.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Format Isa Memory Printf Tlb Word

@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Format Isa Memory Tlb Word

@@ -1,0 +1,1 @@
+lib/machine/encode.ml: Array Int64 Isa Printf Word

@@ -1,0 +1,1 @@
+lib/machine/encode.mli: Isa

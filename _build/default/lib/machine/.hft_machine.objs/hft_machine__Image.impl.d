@@ -1,0 +1,1 @@
+lib/machine/image.ml: Array Asm Buffer Encode Fun Hashtbl In_channel Int64 Isa List Printf String

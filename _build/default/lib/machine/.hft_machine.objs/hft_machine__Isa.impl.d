@@ -1,0 +1,1 @@
+lib/machine/isa.ml: Format Word

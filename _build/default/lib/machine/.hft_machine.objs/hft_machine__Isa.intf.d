@@ -1,0 +1,1 @@
+lib/machine/isa.mli: Format Word

@@ -1,0 +1,1 @@
+lib/machine/rewrite.ml: Array Asm Hashtbl Int Isa List

@@ -1,0 +1,1 @@
+lib/machine/rewrite.mli: Asm Isa

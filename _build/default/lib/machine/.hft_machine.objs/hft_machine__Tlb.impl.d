@@ -1,0 +1,1 @@
+lib/machine/tlb.ml: Array Bool Hft_sim List Word

@@ -1,0 +1,1 @@
+lib/machine/tlb.mli: Hft_sim Word

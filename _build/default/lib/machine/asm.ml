@@ -1,0 +1,225 @@
+type target = Abs of int | Lbl of string
+
+type item =
+  | Label of string
+  | Comment of string
+  | Fixed of Isa.instr
+  | Needs_target of {
+      build : int -> Isa.instr;  (* applied to the resolved address *)
+      target : target;
+      code_ref : bool;
+          (* the resolved address lands in an immediate rather than a
+             branch field; binary rewriting must relocate it *)
+    }
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+exception Error of string
+
+let check_reg r =
+  if r < 0 || r >= Isa.num_regs then
+    raise (Error (Printf.sprintf "bad register r%d" r))
+
+let label name = Label name
+let lbl name = Lbl name
+let abs addr = Abs addr
+let insn i = Fixed i
+let comment s = Comment s
+
+let fixed1 f r =
+  check_reg r;
+  Fixed (f r)
+
+let nop = Fixed Isa.Nop
+
+let ldi rd v =
+  check_reg rd;
+  Fixed (Isa.Ldi (rd, Word.mask v))
+
+let ldi_target rd tgt =
+  check_reg rd;
+  Needs_target
+    {
+      build = (fun addr -> Isa.Ldi (rd, Word.mask addr));
+      target = tgt;
+      code_ref = true;
+    }
+
+let mov rd rs =
+  check_reg rd;
+  check_reg rs;
+  Fixed (Isa.Alu (Isa.Add, rd, rs, 0))
+
+let alu3 op rd r1_ r2_ =
+  check_reg rd;
+  check_reg r1_;
+  check_reg r2_;
+  Fixed (Isa.Alu (op, rd, r1_, r2_))
+
+let add = alu3 Isa.Add
+let sub = alu3 Isa.Sub
+let mul = alu3 Isa.Mul
+let divu = alu3 Isa.Divu
+let remu = alu3 Isa.Remu
+let and_ = alu3 Isa.And
+let or_ = alu3 Isa.Or
+let xor = alu3 Isa.Xor
+let sll = alu3 Isa.Sll
+let srl = alu3 Isa.Srl
+let slt = alu3 Isa.Slt
+
+let check_imm16 v =
+  if v < -32768 || v > 32767 then
+    raise (Error (Printf.sprintf "immediate %d out of 16-bit range" v))
+
+let alui op rd rs imm =
+  check_reg rd;
+  check_reg rs;
+  check_imm16 imm;
+  Fixed (Isa.Alui (op, rd, rs, imm))
+
+let addi = alui Isa.Add
+let subi = alui Isa.Sub
+let muli = alui Isa.Mul
+let andi = alui Isa.And
+let ori = alui Isa.Or
+let xori = alui Isa.Xor
+let slli = alui Isa.Sll
+let srli = alui Isa.Srl
+
+let ld rd rbase off =
+  check_reg rd;
+  check_reg rbase;
+  check_imm16 off;
+  Fixed (Isa.Ld (rd, rbase, off))
+
+let st rv rbase off =
+  check_reg rv;
+  check_reg rbase;
+  check_imm16 off;
+  Fixed (Isa.St (rv, rbase, off))
+
+let branch c ra rb tgt =
+  check_reg ra;
+  check_reg rb;
+  Needs_target
+    { build = (fun addr -> Isa.Br (c, ra, rb, addr)); target = tgt; code_ref = false }
+
+let beq = branch Isa.Eq
+let bne = branch Isa.Ne
+let blt = branch Isa.Lt
+let bge = branch Isa.Ge
+let bltu = branch Isa.Ltu
+let bgeu = branch Isa.Geu
+
+let jmp tgt =
+  Needs_target { build = (fun addr -> Isa.Jmp addr); target = tgt; code_ref = false }
+
+let jal rd tgt =
+  check_reg rd;
+  Needs_target
+    { build = (fun addr -> Isa.Jal (rd, addr)); target = tgt; code_ref = false }
+
+let jr = fixed1 (fun r -> Isa.Jr r)
+let probe = fixed1 (fun r -> Isa.Probe r)
+
+let halt = Fixed Isa.Halt
+let wfi = Fixed Isa.Wfi
+let rdtod = fixed1 (fun r -> Isa.Rdtod r)
+let rdtmr = fixed1 (fun r -> Isa.Rdtmr r)
+let wrtmr = fixed1 (fun r -> Isa.Wrtmr r)
+let out = fixed1 (fun r -> Isa.Out r)
+
+let trapc code =
+  if code < 0 || code > 255 then raise (Error "trapc code out of range");
+  Fixed (Isa.Trapc code)
+
+let mfcr rd c =
+  check_reg rd;
+  Fixed (Isa.Mfcr (rd, c))
+
+let mtcr c rs =
+  check_reg rs;
+  Fixed (Isa.Mtcr (c, rs))
+
+let tlbw ra rb =
+  check_reg ra;
+  check_reg rb;
+  Fixed (Isa.Tlbw (ra, rb))
+
+let rfi = Fixed Isa.Rfi
+
+type program = {
+  code : Isa.instr array;
+  labels : (string * int) list;
+  code_refs : int list;
+}
+
+let assemble items =
+  (* Pass 1: assign addresses to labels. *)
+  let labels = Hashtbl.create 16 in
+  let addr = ref 0 in
+  List.iter
+    (function
+      | Label name ->
+        if Hashtbl.mem labels name then
+          raise (Error (Printf.sprintf "duplicate label %S" name));
+        Hashtbl.add labels name !addr
+      | Comment _ -> ()
+      | Fixed _ | Needs_target _ -> incr addr)
+    items;
+  let resolve = function
+    | Abs a -> a
+    | Lbl name -> (
+      match Hashtbl.find_opt labels name with
+      | Some a -> a
+      | None -> raise (Error (Printf.sprintf "undefined label %S" name)))
+  in
+  (* Pass 2: emit, remembering which immediates hold code addresses. *)
+  let code = ref [] and code_refs = ref [] and emitted = ref 0 in
+  List.iter
+    (function
+      | Label _ | Comment _ -> ()
+      | Fixed i ->
+        code := i :: !code;
+        incr emitted
+      | Needs_target { build; target; code_ref } ->
+        code := build (resolve target) :: !code;
+        if code_ref then code_refs := !emitted :: !code_refs;
+        incr emitted)
+    items;
+  {
+    code = Array.of_list (List.rev !code);
+    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
+    code_refs = List.rev !code_refs;
+  }
+
+let find_label p name =
+  match List.assoc_opt name p.labels with
+  | Some a -> a
+  | None -> raise Not_found
+
+let pp_program fmt p =
+  let by_addr = List.map (fun (n, a) -> (a, n)) p.labels in
+  Array.iteri
+    (fun addr i ->
+      List.iter
+        (fun (a, n) -> if a = addr then Format.fprintf fmt "%s:@." n)
+        by_addr;
+      Format.fprintf fmt "  %04x  %a@." addr Isa.pp i)
+    p.code

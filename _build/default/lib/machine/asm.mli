@@ -1,0 +1,132 @@
+(** Assembler: an OCaml DSL for writing guest programs.
+
+    Programs are lists of {!item}s — instructions, labels and
+    alignment — assembled in two passes so branch targets may be
+    forward references.  The guest kernel and all benchmark workloads
+    are written with this module.
+
+    Register constants [r0] … [r15] are provided; [r0] is the
+    hardwired zero register. *)
+
+type item
+type target
+
+val r0 : Isa.reg
+val r1 : Isa.reg
+val r2 : Isa.reg
+val r3 : Isa.reg
+val r4 : Isa.reg
+val r5 : Isa.reg
+val r6 : Isa.reg
+val r7 : Isa.reg
+val r8 : Isa.reg
+val r9 : Isa.reg
+val r10 : Isa.reg
+val r11 : Isa.reg
+val r12 : Isa.reg
+val r13 : Isa.reg
+val r14 : Isa.reg
+val r15 : Isa.reg
+
+val label : string -> item
+(** Define a label at the current code address. *)
+
+val lbl : string -> target
+(** Reference a label (may be defined later). *)
+
+val abs : int -> target
+(** A literal absolute code address. *)
+
+val insn : Isa.instr -> item
+(** Embed a raw instruction. *)
+
+val comment : string -> item
+(** Ignored by the assembler; keeps sources readable. *)
+
+(* Ordinary instructions. *)
+
+val nop : item
+
+val ldi : Isa.reg -> int -> item
+
+val ldi_target : Isa.reg -> target -> item
+(** Load the address of a label (e.g. the trap vector) into a
+    register. *)
+
+val mov : Isa.reg -> Isa.reg -> item
+
+val add : Isa.reg -> Isa.reg -> Isa.reg -> item
+val sub : Isa.reg -> Isa.reg -> Isa.reg -> item
+val mul : Isa.reg -> Isa.reg -> Isa.reg -> item
+val divu : Isa.reg -> Isa.reg -> Isa.reg -> item
+val remu : Isa.reg -> Isa.reg -> Isa.reg -> item
+val and_ : Isa.reg -> Isa.reg -> Isa.reg -> item
+val or_ : Isa.reg -> Isa.reg -> Isa.reg -> item
+val xor : Isa.reg -> Isa.reg -> Isa.reg -> item
+val sll : Isa.reg -> Isa.reg -> Isa.reg -> item
+val srl : Isa.reg -> Isa.reg -> Isa.reg -> item
+val slt : Isa.reg -> Isa.reg -> Isa.reg -> item
+
+val addi : Isa.reg -> Isa.reg -> int -> item
+val subi : Isa.reg -> Isa.reg -> int -> item
+val muli : Isa.reg -> Isa.reg -> int -> item
+val andi : Isa.reg -> Isa.reg -> int -> item
+val ori : Isa.reg -> Isa.reg -> int -> item
+val xori : Isa.reg -> Isa.reg -> int -> item
+val slli : Isa.reg -> Isa.reg -> int -> item
+val srli : Isa.reg -> Isa.reg -> int -> item
+
+val ld : Isa.reg -> Isa.reg -> int -> item
+(** [ld rd rbase off]: rd <- mem[rbase + off]. *)
+
+val st : Isa.reg -> Isa.reg -> int -> item
+(** [st rv rbase off]: mem[rbase + off] <- rv. *)
+
+val beq : Isa.reg -> Isa.reg -> target -> item
+val bne : Isa.reg -> Isa.reg -> target -> item
+val blt : Isa.reg -> Isa.reg -> target -> item
+val bge : Isa.reg -> Isa.reg -> target -> item
+val bltu : Isa.reg -> Isa.reg -> target -> item
+val bgeu : Isa.reg -> Isa.reg -> target -> item
+
+val jmp : target -> item
+val jal : Isa.reg -> target -> item
+val jr : Isa.reg -> item
+val probe : Isa.reg -> item
+
+(* Environment instructions. *)
+
+val halt : item
+val wfi : item
+val rdtod : Isa.reg -> item
+val rdtmr : Isa.reg -> item
+val wrtmr : Isa.reg -> item
+val out : Isa.reg -> item
+
+(* Traps and privileged instructions. *)
+
+val trapc : int -> item
+val mfcr : Isa.reg -> Isa.cr -> item
+val mtcr : Isa.cr -> Isa.reg -> item
+val tlbw : Isa.reg -> Isa.reg -> item
+val rfi : item
+
+type program = private {
+  code : Isa.instr array;
+  labels : (string * int) list;
+  code_refs : int list;
+      (** addresses of instructions whose immediate holds a code
+          address (e.g. loading the trap vector); binary rewriting
+          must relocate these *)
+}
+
+exception Error of string
+(** Raised on duplicate or undefined labels. *)
+
+val assemble : item list -> program
+
+val find_label : program -> string -> int
+(** @raise Not_found if the label was never defined. *)
+
+val pp_program : Format.formatter -> program -> unit
+(** Listing with addresses and label annotations. *)

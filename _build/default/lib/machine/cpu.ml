@@ -1,0 +1,327 @@
+type config = {
+  mem_words : int;
+  mmio_base : int;
+  page_shift : int;
+  tlb_entries : int;
+  tlb_policy : Tlb.policy;
+}
+
+let default_config =
+  {
+    mem_words = 1 lsl 16;
+    mmio_base = 0xF0000;
+    page_shift = 10;
+    tlb_entries = 16;
+    tlb_policy = Tlb.Round_robin;
+  }
+
+type stop =
+  | Fuel
+  | Recovery
+  | Stop_halt
+  | Stop_wfi
+  | Env of Isa.instr
+  | Priv of Isa.instr
+  | Mmio_read of { paddr : int; reg : Isa.reg }
+  | Mmio_write of { paddr : int; value : Word.t }
+  | Tlb_miss of { vaddr : int; write : bool }
+  | Protection of { vaddr : int; write : bool }
+  | Syscall of int
+  | Fault of string
+
+type run_result = { executed : int; stop : stop }
+
+type t = {
+  cfg : config;
+  code : Isa.instr array;
+  memory : Memory.t;
+  tlb_state : Tlb.t;
+  regs : int array;
+  crs : int array;
+  mutable pc_ : int;
+  mutable retired : int;
+}
+
+let create ?(config = default_config) ~code () =
+  {
+    cfg = config;
+    code;
+    memory = Memory.create ~words:config.mem_words;
+    tlb_state = Tlb.create ~entries:config.tlb_entries config.tlb_policy;
+    regs = Array.make Isa.num_regs 0;
+    crs = Array.make Isa.num_crs 0;
+    pc_ = 0;
+    retired = 0;
+  }
+
+let config t = t.cfg
+let code t = t.code
+let mem t = t.memory
+let tlb t = t.tlb_state
+
+let pc t = t.pc_
+let set_pc t v = t.pc_ <- v
+let advance_pc t = t.pc_ <- t.pc_ + 1
+
+let reg t r = t.regs.(r)
+let set_reg t r v = if r <> 0 then t.regs.(r) <- Word.mask v
+
+let cr t c = t.crs.(Isa.cr_index c)
+let set_cr t c v = t.crs.(Isa.cr_index c) <- Word.mask v
+
+let status t = t.crs.(Isa.cr_index Isa.Cr_status)
+let priv t = Isa.status_priv (status t)
+let set_priv t p = set_cr t Isa.Cr_status (Isa.status_with_priv (status t) p)
+
+let rc_index = Isa.cr_index Isa.Cr_rc
+
+let set_recovery t n =
+  if n <= 0 then invalid_arg "Cpu.set_recovery: count must be positive";
+  t.crs.(rc_index) <- Word.of_signed (n - 1);
+  set_cr t Isa.Cr_status (Isa.status_with_rc_enable (status t) true)
+
+let disable_recovery t =
+  set_cr t Isa.Cr_status (Isa.status_with_rc_enable (status t) false)
+
+let rc_enabled t = Isa.status_rc_enable (status t)
+
+let recovery_remaining t =
+  if not (rc_enabled t) then 0
+  else
+    let v = Word.signed t.crs.(rc_index) in
+    if v < 0 then 0 else v + 1
+
+let tick_recovery t =
+  if not (rc_enabled t) then false
+  else begin
+    let v = Word.signed t.crs.(rc_index) - 1 in
+    t.crs.(rc_index) <- Word.of_signed v;
+    v < 0
+  end
+
+let interrupts_enabled t = Isa.status_int_enable (status t)
+
+let deliver_trap_impl t ~cause ~badvaddr ~epc =
+  let s = status t in
+  set_cr t Isa.Cr_istatus s;
+  set_cr t Isa.Cr_epc epc;
+  set_cr t Isa.Cr_cause cause;
+  set_cr t Isa.Cr_badvaddr badvaddr;
+  let s = Isa.status_with_priv s 0 in
+  let s = Isa.status_with_int_enable s false in
+  let s = Isa.status_with_mmu_enable s false in
+  set_cr t Isa.Cr_status s;
+  t.pc_ <- cr t Isa.Cr_ivec
+
+let translate t ~write vaddr =
+  let s = status t in
+  if not (Isa.status_mmu_enable s) then Ok vaddr
+  else begin
+    let vpage = vaddr lsr t.cfg.page_shift in
+    match Tlb.lookup t.tlb_state ~vpage with
+    | None -> Error (Tlb_miss { vaddr; write })
+    | Some e ->
+      if Isa.status_priv s = 3 && not e.Tlb.user_ok then
+        Error (Protection { vaddr; write })
+      else if write && not e.Tlb.writable then
+        Error (Protection { vaddr; write })
+      else
+        let offset = vaddr land ((1 lsl t.cfg.page_shift) - 1) in
+        Ok ((e.Tlb.ppage lsl t.cfg.page_shift) lor offset)
+  end
+
+(* Effects of the branch-and-link privilege quirk (section 3.1 of the
+   paper): the return address carries the current privilege level in
+   its two low bits. *)
+let link_value t = Word.mask (((t.pc_ + 1) lsl 2) lor priv t)
+
+let alu op a b =
+  match (op : Isa.alu_op) with
+  | Add -> Word.add a b
+  | Sub -> Word.sub a b
+  | Mul -> Word.mul a b
+  | Divu -> Word.divu a b
+  | Remu -> Word.remu a b
+  | And -> Word.logand a b
+  | Or -> Word.logor a b
+  | Xor -> Word.logxor a b
+  | Sll -> Word.shift_left a b
+  | Srl -> Word.shift_right_logical a b
+  | Sra -> Word.shift_right_arith a b
+  | Slt -> if Word.lt_signed a b then 1 else 0
+  | Sltu -> if Word.lt_unsigned a b then 1 else 0
+
+let cond_holds c a b =
+  match (c : Isa.cond) with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> Word.lt_signed a b
+  | Ge -> not (Word.lt_signed a b)
+  | Ltu -> Word.lt_unsigned a b
+  | Geu -> not (Word.lt_unsigned a b)
+
+exception Stop_exec of stop
+
+let run t ~fuel =
+  if fuel <= 0 then invalid_arg "Cpu.run: fuel must be positive";
+  let executed = ref 0 in
+  let stop_reason = ref Fuel in
+  (try
+     while !executed < fuel do
+       if t.pc_ < 0 || t.pc_ >= Array.length t.code then
+         raise
+           (Stop_exec (Fault (Printf.sprintf "pc 0x%x outside code" t.pc_)));
+       let i = t.code.(t.pc_) in
+       (match i with
+       | Isa.Nop -> advance_pc t
+       | Isa.Ldi (rd, v) ->
+         set_reg t rd v;
+         advance_pc t
+       | Isa.Alu (op, rd, r1, r2) ->
+         set_reg t rd (alu op t.regs.(r1) t.regs.(r2));
+         advance_pc t
+       | Isa.Alui (op, rd, rs, imm) ->
+         set_reg t rd (alu op t.regs.(rs) (Word.of_signed imm));
+         advance_pc t
+       | Isa.Ld (rd, rs, off) -> (
+         let vaddr = Word.add t.regs.(rs) (Word.of_signed off) in
+         match translate t ~write:false vaddr with
+         | Error st -> raise (Stop_exec st)
+         | Ok paddr ->
+           if paddr >= t.cfg.mmio_base then
+             raise (Stop_exec (Mmio_read { paddr; reg = rd }))
+           else if not (Memory.in_range t.memory paddr) then
+             raise
+               (Stop_exec
+                  (Fault (Printf.sprintf "load from bad address 0x%x" paddr)))
+           else begin
+             set_reg t rd (Memory.read t.memory paddr);
+             advance_pc t
+           end)
+       | Isa.St (rv, rb, off) -> (
+         let vaddr = Word.add t.regs.(rb) (Word.of_signed off) in
+         match translate t ~write:true vaddr with
+         | Error st -> raise (Stop_exec st)
+         | Ok paddr ->
+           if paddr >= t.cfg.mmio_base then
+             raise (Stop_exec (Mmio_write { paddr; value = t.regs.(rv) }))
+           else if not (Memory.in_range t.memory paddr) then
+             raise
+               (Stop_exec
+                  (Fault (Printf.sprintf "store to bad address 0x%x" paddr)))
+           else begin
+             Memory.write t.memory paddr t.regs.(rv);
+             advance_pc t
+           end)
+       | Isa.Br (c, r1, r2, tgt) ->
+         if cond_holds c t.regs.(r1) t.regs.(r2) then t.pc_ <- tgt
+         else advance_pc t
+       | Isa.Jmp tgt -> t.pc_ <- tgt
+       | Isa.Jal (rd, tgt) ->
+         set_reg t rd (link_value t);
+         t.pc_ <- tgt
+       | Isa.Jr rs -> t.pc_ <- t.regs.(rs) lsr 2
+       | Isa.Probe rd ->
+         set_reg t rd (priv t);
+         advance_pc t
+       | Isa.Halt -> raise (Stop_exec Stop_halt)
+       | Isa.Wfi ->
+         (* Completes (counts against the recovery counter), then
+            relinquishes the processor. *)
+         advance_pc t;
+         t.retired <- t.retired + 1;
+         incr executed;
+         if tick_recovery t then stop_reason := Recovery else stop_reason := Stop_wfi;
+         raise (Stop_exec !stop_reason)
+       | Isa.(Rdtod _ | Rdtmr _ | Wrtmr _ | Out _) -> raise (Stop_exec (Env i))
+       | Isa.Trapc code -> raise (Stop_exec (Syscall code))
+       | Isa.(Mfcr _ | Mtcr _ | Tlbw _ | Rfi) ->
+         if priv t <> 0 then raise (Stop_exec (Priv i))
+         else begin
+           (match i with
+           | Isa.Mfcr (rd, c) -> set_reg t rd (cr t c)
+           | Isa.Mtcr (c, rs) -> set_cr t c t.regs.(rs)
+           | Isa.Tlbw (r1, r2) ->
+             let vpage = t.regs.(r1) in
+             Tlb.insert t.tlb_state (Tlb.decode_entry_word ~vpage t.regs.(r2))
+           | Isa.Rfi ->
+             set_cr t Isa.Cr_status (cr t Isa.Cr_istatus);
+             t.pc_ <- cr t Isa.Cr_epc
+           | _ -> assert false);
+           if not (Isa.equal i Isa.Rfi) then advance_pc t
+         end);
+       (match i with
+       | Isa.Wfi -> () (* already accounted above *)
+       | _ ->
+         t.retired <- t.retired + 1;
+         incr executed;
+         if tick_recovery t then begin
+           stop_reason := Recovery;
+           raise (Stop_exec Recovery)
+         end)
+     done
+   with Stop_exec st -> stop_reason := st);
+  { executed = !executed; stop = !stop_reason }
+
+let deliver_trap ?(badvaddr = 0) t ~cause ~epc =
+  deliver_trap_impl t ~cause ~badvaddr ~epc
+
+let instructions_retired t = t.retired
+
+let fnv_prime = 0x100000001b3
+let fnv_mask = (1 lsl 62) - 1
+
+let state_hash ?(include_tlb = false) t =
+  let h = ref 0x3bf29ce484222325 in
+  let mix v = h := (!h lxor (v land fnv_mask)) * fnv_prime land fnv_mask in
+  mix t.pc_;
+  Array.iter mix t.regs;
+  Array.iter mix t.crs;
+  h := Memory.hash_into t.memory !h;
+  if include_tlb then h := Tlb.hash_into t.tlb_state !h;
+  !h
+
+type snapshot = {
+  s_regs : int array;
+  s_crs : int array;
+  s_pc : int;
+  s_mem : Memory.t;
+  s_code_len : int;
+}
+
+let snapshot t =
+  {
+    s_regs = Array.copy t.regs;
+    s_crs = Array.copy t.crs;
+    s_pc = t.pc_;
+    s_mem = Memory.copy t.memory;
+    s_code_len = Array.length t.code;
+  }
+
+let restore t snap =
+  if snap.s_code_len <> Array.length t.code then
+    invalid_arg "Cpu.restore: code image mismatch";
+  Array.blit snap.s_regs 0 t.regs 0 (Array.length t.regs);
+  Array.blit snap.s_crs 0 t.crs 0 (Array.length t.crs);
+  t.pc_ <- snap.s_pc;
+  Memory.blit_in t.memory ~addr:0
+    (Memory.blit_out snap.s_mem ~addr:0 ~len:(Memory.size snap.s_mem));
+  Tlb.flush t.tlb_state
+
+let pp_stop fmt = function
+  | Fuel -> Format.fprintf fmt "fuel"
+  | Recovery -> Format.fprintf fmt "recovery"
+  | Stop_halt -> Format.fprintf fmt "halt"
+  | Stop_wfi -> Format.fprintf fmt "wfi"
+  | Env i -> Format.fprintf fmt "env(%a)" Isa.pp i
+  | Priv i -> Format.fprintf fmt "priv(%a)" Isa.pp i
+  | Mmio_read { paddr; reg } ->
+    Format.fprintf fmt "mmio-read(0x%x -> r%d)" paddr reg
+  | Mmio_write { paddr; value } ->
+    Format.fprintf fmt "mmio-write(0x%x <- %a)" paddr Word.pp value
+  | Tlb_miss { vaddr; write } ->
+    Format.fprintf fmt "tlb-miss(0x%x, %s)" vaddr (if write then "w" else "r")
+  | Protection { vaddr; write } ->
+    Format.fprintf fmt "protection(0x%x, %s)" vaddr (if write then "w" else "r")
+  | Syscall code -> Format.fprintf fmt "syscall(%d)" code
+  | Fault msg -> Format.fprintf fmt "fault(%s)" msg

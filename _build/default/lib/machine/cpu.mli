@@ -1,0 +1,129 @@
+(** The simulated processor: architectural state plus an instruction
+    stepper.
+
+    The stepper executes {e ordinary} instructions directly and stops
+    — returning control to its executor — on anything whose behaviour
+    is not a pure function of the virtual-machine state: environment
+    instructions, privileged instructions attempted above privilege
+    level 0, MMIO accesses, TLB misses, trap calls, and expiry of the
+    recovery counter.  The executor is either the bare-metal runner
+    (which performs the hardware action directly) or the hypervisor
+    (which simulates it, per the paper's Environment Instruction
+    Assumption).
+
+    The stepper never delivers traps into the guest by itself;
+    {!deliver_trap} is the hardware delivery mechanism invoked by the
+    bare-metal executor, and the hypervisor performs the equivalent
+    virtual delivery against the virtual machine's state. *)
+
+type config = {
+  mem_words : int;      (** size of physical data memory *)
+  mmio_base : int;      (** physical word addresses at or above this
+                            are device registers, not memory *)
+  page_shift : int;     (** log2 of the page size in words *)
+  tlb_entries : int;
+  tlb_policy : Tlb.policy;
+}
+
+val default_config : config
+(** 64 Ki words of memory, MMIO at 0xF0000, 1 Ki-word pages, 16 TLB
+    entries, round-robin replacement. *)
+
+type t
+
+(** Why {!run} stopped. *)
+type stop =
+  | Fuel              (** the requested number of instructions completed *)
+  | Recovery          (** recovery counter went negative (epoch end) *)
+  | Stop_halt         (** [Halt] executed; pc points at the halt *)
+  | Stop_wfi          (** [Wfi] completed; pc points past it *)
+  | Env of Isa.instr  (** environment instruction needs simulation;
+                          pc still points at it *)
+  | Priv of Isa.instr (** privileged instruction at privilege > 0;
+                          pc still points at it *)
+  | Mmio_read of { paddr : int; reg : Isa.reg }
+  | Mmio_write of { paddr : int; value : Word.t }
+      (** memory-mapped I/O access; pc still points at the load/store *)
+  | Tlb_miss of { vaddr : int; write : bool }
+  | Protection of { vaddr : int; write : bool }
+      (** user-mode access to a supervisor-only or read-only page *)
+  | Syscall of int    (** [Trapc code]; pc still points at it *)
+  | Fault of string   (** architectural error: bad pc, bad physical
+                          address, invalid control register *)
+
+type run_result = {
+  executed : int;  (** ordinary instructions completed during this run *)
+  stop : stop;
+}
+
+val create : ?config:config -> code:Isa.instr array -> unit -> t
+
+val config : t -> config
+val code : t -> Isa.instr array
+val mem : t -> Memory.t
+val tlb : t -> Tlb.t
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+val advance_pc : t -> unit
+(** [set_pc t (pc t + 1)] — used by executors after simulating an
+    instruction that stopped the stepper. *)
+
+val reg : t -> Isa.reg -> Word.t
+val set_reg : t -> Isa.reg -> Word.t -> unit
+(** Writes to register 0 are ignored. *)
+
+val cr : t -> Isa.cr -> Word.t
+val set_cr : t -> Isa.cr -> Word.t -> unit
+
+val priv : t -> int
+val set_priv : t -> int -> unit
+
+val set_recovery : t -> int -> unit
+(** Arm the recovery counter: enables counting and sets it so that the
+    trap fires after exactly [n] further instructions complete. *)
+
+val disable_recovery : t -> unit
+
+val recovery_remaining : t -> int
+(** Instructions left before the recovery trap (0 if disabled). *)
+
+val tick_recovery : t -> bool
+(** Decrement the recovery counter for an instruction completed by the
+    executor on the CPU's behalf (a simulated environment or
+    privileged instruction).  Returns [true] if the counter expired. *)
+
+val run : t -> fuel:int -> run_result
+(** Execute up to [fuel] instructions.  [fuel] must be positive. *)
+
+val deliver_trap : ?badvaddr:int -> t -> cause:int -> epc:int -> unit
+(** Hardware trap/interrupt delivery: saves [epc] and the status
+    register, records the cause, switches to privilege 0 with
+    interrupts and the MMU disabled, and jumps to the vector in
+    [Cr_ivec].  The recovery counter is unaffected. *)
+
+val interrupts_enabled : t -> bool
+
+val translate : t -> write:bool -> int -> (int, stop) result
+(** Virtual-to-physical translation as the load/store path performs
+    it; exposed for the hypervisor's TLB-management path and tests. *)
+
+val instructions_retired : t -> int
+(** Total completed instructions over the CPU's lifetime. *)
+
+val state_hash : ?include_tlb:bool -> t -> int
+(** Hash of the architectural state (registers, pc, control registers,
+    memory; optionally the TLB).  Two virtual machines in lockstep
+    must have equal hashes at every epoch boundary. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Deep copy of the architectural state, for backup reintegration. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite this CPU's state with the snapshot.  The code image must
+    be the one the snapshot was taken from.
+    @raise Invalid_argument on a code-image size mismatch. *)
+
+val pp_stop : Format.formatter -> stop -> unit

@@ -1,0 +1,28 @@
+(** Binary encoding of instructions.
+
+    Each instruction occupies one 64-bit word:
+
+    {v
+    bits  7:0   opcode
+    bits 11:8   rd / r1
+    bits 15:12  rs / r2
+    bits 19:16  rt, ALU sub-opcode, condition, or control register
+    bits 63:32  32-bit immediate / absolute target / signed offset
+    v}
+
+    Programs assembled in-process are already decoded arrays; this
+    module exists so program images can be stored, hashed, and
+    round-tripped, and to pin down the ISA as a concrete format. *)
+
+exception Decode_error of string
+
+val encode : Isa.instr -> int64
+val decode : int64 -> Isa.instr
+(** @raise Decode_error on an invalid encoding. *)
+
+val encode_program : Isa.instr array -> int64 array
+val decode_program : int64 array -> Isa.instr array
+
+val program_hash : Isa.instr array -> int
+(** FNV hash of the encoded image; identifies a code image (used when
+    checking that a reintegrating backup runs the same program). *)

@@ -1,0 +1,25 @@
+(** Program images: a stable on-disk format for guest code.
+
+    An image is a small text format — a header line followed by one
+    hex-encoded {!Encode} word per instruction, with optional label
+    lines — so images diff cleanly, survive version control, and can
+    be inspected by hand:
+
+    {v
+    HFT1 <instruction count>
+    L <name> <address>        (zero or more)
+    <16 hex digits>           (one per instruction)
+    v}
+
+    Used by the CLI to export and re-import workloads, and by tests to
+    round-trip programs through the encoder. *)
+
+exception Format_error of string
+
+val to_string : Asm.program -> string
+val of_string : string -> Asm.program
+(** @raise Format_error on a malformed image.
+    @raise Encode.Decode_error on an invalid instruction word. *)
+
+val save : path:string -> Asm.program -> unit
+val load : path:string -> Asm.program

@@ -1,0 +1,46 @@
+type t = { words : int array }
+
+let create ~words =
+  if words <= 0 then invalid_arg "Memory.create: size must be positive";
+  { words = Array.make words 0 }
+
+let size t = Array.length t.words
+
+let in_range t addr = addr >= 0 && addr < Array.length t.words
+
+let read t addr =
+  if not (in_range t addr) then
+    invalid_arg (Printf.sprintf "Memory.read: address 0x%x out of range" addr);
+  t.words.(addr)
+
+let write t addr v =
+  if not (in_range t addr) then
+    invalid_arg (Printf.sprintf "Memory.write: address 0x%x out of range" addr);
+  t.words.(addr) <- Word.mask v
+
+let blit_in t ~addr block =
+  let len = Array.length block in
+  if addr < 0 || addr + len > Array.length t.words then
+    invalid_arg "Memory.blit_in: block out of range";
+  Array.blit block 0 t.words addr len
+
+let blit_out t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Array.length t.words then
+    invalid_arg "Memory.blit_out: block out of range";
+  Array.sub t.words addr len
+
+let copy t = { words = Array.copy t.words }
+
+let equal a b = a.words = b.words
+
+let fnv_prime = 0x100000001b3
+let fnv_mask = (1 lsl 62) - 1
+
+let hash_into t seed =
+  let h = ref seed in
+  for i = 0 to Array.length t.words - 1 do
+    h := (!h lxor t.words.(i)) * fnv_prime land fnv_mask
+  done;
+  !h
+
+let load t ~addr words = blit_in t ~addr (Array.of_list words)

@@ -1,0 +1,39 @@
+(** Physical data memory: a flat array of 32-bit words.
+
+    Addresses are word indices.  The region at and above the MMIO base
+    (see {!Cpu.config}) is not backed by this array; accesses there are
+    routed to devices by the executor. *)
+
+type t
+
+val create : words:int -> t
+(** Zero-initialised memory of [words] words. *)
+
+val size : t -> int
+
+val read : t -> int -> Word.t
+(** @raise Invalid_argument if the address is out of range. *)
+
+val write : t -> int -> Word.t -> unit
+(** The value is masked to 32 bits.
+    @raise Invalid_argument if the address is out of range. *)
+
+val in_range : t -> int -> bool
+
+val blit_in : t -> addr:int -> Word.t array -> unit
+(** Copy a block of words into memory starting at [addr] (DMA). *)
+
+val blit_out : t -> addr:int -> len:int -> Word.t array
+(** Copy [len] words out of memory starting at [addr] (DMA). *)
+
+val copy : t -> t
+(** Deep copy, used for state snapshots (backup reintegration). *)
+
+val equal : t -> t -> bool
+
+val hash_into : t -> int -> int
+(** [hash_into mem seed] folds the memory contents into a running FNV
+    hash; used for lockstep state comparison. *)
+
+val load : t -> addr:int -> Word.t list -> unit
+(** Write a literal list of words at [addr] (program loading). *)

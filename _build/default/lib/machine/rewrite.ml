@@ -1,0 +1,144 @@
+let epoch_marker_code = 255
+
+(* Software instruction counting needs a register the compiler (here:
+   the workload author) agrees not to use; the guest kernel's
+   interrupt handler already treats r13-r15 as scratch it saves and
+   restores, so r15 is free. *)
+let counter_reg = 15
+
+type t = { code : Isa.instr array; markers : int; map : int array }
+
+(* Instrumentation sites: every [every] static instructions, plus
+   every target of a backward branch.  The second rule is what makes
+   the scheme sound: without it, a loop that fits between two static
+   sites would never be counted and its epoch would never end —
+   production object-code editors instrument back-edges for exactly
+   this reason. *)
+let site_list ~every (code : Isa.instr array) =
+  if every < 1 then invalid_arg "Rewrite: epoch interval must be positive";
+  let n = Array.length code in
+  let sites = Hashtbl.create 64 in
+  for i = 1 to n - 1 do
+    if i mod every = 0 then Hashtbl.replace sites i ()
+  done;
+  Array.iteri
+    (fun i instr ->
+      let backward tgt = tgt <= i && tgt > 0 in
+      match instr with
+      | Isa.Br (_, _, _, tgt) when backward tgt -> Hashtbl.replace sites tgt ()
+      | Isa.Jmp tgt when backward tgt -> Hashtbl.replace sites tgt ()
+      | Isa.Jal (_, tgt) when backward tgt -> Hashtbl.replace sites tgt ()
+      | _ -> ())
+    code;
+  sites
+
+(* Each site receives a three-instruction counting sequence:
+
+     subi  r15, r15, W      W ~ instructions since the previous site
+     bge   r15, r0, +3      still within the epoch budget: skip
+     trapc 255              epoch marker: invoke the hypervisor
+
+   The hypervisor reloads r15 with the epoch length at every marker,
+   so a marker fires roughly every [epoch_length] dynamic
+   instructions — the software analogue of the recovery register.
+   The weights are static approximations; they only need to be the
+   same at the primary and the backup, and they are, because both run
+   the same rewritten image. *)
+let block_len = 3
+
+let insert_epoch_markers ~every (p : Asm.program) =
+  if every < 1 then invalid_arg "Rewrite.insert_epoch_markers: every < 1";
+  Array.iter
+    (function
+      | Isa.Trapc c when c = epoch_marker_code ->
+        invalid_arg "Rewrite.insert_epoch_markers: program uses the marker code"
+      | _ -> ())
+    p.Asm.code;
+  let n = Array.length p.Asm.code in
+  let sites = site_list ~every p.Asm.code in
+  (* new address of each original instruction *)
+  let map = Array.make n 0 in
+  let blocks = ref 0 in
+  for i = 0 to n - 1 do
+    if Hashtbl.mem sites i then incr blocks;
+    map.(i) <- i + (block_len * !blocks)
+  done;
+  let total_blocks = !blocks in
+  (* control transfers to a site must land ON its counting sequence,
+     or a loop would be counted only on first entry *)
+  let relocate addr =
+    if addr >= 0 && addr < n then
+      if Hashtbl.mem sites addr then map.(addr) - block_len else map.(addr)
+    else addr + (block_len * total_blocks)
+  in
+  let is_code_ref =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun a -> Hashtbl.replace tbl a ()) p.Asm.code_refs;
+    fun a -> Hashtbl.mem tbl a
+  in
+  (* weight of a site: static distance to the previous site *)
+  let sorted_sites =
+    Hashtbl.fold (fun k () acc -> k :: acc) sites []
+    |> List.sort Int.compare
+  in
+  let weights = Hashtbl.create 64 in
+  let prev = ref 0 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace weights s (max 1 (min 32767 (s - !prev)));
+      prev := s)
+    sorted_sites;
+  let out = ref [] in
+  Array.iteri
+    (fun i instr ->
+      if Hashtbl.mem sites i then begin
+        let w = Hashtbl.find weights i in
+        let skip_to = map.(i) in
+        out :=
+          Isa.Trapc epoch_marker_code
+          :: Isa.Br (Isa.Ge, counter_reg, 0, skip_to)
+          :: Isa.Alui (Isa.Sub, counter_reg, counter_reg, w)
+          :: !out
+      end;
+      let instr =
+        match instr with
+        | Isa.Br (c, a, b, tgt) -> Isa.Br (c, a, b, relocate tgt)
+        | Isa.Jmp tgt -> Isa.Jmp (relocate tgt)
+        | Isa.Jal (rd, tgt) -> Isa.Jal (rd, relocate tgt)
+        | Isa.Ldi (rd, v) when is_code_ref i -> Isa.Ldi (rd, relocate v)
+        | other -> other
+      in
+      out := instr :: !out)
+    p.Asm.code;
+  { code = Array.of_list (List.rev !out); markers = total_blocks; map }
+
+let rewrite_program ~every p =
+  let sites = site_list ~every p.Asm.code in
+  let { code; map; markers } = insert_epoch_markers ~every p in
+  let relocate_label addr =
+    if addr >= 0 && addr < Array.length map then
+      if Hashtbl.mem sites addr then map.(addr) - block_len else map.(addr)
+    else addr + (block_len * markers)
+  in
+  (* Re-assemble through the Asm front door so the result is a proper
+     program value: emit the instructions and re-declare the labels at
+     their relocated positions. *)
+  let by_addr = Hashtbl.create 16 in
+  List.iter
+    (fun (name, addr) ->
+      let addr = relocate_label addr in
+      Hashtbl.replace by_addr addr
+        (name :: (try Hashtbl.find by_addr addr with Not_found -> [])))
+    p.Asm.labels;
+  let acc = ref [] in
+  Array.iteri
+    (fun addr instr ->
+      (match Hashtbl.find_opt by_addr addr with
+      | Some names -> List.iter (fun nm -> acc := Asm.label nm :: !acc) names
+      | None -> ());
+      acc := Asm.insn instr :: !acc)
+    code;
+  (match Hashtbl.find_opt by_addr (Array.length code) with
+  | Some names -> List.iter (fun nm -> acc := Asm.label nm :: !acc) names
+  | None -> ());
+  Asm.assemble (List.rev !acc)

@@ -1,0 +1,55 @@
+(** Object-code editing: the paper's alternative to the recovery
+    register.
+
+    Section 2.1: "Object-code editing gives yet another way to ensure
+    that the primary and backup hypervisors are invoked at identical
+    points in a virtual machine's instruction stream.  In this scheme,
+    the object code for the kernel and all user processes is edited so
+    that the hypervisor is invoked periodically."
+
+    {!insert_epoch_markers} rewrites a program with {e software
+    instruction counting}: at every instrumentation site — every
+    [every] static instructions, and every backward-branch target so
+    loops are counted — it inserts
+
+    {v
+      subi  r15, r15, W      (* W ~ instructions since the last site *)
+      bge   r15, r0, +3      (* budget left: skip *)
+      trapc 255              (* epoch marker: invoke the hypervisor *)
+    v}
+
+    The hypervisor reloads [r15] with the epoch length at every
+    marker, so markers fire about every [every] dynamic instructions —
+    the software analogue of the recovery register, at the price of a
+    couple of extra instructions per site crossing (quantified by the
+    ablation benchmark).  Branch and jump targets are rebound, and
+    immediates known (from the assembler's relocation list) to hold
+    code addresses are relocated; link values produced by [Jal] need
+    no fixing because they are generated at run time from the
+    rewritten pc.
+
+    Under this mechanism the recovery register is not used at all. *)
+
+val epoch_marker_code : int
+(** The reserved trap-call code (255).  Guest programs must not use
+    it. *)
+
+val counter_reg : Isa.reg
+(** The register reserved for the software instruction counter (r15);
+    rewritten guests must not use it outside the kernel's
+    save/restore discipline. *)
+
+type t = {
+  code : Isa.instr array;     (** the rewritten program *)
+  markers : int;              (** number of counting sequences inserted *)
+  map : int array;            (** original address -> rewritten address *)
+}
+
+val insert_epoch_markers : every:int -> Asm.program -> t
+(** @raise Invalid_argument if [every < 1] or the program already
+    contains the marker trap code. *)
+
+val rewrite_program : every:int -> Asm.program -> Asm.program
+(** Convenience: a rewritten {!Asm.program} with labels rebound to
+    their new addresses (the relocation list is consumed — the
+    rewritten image needs no further editing). *)

@@ -1,0 +1,90 @@
+type policy = Round_robin | Random of Hft_sim.Rng.t
+
+type entry = { vpage : int; ppage : int; user_ok : bool; writable : bool }
+
+type t = {
+  policy : policy;
+  slots : entry option array;
+  mutable next_victim : int;
+}
+
+let create ?(entries = 16) policy =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  { policy; slots = Array.make entries None; next_victim = 0 }
+
+let size t = Array.length t.slots
+
+let lookup t ~vpage =
+  let n = Array.length t.slots in
+  let rec scan i =
+    if i >= n then None
+    else
+      match t.slots.(i) with
+      | Some e when e.vpage = vpage -> Some e
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+let find_slot t vpage =
+  (* Prefer the slot already holding this vpage, then an invalid slot,
+     then a victim chosen by the policy. *)
+  let n = Array.length t.slots in
+  let existing = ref None and free = ref None in
+  for i = n - 1 downto 0 do
+    match t.slots.(i) with
+    | Some e when e.vpage = vpage -> existing := Some i
+    | None -> free := Some i
+    | Some _ -> ()
+  done;
+  match (!existing, !free) with
+  | Some i, _ -> i
+  | None, Some i -> i
+  | None, None -> (
+    match t.policy with
+    | Round_robin ->
+      let i = t.next_victim in
+      t.next_victim <- (i + 1) mod n;
+      i
+    | Random rng -> Hft_sim.Rng.int rng n)
+
+let insert t entry =
+  let i = find_slot t entry.vpage in
+  t.slots.(i) <- Some entry
+
+let flush t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next_victim <- 0
+
+let entries t =
+  Array.to_list t.slots |> List.filter_map (fun e -> e)
+
+let fnv_prime = 0x100000001b3
+let fnv_mask = (1 lsl 62) - 1
+
+let hash_into t seed =
+  let h = ref seed in
+  let mix v = h := (!h lxor v) * fnv_prime land fnv_mask in
+  Array.iter
+    (function
+      | None -> mix 0x5ca1ab1e
+      | Some e ->
+        mix e.vpage;
+        mix e.ppage;
+        mix (Bool.to_int e.user_ok);
+        mix (Bool.to_int e.writable))
+    t.slots;
+  !h
+
+let entry_word ~ppage ~user_ok ~writable =
+  Word.mask
+    (ppage land 0xFFFFF
+    lor (if user_ok then 1 lsl 20 else 0)
+    lor if writable then 1 lsl 21 else 0)
+
+let decode_entry_word ~vpage w =
+  {
+    vpage;
+    ppage = w land 0xFFFFF;
+    user_ok = w land (1 lsl 20) <> 0;
+    writable = w land (1 lsl 21) <> 0;
+  }

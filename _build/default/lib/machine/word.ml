@@ -1,0 +1,33 @@
+type t = int
+
+let m32 = 0xFFFF_FFFF
+let sign_bit = 0x8000_0000
+
+let mask v = v land m32
+
+let signed v = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v
+
+let of_signed v = v land m32
+
+let add a b = (a + b) land m32
+let sub a b = (a - b) land m32
+let mul a b = (a * b) land m32
+
+let divu a b = if b = 0 then m32 else a / b
+let remu a b = if b = 0 then a else a mod b
+
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+
+let shift_left a n = (a lsl (n land 31)) land m32
+let shift_right_logical a n = a lsr (n land 31)
+
+let shift_right_arith a n =
+  let n = n land 31 in
+  of_signed (signed a asr n)
+
+let lt_signed a b = signed a < signed b
+let lt_unsigned (a : t) b = a < b
+
+let pp fmt v = Format.fprintf fmt "0x%08x" v

@@ -1,0 +1,45 @@
+(** 32-bit machine words stored in native [int]s.
+
+    The simulated architecture is a 32-bit machine; OCaml ints are 63
+    bits, so every arithmetic result is masked back to 32 bits here.
+    Words are unsigned by default; [signed] reinterprets bit 31 as a
+    sign bit for the signed comparisons and arithmetic shift. *)
+
+type t = int
+(** Always in the range [0, 2^32). *)
+
+val mask : int -> t
+(** Truncate to 32 bits. *)
+
+val signed : t -> int
+(** Sign-extended value in [-2^31, 2^31). *)
+
+val of_signed : int -> t
+(** Inverse of [signed]; truncates to 32 bits. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divu : t -> t -> t
+(** Unsigned division; division by zero yields all-ones (the hardware
+    convention for this machine, so replicas cannot diverge on a
+    division fault). *)
+
+val remu : t -> t -> t
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+(** Shift amounts are taken modulo 32, matching the hardware. *)
+
+val lt_signed : t -> t -> bool
+val lt_unsigned : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x0000002a]. *)

@@ -1,0 +1,1 @@
+lib/model/model.ml: Hft_net Hft_sim List

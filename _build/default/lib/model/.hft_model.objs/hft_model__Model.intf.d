@@ -1,0 +1,1 @@
+lib/model/model.mli: Hft_net

@@ -1,0 +1,129 @@
+module Paper = struct
+  let rt_cpu_sec = 8.8
+  let vi = 4.2e8
+  let hsim_us = 15.12
+  let hepoch_us = 443.59
+
+  (* At EL = 385,000 the paper predicts NP 1.24 of which 0.18 is the
+     simulation term: nsim * hsim = 0.18 * RT. *)
+  let nsim = 0.18 *. rt_cpu_sec /. (hsim_us *. 1e-6)
+
+  let cother_sec = 0.041
+  let xfer_write_ms = 26.0
+  let xfer_read_ms = 24.2
+  let read_hyp_ms = 33.4
+  let write_hyp_ms = 27.8
+  let epoch_length_max_hpux = 385_000
+
+  let fig2_measured =
+    [ (1024, 22.24); (2048, 11.83); (4096, 6.50); (8192, 3.83) ]
+
+  let fig3_write_measured =
+    [ (1024, 1.87); (2048, 1.71); (4096, 1.67); (8192, 1.64) ]
+
+  let fig3_read_measured =
+    [ (1024, 2.32); (2048, 2.10); (4096, 2.03); (8192, 1.98) ]
+
+  let table1_cpu_new =
+    [ (1024, 11.67); (2048, 4.49); (4096, 3.21); (8192, 2.20) ]
+
+  let table1_write_new =
+    [ (1024, 1.70); (2048, 1.66); (4096, 1.66); (8192, 1.64) ]
+
+  let table1_read_new =
+    [ (1024, 1.92); (2048, 1.76); (4096, 1.72); (8192, 1.70) ]
+end
+
+type protocol = Original | Revised
+
+let small_message_bytes = 60
+
+let wire_us link =
+  Hft_sim.Time.to_us (Hft_net.Link.wire_time link ~bytes:small_message_bytes)
+
+(* Decomposition of the measured 443.59 us boundary: a fixed part
+   (local processing + controller set-ups + per-message overheads)
+   plus three small-message serializations (Tme out, its ack back, and
+   [end,E] out).  The revised protocol does not wait for the ack, so
+   its boundary drops the round trip: the ack's wire+overhead and the
+   wait for the Tme to land. *)
+let ack_round_trip_us link =
+  2.0 *. (Hft_sim.Time.to_us link.Hft_net.Link.per_message_overhead +. wire_us link)
+
+let hepoch_us ?(protocol = Original) link =
+  let ethernet = Hft_net.Link.ethernet in
+  let fixed = Paper.hepoch_us -. (3.0 *. wire_us ethernet) in
+  let base = fixed +. (3.0 *. wire_us link) in
+  match protocol with
+  | Original -> base
+  | Revised -> base -. ack_round_trip_us link
+
+let npc ?(protocol = Original) ?(link = Hft_net.Link.ethernet) ~el () =
+  if el <= 0 then invalid_arg "Model.npc: epoch length must be positive";
+  let hepoch = hepoch_us ~protocol link *. 1e-6 in
+  1.0
+  +. ((Paper.nsim *. Paper.hsim_us *. 1e-6)
+      +. (Paper.vi /. float_of_int el *. hepoch)
+      +. Paper.cother_sec)
+     /. Paper.rt_cpu_sec
+
+(* I/O benchmark structure (matching the guest driver): ~1000
+   hypervisor-simulated instructions per operation programming the
+   controller, ~24,000 ordinary instructions of block selection and
+   bookkeeping, then a synchronous device operation whose completion
+   interrupt waits for the next epoch boundary.  Boundaries during the
+   device wait are hidden by the device latency (the processor is
+   idle); boundaries during the compute phase are not. *)
+let io_nsim = 1000.0
+let io_ord_instr = 24_000.0
+let instr_us = 0.02
+
+let io_cpu_ms ~protocol ~link ~el =
+  let hepoch = hepoch_us ~protocol link in
+  let epochs_in_compute =
+    (io_ord_instr +. io_nsim) /. float_of_int el
+  in
+  ((io_nsim *. Paper.hsim_us)
+  +. (io_ord_instr *. instr_us)
+  +. (epochs_in_compute *. hepoch))
+  /. 1000.0
+
+let io_delay_ms ~protocol ~link ~el =
+  (* half an epoch of residual instructions plus the boundary work *)
+  ((float_of_int el *. instr_us /. 2.0) +. hepoch_us ~protocol link) /. 1000.0
+
+let io_bare_cpu_ms = io_ord_instr *. instr_us /. 1000.0
+
+(* Forwarding a performed 8 KB read to the backup: the primary may not
+   pass the next epoch boundary (original) or issue the next operation
+   (revised) until the transfer is acknowledged. *)
+let read_forward_ms link =
+  let data = Hft_sim.Time.to_ms (Hft_net.Link.transfer_time link ~bytes:8240) in
+  let ack =
+    Hft_sim.Time.to_ms (Hft_net.Link.transfer_time link ~bytes:small_message_bytes)
+  in
+  data +. ack
+
+let npw ?(protocol = Original) ?(link = Hft_net.Link.ethernet) ~el () =
+  let protocol = protocol in
+  let cpu = io_cpu_ms ~protocol ~link ~el in
+  let delay = io_delay_ms ~protocol ~link ~el in
+  (cpu +. Paper.xfer_write_ms +. delay)
+  /. (io_bare_cpu_ms +. Paper.xfer_write_ms)
+
+let npr ?(protocol = Original) ?(link = Hft_net.Link.ethernet) ~el () =
+  let cpu = io_cpu_ms ~protocol ~link ~el in
+  let delay = io_delay_ms ~protocol ~link ~el in
+  (cpu +. Paper.xfer_read_ms +. read_forward_ms link +. delay)
+  /. (io_bare_cpu_ms +. Paper.xfer_read_ms)
+
+let read_latency_hyp_ms ?(link = Hft_net.Link.ethernet) () =
+  Paper.xfer_read_ms +. read_forward_ms link
+
+let write_latency_hyp_ms ~el =
+  Paper.xfer_write_ms
+  +. io_delay_ms ~protocol:Original ~link:Hft_net.Link.ethernet ~el
+
+let series f els = List.map (fun el -> (el, f ~el ())) els
+
+let standard_epoch_lengths = [ 1024; 2048; 4096; 8192; 16384; 32768 ]

@@ -1,0 +1,1 @@
+lib/net/channel.ml: Engine Hft_sim Link Printf Time Trace

@@ -1,0 +1,1 @@
+lib/net/channel.mli: Hft_sim Link

@@ -1,0 +1,1 @@
+lib/net/link.ml: Format Hft_sim Stdlib Time

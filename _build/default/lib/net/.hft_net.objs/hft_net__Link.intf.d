@@ -1,0 +1,1 @@
+lib/net/link.mli: Format Hft_sim

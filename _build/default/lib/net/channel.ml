@@ -1,0 +1,77 @@
+open Hft_sim
+
+type 'msg t = {
+  engine : Engine.t;
+  lnk : Link.t;
+  name_ : string;
+  mutable receiver : ('msg -> unit) option;
+  mutable crashed : bool;
+  mutable loss_plan : int -> bool;
+  mutable busy_until_ : Time.t;
+  mutable sent : int;
+  mutable bytes : int;
+  mutable delivered : int;
+  mutable in_flight_ : int;
+}
+
+let create ~engine ~link ~name () =
+  {
+    engine;
+    lnk = link;
+    name_ = name;
+    receiver = None;
+    crashed = false;
+    loss_plan = (fun _ -> false);
+    busy_until_ = Time.zero;
+    sent = 0;
+    bytes = 0;
+    delivered = 0;
+    in_flight_ = 0;
+  }
+
+let name t = t.name_
+let link t = t.lnk
+
+let connect t f =
+  (match t.receiver with
+  | Some _ -> invalid_arg "Channel.connect: receiver already installed"
+  | None -> ());
+  t.receiver <- Some f
+
+let send t ~bytes msg =
+  if not t.crashed then begin
+    let seq = t.sent in
+    t.sent <- t.sent + 1;
+    t.bytes <- t.bytes + bytes;
+    let start = Time.max (Engine.now t.engine) t.busy_until_ in
+    let arrival = Time.add start (Link.transfer_time t.lnk ~bytes) in
+    t.busy_until_ <- arrival;
+    if t.loss_plan seq then
+      Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
+        ~source:t.name_ "drop #%d (%dB)" seq bytes
+    else begin
+      t.in_flight_ <- t.in_flight_ + 1;
+      ignore
+        (Engine.at t.engine arrival (fun () ->
+             t.in_flight_ <- t.in_flight_ - 1;
+             t.delivered <- t.delivered + 1;
+             match t.receiver with
+             | Some f -> f msg
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "Channel %s: delivery with no receiver"
+                    t.name_)))
+    end
+  end
+
+let crash_sender t = t.crashed <- true
+let sender_crashed t = t.crashed
+let revive_sender t = t.crashed <- false
+
+let set_loss_plan t p = t.loss_plan <- p
+
+let in_flight t = t.in_flight_
+let messages_sent t = t.sent
+let bytes_sent t = t.bytes
+let messages_delivered t = t.delivered
+let busy_until t = t.busy_until_

@@ -1,0 +1,62 @@
+(** Unidirectional FIFO message channel between two hypervisors.
+
+    Matches the communication assumptions of section 2 of the paper:
+
+    - delivery is FIFO: messages arrive in the order sent;
+    - a processor crash loses no message already sent — everything in
+      flight is still delivered before the peer can detect the failure
+      (the paper assumes failure is detected "only after receiving the
+      last message sent by the primary's hypervisor");
+    - messages sent after a crash are never delivered (they were never
+      sent).
+
+    Latency follows the channel's {!Link}: each message waits for the
+    link to become free (serialization), then takes the link's
+    per-message overhead plus wire time.  A deterministic loss plan
+    can drop selected messages, used by tests that probe the revised
+    protocol's reasoning about unacknowledged messages. *)
+
+type 'msg t
+
+val create :
+  engine:Hft_sim.Engine.t ->
+  link:Link.t ->
+  name:string ->
+  unit ->
+  'msg t
+
+val name : 'msg t -> string
+val link : 'msg t -> Link.t
+
+val connect : 'msg t -> ('msg -> unit) -> unit
+(** Install the receiver callback.  Must be called before the first
+    delivery is due. *)
+
+val send : 'msg t -> bytes:int -> 'msg -> unit
+(** Enqueue a message of the given size.  Silently discarded if the
+    sender has crashed (a dead processor sends nothing). *)
+
+val crash_sender : 'msg t -> unit
+(** The sending processor has failed: subsequent {!send}s are
+    discarded; in-flight messages are still delivered. *)
+
+val sender_crashed : 'msg t -> bool
+
+val revive_sender : 'msg t -> unit
+(** Repair after {!crash_sender}: the (replaced or repaired) sending
+    processor may transmit again.  Used by backup reintegration. *)
+
+val set_loss_plan : 'msg t -> (int -> bool) -> unit
+(** [set_loss_plan t p] drops message number [n] (0-based count of
+    sends) whenever [p n] is true.  Dropped messages consume link time
+    but are not delivered. *)
+
+val in_flight : 'msg t -> int
+(** Messages sent but not yet delivered (excluding dropped ones). *)
+
+val messages_sent : 'msg t -> int
+val bytes_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+
+val busy_until : 'msg t -> Hft_sim.Time.t
+(** Time at which the link becomes idle. *)

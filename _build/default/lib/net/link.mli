@@ -1,0 +1,48 @@
+(** Physical link models for the hypervisor-to-hypervisor connection.
+
+    The paper's prototype used a 10 Mbps Ethernet and section 4.3
+    models replacing it with a 155 Mbps ATM link.  A transfer of [n]
+    bytes is fragmented into messages of at most [max_payload_bytes];
+    each message costs a fixed per-message overhead (I/O controller
+    set-up plus interrupt handling — the paper notes controller set-up
+    time is the same for both technologies) plus serialization time at
+    the link's bandwidth.
+
+    The paper reports that forwarding an 8 KB disk block took 9
+    messages plus 1 acknowledgement on the Ethernet; {!ethernet}'s
+    payload limit reproduces that fragmentation. *)
+
+type t = {
+  name : string;
+  per_message_overhead : Hft_sim.Time.t;
+      (** controller set-up + interrupt cost, charged per message *)
+  bits_per_sec : int;       (** serialization bandwidth *)
+  max_payload_bytes : int;  (** fragmentation threshold *)
+}
+
+val ethernet : t
+(** 10 Mbps, 1000-byte payloads. *)
+
+val atm : t
+(** 155 Mbps, same per-message overhead and payload limit as
+    {!ethernet} (section 4.3 assumes equal controller set-up time). *)
+
+val custom :
+  name:string ->
+  overhead_us:float ->
+  bits_per_sec:int ->
+  max_payload_bytes:int ->
+  t
+
+val message_count : t -> bytes:int -> int
+(** Number of link-level messages needed for a [bytes]-byte transfer
+    (at least 1: even an empty protocol message is a frame). *)
+
+val wire_time : t -> bytes:int -> Hft_sim.Time.t
+(** Serialization time only. *)
+
+val transfer_time : t -> bytes:int -> Hft_sim.Time.t
+(** Total one-way latency: per-message overheads plus serialization
+    for all fragments. *)
+
+val pp : Format.formatter -> t -> unit

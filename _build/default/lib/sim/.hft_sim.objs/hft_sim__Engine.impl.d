@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Format Heap Int String Time Trace

@@ -1,0 +1,124 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  label : string;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  queue : event Heap.t;
+  tr : Trace.t;
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable dispatched : int;
+  mutable live : int;
+  mutable stopping : bool;
+}
+
+exception Stopped
+
+let compare_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(trace = Trace.null) () =
+  {
+    queue = Heap.create ~cmp:compare_event;
+    tr = trace;
+    clock = Time.zero;
+    next_seq = 0;
+    dispatched = 0;
+    live = 0;
+    stopping = false;
+  }
+
+let trace t = t.tr
+let now t = t.clock
+
+let at t ?(label = "") time fn =
+  if Time.(time < t.clock) then
+    invalid_arg
+      (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp time Time.pp
+         t.clock);
+  let ev = { time; seq = t.next_seq; label; fn; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ev;
+  ev
+
+let after t ?label d fn = at t ?label (Time.add t.clock d) fn
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let is_pending _t ev = not ev.cancelled
+
+let rec skip_cancelled t =
+  match Heap.peek t.queue with
+  | Some ev when ev.cancelled ->
+    ignore (Heap.pop_exn t.queue);
+    skip_cancelled t
+  | other -> other
+
+let next_time t =
+  match skip_cancelled t with
+  | Some ev -> Some ev.time
+  | None -> None
+
+let pending t = t.live
+
+let dispatch t ev =
+  t.clock <- ev.time;
+  ev.cancelled <- true;
+  t.live <- t.live - 1;
+  t.dispatched <- t.dispatched + 1;
+  if not (String.equal ev.label "") then
+    Trace.record t.tr ~time:t.clock ~source:"engine" ev.label;
+  ev.fn ()
+
+let step t =
+  match skip_cancelled t with
+  | None -> false
+  | Some _ ->
+    let ev = Heap.pop_exn t.queue in
+    dispatch t ev;
+    true
+
+let run ?(limit = 200_000_000) t =
+  t.stopping <- false;
+  let fired = ref 0 in
+  let rec loop () =
+    if t.stopping then ()
+    else if !fired >= limit then
+      failwith "Engine.run: event limit exceeded (runaway simulation?)"
+    else if step t then begin
+      incr fired;
+      loop ()
+    end
+  in
+  loop ()
+
+let run_until t deadline =
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match skip_cancelled t with
+      | Some ev when Time.(ev.time <= deadline) ->
+        let ev = Heap.pop_exn t.queue in
+        dispatch t ev;
+        loop ()
+      | _ -> ()
+  in
+  loop ();
+  if Time.(t.clock < deadline) && not t.stopping then t.clock <- deadline
+
+let stop t = t.stopping <- true
+
+let events_dispatched t = t.dispatched

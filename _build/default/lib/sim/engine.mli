@@ -1,0 +1,69 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of events.
+    Events scheduled for the same instant fire in the order they were
+    scheduled (a monotonically increasing sequence number breaks
+    ties), so a simulation run is a pure function of its inputs.
+
+    Every component of the fault-tolerance stack — the two simulated
+    processors, the disk, the hypervisor-to-hypervisor channels, the
+    failure injector — advances only by scheduling and handling events
+    on a shared engine. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled (used by the
+    backup's failure-detector timeout, which is cancelled whenever a
+    message from the primary arrives). *)
+
+exception Stopped
+(** Raised out of {!run} by {!stop}. *)
+
+val create : ?trace:Trace.t -> unit -> t
+(** A fresh engine with the clock at {!Time.zero}.  If [trace] is
+    given, event dispatch is recorded into it. *)
+
+val trace : t -> Trace.t
+
+val now : t -> Time.t
+
+val at : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+(** [at t time f] schedules [f] to run when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val after : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+(** [after t d f] is [at t (Time.add (now t) d) f]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a
+    no-op. *)
+
+val is_pending : t -> handle -> bool
+
+val next_time : t -> Time.t option
+(** Time of the earliest pending event, if any.  Used by the
+    bare-metal executor to bound instruction bursts so asynchronous
+    interrupts are delivered at the right instruction boundary. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) scheduled events. *)
+
+val step : t -> bool
+(** Dispatch the single earliest event.  Returns [false] when the
+    queue is empty. *)
+
+val run : ?limit:int -> t -> unit
+(** Dispatch events until the queue is empty, or [limit] events have
+    fired (default: 200 million, a runaway-simulation backstop;
+    exceeding it raises [Failure]). *)
+
+val run_until : t -> Time.t -> unit
+(** Dispatch all events scheduled at or before the given time and
+    advance the clock to exactly that time. *)
+
+val stop : t -> unit
+(** Make the innermost {!run}/{!run_until} return once the current
+    event handler finishes. *)
+
+val events_dispatched : t -> int

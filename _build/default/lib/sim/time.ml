@@ -1,0 +1,45 @@
+type t = int
+
+let zero = 0
+
+let of_ns n =
+  if n < 0 then invalid_arg "Time.of_ns: negative"
+  else n
+
+let of_us n = of_ns (n * 1_000)
+let of_ms n = of_ns (n * 1_000_000)
+let of_sec n = of_ns (n * 1_000_000_000)
+
+let of_us_float u =
+  if u < 0.0 then invalid_arg "Time.of_us_float: negative"
+  else int_of_float (Float.round (u *. 1_000.0))
+
+let to_ns t = t
+let to_us t = float_of_int t /. 1_000.0
+let to_ms t = float_of_int t /. 1_000_000.0
+let to_sec t = float_of_int t /. 1_000_000_000.0
+
+let add a b = a + b
+
+let diff a b =
+  if a < b then invalid_arg "Time.diff: negative result"
+  else a - b
+
+let scale t n =
+  if n < 0 then invalid_arg "Time.scale: negative factor"
+  else t * n
+
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : t) b = a <= b
+let ( < ) (a : t) b = a < b
+let ( >= ) (a : t) b = a >= b
+let ( > ) (a : t) b = a > b
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else Format.fprintf fmt "%.4fs" (to_sec t)

@@ -1,0 +1,52 @@
+(** Virtual time for the discrete-event simulation.
+
+    Time is measured in integer nanoseconds from the start of the
+    simulation.  All model constants in this repository (instruction
+    cost, hypervisor simulation cost, link latencies, disk transfer
+    times) are expressed through this module so that unit mistakes are
+    impossible by construction. *)
+
+type t = private int
+(** Nanoseconds since simulation start.  The representation is exposed
+    as [private int] so that times order and hash naturally but cannot
+    be fabricated without going through the constructors below. *)
+
+val zero : t
+
+val of_ns : int -> t
+(** [of_ns n] is [n] nanoseconds.  Raises [Invalid_argument] if [n] is
+    negative. *)
+
+val of_us : int -> t
+val of_ms : int -> t
+val of_sec : int -> t
+
+val of_us_float : float -> t
+(** [of_us_float u] rounds [u] microseconds to the nearest nanosecond.
+    Used for calibration constants taken from the paper
+    (e.g. 15.12 us). *)
+
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+(** [diff a b] is [a - b].  Raises [Invalid_argument] if the result
+    would be negative. *)
+
+val scale : t -> int -> t
+(** [scale t n] is [n * t]. *)
+
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)

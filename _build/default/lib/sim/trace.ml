@@ -1,0 +1,58 @@
+type entry = { time : Time.t; source : string; event : string }
+
+type t = {
+  capacity : int;
+  buf : entry option array;
+  mutable next : int;   (* next slot to write, modulo capacity *)
+  mutable total : int;  (* entries ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time ~source event =
+  if t.capacity > 0 then begin
+    t.buf.(t.next) <- Some { time; source; event };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~time ~source fmt =
+  Format.kasprintf (fun s -> record t ~time ~source s) fmt
+
+let entries t =
+  (* Replay the ring from the oldest retained slot. *)
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    let slot = (t.next + i) mod t.capacity in
+    match t.buf.(slot) with
+    | Some e -> acc := e :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let find t ~source ~prefix =
+  let matches e =
+    String.equal e.source source
+    && String.length e.event >= String.length prefix
+    && String.equal (String.sub e.event 0 (String.length prefix)) prefix
+  in
+  List.filter matches (entries t)
+
+let length t = List.length (entries t)
+
+let total_recorded t = t.total
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp fmt t =
+  let each e =
+    Format.fprintf fmt "%a %-14s %s@." Time.pp e.time e.source e.event
+  in
+  List.iter each (entries t)
+
+let null = { capacity = 0; buf = [||]; next = 0; total = 0 }

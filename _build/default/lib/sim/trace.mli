@@ -1,0 +1,42 @@
+(** Bounded event-trace recorder.
+
+    Components of the simulation append timestamped, labelled entries;
+    tests assert on the recorded sequence and the CLI can dump a run's
+    trace for debugging.  The buffer is bounded so that long benchmark
+    runs do not accumulate unbounded garbage: once [capacity] entries
+    have been recorded the oldest are discarded. *)
+
+type entry = {
+  time : Time.t;
+  source : string;  (** component that recorded the entry, e.g. "primary-hv" *)
+  event : string;   (** free-form description, e.g. "epoch-end 12" *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity is 65536 entries. *)
+
+val record : t -> time:Time.t -> source:string -> string -> unit
+
+val recordf :
+  t -> time:Time.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val entries : t -> entry list
+(** Oldest first, at most [capacity] of the most recent entries. *)
+
+val find : t -> source:string -> prefix:string -> entry list
+(** Entries from [source] whose [event] starts with [prefix]. *)
+
+val length : t -> int
+(** Number of retained entries. *)
+
+val total_recorded : t -> int
+(** Number of entries ever recorded, including discarded ones. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val null : t
+(** A shared sink that retains nothing; use when tracing is off. *)

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Bare Guest_results Hashtbl Hft_core Hft_devices Hft_guest Hft_machine Hft_sim Hypervisor List Option Params Printf QCheck QCheck_alcotest Stats System Workload

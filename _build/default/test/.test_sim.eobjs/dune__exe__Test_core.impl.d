@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bare Guest_results Hft_core Hft_devices Hft_guest Hft_machine Hft_net Hft_sim Hypervisor Int Kernel Layout List Params Printf QCheck QCheck_alcotest Stats System Workload

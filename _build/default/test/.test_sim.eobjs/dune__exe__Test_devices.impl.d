@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Array Char Clock Console Disk Disk_ctl Engine Hft_devices Hft_sim Interrupt Interval_timer List Rng String Time

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Array Bare Guest_results Hashtbl Hft_core Hft_devices Hft_guest Hft_machine Hft_sim Kernel Layout List Printf QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format Hft_core Hft_guest Hft_harness Hft_sim List Params Report Scenario String

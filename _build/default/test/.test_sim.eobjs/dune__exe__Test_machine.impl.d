@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Asm Cpu Encode Filename Format Fun Hft_machine Hft_sim Image Isa List Memory QCheck QCheck_alcotest Rewrite Sys Tlb Word

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Float Hft_model Hft_net List Model Printf QCheck QCheck_alcotest

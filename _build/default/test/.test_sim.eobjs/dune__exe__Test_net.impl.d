@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Channel Engine Hft_net Hft_sim Link List QCheck QCheck_alcotest Time

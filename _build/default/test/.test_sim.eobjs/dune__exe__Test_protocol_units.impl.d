@@ -1,0 +1,1 @@
+test/test_protocol_units.ml: Alcotest Array Format Guest_results Hft_core Hft_guest Hft_machine Hft_net Hft_sim List Message Params Stats String

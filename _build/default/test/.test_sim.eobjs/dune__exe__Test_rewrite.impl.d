@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Asm Bare Cpu Guest_results Hft_core Hft_guest Hft_machine Hft_sim Isa List Params QCheck QCheck_alcotest Rewrite System

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Heap Hft_sim Int List Option QCheck QCheck_alcotest Rng Time Trace

@@ -1,0 +1,160 @@
+(* The t = 2 chain extension: a second backup behind the first.  The
+   paper claims the generalization to t-fault-tolerant virtual
+   machines is straightforward; the chain realises it for failures
+   arriving in role order (primary first, then the promoted backup) —
+   the first backup forwards the whole coordination stream, promotes
+   on the primary's death, announces the failover epoch downstream,
+   and the second backup performs the identical P6/P7 delivery without
+   promoting. *)
+
+open Hft_core
+open Hft_guest
+
+let small_params = { Params.default with Params.epoch_length = 512 }
+
+let chain ?(params = small_params) w =
+  System.create ~params ~second_backup:true ~workload:w ()
+
+let expected_final_blocks ~seed ~range ~ops =
+  let s = ref seed in
+  let final = Hashtbl.create 16 in
+  for i = 0 to ops - 1 do
+    s := Hft_machine.Word.add (Hft_machine.Word.mul !s 1103515245) 12345;
+    let blk = Hft_machine.Word.shift_right_logical !s 8 mod range in
+    Hashtbl.replace final blk (i + 1)
+  done;
+  final
+
+let check_final_disk sys ~ops =
+  let final = expected_final_blocks ~seed:0x1234 ~range:64 ~ops in
+  Hashtbl.iter
+    (fun blk tag ->
+      Alcotest.(check int)
+        (Printf.sprintf "block %d" blk)
+        tag
+        (Hft_devices.Disk.read_block_now (System.disk sys) blk).(0))
+    final
+
+let b2 sys = Option.get (System.backup2 sys)
+
+let clean_tests =
+  let open Alcotest in
+  [
+    test_case "three replicas run in lockstep" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:3000 in
+        let sys = chain w in
+        let o = System.run sys in
+        check (list int) "no divergence" [] o.System.lockstep_mismatches;
+        (* with three reporters every epoch is compared twice *)
+        check bool "deep comparison" true (o.System.epochs_compared > 100);
+        check int "all hashes equal at halt"
+          (Hypervisor.vm_state_hash (System.primary sys))
+          (Hypervisor.vm_state_hash (b2 sys)));
+    test_case "second backup also suppresses io" `Quick (fun () ->
+        let w = Workload.disk_write ~ops:3 ~pad:20 ~spin:20 () in
+        let sys = chain w in
+        let o = System.run sys in
+        check bool "consistent" true o.System.disk_consistent;
+        check int "b2 suppressed" 3
+          (Hypervisor.stats (b2 sys)).Stats.io_suppressed;
+        let log = Hft_devices.Disk.Log.entries (System.disk sys) in
+        check bool "only port 0" true
+          (List.for_all (fun e -> e.Hft_devices.Disk.Log.port = 0) log));
+    test_case "reintegration is rejected on a chain" `Quick (fun () ->
+        let sys = chain (Workload.dhrystone ~iterations:10) in
+        let raised =
+          try
+            System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms 1);
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "raised" true raised);
+  ]
+
+let failover_tests =
+  let open Alcotest in
+  [
+    test_case "one failure: backup promotes, second backup follows" `Quick
+      (fun () ->
+        let ops = 3 in
+        let w = Workload.disk_write ~ops ~pad:20 ~spin:20 () in
+        let sys = chain w in
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 20);
+        let o = System.run sys in
+        check bool "failover" true o.System.failover;
+        check int "ops" ops o.System.results.Guest_results.ops;
+        check bool "consistent" true o.System.disk_consistent;
+        check (list int) "lockstep survives the failover" []
+          o.System.lockstep_mismatches;
+        check bool "b2 still a backup" true
+          (Hypervisor.role (b2 sys) = Hypervisor.Backup);
+        check bool "b2 finished the workload too" true
+          (Hypervisor.halted (b2 sys));
+        check_final_disk sys ~ops);
+    test_case "two failures in order: second backup finishes alone" `Quick
+      (fun () ->
+        let ops = 5 in
+        let w = Workload.disk_write ~ops ~pad:20 ~spin:20 () in
+        let sys = chain w in
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 20);
+        ignore
+          (Hft_sim.Engine.at (System.engine sys) (Hft_sim.Time.of_ms 250)
+             (fun () -> Hypervisor.crash (System.backup sys)));
+        let o = System.run sys in
+        check bool "completed by a backup" true
+          (o.System.completed_by = `Promoted_backup);
+        check int "all ops" ops o.System.results.Guest_results.ops;
+        check bool "consistent across three ports" true
+          o.System.disk_consistent;
+        check bool "b2 promoted" true
+          (Hypervisor.role (b2 sys) = Hypervisor.Promoted);
+        check_final_disk sys ~ops);
+    test_case "cpu results survive a double failure" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:60_000 in
+        let bare = Bare.run (Bare.create ~workload:w ()) in
+        let sys = chain w in
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 10);
+        ignore
+          (Hft_sim.Engine.at (System.engine sys) (Hft_sim.Time.of_ms 300)
+             (fun () -> Hypervisor.crash (System.backup sys)));
+        let o = System.run sys in
+        check int "checksum preserved"
+          bare.Bare.results.Guest_results.checksum
+          o.System.results.Guest_results.checksum;
+        check int "all iterations" 60_000 o.System.results.Guest_results.ops);
+    test_case "uncertain synthesis matches at both backups" `Quick (fun () ->
+        (* crash with an operation in flight: the follower must
+           synthesize exactly what the promoting backup synthesizes *)
+        let w = Workload.disk_write ~ops:3 ~pad:20 ~spin:20 () in
+        let sys = chain w in
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 10);
+        let o = System.run sys in
+        check int "same synthesis"
+          (Hypervisor.stats (System.backup sys)).Stats.uncertain_synthesized
+          (Hypervisor.stats (b2 sys)).Stats.uncertain_synthesized;
+        check bool "consistent" true o.System.disk_consistent;
+        check (list int) "lockstep" [] o.System.lockstep_mismatches);
+  ]
+
+let random_double_crash =
+  QCheck.Test.make ~name:"chain completes for random crash times" ~count:8
+    QCheck.(pair (int_range 1_000 80_000) (int_range 150_000 400_000))
+    (fun (t1_us, t2_us) ->
+      let ops = 3 in
+      let w = Workload.disk_write ~ops ~pad:20 ~spin:20 () in
+      let sys = chain w in
+      System.crash_primary_at sys (Hft_sim.Time.of_us t1_us);
+      ignore
+        (Hft_sim.Engine.at (System.engine sys)
+           (Hft_sim.Time.of_us (t1_us + t2_us))
+           (fun () -> Hypervisor.crash (System.backup sys)));
+      let o = System.run sys in
+      o.System.results.Guest_results.ops = ops && o.System.disk_consistent)
+
+let () =
+  Alcotest.run "hft_chain"
+    [
+      ("clean", clean_tests);
+      ("failover", failover_tests);
+      ("properties", [ QCheck_alcotest.to_alcotest random_double_crash ]);
+    ]

@@ -1,0 +1,700 @@
+(* Tests of the hypervisor and the replica-coordination protocol in
+   failure-free operation: lockstep determinism (identical instruction
+   streams with identical effects), environment-instruction
+   forwarding, I/O suppression, the privilege-mapping quirks of
+   section 3.1, the TLB story of section 3.2, and the original/revised
+   protocol variants. *)
+
+open Hft_core
+open Hft_guest
+
+let small_params =
+  { Params.default with Params.epoch_length = 512 }
+
+let run_sys ?(params = small_params) ?(lockstep = true) w =
+  let sys = System.create ~params ~lockstep ~workload:w () in
+  (sys, System.run sys)
+
+let check_lockstep name (o : System.outcome) =
+  Alcotest.(check (list int)) (name ^ ": no divergence") []
+    o.System.lockstep_mismatches;
+  Alcotest.(check bool) (name ^ ": epochs compared") true
+    (o.System.epochs_compared > 0)
+
+let lockstep_tests =
+  let open Alcotest in
+  [
+    test_case "cpu workload runs in lockstep" `Quick (fun () ->
+        let _, o = run_sys (Workload.dhrystone ~iterations:3000) in
+        check_lockstep "cpu" o;
+        check int "ops" 3000 o.System.results.Guest_results.ops;
+        check bool "primary completed" true (o.System.completed_by = `Primary));
+    test_case "replicated results equal bare results" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:1500 in
+        let bare = Bare.run (Bare.create ~workload:w ()) in
+        let _, o = run_sys w in
+        check int "checksum" bare.Bare.results.Guest_results.checksum
+          o.System.results.Guest_results.checksum;
+        check int "syscalls" bare.Bare.results.Guest_results.syscalls
+          o.System.results.Guest_results.syscalls);
+    test_case "backup reaches the same final state" `Quick (fun () ->
+        let sys, o = run_sys (Workload.dhrystone ~iterations:1000) in
+        check_lockstep "cpu" o;
+        check bool "backup halted" true (Hypervisor.halted (System.backup sys));
+        check int "final state hash"
+          (Hypervisor.vm_state_hash (System.primary sys))
+          (Hypervisor.vm_state_hash (System.backup sys)));
+    test_case "disk write workload in lockstep" `Quick (fun () ->
+        let sys, o = run_sys (Workload.disk_write ~ops:4 ~pad:20 ~spin:20 ()) in
+        check_lockstep "write" o;
+        check bool "disk consistent" true o.System.disk_consistent;
+        check int "backup suppressed all io" 4
+          (Hypervisor.stats (System.backup sys)).Stats.io_suppressed;
+        check int "primary submitted all io" 4
+          (Hypervisor.stats (System.primary sys)).Stats.io_submitted);
+    test_case "disk read DMA applied identically at both replicas" `Quick
+      (fun () ->
+        let sys, o = run_sys (Workload.disk_read ~ops:4 ~pad:20 ~spin:20 ()) in
+        check_lockstep "read" o;
+        check int "final hash equal"
+          (Hypervisor.vm_state_hash (System.primary sys))
+          (Hypervisor.vm_state_hash (System.backup sys));
+        check bool "checksum nonzero" true
+          (o.System.results.Guest_results.checksum <> 0));
+    test_case "timer interrupts delivered at the same epochs" `Quick (fun () ->
+        let _, o = run_sys (Workload.timer_tick ~period_us:400 ~ticks:6) in
+        check_lockstep "timer" o;
+        check int "ticks" 6 o.System.results.Guest_results.ticks);
+    test_case "clock values forwarded, not read locally" `Quick (fun () ->
+        (* the backup's clock is skewed; lockstep holds only because
+           Rdtod results are forwarded from the primary *)
+        let _, o = run_sys (Workload.clock_sampler ~samples:300) in
+        check_lockstep "clock" o);
+    test_case "queued io: two outstanding operations stay ordered" `Quick
+      (fun () ->
+        let w = Workload.queued_io ~pairs:3 in
+        let sys, o = run_sys ~params:Params.default w in
+        check int "pairs" 3 o.System.results.Guest_results.ops;
+        check (list int) "lockstep" [] o.System.lockstep_mismatches;
+        check bool "disk consistent" true o.System.disk_consistent;
+        check int "six ops submitted" 6
+          (Hypervisor.stats (System.primary sys)).Stats.io_submitted;
+        (* device completions arrive in submission order *)
+        let ids =
+          List.map
+            (fun e -> e.Hft_devices.Disk.Log.op_id)
+            (Hft_devices.Disk.Log.entries (System.disk sys))
+        in
+        check (list int) "FIFO" (List.sort Int.compare ids) ids;
+        (* bare equivalence *)
+        let b = Bare.create ~workload:w () in
+        let bo = Bare.run b in
+        check int "bare pairs" 3 bo.Bare.results.Guest_results.ops);
+    test_case "masked critical sections hold interrupts pending" `Quick
+      (fun () ->
+        (* the completion arrives while the guest has interrupts off;
+           delivery must wait for the unmask, identically at both
+           replicas, and nothing may be lost *)
+        let w = Workload.masked_io ~ops:2 in
+        let sys, o = run_sys ~params:Params.default w in
+        check int "ops" 2 o.System.results.Guest_results.ops;
+        check (list int) "lockstep" [] o.System.lockstep_mismatches;
+        check bool "disk consistent" true o.System.disk_consistent;
+        check int "interrupts delivered" 2
+          (Hypervisor.stats (System.primary sys)).Stats.interrupts_delivered;
+        (* same on bare hardware *)
+        let b = Bare.run (Bare.create ~workload:w ()) in
+        check int "bare ops" 2 b.Bare.results.Guest_results.ops);
+    test_case "mixed workload in lockstep" `Quick (fun () ->
+        let _, o = run_sys (Workload.mixed ~compute:40 ~ops:3 ()) in
+        check_lockstep "mixed" o;
+        check bool "disk consistent" true o.System.disk_consistent);
+  ]
+
+(* Interval-timer reads (Rdtmr) are environment instructions too: the
+   remaining time depends on the primary's clock and must be forwarded
+   like time-of-day reads. *)
+let rdtmr_workload =
+  let open Hft_machine.Asm in
+  let main =
+    [
+      comment "arm a long interval, then sample the remaining time";
+      ldi r1 500000;
+      wrtmr r1;
+      ldi r2 0;
+      ldi r3 0;
+      label "rt_loop";
+      ldi r4 40;
+      bge r2 r4 (lbl "rt_done");
+      rdtmr r5;
+      add r3 r3 r5;
+      comment "spread the samples out";
+      ldi r6 0;
+      label "rt_spin";
+      addi r6 r6 1;
+      muli r7 r6 3;
+      ldi r8 50;
+      blt r6 r8 (lbl "rt_spin");
+      addi r2 r2 1;
+      jmp (lbl "rt_loop");
+      label "rt_done";
+      ldi r1 0;
+      wrtmr r1;
+      st r3 r0 Layout.res_checksum;
+      st r2 r0 Layout.res_ops;
+      halt;
+    ]
+  in
+  {
+    Workload.name = "rdtmr";
+    description = "interval-timer reads forwarded to the backup";
+    program = Kernel.program ~main;
+    config = [];
+    instructions_per_iteration = 160;
+  }
+
+let timer_env_tests =
+  let open Alcotest in
+  [
+    test_case "rdtmr values are forwarded, lockstep holds" `Quick (fun () ->
+        let sys, o = run_sys rdtmr_workload in
+        check int "samples" 40 o.System.results.Guest_results.ops;
+        check (list int) "lockstep" [] o.System.lockstep_mismatches;
+        check bool "values nonzero" true
+          (o.System.results.Guest_results.checksum > 0);
+        check int "final hash equal"
+          (Hypervisor.vm_state_hash (System.primary sys))
+          (Hypervisor.vm_state_hash (System.backup sys)));
+    test_case "wrtmr of zero cancels on both replicas" `Quick (fun () ->
+        (* the workload cancels its timer at the end: no tick must
+           ever be delivered *)
+        let _, o = run_sys rdtmr_workload in
+        check int "no ticks" 0 o.System.results.Guest_results.ticks);
+    test_case "rdtmr on the bare machine reads the real device" `Quick
+      (fun () ->
+        let b = Bare.run (Bare.create ~workload:rdtmr_workload ()) in
+        check int "samples" 40 b.Bare.results.Guest_results.ops;
+        check bool "values nonzero" true
+          (b.Bare.results.Guest_results.checksum > 0));
+  ]
+
+let suppression_tests =
+  let open Alcotest in
+  [
+    test_case "console output is produced exactly once" `Quick (fun () ->
+        let _, o = run_sys (Workload.console_hello ~text:"exactly-once") in
+        check string "console" "exactly-once" o.System.console);
+    test_case "backup issues no disk operations" `Quick (fun () ->
+        let sys, o = run_sys (Workload.disk_write ~ops:3 ~pad:10 ~spin:10 ()) in
+        ignore o;
+        let log = Hft_devices.Disk.Log.entries (System.disk sys) in
+        check bool "only port 0" true
+          (List.for_all (fun e -> e.Hft_devices.Disk.Log.port = 0) log));
+    test_case "backup counts suppressed environment output" `Quick (fun () ->
+        let sys, o = run_sys (Workload.console_hello ~text:"abc") in
+        ignore o;
+        (* both executed the same Out instructions *)
+        check bool "backup simulated them" true
+          ((Hypervisor.stats (System.backup sys)).Stats.simulated > 0));
+  ]
+
+let section31_tests =
+  let open Alcotest in
+  [
+    test_case "probe reveals real privilege 1 under the hypervisor" `Quick
+      (fun () ->
+        let _, o = run_sys Workload.probe_priv in
+        check int "probe sees 1" 1 o.System.results.Guest_results.scratch);
+    test_case "virtualised status register shows virtual privilege 0" `Quick
+      (fun () ->
+        let _, o = run_sys Workload.probe_priv in
+        check int "mfcr status" 0 o.System.results.Guest_results.checksum);
+    test_case "branch-and-link deposits real privilege in link" `Quick
+      (fun () ->
+        let _, o = run_sys Workload.probe_priv in
+        check int "link low bits" 1 o.System.results.Guest_results.ops);
+  ]
+
+let tlb_tests =
+  let open Alcotest in
+  let random_tlb_params tlb_mode =
+    {
+      small_params with
+      Params.tlb_mode;
+      Params.cpu_config =
+        {
+          Hft_machine.Cpu.default_config with
+          Hft_machine.Cpu.tlb_entries = 4;
+          Hft_machine.Cpu.tlb_policy =
+            Hft_machine.Tlb.Random (Hft_sim.Rng.create 0);
+        };
+    }
+  in
+  (* touch many pages so a 4-entry TLB keeps missing: stores sweep 16
+     pages round-robin *)
+  let paging_workload =
+    let open Hft_machine.Asm in
+    let main =
+      [
+        ldi r1 3000;
+        ldi r2 0;
+        label "pg_loop";
+        bge r2 r1 (lbl "pg_done");
+        andi r3 r2 15;
+        slli r3 r3 10;
+        addi r3 r3 0x1000;
+        st r2 r3 0;
+        ld r4 r3 0;
+        add r5 r5 r4;
+        addi r2 r2 1;
+        jmp (lbl "pg_loop");
+        label "pg_done";
+        st r5 r0 Layout.res_checksum;
+        halt;
+      ]
+    in
+    {
+      Workload.name = "paging";
+      description = "sweeps 16 pages to pressure a tiny TLB";
+      program = Kernel.program ~main;
+      config = [];
+      instructions_per_iteration = 9;
+    }
+  in
+  [
+    test_case "nondeterministic TLB diverges with guest-managed misses" `Quick
+      (fun () ->
+        (* reproduces the HP 9000/720 problem of section 3.2 *)
+        let params = random_tlb_params Params.Guest_managed in
+        let sys =
+          System.create ~params ~lockstep:true ~tlb_seeds:(1, 2)
+            ~workload:paging_workload ()
+        in
+        let diverged =
+          try
+            let o = System.run sys in
+            o.System.lockstep_mismatches <> []
+          with Failure _ -> true
+        in
+        check bool "diverges" true diverged);
+    test_case "hypervisor-managed TLB restores lockstep" `Quick (fun () ->
+        (* the paper's fix: the hypervisor performs the fills, so TLB
+           state never becomes visible to the guest *)
+        let params = random_tlb_params Params.Hypervisor_managed in
+        let sys =
+          System.create ~params ~lockstep:true ~tlb_seeds:(1, 2)
+            ~workload:paging_workload ()
+        in
+        let o = System.run sys in
+        check (list int) "no divergence" [] o.System.lockstep_mismatches;
+        check bool "fills happened" true
+          ((Hypervisor.stats (System.primary sys)).Stats.tlb_fills > 0));
+    test_case "guest-managed misses with deterministic TLB stay in lockstep"
+      `Quick (fun () ->
+        let params =
+          {
+            small_params with
+            Params.tlb_mode = Params.Guest_managed;
+            Params.cpu_config =
+              {
+                Hft_machine.Cpu.default_config with
+                Hft_machine.Cpu.tlb_entries = 4;
+              };
+          }
+        in
+        let sys =
+          System.create ~params ~lockstep:true ~workload:paging_workload ()
+        in
+        let o = System.run sys in
+        check (list int) "no divergence" [] o.System.lockstep_mismatches;
+        check bool "guest handled misses" true
+          ((Hypervisor.stats (System.primary sys)).Stats.reflected_traps > 0));
+  ]
+
+let protocol_variant_tests =
+  let open Alcotest in
+  [
+    test_case "revised protocol produces identical guest results" `Quick
+      (fun () ->
+        let w = Workload.disk_write ~ops:4 ~pad:20 ~spin:20 () in
+        let _, o1 = run_sys ~params:small_params w in
+        let _, o2 =
+          run_sys
+            ~params:(Params.with_protocol small_params Params.Revised)
+            w
+        in
+        check int "same ops" o1.System.results.Guest_results.ops
+          o2.System.results.Guest_results.ops;
+        check (list int) "revised lockstep" [] o2.System.lockstep_mismatches);
+    test_case "revised protocol is faster for CPU-bound work" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:4000 in
+        let _, o_old = run_sys ~lockstep:false w in
+        let _, o_new =
+          run_sys ~lockstep:false
+            ~params:(Params.with_protocol small_params Params.Revised)
+            w
+        in
+        check bool "new < old" true
+          Hft_sim.Time.(o_new.System.time < o_old.System.time));
+    test_case "primary waits for acks before issuing io (revised)" `Quick
+      (fun () ->
+        let w = Workload.disk_write ~ops:3 ~pad:10 ~spin:10 () in
+        let sys, o =
+          run_sys ~params:(Params.with_protocol small_params Params.Revised) w
+        in
+        ignore o;
+        (* ack-wait time is accounted at io issue rather than at
+           boundaries; with few messages it may be zero, but the stat
+           plumbing must not go negative *)
+        check bool "ack wait non-negative" true
+          (Hft_sim.Time.to_ns
+             (Hypervisor.stats (System.primary sys)).Stats.ack_wait
+          >= 0));
+    test_case "atm link speeds up the original protocol" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:4000 in
+        let _, o_eth = run_sys ~lockstep:false w in
+        let _, o_atm =
+          run_sys ~lockstep:false
+            ~params:(Params.with_link small_params Hft_net.Link.atm)
+            w
+        in
+        check bool "atm faster" true
+          Hft_sim.Time.(o_atm.System.time < o_eth.System.time));
+  ]
+
+let epoch_length_tests =
+  let open Alcotest in
+  [
+    test_case "longer epochs mean fewer epochs" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:3000 in
+        let epochs el =
+          let sys, _ =
+            run_sys ~lockstep:false
+              ~params:(Params.with_epoch_length small_params el)
+              w
+          in
+          (Hypervisor.stats (System.primary sys)).Stats.epochs
+        in
+        let e512 = epochs 512 and e2048 = epochs 2048 in
+        check bool "fewer" true (e2048 < e512);
+        check bool "about 4x" true (e512 / e2048 >= 3 && e512 / e2048 <= 5));
+    test_case "longer epochs improve cpu-bound completion time" `Quick
+      (fun () ->
+        let w = Workload.dhrystone ~iterations:3000 in
+        let time el =
+          let _, o =
+            run_sys ~lockstep:false
+              ~params:(Params.with_epoch_length small_params el)
+              w
+          in
+          o.System.time
+        in
+        check bool "monotone" true Hft_sim.Time.(time 4096 < time 512));
+    test_case "epoch counting matches instruction budget" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:2000 in
+        let sys, o = run_sys ~lockstep:false w in
+        let st = Hypervisor.stats (System.primary sys) in
+        ignore o;
+        (* instructions + simulated cannot exceed epochs * EL +
+           one partial epoch *)
+        check bool "budget" true
+          (st.Stats.instructions + st.Stats.simulated
+          <= (st.Stats.epochs + 1) * small_params.Params.epoch_length));
+  ]
+
+(* The entire replicated system is a pure function of its seeds: two
+   identical runs must agree on every observable, down to the
+   nanosecond.  This is what makes every other test in this repository
+   trustworthy. *)
+let reproducibility_tests =
+  let open Alcotest in
+  [
+    test_case "identical runs are bit-for-bit identical" `Quick (fun () ->
+        let go () =
+          let w = Workload.mixed ~compute:30 ~ops:2 () in
+          let sys = System.create ~params:small_params ~workload:w () in
+          let o = System.run sys in
+          ( Hft_sim.Time.to_ns o.System.time,
+            o.System.messages_sent,
+            o.System.bytes_sent,
+            o.System.results,
+            Hypervisor.vm_state_hash (System.primary sys) )
+        in
+        let a = go () and b = go () in
+        check bool "identical" true (a = b));
+    test_case "identical crash runs are identical" `Quick (fun () ->
+        let go () =
+          let w = Workload.disk_write ~ops:3 ~pad:20 ~spin:20 () in
+          let sys = System.create ~params:small_params ~workload:w () in
+          System.crash_primary_at sys (Hft_sim.Time.of_ms 17);
+          let o = System.run sys in
+          (Hft_sim.Time.to_ns o.System.time, o.System.results)
+        in
+        check bool "identical" true (go () = go ()));
+    test_case "different disk seeds change fault schedules only" `Quick
+      (fun () ->
+        let go seed =
+          let params =
+            {
+              small_params with
+              Params.disk =
+                {
+                  Hft_devices.Disk.default_params with
+                  Hft_devices.Disk.fault_rate = 0.3;
+                };
+            }
+          in
+          let w = Workload.disk_write ~ops:4 ~pad:20 ~spin:20 () in
+          let sys = System.create ~params ~disk_seed:seed ~workload:w () in
+          let o = System.run sys in
+          (o.System.results.Guest_results.ops, o.System.results.Guest_results.retries)
+        in
+        let ops1, r1 = go 1 and ops2, r2 = go 2 in
+        check int "all ops seed 1" 4 ops1;
+        check int "all ops seed 2" 4 ops2;
+        (* retry counts will usually differ; completion must not *)
+        ignore (r1, r2));
+  ]
+
+let api_edge_tests =
+  let open Alcotest in
+  [
+    test_case "request_reintegration on a backup is rejected" `Quick
+      (fun () ->
+        let w = Workload.dhrystone ~iterations:10 in
+        let sys = System.create ~params:small_params ~workload:w () in
+        let raised =
+          try
+            Hypervisor.request_reintegration (System.backup sys);
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "raised" true raised);
+    test_case "system without completion raises" `Quick (fun () ->
+        (* crash the primary before boot and the backup immediately:
+           nobody can finish *)
+        let w = Workload.dhrystone ~iterations:100 in
+        let sys = System.create ~params:small_params ~workload:w () in
+        Hypervisor.crash (System.primary sys);
+        Hypervisor.crash (System.backup sys);
+        let raised =
+          try ignore (System.run sys); false with Failure _ -> true
+        in
+        check bool "raised" true raised);
+    test_case "channel stats drain to zero" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:500 in
+        let sys = System.create ~params:small_params ~workload:w () in
+        let _ = System.run sys in
+        check int "to backup drained" 0
+          (Hft_net.Channel.in_flight (System.channel_to_backup sys));
+        check int "to primary drained" 0
+          (Hft_net.Channel.in_flight (System.channel_to_primary sys)));
+  ]
+
+let messaging_tests =
+  let open Alcotest in
+  [
+    test_case "every data message is acknowledged" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:1000 in
+        let sys, o = run_sys ~lockstep:false w in
+        ignore o;
+        ignore sys;
+        (* run drains: no messages in flight at the end *)
+        ());
+    test_case "message counts scale with epochs" `Quick (fun () ->
+        let w = Workload.dhrystone ~iterations:2000 in
+        let sys, o = run_sys ~lockstep:false w in
+        let st = Hypervisor.stats (System.primary sys) in
+        (* two protocol messages (Tme, end) per epoch, plus relays *)
+        check bool "at least 2 per epoch" true
+          (o.System.messages_sent >= 2 * st.Stats.epochs));
+    test_case "env values relayed once per environment instruction" `Quick
+      (fun () ->
+        let w = Workload.clock_sampler ~samples:100 in
+        let sys, _ = run_sys w in
+        let st = Hypervisor.stats (System.primary sys) in
+        (* 100 rdtod samples, each relayed *)
+        check bool "at least 100" true (st.Stats.env_values >= 100));
+  ]
+
+(* Random-program lockstep: the strongest determinism property.  The
+   kernel plus a random straight-line main must execute identically at
+   both replicas, epoch by epoch. *)
+
+let random_main_gen =
+  let open QCheck.Gen in
+  let reg = int_range 1 11 in
+  let alu_op =
+    oneofl
+      [
+        Hft_machine.Isa.Add; Hft_machine.Isa.Sub; Hft_machine.Isa.Mul;
+        Hft_machine.Isa.Xor; Hft_machine.Isa.And; Hft_machine.Isa.Or;
+        Hft_machine.Isa.Sll; Hft_machine.Isa.Srl;
+      ]
+  in
+  let item =
+    frequency
+      [
+        (5, map (fun ((op, a), (b, c)) ->
+                 Hft_machine.Asm.insn (Hft_machine.Isa.Alu (op, a, b, c)))
+              (pair (pair alu_op reg) (pair reg reg)));
+        (2, map2 (fun r v -> Hft_machine.Asm.ldi r v) reg (int_range 0 100000));
+        (2, map2 (fun r off -> Hft_machine.Asm.ld r 0 off) reg (int_range 0x1000 0x17FF));
+        (2, map2 (fun r off -> Hft_machine.Asm.st r 0 off) reg (int_range 0x1000 0x17FF));
+        (1, map (fun r -> Hft_machine.Asm.rdtod r) reg);
+        (1, map (fun r -> Hft_machine.Asm.out r) reg);
+      ]
+  in
+  map
+    (fun l ->
+      l
+      @ [
+          Hft_machine.Asm.st 1 0 Layout.res_checksum;
+          Hft_machine.Asm.halt;
+        ])
+    (list_size (int_range 50 600) item)
+
+(* Structured random programs with bounded loops: richer control flow
+   than the straight-line generator, still guaranteed to terminate.
+   Programs are trees of blocks; loops use a dedicated counter
+   register and unique labels. *)
+let structured_main_gen =
+  let open QCheck.Gen in
+  let fresh =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "q%d" !n
+  in
+  let reg = int_range 1 9 in
+  let alu_op =
+    oneofl
+      Hft_machine.Isa.
+        [ Add; Sub; Mul; Xor; And; Or; Sll; Srl; Slt ]
+  in
+  let simple =
+    frequency
+      [
+        (5, map (fun ((op, a), (b, c)) ->
+                 [ Hft_machine.Asm.insn (Hft_machine.Isa.Alu (op, a, b, c)) ])
+              (pair (pair alu_op reg) (pair reg reg)));
+        (2, map2 (fun r v -> [ Hft_machine.Asm.ldi r v ]) reg (int_range 0 65535));
+        (2, map2 (fun r off -> [ Hft_machine.Asm.st r 0 off ])
+              reg (int_range 0x1200 0x15FF));
+        (2, map2 (fun r off -> [ Hft_machine.Asm.ld r 0 off ])
+              reg (int_range 0x1200 0x15FF));
+        (1, map (fun r -> [ Hft_machine.Asm.rdtod r ]) reg);
+        (1, map (fun r -> [ Hft_machine.Asm.out r ]) reg);
+        (1, return [ Hft_machine.Asm.trapc 1 ]);
+      ]
+  in
+  (* a loop runs its body a fixed small number of times using r10/r11 *)
+  let loop body_gen =
+    map2
+      (fun n bodies ->
+        let l = fresh () in
+        [
+          Hft_machine.Asm.ldi 10 0;
+          Hft_machine.Asm.ldi 11 n;
+          Hft_machine.Asm.label l;
+        ]
+        @ List.concat bodies
+        @ [
+            Hft_machine.Asm.addi 10 10 1;
+            Hft_machine.Asm.blt 10 11 (Hft_machine.Asm.lbl l);
+          ])
+      (int_range 1 12)
+      (list_size (int_range 1 8) body_gen)
+  in
+  let block = frequency [ (3, simple); (1, loop simple) ] in
+  map
+    (fun blocks ->
+      List.concat blocks
+      @ [
+          Hft_machine.Asm.st 1 0 Layout.res_checksum;
+          Hft_machine.Asm.halt;
+        ])
+    (list_size (int_range 3 25) block)
+
+let structured_lockstep_prop =
+  QCheck.Test.make ~name:"random structured programs stay in lockstep"
+    ~count:25 (QCheck.make structured_main_gen) (fun main ->
+      let w =
+        {
+          Workload.name = "structured";
+          description = "random program with loops";
+          program = Kernel.program ~main;
+          config = [];
+          instructions_per_iteration = 1;
+        }
+      in
+      let params = { Params.default with Params.epoch_length = 128 } in
+      let sys = System.create ~params ~lockstep:true ~workload:w () in
+      let o = System.run sys in
+      o.System.lockstep_mismatches = []
+      && Hypervisor.vm_state_hash (System.primary sys)
+         = Hypervisor.vm_state_hash (System.backup sys))
+
+let structured_rewriting_prop =
+  QCheck.Test.make
+    ~name:"random structured programs stay in lockstep under rewriting"
+    ~count:10 (QCheck.make structured_main_gen) (fun main ->
+      let w =
+        {
+          Workload.name = "structured";
+          description = "random program with loops";
+          program = Kernel.program ~main;
+          config = [];
+          instructions_per_iteration = 1;
+        }
+      in
+      let params =
+        {
+          Params.default with
+          Params.epoch_length = 128;
+          Params.epoch_mechanism = Params.Code_rewriting;
+        }
+      in
+      let sys = System.create ~params ~lockstep:true ~workload:w () in
+      let o = System.run sys in
+      o.System.lockstep_mismatches = [])
+
+let random_lockstep_prop =
+  QCheck.Test.make ~name:"random programs stay in lockstep" ~count:30
+    (QCheck.make random_main_gen) (fun main ->
+      let w =
+        {
+          Workload.name = "random";
+          description = "random straight-line program";
+          program = Kernel.program ~main;
+          config = [];
+          instructions_per_iteration = 1;
+        }
+      in
+      let params = { Params.default with Params.epoch_length = 64 } in
+      let sys = System.create ~params ~lockstep:true ~workload:w () in
+      let o = System.run sys in
+      o.System.lockstep_mismatches = []
+      && Hypervisor.vm_state_hash (System.primary sys)
+         = Hypervisor.vm_state_hash (System.backup sys))
+
+let () =
+  Alcotest.run "hft_core"
+    [
+      ("lockstep", lockstep_tests);
+      ("suppression", suppression_tests);
+      ("timer-env", timer_env_tests);
+      ("section-3.1", section31_tests);
+      ("section-3.2-tlb", tlb_tests);
+      ("protocol-variants", protocol_variant_tests);
+      ("epochs", epoch_length_tests);
+      ("messaging", messaging_tests);
+      ("reproducibility", reproducibility_tests);
+      ("api-edges", api_edge_tests);
+      ( "random-lockstep",
+        [
+          QCheck_alcotest.to_alcotest random_lockstep_prop;
+          QCheck_alcotest.to_alcotest structured_lockstep_prop;
+          QCheck_alcotest.to_alcotest structured_rewriting_prop;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Tests for the device models: disk (IO1/IO2), controller registers,
+   console, clock, interval timer. *)
+
+open Hft_sim
+open Hft_devices
+
+let mk_engine () = Engine.create ()
+
+let mk_disk ?(fault_rate = 0.0) ?(seed = 1) engine =
+  let params =
+    {
+      Disk.default_params with
+      Disk.blocks = 16;
+      block_words = 8;
+      fault_rate;
+    }
+  in
+  Disk.create ~engine ~rng:(Rng.create seed) params
+
+let block n v = Array.make n v
+
+let disk_tests =
+  let open Alcotest in
+  [
+    test_case "write then read roundtrips (IO1)" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        let data = block 8 42 in
+        let got = ref None in
+        ignore
+          (Disk.submit d ~port:0 (Disk.Write { block = 3; data })
+             ~on_complete:(fun c ->
+               ignore
+                 (Disk.submit d ~port:0 (Disk.Read { block = 3 })
+                    ~on_complete:(fun c2 -> got := Some (c, c2)))));
+        Engine.run e;
+        match !got with
+        | Some (w, r) ->
+          check bool "write ok" true (w.Disk.status = Disk.Ok && w.Disk.performed);
+          check bool "read ok" true (r.Disk.status = Disk.Ok);
+          (match r.Disk.data with
+          | Some v -> check bool "data" true (v = data)
+          | None -> fail "no data")
+        | None -> fail "no completions");
+    test_case "latencies match parameters" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        let w_done = ref Time.zero in
+        ignore
+          (Disk.submit d ~port:0 (Disk.Write { block = 0; data = block 8 1 })
+             ~on_complete:(fun _ -> w_done := Engine.now e));
+        Engine.run e;
+        check int "26ms" 26_000_000 (Time.to_ns !w_done));
+    test_case "operations are serialized FIFO" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        let order = ref [] in
+        for i = 0 to 2 do
+          ignore
+            (Disk.submit d ~port:0 (Disk.Write { block = i; data = block 8 i })
+               ~on_complete:(fun c -> order := c.Disk.op_id :: !order))
+        done;
+        check int "queued" 3 (Disk.queue_depth d);
+        Engine.run e;
+        check (list int) "fifo" [ 0; 1; 2 ] (List.rev !order);
+        check int "78ms" 78_000_000 (Time.to_ns (Engine.now e)));
+    test_case "fault injection produces uncertain completions (IO2)" `Quick
+      (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk ~fault_rate:0.5 e in
+        let uncertain = ref 0 and performed_uncertain = ref 0 in
+        let rec submit i =
+          if i < 40 then
+            ignore
+              (Disk.submit d ~port:0
+                 (Disk.Write { block = i mod 16; data = block 8 i })
+                 ~on_complete:(fun c ->
+                   if c.Disk.status = Disk.Uncertain then begin
+                     incr uncertain;
+                     if c.Disk.performed then incr performed_uncertain
+                   end;
+                   submit (i + 1)))
+        in
+        submit 0;
+        Engine.run e;
+        check bool "some uncertain" true (!uncertain > 5);
+        check bool "uncertain sometimes performed" true
+          (!performed_uncertain > 0 && !performed_uncertain < !uncertain));
+    test_case "dual port shares storage" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        let got = ref None in
+        ignore
+          (Disk.submit d ~port:0 (Disk.Write { block = 1; data = block 8 77 })
+             ~on_complete:(fun _ ->
+               ignore
+                 (Disk.submit d ~port:1 (Disk.Read { block = 1 })
+                    ~on_complete:(fun c -> got := Some c))));
+        Engine.run e;
+        match !got with
+        | Some { Disk.data = Some v; port = 1; _ } ->
+          check bool "other port sees write" true (v = block 8 77)
+        | _ -> fail "bad completion");
+    test_case "bad geometry rejected" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        let raised =
+          try
+            ignore
+              (Disk.submit d ~port:0 (Disk.Read { block = 99 })
+                 ~on_complete:(fun _ -> ()));
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "bad block" true raised;
+        let raised =
+          try
+            ignore
+              (Disk.submit d ~port:0 (Disk.Write { block = 0; data = block 3 0 })
+                 ~on_complete:(fun _ -> ()));
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "bad size" true raised);
+    test_case "uncertain read delivers no data" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk ~fault_rate:1.0 ~seed:5 e in
+        let res = ref None in
+        ignore
+          (Disk.submit d ~port:0 (Disk.Read { block = 1 })
+             ~on_complete:(fun c -> res := Some c));
+        Engine.run e;
+        match !res with
+        | Some c ->
+          check bool "uncertain" true (c.Disk.status = Disk.Uncertain);
+          check bool "no data" true (c.Disk.data = None)
+        | None -> fail "no completion");
+  ]
+
+let log_tests =
+  let open Alcotest in
+  let run_ops e d ops =
+    let rec go = function
+      | [] -> ()
+      | (port, op) :: rest ->
+        ignore (Disk.submit d ~port op ~on_complete:(fun _ -> go rest))
+    in
+    go ops;
+    Engine.run e
+  in
+  [
+    test_case "clean single-port history is consistent" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        run_ops e d
+          [
+            (0, Disk.Write { block = 1; data = block 8 1 });
+            (0, Disk.Write { block = 1; data = block 8 2 });
+            (0, Disk.Read { block = 1 });
+          ];
+        check bool "consistent" true
+          (Disk.Log.check_single_processor_consistency d ~errors:(fun _ -> ()));
+        check int "entries" 3 (List.length (Disk.Log.entries d));
+        check int "writes to 1" 2 (List.length (Disk.Log.writes_to_block d 1)));
+    test_case "unjustified duplicate write is flagged" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        run_ops e d
+          [
+            (0, Disk.Write { block = 1; data = block 8 5 });
+            (0, Disk.Write { block = 1; data = block 8 5 });
+          ];
+        let msgs = ref [] in
+        check bool "inconsistent" false
+          (Disk.Log.check_single_processor_consistency d ~errors:(fun m ->
+               msgs := m :: !msgs));
+        check bool "reported" true (!msgs <> []));
+    test_case "port switch back is flagged" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        run_ops e d
+          [
+            (0, Disk.Write { block = 1; data = block 8 1 });
+            (1, Disk.Write { block = 2; data = block 8 2 });
+            (0, Disk.Write { block = 3; data = block 8 3 });
+          ];
+        check bool "inconsistent" false
+          (Disk.Log.check_single_processor_consistency d ~errors:(fun _ -> ())));
+    test_case "failover-shaped history is consistent" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        (* port 0 writes, then port 1 (the promoted backup) retries the
+           same content and continues *)
+        run_ops e d
+          [
+            (0, Disk.Write { block = 1; data = block 8 7 });
+            (1, Disk.Write { block = 1; data = block 8 7 });
+            (1, Disk.Write { block = 2; data = block 8 8 });
+          ];
+        check bool "consistent" true
+          (Disk.Log.check_single_processor_consistency d ~errors:(fun _ -> ())));
+    test_case "non-adjacent duplicate content is flagged" `Quick (fun () ->
+        let e = mk_engine () in
+        let d = mk_disk e in
+        run_ops e d
+          [
+            (0, Disk.Write { block = 1; data = block 8 7 });
+            (0, Disk.Write { block = 1; data = block 8 9 });
+            (0, Disk.Write { block = 1; data = block 8 7 });
+          ];
+        check bool "inconsistent" false
+          (Disk.Log.check_single_processor_consistency d ~errors:(fun _ -> ())));
+  ]
+
+let disk_ctl_tests =
+  let open Alcotest in
+  [
+    test_case "registers latch and doorbell fires" `Quick (fun () ->
+        let c = Disk_ctl.create () in
+        check bool "plain" true
+          (Disk_ctl.write c ~paddr:0xF0001 ~value:5 = Disk_ctl.Plain);
+        check bool "plain" true
+          (Disk_ctl.write c ~paddr:0xF0002 ~value:0x800 = Disk_ctl.Plain);
+        (match Disk_ctl.write c ~paddr:0xF0000 ~value:2 with
+        | Disk_ctl.Doorbell { cmd = 2; block = 5; dma = 0x800 } -> ()
+        | _ -> fail "doorbell");
+        check int "block readback" 5 (Disk_ctl.read c ~paddr:0xF0001));
+    test_case "status latch" `Quick (fun () ->
+        let c = Disk_ctl.create () in
+        Disk_ctl.set_status c 2;
+        check int "status" 2 (Disk_ctl.read c ~paddr:0xF0003);
+        check int "accessor" 2 (Disk_ctl.status c));
+    test_case "unknown registers read zero" `Quick (fun () ->
+        let c = Disk_ctl.create () in
+        check int "zero" 0 (Disk_ctl.read c ~paddr:0xF0055));
+    test_case "copy_state_from mirrors" `Quick (fun () ->
+        let a = Disk_ctl.create () and b = Disk_ctl.create () in
+        ignore (Disk_ctl.write a ~paddr:0xF0001 ~value:9);
+        Disk_ctl.set_status a 1;
+        Disk_ctl.copy_state_from b a;
+        check int "block" 9 (Disk_ctl.read b ~paddr:0xF0001);
+        check int "status" 1 (Disk_ctl.status b));
+  ]
+
+let misc_device_tests =
+  let open Alcotest in
+  [
+    test_case "console accumulates characters" `Quick (fun () ->
+        let c = Console.create () in
+        String.iter (fun ch -> Console.put c (Char.code ch)) "hft";
+        check string "contents" "hft" (Console.contents c);
+        check int "length" 3 (Console.length c);
+        Console.clear c;
+        check string "cleared" "" (Console.contents c));
+    test_case "console masks to a byte" `Quick (fun () ->
+        let c = Console.create () in
+        Console.put c (0x100 + Char.code 'x');
+        check string "masked" "x" (Console.contents c));
+    test_case "clock follows engine time plus skew" `Quick (fun () ->
+        let e = mk_engine () in
+        let c = Clock.create ~engine:e ~skew:(Time.of_us 100) () in
+        ignore (Engine.at e (Time.of_us 250) (fun () -> ()));
+        Engine.run e;
+        check int "us" 350 (Clock.read_us c));
+    test_case "interval timer fires once after the interval" `Quick (fun () ->
+        let e = mk_engine () in
+        let fired = ref [] in
+        let t =
+          Interval_timer.create ~engine:e
+            ~on_expire:(fun () -> fired := Time.to_ns (Engine.now e) :: !fired)
+            ()
+        in
+        Interval_timer.set t ~us:500;
+        check bool "active" true (Interval_timer.active t);
+        Engine.run e;
+        check (list int) "fired once at 500us" [ 500_000 ] !fired;
+        check bool "inactive" false (Interval_timer.active t));
+    test_case "interval timer reload replaces" `Quick (fun () ->
+        let e = mk_engine () in
+        let fired = ref 0 in
+        let t =
+          Interval_timer.create ~engine:e ~on_expire:(fun () -> incr fired) ()
+        in
+        Interval_timer.set t ~us:500;
+        Interval_timer.set t ~us:900;
+        Engine.run e;
+        check int "once" 1 !fired;
+        check int "at 900" 900_000 (Time.to_ns (Engine.now e)));
+    test_case "interval timer cancel by zero" `Quick (fun () ->
+        let e = mk_engine () in
+        let fired = ref 0 in
+        let t =
+          Interval_timer.create ~engine:e ~on_expire:(fun () -> incr fired) ()
+        in
+        Interval_timer.set t ~us:500;
+        Interval_timer.set t ~us:0;
+        Engine.run e;
+        check int "never" 0 !fired);
+    test_case "remaining_us counts down" `Quick (fun () ->
+        let e = mk_engine () in
+        let t = Interval_timer.create ~engine:e ~on_expire:(fun () -> ()) () in
+        Interval_timer.set t ~us:1000;
+        Engine.run_until e (Time.of_us 400);
+        check int "remaining" 600 (Interval_timer.remaining_us t));
+    test_case "interrupt pending buffer is FIFO" `Quick (fun () ->
+        let p = Interrupt.Pending.create () in
+        check bool "empty" true (Interrupt.Pending.is_empty p);
+        Interrupt.Pending.post p Interrupt.Timer_expired;
+        Interrupt.Pending.post p Interrupt.Timer_expired;
+        check int "count" 2 (Interrupt.Pending.count p);
+        check int "drain" 2 (List.length (Interrupt.Pending.drain p));
+        check bool "empty again" true (Interrupt.Pending.is_empty p));
+  ]
+
+let () =
+  Alcotest.run "hft_devices"
+    [
+      ("disk", disk_tests);
+      ("disk-log", log_tests);
+      ("disk-ctl", disk_ctl_tests);
+      ("misc", misc_device_tests);
+    ]

@@ -1,0 +1,154 @@
+(* Tests for the guest kernel and workloads, run on the bare-metal
+   executor (no replication): the guest stack must be correct on its
+   own before the hypervisor is involved. *)
+
+open Hft_core
+open Hft_guest
+
+let run_bare ?params ?(init_disk = false) ?(disk_seed = 42) w =
+  let b = Bare.create ?params ~disk_seed ~workload:w () in
+  if init_disk then Bare.init_disk_blocks b;
+  Bare.run b
+
+(* Reference implementation of the guest LCG, used to predict which
+   blocks the I/O workloads touch. *)
+let lcg_blocks ~seed ~range ~n =
+  let s = ref seed in
+  List.init n (fun _ ->
+      s := Hft_machine.Word.add (Hft_machine.Word.mul !s 1103515245) 12345;
+      Hft_machine.Word.shift_right_logical !s 8 mod range)
+
+let kernel_tests =
+  let open Alcotest in
+  [
+    test_case "kernel assembles with expected labels" `Quick (fun () ->
+        let p = Kernel.program ~main:[ Hft_machine.Asm.halt ] in
+        check bool "has vector" true (Hft_machine.Asm.find_label p "k_vector" > 0);
+        check bool "has driver" true (Hft_machine.Asm.find_label p "drv_io" > 0);
+        check bool "has main" true (Hft_machine.Asm.find_label p "main" > 0));
+    test_case "boot reaches main with MMU and interrupts on" `Quick (fun () ->
+        let w =
+          {
+            (Workload.dhrystone ~iterations:1) with
+            Workload.config = [ (Layout.cfg_iterations, 0) ];
+          }
+        in
+        let o = run_bare w in
+        check int "ops" 0 o.Bare.results.Guest_results.ops);
+    test_case "page table identity-maps the dma buffer" `Quick (fun () ->
+        (* a disk write DMAs out of the buffer through the page table *)
+        let w = Workload.disk_write ~ops:1 ~pad:1 ~spin:1 () in
+        let o = run_bare w in
+        check int "one op" 1 o.Bare.results.Guest_results.ops);
+  ]
+
+let dhrystone_tests =
+  let open Alcotest in
+  [
+    test_case "completes all iterations with a stable checksum" `Quick
+      (fun () ->
+        let o1 = run_bare (Workload.dhrystone ~iterations:2000) in
+        let o2 = run_bare (Workload.dhrystone ~iterations:2000) in
+        check int "ops" 2000 o1.Bare.results.Guest_results.ops;
+        check int "deterministic checksum"
+          o1.Bare.results.Guest_results.checksum
+          o2.Bare.results.Guest_results.checksum);
+    test_case "syscalls are taken every 128 iterations" `Quick (fun () ->
+        let o = run_bare (Workload.dhrystone ~iterations:1000) in
+        check int "syscalls" 8 o.Bare.results.Guest_results.syscalls);
+    test_case "time scales with iterations" `Quick (fun () ->
+        let t n = Hft_sim.Time.to_sec (run_bare (Workload.dhrystone ~iterations:n)).Bare.time in
+        let r = t 4000 /. t 2000 in
+        check bool "roughly linear" true (r > 1.8 && r < 2.2));
+  ]
+
+let io_tests =
+  let open Alcotest in
+  [
+    test_case "disk write writes the blocks the LCG picks" `Quick (fun () ->
+        let ops = 6 in
+        let w = Workload.disk_write ~ops ~pad:10 ~spin:5 () in
+        let b = Bare.create ~workload:w () in
+        let o = Bare.run b in
+        check int "ops" ops o.Bare.results.Guest_results.ops;
+        let expected = lcg_blocks ~seed:0x1234 ~range:64 ~n:ops in
+        (* replay: the i-th write tags word 0 with i+1 *)
+        let final = Hashtbl.create 8 in
+        List.iteri (fun i blk -> Hashtbl.replace final blk (i + 1)) expected;
+        Hashtbl.iter
+          (fun blk tag ->
+            let data = Hft_devices.Disk.read_block_now (Bare.disk b) blk in
+            check int (Printf.sprintf "block %d tag" blk) tag data.(0))
+          final);
+    test_case "disk read checksums prefilled content" `Quick (fun () ->
+        let ops = 5 in
+        let w = Workload.disk_read ~ops ~pad:10 ~spin:5 () in
+        let o = run_bare ~init_disk:true w in
+        let expected_blocks = lcg_blocks ~seed:0x4321 ~range:64 ~n:ops in
+        (* block content word 0 is block * 0x01000193 *)
+        let expected =
+          List.fold_left
+            (fun acc blk -> Hft_machine.Word.add acc (Hft_machine.Word.mul blk 0x01000193))
+            0 expected_blocks
+        in
+        check int "checksum" expected o.Bare.results.Guest_results.checksum);
+    test_case "driver retries on uncertain completions until success" `Quick
+      (fun () ->
+        (* 30% fault rate: every op eventually completes, with retries *)
+        let params =
+          {
+            Hft_core.Params.default with
+            Hft_core.Params.disk =
+              { Hft_devices.Disk.default_params with Hft_devices.Disk.fault_rate = 0.3 };
+          }
+        in
+        let w = Workload.disk_write ~ops:10 ~pad:5 ~spin:5 () in
+        let o = run_bare ~params w in
+        check int "all ops" 10 o.Bare.results.Guest_results.ops;
+        check bool "some retries" true (o.Bare.results.Guest_results.retries > 0));
+    test_case "mixed workload interleaves compute and writes" `Quick (fun () ->
+        let w = Workload.mixed ~compute:50 ~ops:4 () in
+        let o = run_bare w in
+        check int "ops" 4 o.Bare.results.Guest_results.ops;
+        check int "disk log" 4 (List.length o.Bare.disk_log));
+  ]
+
+let misc_workload_tests =
+  let open Alcotest in
+  [
+    test_case "clock sampler accumulates increasing time" `Quick (fun () ->
+        let o = run_bare (Workload.clock_sampler ~samples:50) in
+        check int "samples" 50 o.Bare.results.Guest_results.ops);
+    test_case "timer tick counts expirations" `Quick (fun () ->
+        let o = run_bare (Workload.timer_tick ~period_us:300 ~ticks:7) in
+        check int "ticks" 7 o.Bare.results.Guest_results.ticks;
+        (* 7 periods of 300us dominate the run *)
+        check bool "time sane" true (Hft_sim.Time.to_us o.Bare.time > 2_000.));
+    test_case "console hello prints through Out" `Quick (fun () ->
+        let o = run_bare (Workload.console_hello ~text:"replica") in
+        check string "console" "replica" o.Bare.console);
+    test_case "probe sees privilege 0 on bare hardware" `Quick (fun () ->
+        let o = run_bare Workload.probe_priv in
+        check int "probe" 0 o.Bare.results.Guest_results.scratch;
+        check int "status priv" 0 o.Bare.results.Guest_results.checksum;
+        check int "link bits" 0 o.Bare.results.Guest_results.ops);
+  ]
+
+let bare_determinism =
+  QCheck.Test.make ~name:"bare runs are reproducible" ~count:10
+    QCheck.(int_range 100 2000)
+    (fun n ->
+      let a = run_bare (Workload.dhrystone ~iterations:n) in
+      let b = run_bare (Workload.dhrystone ~iterations:n) in
+      a.Bare.time = b.Bare.time
+      && Guest_results.equal a.Bare.results b.Bare.results)
+
+let () =
+  Alcotest.run "hft_guest"
+    [
+      ("kernel", kernel_tests);
+      ("dhrystone", dhrystone_tests);
+      ("io", io_tests);
+      ("misc", misc_workload_tests);
+      ("determinism", [ QCheck_alcotest.to_alcotest bare_determinism ]);
+    ]

@@ -1,0 +1,138 @@
+(* Tests of the analytic models against the numbers printed in the
+   paper, plus structural properties. *)
+
+open Hft_model
+
+let close ?(tol = 0.05) a b =
+  (* relative tolerance *)
+  Float.abs (a -. b) /. Float.abs b <= tol
+
+let check_close name ?tol expected actual =
+  if not (close ?tol actual expected) then
+    Alcotest.failf "%s: expected %.3f, got %.3f" name expected actual
+
+let npc_tests =
+  let open Alcotest in
+  [
+    test_case "matches figure 2 measured points" `Quick (fun () ->
+        List.iter
+          (fun (el, np) ->
+            check_close (Printf.sprintf "EL=%d" el) ~tol:0.05 np
+              (Model.npc ~el ()))
+          Model.Paper.fig2_measured);
+    test_case "matches 32K endpoint (1.84)" `Quick (fun () ->
+        check_close "32K" ~tol:0.02 1.84 (Model.npc ~el:32768 ()));
+    test_case "matches the HP-UX bound prediction (1.24)" `Quick (fun () ->
+        check_close "385K" ~tol:0.02 1.24
+          (Model.npc ~el:Model.Paper.epoch_length_max_hpux ()));
+    test_case "simulation share is 0.18 at 385K" `Quick (fun () ->
+        let np = Model.npc ~el:Model.Paper.epoch_length_max_hpux () in
+        let without_sim =
+          np -. (Model.Paper.nsim *. Model.Paper.hsim_us *. 1e-6 /. Model.Paper.rt_cpu_sec)
+        in
+        check_close "residual" ~tol:0.03 1.06 without_sim);
+    test_case "strictly decreasing in epoch length" `Quick (fun () ->
+        let series =
+          Model.series (fun ~el () -> Model.npc ~el ()) Model.standard_epoch_lengths
+        in
+        let rec mono = function
+          | (_, a) :: ((_, b) :: _ as rest) ->
+            check bool "decreasing" true (a > b);
+            mono rest
+          | _ -> ()
+        in
+        mono series);
+    test_case "revised protocol strictly better" `Quick (fun () ->
+        List.iter
+          (fun el ->
+            check bool "new < old" true
+              (Model.npc ~protocol:Model.Revised ~el ()
+              < Model.npc ~protocol:Model.Original ~el ()))
+          Model.standard_epoch_lengths);
+    test_case "matches table 1 new-protocol at 1K" `Quick (fun () ->
+        (* the paper's own table is not self-consistent across epoch
+           lengths (Cother varies); the model is fit at 1K *)
+        check_close "1K new" ~tol:0.05 11.67
+          (Model.npc ~protocol:Model.Revised ~el:1024 ()));
+    test_case "bad epoch length rejected" `Quick (fun () ->
+        let raised =
+          try ignore (Model.npc ~el:0 ()); false with Invalid_argument _ -> true
+        in
+        check bool "raised" true raised);
+  ]
+
+let link_tests =
+  let open Alcotest in
+  [
+    test_case "ethernet hepoch is the paper's 443.59us" `Quick (fun () ->
+        check_close "hepoch" ~tol:0.001 443.59
+          (Model.hepoch_us Hft_net.Link.ethernet));
+    test_case "atm at 32K matches figure 4 (1.66)" `Quick (fun () ->
+        check_close "atm 32K" ~tol:0.03 1.66
+          (Model.npc ~link:Hft_net.Link.atm ~el:32768 ()));
+    test_case "atm is faster than ethernet everywhere" `Quick (fun () ->
+        List.iter
+          (fun el ->
+            check bool "atm < eth" true
+              (Model.npc ~link:Hft_net.Link.atm ~el ()
+              < Model.npc ~link:Hft_net.Link.ethernet ~el ()))
+          Model.standard_epoch_lengths);
+  ]
+
+let io_tests =
+  let open Alcotest in
+  [
+    test_case "write model matches figure 3 points" `Quick (fun () ->
+        List.iter
+          (fun (el, np) ->
+            check_close (Printf.sprintf "write EL=%d" el) ~tol:0.08 np
+              (Model.npw ~el ()))
+          Model.Paper.fig3_write_measured);
+    test_case "read model matches figure 3 points" `Quick (fun () ->
+        List.iter
+          (fun (el, np) ->
+            check_close (Printf.sprintf "read EL=%d" el) ~tol:0.08 np
+              (Model.npr ~el ()))
+          Model.Paper.fig3_read_measured);
+    test_case "read is always worse than write (data forwarding)" `Quick
+      (fun () ->
+        List.iter
+          (fun el ->
+            Alcotest.(check bool) "read > write" true
+              (Model.npr ~el () > Model.npw ~el ()))
+          Model.standard_epoch_lengths);
+    test_case "io latency predictions near measured" `Quick (fun () ->
+        check_close "read 33.4ms" ~tol:0.08 Model.Paper.read_hyp_ms
+          (Model.read_latency_hyp_ms ());
+        check_close "write 27.8ms" ~tol:0.08 Model.Paper.write_hyp_ms
+          (Model.write_latency_hyp_ms ~el:4096));
+    test_case "delay term drifts upward at large epochs" `Quick (fun () ->
+        (* the slight upward drift of figure 3 *)
+        check bool "write drifts" true
+          (Model.npw ~el:(1 lsl 20) () > Model.npw ~el:32768 ()));
+  ]
+
+let npc_monotonic_prop =
+  QCheck.Test.make ~name:"npc decreases when epoch grows" ~count:100
+    QCheck.(pair (int_range 256 100_000) (int_range 2 8))
+    (fun (el, k) ->
+      Model.npc ~el:(el * k) () < Model.npc ~el ())
+
+let np_above_one_prop =
+  QCheck.Test.make ~name:"all models stay above 1.0" ~count:100
+    QCheck.(int_range 256 1_000_000)
+    (fun el ->
+      Model.npc ~el () > 1.0 && Model.npw ~el () > 1.0 && Model.npr ~el () > 1.0)
+
+let () =
+  Alcotest.run "hft_model"
+    [
+      ("npc", npc_tests);
+      ("links", link_tests);
+      ("io", io_tests);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest npc_monotonic_prop;
+          QCheck_alcotest.to_alcotest np_above_one_prop;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the link model and the FIFO hypervisor channel. *)
+
+open Hft_sim
+open Hft_net
+
+let link_tests =
+  let open Alcotest in
+  [
+    test_case "paper fragmentation: 8KB is 9 messages on Ethernet" `Quick
+      (fun () ->
+        check int "9 messages" 9 (Link.message_count Link.ethernet ~bytes:8192);
+        check int "1 message min" 1 (Link.message_count Link.ethernet ~bytes:0));
+    test_case "wire time follows bandwidth" `Quick (fun () ->
+        (* 1000 bytes at 10 Mbps = 800 us *)
+        check int "ethernet" 800_000
+          (Time.to_ns (Link.wire_time Link.ethernet ~bytes:1000));
+        check bool "atm faster" true
+          Time.(
+            Link.wire_time Link.atm ~bytes:1000
+            < Link.wire_time Link.ethernet ~bytes:1000));
+    test_case "transfer time includes per-message overhead" `Quick (fun () ->
+        let t = Link.transfer_time Link.ethernet ~bytes:8192 in
+        let wire = Link.wire_time Link.ethernet ~bytes:8192 in
+        check int "9 overheads" (Time.to_ns wire + (9 * 60_000)) (Time.to_ns t));
+    test_case "8KB block forward costs ~7ms on Ethernet" `Quick (fun () ->
+        let t = Link.transfer_time Link.ethernet ~bytes:8240 in
+        let ms = Time.to_ms t in
+        check bool "in range" true (ms > 6.0 && ms < 8.0));
+    test_case "custom link validation" `Quick (fun () ->
+        let raised =
+          try
+            ignore
+              (Link.custom ~name:"x" ~overhead_us:1.0 ~bits_per_sec:0
+                 ~max_payload_bytes:10);
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "raised" true raised);
+  ]
+
+let mk_channel ?(link = Link.ethernet) engine =
+  Channel.create ~engine ~link ~name:"test" ()
+
+let channel_tests =
+  let open Alcotest in
+  [
+    test_case "delivers in FIFO order with latency" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        let got = ref [] in
+        Channel.connect ch (fun m -> got := (m, Time.to_ns (Engine.now e)) :: !got);
+        Channel.send ch ~bytes:60 "a";
+        Channel.send ch ~bytes:60 "b";
+        Engine.run e;
+        let got = List.rev !got in
+        check (list string) "order" [ "a"; "b" ] (List.map fst got);
+        (* 60 bytes at 10 Mbps = 48 us wire + 60 us overhead = 108 us;
+           the second message waits for the link *)
+        check (list int) "times" [ 108_000; 216_000 ] (List.map snd got));
+    test_case "serialization: big message delays small one" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        let got = ref [] in
+        Channel.connect ch (fun m -> got := (m, Time.to_ns (Engine.now e)) :: !got);
+        Channel.send ch ~bytes:8240 "big";
+        Channel.send ch ~bytes:60 "small";
+        Engine.run e;
+        match List.rev !got with
+        | [ ("big", t1); ("small", t2) ] ->
+          check bool "big ~7ms" true (t1 > 6_000_000 && t1 < 8_000_000);
+          check bool "small after big" true (t2 > t1)
+        | _ -> fail "bad delivery");
+    test_case "crash discards subsequent sends, keeps in-flight" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        let got = ref [] in
+        Channel.connect ch (fun m -> got := m :: !got);
+        Channel.send ch ~bytes:60 "before";
+        Channel.crash_sender ch;
+        Channel.send ch ~bytes:60 "after";
+        Engine.run e;
+        check (list string) "only before" [ "before" ] !got;
+        check bool "crashed" true (Channel.sender_crashed ch);
+        Channel.revive_sender ch;
+        Channel.send ch ~bytes:60 "revived";
+        Engine.run e;
+        check (list string) "revived flows" [ "revived"; "before" ] !got);
+    test_case "loss plan drops selected messages" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        let got = ref [] in
+        Channel.connect ch (fun m -> got := m :: !got);
+        Channel.set_loss_plan ch (fun n -> n = 1);
+        Channel.send ch ~bytes:60 "m0";
+        Channel.send ch ~bytes:60 "m1";
+        Channel.send ch ~bytes:60 "m2";
+        Engine.run e;
+        check (list string) "m1 dropped" [ "m0"; "m2" ] (List.rev !got);
+        check int "sent counts all" 3 (Channel.messages_sent ch);
+        check int "delivered counts survivors" 2 (Channel.messages_delivered ch));
+    test_case "statistics" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        Channel.connect ch (fun _ -> ());
+        Channel.send ch ~bytes:100 "x";
+        check int "in flight" 1 (Channel.in_flight ch);
+        check int "bytes" 100 (Channel.bytes_sent ch);
+        Engine.run e;
+        check int "drained" 0 (Channel.in_flight ch));
+    test_case "double connect rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        Channel.connect ch (fun _ -> ());
+        let raised =
+          try
+            Channel.connect ch (fun _ -> ());
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "raised" true raised);
+    test_case "atm delivers faster than ethernet" `Quick (fun () ->
+        let run link =
+          let e = Engine.create () in
+          let ch = mk_channel ~link e in
+          let at = ref Time.zero in
+          Channel.connect ch (fun _ -> at := Engine.now e);
+          Channel.send ch ~bytes:8240 "data";
+          Engine.run e;
+          !at
+        in
+        check bool "atm faster" true Time.(run Link.atm < run Link.ethernet));
+  ]
+
+let fifo_property =
+  QCheck.Test.make ~name:"channel preserves order for any size mix" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 30) (int_range 1 9000)))
+    (fun sizes ->
+      let e = Engine.create () in
+      let ch = mk_channel e in
+      let got = ref [] in
+      Channel.connect ch (fun m -> got := m :: !got);
+      List.iteri (fun i bytes -> Channel.send ch ~bytes i) sizes;
+      Engine.run e;
+      List.rev !got = List.mapi (fun i _ -> i) sizes)
+
+let () =
+  Alcotest.run "hft_net"
+    [
+      ("link", link_tests);
+      ("channel", channel_tests @ [ QCheck_alcotest.to_alcotest fifo_property ]);
+    ]

@@ -1,0 +1,144 @@
+(* Unit tests for the protocol-level plumbing: message wire sizes,
+   parameter helpers, statistics accounting. *)
+
+open Hft_core
+
+let msg seq body = { Message.seq; body }
+
+let message_tests =
+  let open Alcotest in
+  [
+    test_case "read-data completions dominate the wire" `Quick (fun () ->
+        let small =
+          Message.bytes
+            (msg 0
+               (Message.Intr
+                  {
+                    epoch = 1;
+                    completion = { Message.status = 1; dma = None };
+                  }))
+        in
+        let big =
+          Message.bytes
+            (msg 0
+               (Message.Intr
+                  {
+                    epoch = 1;
+                    completion =
+                      { Message.status = 1; dma = Some (0x800, Array.make 2048 0) };
+                  }))
+        in
+        check bool "small is small" true (small < 100);
+        (* 2048 words * 4 bytes, plus headers *)
+        check bool "big carries the block" true (big > 8192 && big < 8300));
+    test_case "acks are tiny" `Quick (fun () ->
+        check bool "ack" true
+          (Message.bytes (msg 3 (Message.Ack { upto = 7 })) < 64));
+    test_case "snapshot size flows through" `Quick (fun () ->
+        let b =
+          Message.bytes ~snapshot_bytes:262144
+            (msg 0 (Message.Snapshot_offer { epoch = 5; code_hash = 1 }))
+        in
+        check bool "includes image" true (b > 262144));
+    test_case "fragmentation of a full read completion" `Quick (fun () ->
+        let b =
+          Message.bytes
+            (msg 0
+               (Message.Intr
+                  {
+                    epoch = 0;
+                    completion =
+                      { Message.status = 1; dma = Some (0, Array.make 2048 0) };
+                  }))
+        in
+        (* the paper: 9 messages for the data on the Ethernet *)
+        check int "9 frames" 9
+          (Hft_net.Link.message_count Hft_net.Link.ethernet ~bytes:b));
+    test_case "pp covers every constructor" `Quick (fun () ->
+        let render b = Format.asprintf "%a" Message.pp (msg 1 b) in
+        List.iter
+          (fun b -> check bool "nonempty" true (String.length (render b) > 0))
+          [
+            Message.Intr
+              { epoch = 1; completion = { Message.status = 2; dma = None } };
+            Message.Env_val { epoch = 1; idx = 0; value = 9 };
+            Message.Tme { epoch = 1; tod_us = 5; timer_deadline_us = -1 };
+            Message.Epoch_end { epoch = 1 };
+            Message.Ack { upto = 4 };
+            Message.Snapshot_offer { epoch = 1; code_hash = 2 };
+            Message.Snapshot_done { epoch = 1 };
+          ]);
+  ]
+
+let params_tests =
+  let open Alcotest in
+  [
+    test_case "hsim is the paper's 15.12us" `Quick (fun () ->
+        check int "ns" 15_120 (Hft_sim.Time.to_ns (Params.hsim Params.default)));
+    test_case "with_epoch_length validates" `Quick (fun () ->
+        check int "set" 512
+          (Params.with_epoch_length Params.default 512).Params.epoch_length;
+        let raised =
+          try ignore (Params.with_epoch_length Params.default 0); false
+          with Invalid_argument _ -> true
+        in
+        check bool "raised" true raised);
+    test_case "with_protocol and with_link" `Quick (fun () ->
+        let p = Params.with_protocol Params.default Params.Revised in
+        check bool "revised" true (p.Params.protocol = Params.Revised);
+        let p = Params.with_link Params.default Hft_net.Link.atm in
+        check string "atm" "155Mbps ATM" p.Params.link.Hft_net.Link.name);
+    test_case "defaults are the prototype's" `Quick (fun () ->
+        check int "epoch" 4096 Params.default.Params.epoch_length;
+        check bool "original" true (Params.default.Params.protocol = Params.Original);
+        check bool "recovery register" true
+          (Params.default.Params.epoch_mechanism = Params.Recovery_register);
+        check int "instr 20ns" 20
+          (Hft_sim.Time.to_ns Params.default.Params.instr_time));
+    test_case "pp renders" `Quick (fun () ->
+        check bool "nonempty" true
+          (String.length (Format.asprintf "%a" Params.pp Params.default) > 20));
+  ]
+
+let stats_tests =
+  let open Alcotest in
+  [
+    test_case "mean interrupt delay" `Quick (fun () ->
+        let s = Stats.create () in
+        check (float 0.001) "empty" 0.0 (Stats.mean_intr_delay_us s);
+        s.Stats.interrupts_delivered <- 2;
+        Stats.add_time s `Intr_delay (Hft_sim.Time.of_us 300);
+        check (float 0.001) "mean" 150.0 (Stats.mean_intr_delay_us s));
+    test_case "time accumulation" `Quick (fun () ->
+        let s = Stats.create () in
+        Stats.add_time s `Ack_wait (Hft_sim.Time.of_us 5);
+        Stats.add_time s `Ack_wait (Hft_sim.Time.of_us 7);
+        check int "sum" 12_000 (Hft_sim.Time.to_ns s.Stats.ack_wait));
+    test_case "pp renders" `Quick (fun () ->
+        check bool "nonempty" true
+          (String.length (Format.asprintf "%a" Stats.pp (Stats.create ())) > 20));
+  ]
+
+let results_tests =
+  let open Alcotest in
+  [
+    test_case "config write / results read roundtrip" `Quick (fun () ->
+        let p = Hft_guest.Kernel.program ~main:[ Hft_machine.Asm.halt ] in
+        let cpu = Hft_machine.Cpu.create ~code:p.Hft_machine.Asm.code () in
+        Guest_results.write_config cpu
+          [ (Hft_guest.Layout.res_checksum, 99); (Hft_guest.Layout.res_ops, 3) ];
+        let r = Guest_results.read cpu in
+        check int "checksum" 99 r.Guest_results.checksum;
+        check int "ops" 3 r.Guest_results.ops;
+        check bool "equal to itself" true
+          (Guest_results.equal r (Guest_results.read cpu)));
+  ]
+
+let () =
+  Alcotest.run "hft_protocol_units"
+    [
+      ("message", message_tests);
+      ("params", params_tests);
+      ("stats", stats_tests);
+      ("results", results_tests);
+    ]
