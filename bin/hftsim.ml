@@ -126,6 +126,8 @@ let print_outcome (o : System.outcome) =
     o.System.primary_stats.Stats.epochs;
   Format.printf "messages       : %d (%d bytes)@." o.System.messages_sent
     o.System.bytes_sent;
+  Hft_harness.Report.channel_hardening
+    [ o.System.primary_stats; o.System.backup_stats ];
   Format.printf "disk history   : %s@."
     (if o.System.disk_consistent then "single-processor consistent"
      else "INCONSISTENT");
@@ -318,6 +320,205 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run replicated and dump the protocol event trace.")
     term
 
+(* ---------- chaos ---------- *)
+
+module Campaign = Hft_harness.Campaign
+
+let print_trial (t : Campaign.trial) =
+  let s = t.Campaign.schedule in
+  Format.printf
+    "trial %3d  seed %-19d loss %.3f dup %.3f corr %.3f delay %4dus%s%s%s | \
+     %4d faults %4d rtx %3d dup-drop %3d corr-drop | %s@."
+    t.Campaign.index s.Campaign.seed s.Campaign.loss s.Campaign.duplicate
+    s.Campaign.corrupt s.Campaign.delay_us
+    (match s.Campaign.crash_epoch with
+    | Some e -> Printf.sprintf " crash@%d" e
+    | None -> "")
+    (if s.Campaign.reintegrate then "+reint" else "")
+    (match s.Campaign.backup_crash_epoch with
+    | Some e -> Printf.sprintf " bkcrash@%d" e
+    | None -> "")
+    t.Campaign.faults_injected t.Campaign.retransmits
+    t.Campaign.duplicates_dropped t.Campaign.corruptions_detected
+    (match t.Campaign.violations with
+    | [] -> "PASS"
+    | v :: _ -> "FAIL: " ^ v)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign master seed (or, with $(b,--exact), the trial's own \
+             channel seed).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "trials" ] ~docv:"N" ~doc:"Number of randomized trials.")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Message-loss probability: sampling cap, or exact rate with \
+                $(b,--exact).")
+  in
+  let dup_arg =
+    Arg.(
+      value & opt float 0.15
+      & info [ "dup" ] ~docv:"P" ~doc:"Duplication probability (cap/exact).")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:"Payload-corruption probability (cap/exact).")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt int 3000
+      & info [ "delay-us" ] ~docv:"US"
+          ~doc:"Maximum extra delivery delay in microseconds (cap/exact).")
+  in
+  let no_retransmit =
+    Arg.(
+      value & flag
+      & info [ "no-retransmit" ]
+          ~doc:
+            "Disable the retransmission hardening: the protocol trusts the \
+             paper's reliable-channel assumption on a channel that no longer \
+             honours it.  The campaign is expected to catch violations.")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Run a single trial with exactly the given rates and crash \
+             schedule instead of sampling a campaign (replays a failing \
+             trial printed by the shrinker).")
+  in
+  let crash_epoch =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-epoch" ] ~docv:"E"
+          ~doc:"With $(b,--exact): fail the primary at this epoch boundary.")
+  in
+  let backup_crash_epoch =
+    Arg.(
+      value & opt (some int) None
+      & info [ "backup-crash-epoch" ] ~docv:"E"
+          ~doc:"With $(b,--exact): fail the backup at this epoch boundary.")
+  in
+  let reintegrate =
+    Arg.(
+      value & flag
+      & info [ "reintegrate" ]
+          ~doc:
+            "With $(b,--exact): after the failover, revive the crashed \
+             primary as a new backup.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Do not shrink failing schedules.")
+  in
+  let action workload epoch protocol link seed trials loss dup corrupt
+      delay_us no_retransmit exact crash_epoch backup_crash_epoch reintegrate
+      no_shrink =
+    let bad_rate r = r < 0. || r >= 1. in
+    if bad_rate loss || bad_rate dup || bad_rate corrupt || delay_us < 0 then
+      `Error
+        ( true,
+          "fault rates must satisfy 0 <= rate < 1 and --delay-us must be >= 0"
+        )
+    else begin
+    let params =
+      params_of ~epoch ~protocol ~link ~mechanism:Params.Recovery_register
+    in
+    let params = Params.with_retransmit params (not no_retransmit) in
+    let cfg =
+      {
+        (Campaign.default_config ~params ~workload ~trials ~seed ()) with
+        Campaign.max_loss = loss;
+        max_duplicate = dup;
+        max_corrupt = corrupt;
+        max_delay_us = delay_us;
+      }
+    in
+    if exact then begin
+      let s =
+        {
+          Campaign.seed;
+          loss;
+          duplicate = dup;
+          corrupt;
+          delay_us;
+          crash_epoch;
+          backup_crash_epoch;
+          reintegrate;
+        }
+      in
+      let reference = Campaign.reference cfg in
+      let t = Campaign.run_trial cfg ~reference ~index:0 s in
+      print_trial t;
+      List.iter (fun v -> Format.printf "  violation: %s@." v)
+        t.Campaign.violations;
+      if t.Campaign.violations = [] then `Ok ()
+      else `Error (false, "invariant violation")
+    end
+    else begin
+      Format.printf
+        "chaos campaign: %d trials of %s, seed %d, retransmit %s@."
+        trials workload.Hft_guest.Workload.name seed
+        (if no_retransmit then "OFF" else "on");
+      let summary =
+        Campaign.run ~shrink_failures:(not no_shrink) ~on_trial:print_trial
+          cfg
+      in
+      let nfail = List.length summary.Campaign.failures in
+      Format.printf "@.%d/%d trials passed every invariant@."
+        (trials - nfail) trials;
+      List.iter
+        (fun ((t : Campaign.trial), shrunk) ->
+          Format.printf "@.trial %d FAILED:@." t.Campaign.index;
+          List.iter
+            (fun v -> Format.printf "  violation: %s@." v)
+            t.Campaign.violations;
+          Format.printf "  reproduce: hftsim chaos -w %s -e %d -p %a%s %s@."
+            workload.Hft_guest.Workload.name epoch Params.pp_protocol protocol
+            (if no_retransmit then " --no-retransmit" else "")
+            (Campaign.flags t.Campaign.schedule);
+          if shrunk <> t.Campaign.schedule then
+            Format.printf "  shrunk to: hftsim chaos -w %s -e %d -p %a%s %s@."
+              workload.Hft_guest.Workload.name epoch Params.pp_protocol
+              protocol
+              (if no_retransmit then " --no-retransmit" else "")
+              (Campaign.flags shrunk))
+        summary.Campaign.failures;
+      if nfail = 0 then `Ok () else `Error (false, "invariant violations")
+    end
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
+       $ seed_arg $ trials_arg $ loss_arg $ dup_arg $ corrupt_arg $ delay_arg
+       $ no_retransmit $ exact $ crash_epoch $ backup_crash_epoch
+       $ reintegrate $ no_shrink))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized fault-injection campaign: seeded loss, duplication, \
+          corruption, delivery jitter and crashes, with per-trial invariant \
+          checking against the bare machine and shrinking of failing \
+          schedules.")
+    term
+
 (* ---------- selftest ---------- *)
 
 (* A compact conformance matrix: every workload is run replicated with
@@ -465,4 +666,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; model_cmd; trace_cmd; disasm_cmd; selftest_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            chaos_cmd;
+            model_cmd;
+            trace_cmd;
+            disasm_cmd;
+            selftest_cmd;
+          ]))

@@ -29,6 +29,19 @@ type blocked =
 
 and ack_resume = R_boundary | R_io of io_req
 
+(* A reliable message awaiting acknowledgement.  [r_up] routes the
+   retransmission on the ack-direction channel (only the reintegration
+   handshake's [Snapshot_done] travels that way); in every supported
+   configuration a node's reliable traffic flows towards a single
+   peer, so one stream of [dseq] numbers suffices. *)
+type rtx_entry = {
+  r_dseq : int;
+  r_body : Message.body;
+  r_snapshot_bytes : int option;
+  r_bytes : int;
+  r_up : bool;
+}
+
 type snapshot = {
   s_cpu : Cpu.snapshot;
   s_vcrs : int array;
@@ -76,6 +89,14 @@ type t = {
   mutable data_sent : int;  (* data messages only: what acks cover *)
   mutable acked : int;
   mutable data_recvd : int;
+      (* next expected [dseq] from the peer = count of reliable
+         messages delivered in order *)
+  rcv_hold : (int, Message.body) Hashtbl.t;
+      (* reliable messages that arrived ahead of a gap, held until the
+         gap fills (restores sender order over a fair-lossy link) *)
+  rtx_queue : rtx_entry Queue.t; (* sent but not yet acknowledged *)
+  mutable rtx_timer : Engine.handle option;
+  mutable rtx_backoff : int; (* consecutive unanswered fires *)
   mutable ack_wait_start : Time.t;
   mutable boundary_tod : int;
       (* the time-of-day value sent in this boundary's [Tme]; the timer
@@ -163,6 +184,10 @@ let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock ()
     data_sent = 0;
     acked = 0;
     data_recvd = 0;
+    rcv_hold = Hashtbl.create 16;
+    rtx_queue = Queue.create ();
+    rtx_timer = None;
+    rtx_backoff = 0;
     ack_wait_start = Time.zero;
     boundary_tod = 0;
     buffered_current = [];
@@ -208,24 +233,30 @@ let read_vtod t =
 
 let hsim t = Params.hsim t.p
 
-let send_msg ?snapshot_bytes t body =
-  match t.tx_data with
-  | None -> ()
-  | Some ch ->
-    let msg = { Message.seq = t.send_seq; body } in
-    t.send_seq <- t.send_seq + 1;
-    t.data_sent <- t.data_sent + 1;
-    Channel.send ch ~bytes:(Message.bytes ?snapshot_bytes msg) msg
+(* Channel-direction fallback: after a failover the channel pair must
+   serve both directions — the promoted backup has no dedicated
+   downstream channel, so its data stream (and the reintegration
+   offer) flows on the erstwhile ack channel, and the revived
+   backup's acknowledgements flow on the erstwhile data channel. *)
+let out_channel t =
+  match t.tx_data with Some _ as ch -> ch | None -> t.tx_ack
 
-(* Upstream messages (acks, Snapshot_done) have their own sequence
-   space; nothing waits on their acknowledgement. *)
+let ack_channel t =
+  match t.tx_ack with Some _ as ch -> ch | None -> t.tx_data
+
+let transmit t ch ?snapshot_bytes ~dseq body =
+  let msg = Message.make ~seq:t.send_seq ~dseq body in
+  t.send_seq <- t.send_seq + 1;
+  Channel.send ch ~bytes:(Message.bytes ?snapshot_bytes msg) msg
+
+(* Unreliable send: acknowledgements only.  Nothing acks an ack, so
+   they are never queued for retransmission — a lost ack is repaired
+   by the cumulative ack of the next delivery (or the duplicate the
+   peer's retransmission provokes). *)
 let send_up t body =
-  match t.tx_ack with
+  match ack_channel t with
   | None -> ()
-  | Some ch ->
-    let msg = { Message.seq = t.send_seq; body } in
-    t.send_seq <- t.send_seq + 1;
-    Channel.send ch ~bytes:(Message.bytes msg) msg
+  | Some ch -> transmit t ch ~dseq:(-1) body
 
 let send_ack t = send_up t (Message.Ack { upto = t.data_recvd })
 
@@ -249,6 +280,108 @@ let rec arm_detector ?timeout t =
         (Engine.after t.engine timeout (fun () ->
              t.detector <- None;
              detector_fired t))
+
+(* ---------- retransmission (fair-lossy hardening) ---------- *)
+
+and cancel_rtx t =
+  match t.rtx_timer with
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.rtx_timer <- None
+  | None -> ()
+
+and clear_rtx t =
+  cancel_rtx t;
+  Queue.clear t.rtx_queue;
+  t.rtx_backoff <- 0
+
+(* Timeout before resending the oldest unacknowledged message: the
+   exponential backoff plus a round trip for that message plus
+   whatever is already serializing on the outgoing link — without the
+   backlog term a busy link (a burst of relayed read completions can
+   queue for milliseconds) would trigger spurious retransmissions. *)
+and rtx_delay t =
+  let e = Queue.peek t.rtx_queue in
+  let base = Time.scale t.p.Params.rtx_timeout (1 lsl min t.rtx_backoff 2) in
+  let transfer = Hft_net.Link.transfer_time t.p.Params.link ~bytes:e.r_bytes in
+  let backlog =
+    match (if e.r_up then ack_channel t else out_channel t) with
+    | Some ch ->
+      let b = Channel.busy_until ch in
+      let now = Engine.now t.engine in
+      if Time.(b > now) then Time.diff b now else Time.zero
+    | None -> Time.zero
+  in
+  Time.add base (Time.add (Time.scale transfer 2) backlog)
+
+and arm_rtx t =
+  if
+    t.p.Params.retransmit && t.alive_ && t.rtx_timer = None
+    && not (Queue.is_empty t.rtx_queue)
+  then
+    t.rtx_timer <-
+      Some
+        (Engine.after t.engine (rtx_delay t) (fun () ->
+             t.rtx_timer <- None;
+             rtx_fire t))
+
+(* Go-back-N: resend everything unacknowledged.  A halted node keeps
+   retransmitting its tail (the peer still needs the final epoch's
+   messages); only an ack covering the queue — or the give-up bound —
+   lets the simulation drain. *)
+and rtx_fire t =
+  if t.alive_ && not (Queue.is_empty t.rtx_queue) then begin
+    if not t.peer_alive then clear_rtx t
+    else if t.rtx_backoff >= t.p.Params.rtx_give_up then begin
+      trace t "retransmission give-up after %d rounds: peer presumed dead"
+        t.rtx_backoff;
+      clear_rtx t;
+      if t.halted_ then t.peer_alive <- false
+      else begin
+        cancel_detector t;
+        detector_fired t
+      end
+    end
+    else begin
+      t.rtx_backoff <- t.rtx_backoff + 1;
+      let n = Queue.length t.rtx_queue in
+      Queue.iter
+        (fun e ->
+          match (if e.r_up then ack_channel t else out_channel t) with
+          | None -> ()
+          | Some ch ->
+            transmit t ch ?snapshot_bytes:e.r_snapshot_bytes ~dseq:e.r_dseq
+              e.r_body)
+        t.rtx_queue;
+      t.st.Stats.retransmits <- t.st.Stats.retransmits + n;
+      trace t "retransmit %d unacked (round %d)" n t.rtx_backoff;
+      arm_rtx t
+    end
+  end
+
+(* Reliable send: the message joins the outgoing acknowledged stream
+   at position [data_sent] and stays queued until the peer's
+   cumulative ack covers it.  [up] routes on the ack-direction channel
+   (only the reintegration handshake's [Snapshot_done] travels that
+   way). *)
+and send_msg ?snapshot_bytes ?(up = false) t body =
+  match (if up then ack_channel t else out_channel t) with
+  | None -> ()
+  | Some ch ->
+    let dseq = t.data_sent in
+    t.data_sent <- t.data_sent + 1;
+    let bytes = Message.bytes ?snapshot_bytes (Message.make ~seq:0 ~dseq body) in
+    Queue.add
+      {
+        r_dseq = dseq;
+        r_body = body;
+        r_snapshot_bytes = snapshot_bytes;
+        r_bytes = bytes;
+        r_up = up;
+      }
+      t.rtx_queue;
+    transmit t ch ?snapshot_bytes ~dseq body;
+    arm_rtx t
 
 (* ---------- virtual trap delivery ---------- *)
 
@@ -892,6 +1025,7 @@ and detector_fired t =
       | B_snapshot -> "snapshot"
       | Not_blocked -> "none");
     t.peer_alive <- false;
+    clear_rtx t;
     match t.blocked with
     | B_tme | B_end ->
       t.blocked <- Not_blocked;
@@ -923,77 +1057,142 @@ and continue_after_env_retry t =
 
 (* ---------- message handling ---------- *)
 
+(* Fair-lossy receive filter: discard corrupt frames (treated as
+   loss), drop duplicates of already-delivered reliable messages, and
+   hold messages that arrived ahead of a gap until the gap fills, so
+   [handle_body] sees exactly the sender's order — the FIFO semantics
+   the protocol proper (P1-P7) was designed against. *)
 and on_message t msg =
   if t.alive_ then begin
-    match msg.Message.body with
-    | Message.Ack { upto } ->
-      t.acked <- max t.acked upto;
-      (match t.blocked with
-      (* "all messages previously sent" (P2) includes messages sent
-         while the wait was in progress — e.g. a disk-read completion
-         relayed mid-boundary — so the release condition re-checks the
-         live send count, not the count captured when blocking *)
-      | B_acks { upto = _; resume } when t.acked >= t.data_sent ->
-        Stats.add_time t.st `Ack_wait
-          (Time.diff (Engine.now t.engine) t.ack_wait_start);
-        cancel_detector t;
-        t.blocked <- Not_blocked;
-        (match resume with
-        | R_boundary -> primary_boundary_phase2 t ~tod:t.boundary_tod
-        | R_io req -> issue_io t req)
-      | _ -> ())
-    | body ->
-      t.data_recvd <- t.data_recvd + 1;
-      send_ack t;
-      (match body with
-      | Message.Intr { epoch; completion } ->
-        let r = buffered_ref t epoch in
-        r := { bi = Bi_disk completion; since = Engine.now t.engine } :: !r;
-        t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
-      | Message.Env_val { epoch; idx; value } ->
-        Hashtbl.replace t.env_vals (epoch, idx) value
-      | Message.Tme { epoch; tod_us; timer_deadline_us } ->
-        Hashtbl.replace t.tmes epoch (tod_us, timer_deadline_us)
-      | Message.Epoch_end { epoch } -> Hashtbl.replace t.ends epoch ()
-      | Message.Snapshot_offer { epoch; code_hash } ->
-        receive_snapshot t ~epoch ~code_hash
-      | Message.Snapshot_done { epoch = _ } -> (
-        match t.blocked with
-        | B_snapshot ->
-          cancel_detector t;
-          t.blocked <- Not_blocked;
-          t.peer_alive <- true;
-          t.reintegrate_requested <- false;
-          trace t "reintegration complete; replication resumed";
-          deliver_pending_if_possible t;
-          continue_vm t
-        | _ -> ())
-      | Message.Failover { epoch } ->
-        trace t "upstream failover at epoch %d noted" epoch;
-        t.failover_notice <- Some epoch
-      | Message.Ack _ -> assert false);
-      (* chained replication: a backup with a downstream relays the
-         whole stream, preserving order; its own sequence numbers
-         continue seamlessly if it is later promoted *)
-      (match (t.role_, t.tx_data, body) with
-      | Backup, Some _, (Message.Snapshot_offer _ | Message.Snapshot_done _) ->
-        ()
-      | Backup, Some _, _ -> send_msg t body
-      | _ -> ());
-      (* resume a blocked state machine if its wait is satisfied *)
-      match t.blocked with
-      | B_tme | B_end ->
-        cancel_detector t;
-        t.blocked <- Not_blocked;
-        backup_boundary t
-      | B_env ->
-        if Hashtbl.mem t.env_vals (t.epoch_, t.env_idx) then begin
-          cancel_detector t;
-          t.blocked <- Not_blocked;
-          continue_after_env_retry t
-        end
-      | _ -> ()
+    if not (Message.valid msg) then begin
+      t.st.Stats.corruptions_detected <- t.st.Stats.corruptions_detected + 1;
+      trace t "corrupt frame dropped (wire #%d)" msg.Message.seq
+    end
+    else if not (Message.reliable msg) then handle_body t msg.Message.body
+    else begin
+      let d = msg.Message.dseq in
+      if d < t.data_recvd then begin
+        (* already delivered: the ack covering it must have been lost *)
+        t.st.Stats.duplicates_dropped <- t.st.Stats.duplicates_dropped + 1;
+        send_ack t
+      end
+      else if d > t.data_recvd then begin
+        if Hashtbl.mem t.rcv_hold d then
+          t.st.Stats.duplicates_dropped <- t.st.Stats.duplicates_dropped + 1
+        else Hashtbl.replace t.rcv_hold d msg.Message.body;
+        (* a gap separates this message from the delivered prefix; the
+           cumulative ack doubles as a gap signal, prompting the sender
+           to retransmit the missing middle without waiting out its
+           timer *)
+        send_ack t
+      end
+      else begin
+        (* in order: deliver it and any contiguous held successors,
+           then acknowledge the whole prefix at once *)
+        let rec drain body =
+          t.data_recvd <- t.data_recvd + 1;
+          handle_body t body;
+          if t.alive_ then
+            match Hashtbl.find_opt t.rcv_hold t.data_recvd with
+            | Some b ->
+              Hashtbl.remove t.rcv_hold t.data_recvd;
+              drain b
+            | None -> ()
+        in
+        drain msg.Message.body;
+        if t.alive_ then send_ack t
+      end
+    end
   end
+
+and apply_ack t upto =
+  if upto > t.acked then begin
+    t.acked <- upto;
+    while
+      (not (Queue.is_empty t.rtx_queue))
+      && (Queue.peek t.rtx_queue).r_dseq < t.acked
+    do
+      ignore (Queue.pop t.rtx_queue)
+    done;
+    (* progress restarts the retransmission clock *)
+    t.rtx_backoff <- 0;
+    cancel_rtx t;
+    arm_rtx t
+  end
+
+and handle_body t body =
+  match body with
+  | Message.Ack { upto } ->
+    apply_ack t upto;
+    (match t.blocked with
+    (* "all messages previously sent" (P2) includes messages sent
+       while the wait was in progress — e.g. a disk-read completion
+       relayed mid-boundary — so the release condition re-checks the
+       live send count, not the count captured when blocking *)
+    | B_acks { upto = _; resume } when t.acked >= t.data_sent ->
+      Stats.add_time t.st `Ack_wait
+        (Time.diff (Engine.now t.engine) t.ack_wait_start);
+      cancel_detector t;
+      t.blocked <- Not_blocked;
+      (match resume with
+      | R_boundary -> primary_boundary_phase2 t ~tod:t.boundary_tod
+      | R_io req -> issue_io t req)
+    | _ -> ())
+  | body ->
+    (match body with
+    | Message.Intr { epoch; completion } ->
+      let r = buffered_ref t epoch in
+      r := { bi = Bi_disk completion; since = Engine.now t.engine } :: !r;
+      t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
+    | Message.Env_val { epoch; idx; value } ->
+      Hashtbl.replace t.env_vals (epoch, idx) value
+    | Message.Tme { epoch; tod_us; timer_deadline_us } ->
+      Hashtbl.replace t.tmes epoch (tod_us, timer_deadline_us)
+    | Message.Epoch_end { epoch } -> Hashtbl.replace t.ends epoch ()
+    | Message.Snapshot_offer { epoch; code_hash } ->
+      receive_snapshot t ~epoch ~code_hash
+    | Message.Snapshot_done { epoch = _ } -> (
+      match t.blocked with
+      | B_snapshot ->
+        (* the handshake itself proves the offer (dseq 0 of the fresh
+           messaging epoch) arrived, so retire it even when the wire
+           ack was lost — otherwise its snapshot-sized retransmission
+           timer keeps the whole queue pinned long past the failure
+           detector's patience *)
+        apply_ack t 1;
+        cancel_detector t;
+        t.blocked <- Not_blocked;
+        t.peer_alive <- true;
+        t.reintegrate_requested <- false;
+        trace t "reintegration complete; replication resumed";
+        deliver_pending_if_possible t;
+        continue_vm t
+      | _ -> ())
+    | Message.Failover { epoch } ->
+      trace t "upstream failover at epoch %d noted" epoch;
+      t.failover_notice <- Some epoch
+    | Message.Ack _ -> assert false);
+    (* chained replication: a backup with a downstream relays the
+       whole stream, preserving order; its own sequence numbers
+       continue seamlessly if it is later promoted *)
+    (match (t.role_, t.tx_data, body) with
+    | Backup, Some _, (Message.Snapshot_offer _ | Message.Snapshot_done _) ->
+      ()
+    | Backup, Some _, _ -> send_msg t body
+    | _ -> ());
+    (* resume a blocked state machine if its wait is satisfied *)
+    (match t.blocked with
+    | B_tme | B_end ->
+      cancel_detector t;
+      t.blocked <- Not_blocked;
+      backup_boundary t
+    | B_env ->
+      if Hashtbl.mem t.env_vals (t.epoch_, t.env_idx) then begin
+        cancel_detector t;
+        t.blocked <- Not_blocked;
+        continue_after_env_retry t
+      end
+    | _ -> ())
 
 (* ---------- reintegration (extension) ---------- *)
 
@@ -1023,6 +1222,8 @@ and start_reintegration t =
     t.data_sent <- 0;
     t.acked <- 0;
     t.data_recvd <- 0;
+    clear_rtx t;
+    Hashtbl.reset t.rcv_hold;
     let snap = take_snapshot t in
     peer.snapshot_box <- Some snap;
     let mem_bytes = 4 * Memory.size (Cpu.mem t.vm) in
@@ -1077,7 +1278,9 @@ and receive_snapshot t ~epoch ~code_hash =
     (match t.p.Params.epoch_mechanism with
     | Params.Recovery_register -> Cpu.set_recovery t.vm t.p.Params.epoch_length
     | Params.Code_rewriting -> Cpu.disable_recovery t.vm);
-    send_up t (Message.Snapshot_done { epoch });
+    (* reliable: a lost [Snapshot_done] would strand the primary in
+       B_snapshot until its detector gave the peer up for dead *)
+    send_msg ~up:true t (Message.Snapshot_done { epoch });
     trace t "reintegrated as backup at epoch %d" epoch;
     ignore
       (Engine.after t.engine Time.zero (fun () ->
@@ -1100,12 +1303,15 @@ let revive_as_backup t =
   t.data_sent <- 0;
   t.acked <- 0;
   t.data_recvd <- 0;
+  clear_rtx t;
+  Hashtbl.reset t.rcv_hold;
   (match t.tx_data with Some ch -> Channel.revive_sender ch | None -> ());
   (match t.tx_ack with Some ch -> Channel.revive_sender ch | None -> ())
 
 let crash t =
   t.alive_ <- false;
   cancel_detector t;
+  clear_rtx t;
   (match t.tx_data with Some ch -> Channel.crash_sender ch | None -> ());
   (match t.tx_ack with Some ch -> Channel.crash_sender ch | None -> ());
   Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)

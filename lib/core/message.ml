@@ -13,8 +13,57 @@ type body =
   | Snapshot_done of { epoch : int }
   | Failover of { epoch : int }
 
-type t = { seq : int; body : body }
+type t = { seq : int; dseq : int; checksum : int; body : body }
 
+(* ---------- checksum ---------- *)
+
+let fnv_offset = 0x3bf29ce484222325
+let fnv_prime = 0x100000001b3
+let fnv_mask = (1 lsl 62) - 1
+
+let mix h v = (h lxor (v land fnv_mask)) * fnv_prime land fnv_mask
+
+let body_checksum h body =
+  match body with
+  | Intr { epoch; completion } ->
+    let h = mix (mix h 1) epoch in
+    let h = mix h completion.status in
+    (match completion.dma with
+    | None -> mix h 0
+    | Some (addr, data) ->
+      let h = mix (mix h addr) (Array.length data) in
+      Array.fold_left mix h data)
+  | Env_val { epoch; idx; value } -> mix (mix (mix (mix h 2) epoch) idx) value
+  | Tme { epoch; tod_us; timer_deadline_us } ->
+    mix (mix (mix (mix h 3) epoch) tod_us) timer_deadline_us
+  | Epoch_end { epoch } -> mix (mix h 4) epoch
+  | Ack { upto } -> mix (mix h 5) upto
+  | Snapshot_offer { epoch; code_hash } -> mix (mix (mix h 6) epoch) code_hash
+  | Snapshot_done { epoch } -> mix (mix h 7) epoch
+  | Failover { epoch } -> mix (mix h 8) epoch
+
+let checksum_of ~seq ~dseq body =
+  body_checksum (mix (mix fnv_offset seq) dseq) body
+
+let make ~seq ?(dseq = -1) body =
+  { seq; dseq; checksum = checksum_of ~seq ~dseq body; body }
+
+let reliable t = t.dseq >= 0
+
+let valid t = t.checksum = checksum_of ~seq:t.seq ~dseq:t.dseq t.body
+
+let corrupt ~flip t =
+  (* Simulated payload damage: some bits of the frame are wrong on the
+     wire.  Damaging the stored checksum (never with a zero mask) is
+     the simplest model that is always *detectable* — flipping body
+     bits instead would merely reach the same mismatch through the
+     other operand of the comparison. *)
+  { t with checksum = t.checksum lxor (flip lor 1) land fnv_mask }
+
+(* ---------- wire size ---------- *)
+
+(* The 24-byte header carries the wire sequence number, the reliable
+   stream sequence number and the checksum. *)
 let header_bytes = 24
 
 let bytes ?(snapshot_bytes = 0) t =

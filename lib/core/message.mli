@@ -10,7 +10,14 @@
     Every message has a byte size used by the link model; disk-read
     completions carry the whole data block, which is what makes reads
     measurably slower than writes under replication (paper
-    section 4.2). *)
+    section 4.2).
+
+    Beyond the paper (which assumes reliable FIFO channels), every
+    message is hardened for a fair-lossy link: the header carries a
+    checksum over the whole frame, and messages belonging to the
+    reliable stream carry a second, stable sequence number [dseq] that
+    survives retransmission, so the receiver can detect corruption
+    (treated as loss), discard duplicates and restore sender order. *)
 
 type relayed_completion = {
   status : int;  (** {!Hft_guest.Layout.status_ok} or [status_uncertain] *)
@@ -29,7 +36,8 @@ type body =
           [timer_deadline_us = -1] when no interval is armed *)
   | Epoch_end of { epoch : int }  (** P2: [end, E] *)
   | Ack of { upto : int }
-      (** P4: cumulative acknowledgement of the first [upto] messages *)
+      (** P4: cumulative acknowledgement — every reliable message with
+          [dseq < upto] has been received *)
   | Snapshot_offer of { epoch : int; code_hash : int }
       (** reintegration: a state snapshot follows *)
   | Snapshot_done of { epoch : int }
@@ -40,9 +48,33 @@ type body =
           downstream performs the same P6/P7 delivery and re-homes to
           the new primary without promoting itself *)
 
-type t = { seq : int; body : body }
-(** [seq] numbers messages per sender, starting at 0, so cumulative
-    acks identify "all messages previously sent" (rule P2). *)
+type t = {
+  seq : int;
+      (** wire-level number, unique per transmission (a retransmitted
+          copy gets a fresh [seq]) *)
+  dseq : int;
+      (** position in the sender's reliable stream, stable across
+          retransmissions; [-1] marks an unreliable message (an [Ack]),
+          which is never retransmitted or acknowledged *)
+  checksum : int;  (** over [seq], [dseq] and the body *)
+  body : body;
+}
+
+val make : seq:int -> ?dseq:int -> body -> t
+(** Seal a message: compute its checksum.  [dseq] defaults to [-1]
+    (unreliable). *)
+
+val reliable : t -> bool
+(** [dseq >= 0]: the message is part of the acknowledged,
+    retransmitted, dedup-checked stream. *)
+
+val valid : t -> bool
+(** Does the checksum match the contents?  False after {!corrupt}. *)
+
+val corrupt : flip:int -> t -> t
+(** Simulate wire damage: a copy of the message whose checksum no
+    longer matches (the low bit of [flip] is forced so [flip = 0]
+    still corrupts).  Used by the channel fault model. *)
 
 val bytes : ?snapshot_bytes:int -> t -> int
 (** Wire size.  [snapshot_bytes] sizes a [Snapshot_offer], whose

@@ -21,6 +21,9 @@ type t = {
   hv_tlb_fill : Time.t;
   bare_trap_latency : Time.t;
   link : Hft_net.Link.t;
+  retransmit : bool;
+  rtx_timeout : Time.t;
+  rtx_give_up : int;
   detector_timeout : Time.t;
   backup_clock_skew : Time.t;
   disk : Hft_devices.Disk.params;
@@ -43,6 +46,9 @@ let default =
     hv_tlb_fill = Time.of_us_float 7.12;
     bare_trap_latency = Time.of_ns 500;
     link = Hft_net.Link.ethernet;
+    retransmit = true;
+    rtx_timeout = Time.of_ms 1;
+    rtx_give_up = 25;
     detector_timeout = Time.of_ms 100;
     backup_clock_skew = Time.of_us 1500;
     disk = Hft_devices.Disk.default_params;
@@ -57,6 +63,7 @@ let with_epoch_length t epoch_length =
 
 let with_protocol t protocol = { t with protocol }
 let with_link t link = { t with link }
+let with_retransmit t retransmit = { t with retransmit }
 
 let pp_protocol fmt = function
   | Original -> Format.pp_print_string fmt "original"

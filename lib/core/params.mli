@@ -64,6 +64,16 @@ type t = {
   bare_trap_latency : Hft_sim.Time.t;
       (** hardware trap reflection on the bare machine *)
   link : Hft_net.Link.t;
+  retransmit : bool;
+      (** harden the protocol against a fair-lossy channel: unacked
+          reliable messages are resent on a timeout; off reproduces
+          the paper's reliable-channel assumption taken on faith *)
+  rtx_timeout : Hft_sim.Time.t;
+      (** base retransmission timeout; each fire also waits out the
+          link backlog and doubles the base (capped at 4x) *)
+  rtx_give_up : int;
+      (** consecutive unanswered retransmission rounds after which the
+          peer is presumed dead *)
   detector_timeout : Hft_sim.Time.t;
   backup_clock_skew : Hft_sim.Time.t;
       (** time-of-day skew of the backup processor's clock — the
@@ -82,6 +92,7 @@ val hsim : t -> Hft_sim.Time.t
 val with_epoch_length : t -> int -> t
 val with_protocol : t -> protocol -> t
 val with_link : t -> Hft_net.Link.t -> t
+val with_retransmit : t -> bool -> t
 
 val pp_protocol : Format.formatter -> protocol -> unit
 val pp : Format.formatter -> t -> unit

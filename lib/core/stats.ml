@@ -12,6 +12,9 @@ type t = {
   mutable uncertain_synthesized : int;
   mutable tlb_fills : int;
   mutable reflected_traps : int;
+  mutable retransmits : int;
+  mutable duplicates_dropped : int;
+  mutable corruptions_detected : int;
   mutable ack_wait : Time.t;
   mutable boundary : Time.t;
   mutable idle : Time.t;
@@ -31,6 +34,9 @@ let create () =
     uncertain_synthesized = 0;
     tlb_fills = 0;
     reflected_traps = 0;
+    retransmits = 0;
+    duplicates_dropped = 0;
+    corruptions_detected = 0;
     ack_wait = Time.zero;
     boundary = Time.zero;
     idle = Time.zero;
@@ -53,8 +59,11 @@ let pp fmt t =
     "@[<v>instructions: %d@ simulated: %d@ epochs: %d@ interrupts: %d \
      buffered, %d delivered@ env values: %d@ io: %d submitted, %d \
      suppressed, %d uncertain synthesized@ tlb fills: %d@ reflected traps: \
-     %d@ ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: %.1fus@]"
+     %d@ channel: %d retransmits, %d duplicates dropped, %d corruptions \
+     detected@ ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: \
+     %.1fus@]"
     t.instructions t.simulated t.epochs t.interrupts_buffered
     t.interrupts_delivered t.env_values t.io_submitted t.io_suppressed
-    t.uncertain_synthesized t.tlb_fills t.reflected_traps Time.pp t.ack_wait
+    t.uncertain_synthesized t.tlb_fills t.reflected_traps t.retransmits
+    t.duplicates_dropped t.corruptions_detected Time.pp t.ack_wait
     Time.pp t.boundary Time.pp t.idle (mean_intr_delay_us t)

@@ -16,6 +16,12 @@ type t = {
   mutable uncertain_synthesized : int;  (** P7 interrupts at failover *)
   mutable tlb_fills : int;
   mutable reflected_traps : int;   (** traps delivered to the guest *)
+  mutable retransmits : int;
+      (** reliable messages resent after an unanswered timeout *)
+  mutable duplicates_dropped : int;
+      (** received copies of already-delivered reliable messages *)
+  mutable corruptions_detected : int;
+      (** frames whose checksum failed; treated as loss *)
   mutable ack_wait : Hft_sim.Time.t;
       (** time the primary spent awaiting acknowledgements *)
   mutable boundary : Hft_sim.Time.t;

@@ -196,15 +196,33 @@ let crash_primary_at t time =
   ignore
     (Engine.at t.engine time (fun () -> Hypervisor.crash t.primary_))
 
-let crash_primary_on_epoch t target =
+let crash_on_epoch t hv target =
   let previous = ref (fun ~epoch:_ ~hash:_ -> ()) in
   (match t.ls with
   | Some ls -> previous := record_boundary ls
   | None -> ());
-  Hypervisor.set_on_epoch_boundary t.primary_ (fun ~epoch ~hash ->
-      if epoch = target && Hypervisor.alive t.primary_ then
-        Hypervisor.crash t.primary_
+  Hypervisor.set_on_epoch_boundary hv (fun ~epoch ~hash ->
+      if epoch = target && Hypervisor.alive hv then Hypervisor.crash hv
       else !previous ~epoch ~hash)
+
+let crash_primary_on_epoch t target = crash_on_epoch t t.primary_ target
+
+let crash_backup_at t time =
+  ignore (Engine.at t.engine time (fun () -> Hypervisor.crash t.backup_))
+
+let crash_backup_on_epoch t target = crash_on_epoch t t.backup_ target
+
+let install_fault_model t ~rng model =
+  let corrupter flip msg = Message.corrupt ~flip msg in
+  Channel.set_fault_model t.ch_pb ~rng:(Rng.split rng) ~corrupter model;
+  Channel.set_fault_model t.ch_bp ~rng:(Rng.split rng) ~corrupter model
+
+let faults_injected t =
+  let per ch =
+    Channel.faults_lost ch + Channel.faults_duplicated ch
+    + Channel.faults_corrupted ch + Channel.faults_delayed ch
+  in
+  per t.ch_pb + per t.ch_bp
 
 let reintegrate_after_failover t ~delay =
   if t.backup2_ <> None then

@@ -66,6 +66,24 @@ val crash_primary_on_epoch : t -> int -> unit
     (before completing it — the canonical failover epoch of case (ii),
     section 2.2). *)
 
+val crash_backup_at : t -> Hft_sim.Time.t -> unit
+
+val crash_backup_on_epoch : t -> int -> unit
+(** Fail the backup when it reaches the given epoch boundary; the
+    primary detects the silence (missing acknowledgements) and
+    continues unreplicated. *)
+
+val install_fault_model :
+  t -> rng:Hft_sim.Rng.t -> Hft_net.Channel.fault_model -> unit
+(** Downgrade both hypervisor channels to fair-lossy with independent
+    random streams split from [rng], wiring {!Message.corrupt} as the
+    corrupter so damaged frames fail their checksum at the
+    receiver. *)
+
+val faults_injected : t -> int
+(** Total faults (losses, duplicates, corruptions, nonzero delays)
+    the two channels' fault models have injected so far. *)
+
 val reintegrate_after_failover : t -> delay:Hft_sim.Time.t -> unit
 (** After a promotion, wait [delay], revive the failed processor as a
     fresh backup and stream a state snapshot to it (extension beyond

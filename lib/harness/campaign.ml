@@ -1,0 +1,284 @@
+open Hft_core
+module Rng = Hft_sim.Rng
+module Time = Hft_sim.Time
+
+type schedule = {
+  seed : int;
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  delay_us : int;
+  crash_epoch : int option;
+  backup_crash_epoch : int option;
+  reintegrate : bool;
+}
+
+type config = {
+  params : Params.t;
+  workload : Hft_guest.Workload.t;
+  trials : int;
+  master_seed : int;
+  max_loss : float;
+  max_duplicate : float;
+  max_corrupt : float;
+  max_delay_us : int;
+  max_crash_epoch : int;
+}
+
+(* The caps keep the fault intensity inside the protocol's tolerance
+   envelope: with the 1 ms retransmission base, loss and corruption
+   this low leave the probability of [rtx_give_up] consecutive losses
+   (a false crash suspicion) negligible across hundreds of trials,
+   while an unhardened run at the same rates reliably diverges. *)
+let default_config ?(params = Params.default) ~workload ~trials ~seed () =
+  {
+    params;
+    workload;
+    trials;
+    master_seed = seed;
+    max_loss = 0.25;
+    max_duplicate = 0.15;
+    max_corrupt = 0.1;
+    max_delay_us = 3_000;
+    max_crash_epoch = 24;
+  }
+
+let generate cfg rng =
+  (* the trial seed alone replays the channels' randomness, so a
+     failing (seed, schedule) pair reproduces standalone *)
+  let seed =
+    Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 2)
+  in
+  let loss = Rng.float rng cfg.max_loss in
+  let duplicate = Rng.float rng cfg.max_duplicate in
+  let corrupt = Rng.float rng cfg.max_corrupt in
+  let delay_us = Rng.int rng (cfg.max_delay_us + 1) in
+  let crash = Rng.chance rng 0.5 in
+  let crash_epoch =
+    if crash then Some (1 + Rng.int rng cfg.max_crash_epoch) else None
+  in
+  let reintegrate = crash && Rng.chance rng 0.5 in
+  let backup_crash_epoch =
+    (* never both: with no survivor there is nothing to check *)
+    if (not crash) && Rng.chance rng 0.25 then
+      Some (1 + Rng.int rng cfg.max_crash_epoch)
+    else None
+  in
+  {
+    seed;
+    loss;
+    duplicate;
+    corrupt;
+    delay_us;
+    crash_epoch;
+    backup_crash_epoch;
+    reintegrate;
+  }
+
+type trial = {
+  index : int;
+  schedule : schedule;
+  violations : string list;  (** empty = every invariant held *)
+  time : Time.t option;  (** virtual completion time, if anyone finished *)
+  faults_injected : int;
+  retransmits : int;
+  duplicates_dropped : int;
+  corruptions_detected : int;
+}
+
+type reference = Bare.outcome
+
+let reference cfg =
+  let b = Bare.create ~params:cfg.params ~workload:cfg.workload () in
+  Bare.init_disk_blocks b;
+  Bare.run b
+
+(* The invariants of a correct trial, checked against the bare run:
+   whatever the channels and crash schedule did, the surviving machine
+   must be indistinguishable (to the guest and to the environment)
+   from a single fault-free processor. *)
+let check_invariants ~(reference : Bare.outcome) sys (o : System.outcome) =
+  let v = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+  let finished_as_primary hv =
+    Hypervisor.alive hv && Hypervisor.halted hv
+    &&
+    match Hypervisor.role hv with
+    | Hypervisor.Primary | Hypervisor.Promoted -> true
+    | Hypervisor.Backup -> false
+  in
+  let n =
+    List.length
+      (List.filter finished_as_primary [ System.primary sys; System.backup sys ])
+  in
+  if n <> 1 then add "%d nodes completed as primary (want exactly 1)" n;
+  let r = o.System.results and br = reference.Bare.results in
+  if r.Guest_results.ops <> br.Guest_results.ops then
+    add "guest ops %d <> bare %d" r.Guest_results.ops br.Guest_results.ops;
+  if r.Guest_results.checksum <> br.Guest_results.checksum then
+    add "guest checksum 0x%x <> bare 0x%x" r.Guest_results.checksum
+      br.Guest_results.checksum;
+  if r.Guest_results.scratch <> br.Guest_results.scratch then
+    add "guest scratch %d <> bare %d" r.Guest_results.scratch
+      br.Guest_results.scratch;
+  if r.Guest_results.ticks <> br.Guest_results.ticks then
+    add "guest ticks %d <> bare %d" r.Guest_results.ticks
+      br.Guest_results.ticks;
+  if o.System.console <> reference.Bare.console then
+    add "console output diverges from bare (%d vs %d bytes)"
+      (String.length o.System.console)
+      (String.length reference.Bare.console);
+  if not o.System.disk_consistent then
+    add "disk history not single-processor consistent (%s)"
+      (match o.System.disk_errors with e :: _ -> e | [] -> "no detail");
+  (match o.System.lockstep_mismatches with
+  | [] -> ()
+  | e :: _ as l ->
+    add "lockstep diverged at %d epoch(s), first at %d" (List.length l) e);
+  List.rev !v
+
+let run_trial cfg ~reference ~index schedule =
+  let sys = System.create ~params:cfg.params ~workload:cfg.workload () in
+  System.install_fault_model sys ~rng:(Rng.create schedule.seed)
+    {
+      Hft_net.Channel.loss = schedule.loss;
+      duplicate = schedule.duplicate;
+      corrupt = schedule.corrupt;
+      delay_us = schedule.delay_us;
+    };
+  (match schedule.crash_epoch with
+  | Some e -> System.crash_primary_on_epoch sys e
+  | None -> ());
+  (match schedule.backup_crash_epoch with
+  | Some e -> System.crash_backup_on_epoch sys e
+  | None -> ());
+  if schedule.reintegrate then
+    System.reintegrate_after_failover sys ~delay:(Time.of_ms 2);
+  let stats () =
+    let p = Hypervisor.stats (System.primary sys) in
+    let b = Hypervisor.stats (System.backup sys) in
+    ( System.faults_injected sys,
+      p.Stats.retransmits + b.Stats.retransmits,
+      p.Stats.duplicates_dropped + b.Stats.duplicates_dropped,
+      p.Stats.corruptions_detected + b.Stats.corruptions_detected )
+  in
+  match System.run sys with
+  | exception Failure msg ->
+    let fi, rtx, dup, cor = stats () in
+    {
+      index;
+      schedule;
+      violations = [ "no surviving machine completed: " ^ msg ];
+      time = None;
+      faults_injected = fi;
+      retransmits = rtx;
+      duplicates_dropped = dup;
+      corruptions_detected = cor;
+    }
+  | o ->
+    let fi, rtx, dup, cor = stats () in
+    {
+      index;
+      schedule;
+      violations = check_invariants ~reference sys o;
+      time = Some o.System.time;
+      faults_injected = fi;
+      retransmits = rtx;
+      duplicates_dropped = dup;
+      corruptions_detected = cor;
+    }
+
+let fails cfg ~reference s =
+  (run_trial cfg ~reference ~index:(-1) s).violations <> []
+
+(* Greedy shrinking: repeatedly take the first single-dimension
+   reduction (drop a fault class outright, halve a rate, remove a
+   crash) that still fails, to a fixpoint.  The result is a minimal
+   reproducer in the sense that zeroing or halving any one remaining
+   dimension makes the failure disappear. *)
+let shrink ?(max_steps = 64) cfg ~reference schedule =
+  let candidates s =
+    List.concat
+      [
+        (match s.crash_epoch with
+        | Some _ -> [ { s with crash_epoch = None; reintegrate = false } ]
+        | None -> []);
+        (match s.backup_crash_epoch with
+        | Some _ -> [ { s with backup_crash_epoch = None } ]
+        | None -> []);
+        (if s.reintegrate then [ { s with reintegrate = false } ] else []);
+        (if s.loss > 0. then
+           [ { s with loss = 0. }; { s with loss = s.loss /. 2. } ]
+         else []);
+        (if s.duplicate > 0. then
+           [
+             { s with duplicate = 0. };
+             { s with duplicate = s.duplicate /. 2. };
+           ]
+         else []);
+        (if s.corrupt > 0. then
+           [ { s with corrupt = 0. }; { s with corrupt = s.corrupt /. 2. } ]
+         else []);
+        (if s.delay_us > 0 then
+           [ { s with delay_us = 0 }; { s with delay_us = s.delay_us / 2 } ]
+         else []);
+      ]
+  in
+  let rec fix steps s =
+    if steps = 0 then s
+    else
+      match List.find_opt (fails cfg ~reference) (candidates s) with
+      | Some s' -> fix (steps - 1) s'
+      | None -> s
+  in
+  fix max_steps schedule
+
+type summary = {
+  trials : trial list;
+  failures : (trial * schedule) list;
+      (** each failing trial with its shrunk schedule *)
+}
+
+let run ?(shrink_failures = true) ?on_trial cfg =
+  let reference = reference cfg in
+  let rng = Rng.create cfg.master_seed in
+  let trials =
+    List.init cfg.trials (fun index ->
+        let s = generate cfg rng in
+        let t = run_trial cfg ~reference ~index s in
+        (match on_trial with Some f -> f t | None -> ());
+        t)
+  in
+  let failing = List.filter (fun t -> t.violations <> []) trials in
+  let failures =
+    List.map
+      (fun t ->
+        ( t,
+          if shrink_failures then shrink cfg ~reference t.schedule
+          else t.schedule ))
+      failing
+  in
+  { trials; failures }
+
+(* Command-line flags that replay this exact schedule standalone
+   (`hftsim chaos --exact ...`). *)
+let flags s =
+  String.concat " "
+    (List.filter
+       (fun x -> x <> "")
+       [
+         Printf.sprintf "--exact --seed %d" s.seed;
+         Printf.sprintf "--loss %g" s.loss;
+         Printf.sprintf "--dup %g" s.duplicate;
+         Printf.sprintf "--corrupt %g" s.corrupt;
+         Printf.sprintf "--delay-us %d" s.delay_us;
+         (match s.crash_epoch with
+         | Some e -> Printf.sprintf "--crash-epoch %d" e
+         | None -> "");
+         (match s.backup_crash_epoch with
+         | Some e -> Printf.sprintf "--backup-crash-epoch %d" e
+         | None -> "");
+         (if s.reintegrate then "--reintegrate" else "");
+       ])
+
+let pp_schedule fmt s = Format.pp_print_string fmt (flags s)

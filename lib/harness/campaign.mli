@@ -1,0 +1,110 @@
+(** Randomized fault-injection campaigns over the replicated system.
+
+    The paper proves the protocol correct under fail-stop processors
+    and reliable FIFO channels; this module explores what the
+    implementation does when those assumptions are stressed, in the
+    style of ReHype's and HyCoR's fault-injection validation.  A
+    campaign samples N {e schedules} — fault-model rates for the two
+    hypervisor channels (loss, duplication, corruption, delivery
+    jitter) crossed with an optional primary crash (and reintegration)
+    or backup crash — runs each as one simulated trial, and checks
+    after each that the surviving machine is indistinguishable from a
+    single fault-free processor:
+
+    - exactly one node completes in a primary role (no split brain);
+    - the guest's results (ops, checksum, scratch, ticks) match the
+      bare-machine run;
+    - console output is byte-identical to the bare run (campaign
+      workloads produce their output deterministically; under a crash
+      the paper only promises at-least-once environment output, so
+      console-heavy workloads are not used with crash faults);
+    - the shared disk's operation history is single-processor
+      consistent;
+    - the lockstep hashes of the two replicas never diverged.
+
+    Every trial is reproducible standalone from its [(seed, schedule)]
+    pair: the schedule's seed regenerates the channels' random
+    streams.  Failing schedules are {e shrunk} to a minimal
+    reproducer by greedily zeroing/halving fault dimensions while the
+    failure persists. *)
+
+type schedule = {
+  seed : int;  (** regenerates the channel fault randomness *)
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  delay_us : int;
+  crash_epoch : int option;  (** fail the primary at this boundary *)
+  backup_crash_epoch : int option;
+  reintegrate : bool;  (** revive the crashed primary as a backup *)
+}
+
+type config = {
+  params : Hft_core.Params.t;
+  workload : Hft_guest.Workload.t;
+  trials : int;
+  master_seed : int;
+  max_loss : float;  (** sampling cap for {!generate} *)
+  max_duplicate : float;
+  max_corrupt : float;
+  max_delay_us : int;
+  max_crash_epoch : int;
+}
+
+val default_config :
+  ?params:Hft_core.Params.t ->
+  workload:Hft_guest.Workload.t ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  config
+(** Caps chosen inside the hardened protocol's tolerance envelope
+    (loss <= 0.25, corruption <= 0.1, jitter <= 3 ms), where a false
+    crash suspicion is vanishingly unlikely but an unhardened run
+    reliably diverges. *)
+
+val generate : config -> Hft_sim.Rng.t -> schedule
+(** Sample one schedule from the master stream. *)
+
+type trial = {
+  index : int;
+  schedule : schedule;
+  violations : string list;  (** empty = every invariant held *)
+  time : Hft_sim.Time.t option;
+  faults_injected : int;  (** channel-level fault events this trial *)
+  retransmits : int;  (** summed over both hypervisors *)
+  duplicates_dropped : int;
+  corruptions_detected : int;
+}
+
+type reference = Hft_core.Bare.outcome
+(** The bare-machine run all trials are compared against. *)
+
+val reference : config -> reference
+
+val run_trial : config -> reference:reference -> index:int -> schedule -> trial
+(** One deterministic trial: build the system, install the schedule's
+    fault model and crashes, run, check invariants. *)
+
+val shrink :
+  ?max_steps:int -> config -> reference:reference -> schedule -> schedule
+(** Minimize a failing schedule: greedily zero or halve one fault
+    dimension at a time while the trial still fails.  Returns the
+    input unchanged if it does not fail. *)
+
+type summary = {
+  trials : trial list;
+  failures : (trial * schedule) list;
+      (** each failing trial paired with its shrunk schedule *)
+}
+
+val run :
+  ?shrink_failures:bool -> ?on_trial:(trial -> unit) -> config -> summary
+(** Run the whole campaign.  [on_trial] is called after each trial
+    (progress reporting). *)
+
+val flags : schedule -> string
+(** [hftsim chaos] command-line flags that replay this exact schedule
+    standalone ([--exact --seed ... --loss ... ...]). *)
+
+val pp_schedule : Format.formatter -> schedule -> unit

@@ -41,3 +41,12 @@ let series ?(out = std) ~title ~columns points =
 
 let check ?(out = std) ~label ok =
   Format.fprintf out "%-60s %s@." label (if ok then "PASS" else "FAIL")
+
+let channel_hardening ?(out = std) stats =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  Format.fprintf out
+    "channel faults : %d retransmits, %d duplicates dropped, %d corruptions \
+     detected@."
+    (sum (fun s -> s.Hft_core.Stats.retransmits))
+    (sum (fun s -> s.Hft_core.Stats.duplicates_dropped))
+    (sum (fun s -> s.Hft_core.Stats.corruptions_detected))

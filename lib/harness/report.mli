@@ -26,3 +26,10 @@ val fnum : float -> string
 val check :
   ?out:Format.formatter -> label:string -> bool -> unit
 (** A PASS/FAIL line for invariant summaries in benchmark output. *)
+
+val channel_hardening :
+  ?out:Format.formatter -> Hft_core.Stats.t list -> unit
+(** One line summing the fair-lossy hardening counters (retransmits,
+    duplicates dropped, corruptions detected) over the given
+    per-hypervisor stats — shown alongside the section-4 numbers in
+    [hftsim] output. *)

@@ -1,5 +1,20 @@
 open Hft_sim
 
+type fault_model = {
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  delay_us : int;
+}
+
+let fair = { loss = 0.0; duplicate = 0.0; corrupt = 0.0; delay_us = 0 }
+
+type 'msg faults = {
+  model : fault_model;
+  rng : Rng.t;
+  corrupter : (int -> 'msg -> 'msg) option;
+}
+
 type 'msg t = {
   engine : Engine.t;
   lnk : Link.t;
@@ -7,11 +22,16 @@ type 'msg t = {
   mutable receiver : ('msg -> unit) option;
   mutable crashed : bool;
   mutable loss_plan : int -> bool;
+  mutable faults : 'msg faults option;
   mutable busy_until_ : Time.t;
   mutable sent : int;
   mutable bytes : int;
   mutable delivered : int;
   mutable in_flight_ : int;
+  mutable lost_ : int;
+  mutable duplicated_ : int;
+  mutable corrupted_ : int;
+  mutable delayed_ : int;
 }
 
 let create ~engine ~link ~name () =
@@ -22,11 +42,16 @@ let create ~engine ~link ~name () =
     receiver = None;
     crashed = false;
     loss_plan = (fun _ -> false);
+    faults = None;
     busy_until_ = Time.zero;
     sent = 0;
     bytes = 0;
     delivered = 0;
     in_flight_ = 0;
+    lost_ = 0;
+    duplicated_ = 0;
+    corrupted_ = 0;
+    delayed_ = 0;
   }
 
 let name t = t.name_
@@ -37,6 +62,52 @@ let connect t f =
   | Some _ -> invalid_arg "Channel.connect: receiver already installed"
   | None -> ());
   t.receiver <- Some f
+
+let set_fault_model t ~rng ?corrupter model =
+  if
+    model.loss < 0.0 || model.loss >= 1.0
+    || model.duplicate < 0.0 || model.duplicate > 1.0
+    || model.corrupt < 0.0 || model.corrupt > 1.0
+    || model.delay_us < 0
+  then invalid_arg "Channel.set_fault_model: rates out of range";
+  t.faults <- Some { model; rng; corrupter }
+
+let clear_fault_model t = t.faults <- None
+
+let deliver t arrival msg =
+  t.in_flight_ <- t.in_flight_ + 1;
+  ignore
+    (Engine.at t.engine arrival (fun () ->
+         t.in_flight_ <- t.in_flight_ - 1;
+         t.delivered <- t.delivered + 1;
+         match t.receiver with
+         | Some f -> f msg
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Channel %s: delivery with no receiver" t.name_)))
+
+(* Draw the fault dice for one copy of a message: an extra network
+   delay (queueing beyond serialization — this is what breaks FIFO
+   order) and possible payload damage. *)
+let faulty_copy t f msg =
+  let jitter =
+    if f.model.delay_us = 0 then Time.zero
+    else begin
+      let d = Rng.int f.rng (f.model.delay_us + 1) in
+      if d > 0 then t.delayed_ <- t.delayed_ + 1;
+      Time.of_us d
+    end
+  in
+  let msg =
+    if Rng.chance f.rng f.model.corrupt then begin
+      t.corrupted_ <- t.corrupted_ + 1;
+      match f.corrupter with
+      | Some c -> c (Int64.to_int (Int64.logand (Rng.bits64 f.rng) 0xFFFFL)) msg
+      | None -> msg
+    end
+    else msg
+  in
+  (jitter, msg)
 
 let send t ~bytes msg =
   if not t.crashed then begin
@@ -50,17 +121,23 @@ let send t ~bytes msg =
       Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
         ~source:t.name_ "drop #%d (%dB)" seq bytes
     else begin
-      t.in_flight_ <- t.in_flight_ + 1;
-      ignore
-        (Engine.at t.engine arrival (fun () ->
-             t.in_flight_ <- t.in_flight_ - 1;
-             t.delivered <- t.delivered + 1;
-             match t.receiver with
-             | Some f -> f msg
-             | None ->
-               invalid_arg
-                 (Printf.sprintf "Channel %s: delivery with no receiver"
-                    t.name_)))
+      match t.faults with
+      | None -> deliver t arrival msg
+      | Some f ->
+        if Rng.chance f.rng f.model.loss then begin
+          t.lost_ <- t.lost_ + 1;
+          Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
+            ~source:t.name_ "fault-drop #%d (%dB)" seq bytes
+        end
+        else begin
+          let jitter, msg' = faulty_copy t f msg in
+          deliver t (Time.add arrival jitter) msg';
+          if Rng.chance f.rng f.model.duplicate then begin
+            t.duplicated_ <- t.duplicated_ + 1;
+            let jitter2, msg'' = faulty_copy t f msg in
+            deliver t (Time.add arrival jitter2) msg''
+          end
+        end
     end
   end
 
@@ -75,3 +152,7 @@ let messages_sent t = t.sent
 let bytes_sent t = t.bytes
 let messages_delivered t = t.delivered
 let busy_until t = t.busy_until_
+let faults_lost t = t.lost_
+let faults_duplicated t = t.duplicated_
+let faults_corrupted t = t.corrupted_
+let faults_delayed t = t.delayed_

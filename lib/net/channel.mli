@@ -1,6 +1,7 @@
-(** Unidirectional FIFO message channel between two hypervisors.
+(** Unidirectional message channel between two hypervisors.
 
-    Matches the communication assumptions of section 2 of the paper:
+    With no fault model installed the channel matches the communication
+    assumptions of section 2 of the paper:
 
     - delivery is FIFO: messages arrive in the order sent;
     - a processor crash loses no message already sent — everything in
@@ -14,9 +15,30 @@
     link to become free (serialization), then takes the link's
     per-message overhead plus wire time.  A deterministic loss plan
     can drop selected messages, used by tests that probe the revised
-    protocol's reasoning about unacknowledged messages. *)
+    protocol's reasoning about unacknowledged messages.
+
+    A {!fault_model} downgrades the channel to {e fair-lossy}:
+    messages may additionally be dropped, delayed past later messages
+    (breaking FIFO), duplicated, or corrupted, with every coin flip
+    drawn from a caller-supplied seeded {!Hft_sim.Rng.t} so campaign
+    trials replay exactly. *)
 
 type 'msg t
+
+(** Randomized fault model for chaos campaigns.  Probabilities are per
+    message; [delay_us] is the maximum extra delivery delay, drawn
+    uniformly in [0, delay_us], applied after serialization (so a
+    large draw lets a later message overtake this one). *)
+type fault_model = {
+  loss : float;  (** drop probability, [0 <= loss < 1] *)
+  duplicate : float;  (** second-copy probability *)
+  corrupt : float;  (** payload-damage probability *)
+  delay_us : int;  (** max extra delay, microseconds *)
+}
+
+val fair : fault_model
+(** The identity model: no loss, no duplication, no corruption, no
+    jitter. *)
 
 val create :
   engine:Hft_sim.Engine.t ->
@@ -51,12 +73,35 @@ val set_loss_plan : 'msg t -> (int -> bool) -> unit
     sends) whenever [p n] is true.  Dropped messages consume link time
     but are not delivered. *)
 
+val set_fault_model :
+  'msg t ->
+  rng:Hft_sim.Rng.t ->
+  ?corrupter:(int -> 'msg -> 'msg) ->
+  fault_model ->
+  unit
+(** Install a randomized fault model.  [corrupter flip msg] produces
+    the damaged copy of [msg] (for the hypervisor channel this is
+    {!Hft_core.Message.corrupt}); without it corruption draws still
+    consume randomness but deliver the message intact.  Faults compose
+    with the deterministic loss plan (the plan is consulted first).
+    Raises [Invalid_argument] if a rate is out of range. *)
+
+val clear_fault_model : 'msg t -> unit
+
 val in_flight : 'msg t -> int
 (** Messages sent but not yet delivered (excluding dropped ones). *)
 
 val messages_sent : 'msg t -> int
 val bytes_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
+
+val faults_lost : 'msg t -> int
+(** Messages dropped by the fault model (not the loss plan). *)
+
+val faults_duplicated : 'msg t -> int
+val faults_corrupted : 'msg t -> int
+val faults_delayed : 'msg t -> int
+(** Messages given a nonzero extra delay. *)
 
 val busy_until : 'msg t -> Hft_sim.Time.t
 (** Time at which the link becomes idle. *)

@@ -1,0 +1,83 @@
+(* Chaos-campaign smoke tests: a fixed-seed slice of what `hftsim
+   chaos` runs at scale.  The hardened protocol must survive every
+   sampled fault schedule; with retransmission disabled the campaign
+   must catch at least one assumption violation, and the shrunk
+   schedule must reproduce it standalone. *)
+
+open Hft_core
+open Hft_harness
+
+let workload = Hft_guest.Workload.mixed ~compute:50 ~ops:6 ()
+
+let smoke_config ?params ~trials ~seed () =
+  Campaign.default_config ?params ~workload ~trials ~seed ()
+
+let chaos_tests =
+  let open Alcotest in
+  [
+    test_case "hardened: 20 mixed-fault trials, zero violations" `Quick
+      (fun () ->
+        let cfg = smoke_config ~trials:20 ~seed:2026 () in
+        let s = Campaign.run ~shrink_failures:false cfg in
+        List.iter
+          (fun (t : Campaign.trial) ->
+            check (list string)
+              (Printf.sprintf "trial %d (%s)" t.Campaign.index
+                 (Campaign.flags t.Campaign.schedule))
+              [] t.Campaign.violations)
+          s.Campaign.trials;
+        (* the campaign must actually have exercised the channel *)
+        check bool "faults were injected" true
+          (List.exists
+             (fun (t : Campaign.trial) -> t.Campaign.faults_injected > 100)
+             s.Campaign.trials);
+        check bool "retransmission did the healing" true
+          (List.exists
+             (fun (t : Campaign.trial) -> t.Campaign.retransmits > 0)
+             s.Campaign.trials));
+    test_case
+      "unhardened: a violation is caught, shrunk and reproduced standalone"
+      `Quick (fun () ->
+        let params = Params.with_retransmit Params.default false in
+        let cfg = smoke_config ~params ~trials:6 ~seed:2026 () in
+        let s = Campaign.run ~shrink_failures:false cfg in
+        (match s.Campaign.failures with
+        | [] ->
+          fail "no violation found: the campaign lost its teeth"
+        | ((t : Campaign.trial), _) :: _ ->
+          let reference = Campaign.reference cfg in
+          (* the (seed, schedule) pair alone replays the failure *)
+          let again =
+            Campaign.run_trial cfg ~reference ~index:0 t.Campaign.schedule
+          in
+          check bool "standalone reproduction fails too" true
+            (again.Campaign.violations <> []);
+          check (list string) "identical violations on replay"
+            t.Campaign.violations again.Campaign.violations;
+          let shrunk = Campaign.shrink cfg ~reference t.Campaign.schedule in
+          let small =
+            Campaign.run_trial cfg ~reference ~index:0 shrunk
+          in
+          check bool "shrunk schedule still fails" true
+            (small.Campaign.violations <> []);
+          check bool "shrinking reduced the fault intensity" true
+            (shrunk.Campaign.loss <= t.Campaign.schedule.Campaign.loss
+            && shrunk.Campaign.corrupt <= t.Campaign.schedule.Campaign.corrupt)));
+    test_case "a schedule is deterministic: same seed, same trial" `Quick
+      (fun () ->
+        let cfg = smoke_config ~trials:1 ~seed:7 () in
+        let reference = Campaign.reference cfg in
+        let sched =
+          Campaign.generate cfg (Hft_sim.Rng.create cfg.Campaign.master_seed)
+        in
+        let a = Campaign.run_trial cfg ~reference ~index:0 sched in
+        let b = Campaign.run_trial cfg ~reference ~index:0 sched in
+        check (list string) "same violations" a.Campaign.violations
+          b.Campaign.violations;
+        check int "same fault count" a.Campaign.faults_injected
+          b.Campaign.faults_injected;
+        check int "same retransmit count" a.Campaign.retransmits
+          b.Campaign.retransmits);
+  ]
+
+let () = Alcotest.run "hft_chaos" [ ("chaos-smoke", chaos_tests) ]

@@ -346,7 +346,10 @@ let lag_tests =
    model is unattainable (the two-generals problem, section 2.2);
    these tests document what the implementation does — and that the
    environment-consistency checker catches the damage when it
-   matters. *)
+   matters.  Retransmission is switched off so the bare protocol's
+   behaviour stays observable; the hardened runs follow below. *)
+let unhardened = Params.with_retransmit small_params false
+
 let assumption_violation_tests =
   let open Alcotest in
   [
@@ -358,7 +361,7 @@ let assumption_violation_tests =
            The split brain is harmless without environment output, and
            the deterministic guest even stays in lockstep. *)
         let w = Workload.dhrystone ~iterations:30_000 in
-        let sys = System.create ~params:small_params ~workload:w () in
+        let sys = System.create ~params:unhardened ~workload:w () in
         Hft_net.Channel.set_loss_plan (System.channel_to_backup sys)
           (fun n -> n = 50);
         let o = System.run sys in
@@ -372,7 +375,7 @@ let assumption_violation_tests =
            environment sees two processors — exactly what the
            single-processor-consistency checker exists to catch. *)
         let w = Workload.disk_write ~ops:3 ~pad:30 ~spin:30 () in
-        let sys = System.create ~params:small_params ~workload:w () in
+        let sys = System.create ~params:unhardened ~workload:w () in
         Hft_net.Channel.set_loss_plan (System.channel_to_primary sys)
           (fun n -> n = 4);
         let o = System.run sys in
@@ -394,7 +397,7 @@ let assumption_violation_tests =
            first boundary wait, so dropping one early ack is covered
            by any later one and nothing is lost *)
         let w = Workload.clock_sampler ~samples:500 in
-        let params = Params.with_epoch_length small_params 20_000 in
+        let params = Params.with_epoch_length unhardened 20_000 in
         let sys = System.create ~params ~workload:w () in
         Hft_net.Channel.set_loss_plan (System.channel_to_primary sys)
           (fun n -> n = 5);
@@ -402,6 +405,112 @@ let assumption_violation_tests =
         check bool "no failover" false o.System.failover;
         check int "all samples" 500 o.System.results.Guest_results.ops;
         check (list int) "still in lockstep" [] o.System.lockstep_mismatches);
+  ]
+
+(* The same channel abuse with the hardening left on: checksums turn
+   corruption into loss, and the ack-driven retransmission queue turns
+   loss into latency, so the paper's reliable-FIFO assumption is
+   re-established underneath the unchanged protocol. *)
+let hardened_channel_tests =
+  let open Alcotest in
+  let total_retransmits sys =
+    (Hypervisor.stats (System.primary sys)).Hft_core.Stats.retransmits
+    + (Hypervisor.stats (System.backup sys)).Hft_core.Stats.retransmits
+  in
+  [
+    test_case "a lost coordination message is retransmitted, not fatal"
+      `Quick (fun () ->
+        (* the same drop that splits the brain in the unhardened run
+           above: now the sender's timer re-offers it and replication
+           simply continues *)
+        let w = Workload.dhrystone ~iterations:30_000 in
+        let sys = System.create ~params:small_params ~workload:w () in
+        Hft_net.Channel.set_loss_plan (System.channel_to_backup sys)
+          (fun n -> n = 50);
+        let o = System.run sys in
+        check bool "no failover" false o.System.failover;
+        check int "all iterations" 30_000 o.System.results.Guest_results.ops;
+        check (list int) "lockstep clean" [] o.System.lockstep_mismatches;
+        check bool "the loss was healed by retransmission" true
+          (total_retransmits sys > 0));
+    test_case "a lost acknowledgement is retransmitted: one writer only"
+      `Quick (fun () ->
+        let w = Workload.disk_write ~ops:3 ~pad:30 ~spin:30 () in
+        let sys = System.create ~params:small_params ~workload:w () in
+        Hft_net.Channel.set_loss_plan (System.channel_to_primary sys)
+          (fun n -> n = 4);
+        let o = System.run sys in
+        check bool "no failover" false o.System.failover;
+        check int "all writes" 3 o.System.results.Guest_results.ops;
+        check bool "disk consistent" true o.System.disk_consistent;
+        let ports =
+          List.sort_uniq Int.compare
+            (List.map
+               (fun e -> e.Hft_devices.Disk.Log.port)
+               (Hft_devices.Disk.Log.entries (System.disk sys)))
+        in
+        check int "single writer" 1 (List.length ports));
+    test_case "sustained random loss and corruption are absorbed" `Quick
+      (fun () ->
+        let w = Workload.mixed ~compute:60 ~ops:6 () in
+        let sys = System.create ~params:small_params ~workload:w () in
+        System.install_fault_model sys ~rng:(Hft_sim.Rng.create 2024)
+          {
+            Hft_net.Channel.loss = 0.15;
+            duplicate = 0.1;
+            corrupt = 0.05;
+            delay_us = 300;
+          };
+        let o = System.run sys in
+        check bool "no failover" false o.System.failover;
+        check (list int) "lockstep clean" [] o.System.lockstep_mismatches;
+        check bool "disk consistent" true o.System.disk_consistent;
+        let st p = Hypervisor.stats p in
+        let b = st (System.backup sys) in
+        check bool "corruption was detected" true
+          (b.Hft_core.Stats.corruptions_detected
+           + (st (System.primary sys)).Hft_core.Stats.corruptions_detected
+          > 0);
+        check bool "faults were actually injected" true
+          (System.faults_injected sys > 0));
+    test_case "reintegration completes while the channel drops messages"
+      `Quick (fun () ->
+        (* satellite of the chaos work: the snapshot offer, the
+           streamed state and the resumed replication all cross a
+           lossy channel; retransmission must carry each of them *)
+        let w = Workload.dhrystone ~iterations:60_000 in
+        let sys = System.create ~params:small_params ~workload:w () in
+        System.install_fault_model sys ~rng:(Hft_sim.Rng.create 77)
+          { Hft_net.Channel.fair with Hft_net.Channel.loss = 0.15 };
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 5);
+        System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms 5);
+        let o = System.run sys in
+        check bool "failover" true o.System.failover;
+        check int "all iterations" 60_000 o.System.results.Guest_results.ops;
+        check bool "revived node executed" true
+          (Hypervisor.halted (System.primary sys)
+          || Hypervisor.epoch (System.primary sys) > 0);
+        check (list int) "post-reintegration lockstep clean" []
+          o.System.lockstep_mismatches;
+        check bool "loss hit the reintegration traffic" true
+          (total_retransmits sys > 0));
+    test_case "reintegration survives loss with jitter and duplication"
+      `Quick (fun () ->
+        let w = Workload.disk_write ~ops:4 ~pad:30 ~spin:40 () in
+        let sys = System.create ~params:small_params ~workload:w () in
+        System.install_fault_model sys ~rng:(Hft_sim.Rng.create 4242)
+          {
+            Hft_net.Channel.loss = 0.1;
+            duplicate = 0.1;
+            corrupt = 0.05;
+            delay_us = 200;
+          };
+        System.crash_primary_at sys (Hft_sim.Time.of_ms 5);
+        System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms 5);
+        let o = System.run sys in
+        check bool "failover" true o.System.failover;
+        check int "all writes" 4 o.System.results.Guest_results.ops;
+        check bool "disk consistent" true o.System.disk_consistent);
   ]
 
 let () =
@@ -413,6 +522,7 @@ let () =
       ("device-faults", device_fault_tests);
       ("backup-lag", lag_tests);
       ("assumption-violations", assumption_violation_tests);
+      ("hardened-channel", hardened_channel_tests);
       ( "properties",
         [
           QCheck_alcotest.to_alcotest random_crash_prop;

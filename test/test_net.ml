@@ -132,6 +132,96 @@ let channel_tests =
         check bool "atm faster" true Time.(run Link.atm < run Link.ethernet));
   ]
 
+let fault_tests =
+  let open Alcotest in
+  let run_faulty ~seed ?corrupter model n =
+    let e = Engine.create () in
+    let ch = mk_channel e in
+    Channel.set_fault_model ch ~rng:(Rng.create seed) ?corrupter model;
+    let got = ref [] in
+    Channel.connect ch (fun m -> got := m :: !got);
+    for i = 0 to n - 1 do
+      Channel.send ch ~bytes:64 i
+    done;
+    Engine.run e;
+    (ch, List.rev !got)
+  in
+  [
+    test_case "fair model is the identity" `Quick (fun () ->
+        let ch, got = run_faulty ~seed:1 Channel.fair 50 in
+        check (list int) "all delivered in order" (List.init 50 Fun.id) got;
+        check int "no loss" 0 (Channel.faults_lost ch);
+        check int "no dup" 0 (Channel.faults_duplicated ch);
+        check int "no corruption" 0 (Channel.faults_corrupted ch);
+        check int "no jitter" 0 (Channel.faults_delayed ch));
+    test_case "loss drops roughly the configured fraction" `Quick (fun () ->
+        let model = { Channel.fair with Channel.loss = 0.3 } in
+        let ch, got = run_faulty ~seed:7 model 1000 in
+        let lost = Channel.faults_lost ch in
+        check int "conservation" 1000 (List.length got + lost);
+        check bool "close to 300" true (lost > 200 && lost < 400));
+    test_case "same seed replays the same fault pattern" `Quick (fun () ->
+        let model =
+          { Channel.loss = 0.2; duplicate = 0.1; corrupt = 0.;
+            delay_us = 500 }
+        in
+        let _, a = run_faulty ~seed:99 model 200 in
+        let _, b = run_faulty ~seed:99 model 200 in
+        let _, c = run_faulty ~seed:100 model 200 in
+        check (list int) "identical" a b;
+        check bool "different seed differs" true (a <> c));
+    test_case "duplication delivers extra copies" `Quick (fun () ->
+        let model = { Channel.fair with Channel.duplicate = 0.5 } in
+        let ch, got = run_faulty ~seed:3 model 200 in
+        let dups = Channel.faults_duplicated ch in
+        check bool "some duplicates" true (dups > 50);
+        check int "copies accounted" (200 + dups) (List.length got));
+    test_case "corrupter rewrites the payload" `Quick (fun () ->
+        let model = { Channel.fair with Channel.corrupt = 1.0 } in
+        let corrupter _flip m = m + 1000 in
+        let ch, got = run_faulty ~seed:5 ~corrupter model 20 in
+        check int "all corrupted" 20 (Channel.faults_corrupted ch);
+        check bool "all payloads rewritten" true
+          (List.for_all (fun m -> m >= 1000) got));
+    test_case "jitter can reorder delivery" `Quick (fun () ->
+        let model = { Channel.fair with Channel.delay_us = 5_000 } in
+        let _, got = run_faulty ~seed:11 model 100 in
+        check int "nothing lost" 100 (List.length got);
+        check bool "FIFO broken by jitter" true
+          (got <> List.sort compare got);
+        check (list int) "same multiset" (List.init 100 Fun.id)
+          (List.sort compare got));
+    test_case "invalid rates are rejected" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        let raises m =
+          try
+            Channel.set_fault_model ch ~rng:(Rng.create 1) m;
+            false
+          with Invalid_argument _ -> true
+        in
+        check bool "loss 1.0" true
+          (raises { Channel.fair with Channel.loss = 1.0 });
+        check bool "negative dup" true
+          (raises { Channel.fair with Channel.duplicate = -0.1 });
+        check bool "negative delay" true
+          (raises { Channel.fair with Channel.delay_us = -1 }));
+    test_case "clear_fault_model restores reliable FIFO" `Quick (fun () ->
+        let e = Engine.create () in
+        let ch = mk_channel e in
+        Channel.set_fault_model ch ~rng:(Rng.create 13)
+          { Channel.fair with Channel.loss = 0.9 };
+        Channel.clear_fault_model ch;
+        let got = ref [] in
+        Channel.connect ch (fun m -> got := m :: !got);
+        for i = 0 to 19 do
+          Channel.send ch ~bytes:64 i
+        done;
+        Engine.run e;
+        check (list int) "all delivered" (List.init 20 Fun.id)
+          (List.rev !got));
+  ]
+
 let fifo_property =
   QCheck.Test.make ~name:"channel preserves order for any size mix" ~count:100
     (QCheck.make
@@ -150,4 +240,5 @@ let () =
     [
       ("link", link_tests);
       ("channel", channel_tests @ [ QCheck_alcotest.to_alcotest fifo_property ]);
+      ("fault-model", fault_tests);
     ]

@@ -3,7 +3,7 @@
 
 open Hft_core
 
-let msg seq body = { Message.seq; body }
+let msg seq body = Message.make ~seq body
 
 let message_tests =
   let open Alcotest in
