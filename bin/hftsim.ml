@@ -617,6 +617,129 @@ let selftest_cmd =
          "Run the conformance matrix: every workload replicated with           lockstep checking, protocol/mechanism variants, failover and           reintegration.")
     Term.(ret (const action $ const ()))
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let all_names =
+    [
+      "cpu"; "write"; "read"; "mixed"; "clock"; "timer"; "hello"; "probe";
+      "masked"; "queued"; "server";
+    ]
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Lint every named workload, as assembled and after object-code \
+             editing at the default epoch length.")
+  in
+  let image_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "image" ] ~docv:"FILE"
+          ~doc:"Lint a saved program image (HFT1 format) instead of a \
+                workload.")
+  in
+  let rewrite_el =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rewrite" ] ~docv:"EL"
+          ~doc:
+            "Rewrite the image for object-code editing with this epoch \
+             length first, then lint the result with the rewritten-image \
+             rules (counter-register reservation, cycle coverage).")
+  in
+  let rewritten_arg =
+    Arg.(
+      value & flag
+      & info [ "rewritten" ]
+          ~doc:
+            "Treat the input as already rewritten: apply the \
+             rewritten-image rules without editing it again (for images \
+             saved with $(b,disasm --rewrite --save)).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
+  in
+  let lint_one ~title ~rewritten ~rewrite_el ~data_init program =
+    let program, rewritten =
+      match rewrite_el with
+      | Some el -> (Hft_machine.Rewrite.rewrite_program ~every:el program, true)
+      | None -> (program, rewritten)
+    in
+    let fs = Hft_analysis.Analysis.check ~rewritten ~data_init program in
+    Hft_harness.Report.findings ~title fs;
+    fs
+  in
+  let action workload all image rewrite_el rewritten strict =
+    let runs =
+      if all then
+        List.concat_map
+          (fun name ->
+            match workload_of_string name with
+            | Error (`Msg m) -> failwith m
+            | Ok w ->
+              let data_init =
+                List.map fst w.Hft_guest.Workload.config
+              in
+              let el = Params.default.Params.epoch_length in
+              let plain =
+                lint_one ~title:(name ^ " (as assembled)") ~rewritten:false
+                  ~rewrite_el:None ~data_init w.Hft_guest.Workload.program
+              in
+              let rewritten =
+                lint_one
+                  ~title:(Printf.sprintf "%s (rewritten, EL=%d)" name el)
+                  ~rewritten:false ~rewrite_el:(Some el) ~data_init
+                  w.Hft_guest.Workload.program
+              in
+              [ plain; rewritten ])
+          all_names
+      else
+        match image with
+        | Some path ->
+          let program = Hft_machine.Image.load ~path in
+          [ lint_one ~title:path ~rewritten ~rewrite_el ~data_init:[] program ]
+        | None ->
+          [
+            lint_one ~title:workload.Hft_guest.Workload.name ~rewritten
+              ~rewrite_el
+              ~data_init:(List.map fst workload.Hft_guest.Workload.config)
+              workload.Hft_guest.Workload.program;
+          ]
+    in
+    let findings = List.concat runs in
+    let errors = List.length (Hft_analysis.Finding.errors findings) in
+    let warnings = List.length (Hft_analysis.Finding.warnings findings) in
+    if List.length runs > 1 then
+      Format.printf "@.%d image(s): %s@." (List.length runs)
+        (Hft_analysis.Finding.summary findings);
+    if errors > 0 then
+      `Error (false, Printf.sprintf "%d lint error(s)" errors)
+    else if strict && warnings > 0 then
+      `Error (false, Printf.sprintf "%d lint warning(s) with --strict" warnings)
+    else `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ workload_arg $ all_arg $ image_arg $ rewrite_el
+       $ rewritten_arg $ strict_arg))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a guest image against the paper's assumptions: \
+          privilege/virtualizability (section 3.1), determinism of replica \
+          inputs, and epoch-counting safety (section 2.1).  Exits non-zero \
+          if any error-severity finding is reported.")
+    term
+
 (* ---------- disasm ---------- *)
 
 let disasm_cmd =
@@ -672,6 +795,7 @@ let () =
             chaos_cmd;
             model_cmd;
             trace_cmd;
+            lint_cmd;
             disasm_cmd;
             selftest_cmd;
           ]))

@@ -1,0 +1,141 @@
+open Hft_machine
+
+module type DOMAIN = sig
+  type state
+
+  val equal : state -> state -> bool
+  val join : state -> state -> state
+  val transfer : int -> Isa.instr -> state -> state
+end
+
+module Make (D : DOMAIN) = struct
+  let solve (cfg : Cfg.t) ~entries =
+    let n = Array.length cfg.Cfg.code in
+    let states = Array.make n None in
+    let work = Queue.create () in
+    let queued = Array.make n false in
+    let push a =
+      if not queued.(a) then begin
+        queued.(a) <- true;
+        Queue.push a work
+      end
+    in
+    let update a s =
+      match states.(a) with
+      | None ->
+        states.(a) <- Some s;
+        push a
+      | Some old ->
+        let j = D.join old s in
+        if not (D.equal j old) then begin
+          states.(a) <- Some j;
+          push a
+        end
+    in
+    List.iter (fun (a, s) -> if a >= 0 && a < n then update a s) entries;
+    while not (Queue.is_empty work) do
+      let a = Queue.pop work in
+      queued.(a) <- false;
+      match states.(a) with
+      | None -> ()
+      | Some s ->
+        let out = D.transfer a cfg.Cfg.code.(a) s in
+        List.iter (fun succ -> update succ out) cfg.Cfg.succs.(a)
+    done;
+    states
+end
+
+module Value = struct
+  type t = Bot | Const of int | Taint | Top
+
+  let join a b =
+    match (a, b) with
+    | Bot, v | v, Bot -> v
+    | Const x, Const y when x = y -> Const x
+    | Taint, Taint -> Taint
+    | _ -> Top
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Taint, Taint | Top, Top -> true
+    | Const x, Const y -> x = y
+    | _ -> false
+
+  let pp fmt = function
+    | Bot -> Format.pp_print_string fmt "bot"
+    | Const v -> Format.fprintf fmt "const %a" Word.pp v
+    | Taint -> Format.pp_print_string fmt "priv-taint"
+    | Top -> Format.pp_print_string fmt "top"
+end
+
+module Consts = struct
+  type state = Value.t array
+
+  let reg st r =
+    if r = 0 then Value.Const 0
+    else match st with None -> Value.Top | Some s -> s.(r)
+
+  let get (s : state) r = if r = 0 then Value.Const 0 else s.(r)
+
+  let set (s : state) r v =
+    if r = 0 then s
+    else begin
+      let s' = Array.copy s in
+      s'.(r) <- v;
+      s'
+    end
+
+  let word_alu (op : Isa.alu_op) a b =
+    match op with
+    | Isa.Add -> Word.add a b
+    | Isa.Sub -> Word.sub a b
+    | Isa.Mul -> Word.mul a b
+    | Isa.Divu -> Word.divu a b
+    | Isa.Remu -> Word.remu a b
+    | Isa.And -> Word.logand a b
+    | Isa.Or -> Word.logor a b
+    | Isa.Xor -> Word.logxor a b
+    | Isa.Sll -> Word.shift_left a b
+    | Isa.Srl -> Word.shift_right_logical a b
+    | Isa.Sra -> Word.shift_right_arith a b
+    | Isa.Slt -> if Word.lt_signed a b then 1 else 0
+    | Isa.Sltu -> if Word.lt_unsigned a b then 1 else 0
+
+  let eval op a b =
+    match ((a : Value.t), (b : Value.t)) with
+    | Value.Const x, Value.Const y -> Value.Const (word_alu op x y)
+    | Value.Bot, _ | _, Value.Bot -> Value.Bot
+    | Value.Taint, _ | _, Value.Taint -> Value.Taint
+    | _ -> Value.Top
+
+  module D = struct
+    type nonrec state = state
+
+    let equal a b = Array.for_all2 Value.equal a b
+    let join a b = Array.map2 Value.join a b
+
+    let transfer _addr (i : Isa.instr) s =
+      match i with
+      | Isa.Ldi (rd, v) -> set s rd (Value.Const (Word.mask v))
+      | Isa.Alu (op, rd, r1, r2) -> set s rd (eval op (get s r1) (get s r2))
+      | Isa.Alui (op, rd, rs, imm) ->
+        set s rd (eval op (get s rs) (Value.Const (Word.of_signed imm)))
+      | Isa.Ld (rd, _, _)
+      | Isa.Mfcr (rd, _)
+      | Isa.Rdtod rd
+      | Isa.Rdtmr rd ->
+        set s rd Value.Top
+      | Isa.Jal (rd, _) | Isa.Probe rd -> set s rd Value.Taint
+      | Isa.Nop | Isa.St _ | Isa.Br _ | Isa.Jmp _ | Isa.Jr _ | Isa.Halt
+      | Isa.Wfi | Isa.Wrtmr _ | Isa.Out _ | Isa.Trapc _ | Isa.Mtcr _
+      | Isa.Tlbw _ | Isa.Rfi ->
+        s
+  end
+
+  module Solver = Make (D)
+
+  let solve cfg =
+    let top () = Array.make Isa.num_regs Value.Top in
+    let entries = List.map (fun r -> (r, top ())) cfg.Cfg.roots in
+    Solver.solve cfg ~entries
+end

@@ -1,0 +1,52 @@
+(** A small abstract-interpretation framework over {!Cfg}: a worklist
+    fixpoint at instruction granularity, plus the shared value domain
+    (constants and privilege taint) the checkers build on.
+
+    Domains must be join-semilattices of finite height; [transfer]
+    must be monotone.  The solver seeds the given entry states and
+    propagates until the in-state of every reachable instruction is
+    stable.  Unreachable instructions get no state ([None]) — checkers
+    skip them rather than reporting on dead code. *)
+
+module type DOMAIN = sig
+  type state
+
+  val equal : state -> state -> bool
+  val join : state -> state -> state
+
+  val transfer : int -> Hft_machine.Isa.instr -> state -> state
+  (** [transfer addr instr s]: abstract post-state of executing
+      [instr] at [addr] in pre-state [s]. *)
+end
+
+module Make (D : DOMAIN) : sig
+  val solve : Cfg.t -> entries:(int * D.state) list -> D.state option array
+  (** In-state of every instruction; [None] if no entry reaches it. *)
+end
+
+(** The value lattice: bottom, a known constant, a value carrying the
+    privilege-level deposit of [Jal]/[Probe] (the section 3.1 quirk),
+    or unknown. *)
+module Value : sig
+  type t = Bot | Const of int | Taint | Top
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Constant propagation with privilege-taint tracking over the
+    register file.  Register 0 is pinned to [Const 0]; boot-time
+    registers are [Top] (the paper does not assume replicas boot with
+    identical register files — the determinism checker enforces
+    writes-before-reads instead). *)
+module Consts : sig
+  type state = Value.t array  (** indexed by register *)
+
+  val solve : Cfg.t -> state option array
+  (** In-states seeded [Top]-everywhere at each {!Cfg.t.roots}. *)
+
+  val reg : state option -> int -> Value.t
+  (** [reg st r]: [r]'s abstract value, [Top] when the state is
+      unavailable; [Const 0] for register 0. *)
+end

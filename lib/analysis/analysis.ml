@@ -1,0 +1,31 @@
+open Hft_machine
+
+let cfg_findings ~syms (cfg : Cfg.t) =
+  List.map
+    (fun (addr, tgt) ->
+      Finding.v ~checker:"cfg" ~severity:Finding.Error ~addr
+        ~where:(Symtab.resolve syms addr)
+        (Format.asprintf
+           "control transfer to 0x%x, outside the %d-instruction program: \
+            executing it faults the machine"
+           tgt
+           (Array.length cfg.Cfg.code)))
+    cfg.Cfg.bad_targets
+
+let check ?(rewritten = false) ?(random_tlb = false) ?(data_init = [])
+    ?mmio_base (p : Asm.program) =
+  let cfg = Cfg.of_program p in
+  let syms = Symtab.of_program p in
+  let consts = Absint.Consts.solve cfg in
+  let findings =
+    cfg_findings ~syms cfg
+    @ Privilege.check ~syms cfg consts
+    @ Determinism.check ~syms ~rewritten ~random_tlb ~data_init ?mmio_base cfg
+        consts
+    @ Epoch.check ~syms ~rewritten cfg
+  in
+  List.stable_sort Finding.compare findings
+
+let pp_report fmt findings =
+  List.iter (fun f -> Format.fprintf fmt "%a@." Finding.pp f) findings;
+  Format.fprintf fmt "%s@." (Finding.summary findings)

@@ -1,0 +1,36 @@
+(** The analyzer entry point: run every checker over a guest image.
+
+    [check p] recovers control flow ({!Cfg}), symbolizes locations
+    ({!Symtab}), runs constant propagation ({!Absint.Consts}) once,
+    and hands the results to the three checkers — {!Privilege},
+    {!Determinism} and {!Epoch} — plus a control-flow sanity pass that
+    flags direct branches landing outside the program.  Findings come
+    back sorted errors-first ({!Finding.compare}).
+
+    Call it on the image that will actually execute: for the
+    recovery-register mechanism that is the assembled program
+    ([rewritten:false], the default); for section 2.1's object-code
+    editing it is the output of {!Hft_machine.Rewrite.rewrite_program}
+    ([rewritten:true]), which additionally verifies that every
+    reachable cycle crosses a counting site and that nothing clobbers
+    the reserved counter register.
+
+    The harness ({!Hft_harness.Scenario.replicated}) runs this before
+    every replicated run; [hftsim lint] exposes it on the command
+    line, exiting non-zero on errors. *)
+
+val check :
+  ?rewritten:bool ->
+  ?random_tlb:bool ->
+  ?data_init:int list ->
+  ?mmio_base:int ->
+  Hft_machine.Asm.program ->
+  Finding.t list
+(** [data_init] lists addresses the host writes before boot (a
+    workload's [config] addresses); defaults are [rewritten:false],
+    [random_tlb:false], [data_init:[]], and the default CPU
+    configuration's [mmio_base]. *)
+
+val pp_report : Format.formatter -> Finding.t list -> unit
+(** The full lint report: one {!Finding.pp} line per finding and a
+    {!Finding.summary} trailer. *)

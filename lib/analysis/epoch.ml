@@ -1,0 +1,125 @@
+open Hft_machine
+
+let checker = "epoch"
+
+let is_counting (i : Isa.instr) =
+  match i with
+  | Isa.Alui (Isa.Sub, rd, rs, _) ->
+    rd = Rewrite.counter_reg && rs = Rewrite.counter_reg
+  | _ -> false
+
+let writes_counter (i : Isa.instr) =
+  match i with
+  | Isa.Ldi (rd, _)
+  | Isa.Alu (_, rd, _, _)
+  | Isa.Alui (_, rd, _, _)
+  | Isa.Jal (rd, _)
+  | Isa.Probe rd
+  | Isa.Mfcr (rd, _)
+  | Isa.Rdtod rd
+  | Isa.Rdtmr rd ->
+    rd = Rewrite.counter_reg
+  | _ -> false
+
+let check ?(syms = Symtab.empty) ~rewritten (cfg : Cfg.t) =
+  let findings = ref [] in
+  let add severity addr msg =
+    findings :=
+      Finding.v ~checker ~severity ~addr ~where:(Symtab.resolve syms addr) msg
+      :: !findings
+  in
+  List.iter
+    (fun addr ->
+      if cfg.Cfg.reachable.(addr) then
+        match cfg.Cfg.code.(addr) with
+        | Isa.Jr rs ->
+          add Finding.Error addr
+            (Format.asprintf
+               "indirect jump through r%d, whose targets cannot be \
+                enumerated statically: epoch instrumentation cannot \
+                guarantee a counting site on loops through it, so an epoch \
+                could never end; route the jump through link values or \
+                constant code addresses"
+               rs)
+        | _ -> ())
+    cfg.Cfg.jr_unresolved;
+  Array.iteri
+    (fun addr instr ->
+      if cfg.Cfg.reachable.(addr) then
+        match (instr : Isa.instr) with
+        | Isa.Mtcr (Isa.Cr_rc, _) ->
+          add Finding.Error addr
+            "writes the recovery counter: epoch boundaries are the \
+             hypervisor's property, and a guest-written count desynchronizes \
+             the primary's and backup's epochs (section 2.1)"
+        | Isa.Mfcr (_, Isa.Cr_rc) ->
+          add Finding.Warning addr
+            "reads the recovery counter: the value is the hypervisor's \
+             remaining epoch budget, which differs from what the same code \
+             observes on the bare machine"
+        | Isa.Trapc c when c = Rewrite.epoch_marker_code ->
+          if rewritten then begin
+            let preceded_by_sequence =
+              addr >= 2
+              && (match cfg.Cfg.code.(addr - 1) with
+                 | Isa.Br (Isa.Ge, r, 0, _) -> r = Rewrite.counter_reg
+                 | _ -> false)
+              && is_counting cfg.Cfg.code.(addr - 2)
+            in
+            if not preceded_by_sequence then
+              add Finding.Error addr
+                "epoch-marker trap (code 255) outside a counting sequence: \
+                 the hypervisor would reload the instruction counter at a \
+                 point the rewriter never scheduled"
+          end
+          else
+            add Finding.Warning addr
+              (Format.asprintf
+                 "uses trap code %d, which is reserved for epoch markers: \
+                  the image cannot be rewritten for object-code editing"
+                 Rewrite.epoch_marker_code)
+        | _ -> ())
+    cfg.Cfg.code;
+  if rewritten then begin
+    Array.iteri
+      (fun addr instr ->
+        if
+          cfg.Cfg.reachable.(addr)
+          && writes_counter instr
+          && not (is_counting instr)
+        then
+          add Finding.Error addr
+            (Format.asprintf
+               "%a clobbers r%d, the register reserved for the software \
+                instruction counter: the epoch budget is lost and markers \
+                fire at the wrong points"
+               Isa.pp instr Rewrite.counter_reg))
+      cfg.Cfg.code;
+    (* Cycle coverage: cut every counting site out of the graph; any
+       cycle that survives is never counted, so its epoch never ends. *)
+    let cut = { cfg with Cfg.succs = Array.copy cfg.Cfg.succs } in
+    Array.iteri
+      (fun i instr ->
+        if is_counting instr then cut.Cfg.succs.(i) <- []
+        else
+          cut.Cfg.succs.(i) <-
+            List.filter
+              (fun s -> not (is_counting cfg.Cfg.code.(s)))
+              cfg.Cfg.succs.(i))
+      cfg.Cfg.code;
+    let uncounted = Cfg.on_cycle cut in
+    (* one finding per closing back-edge, not per cycle member *)
+    Array.iteri
+      (fun addr on ->
+        if on && cfg.Cfg.reachable.(addr) then
+          let closes =
+            List.exists (fun s -> s <= addr && uncounted.(s)) cut.Cfg.succs.(addr)
+          in
+          if closes then
+            add Finding.Error addr
+              "loop closed here contains no counting site: under \
+               object-code editing its epoch never ends and the backup \
+               waits forever for the next epoch boundary")
+      uncounted
+  end;
+  List.rev !findings

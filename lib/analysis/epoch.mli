@@ -1,0 +1,32 @@
+(** Epoch safety: the guarantees epoch counting depends on.
+
+    Epochs end either when the hardware recovery counter ({!
+    Hft_machine.Isa.cr} [Cr_rc]) underflows, or — under section 2.1's
+    object-code editing — when an inserted counting sequence
+    ([subi r15; bge r15; trapc 255]) fires.  Either way the counter is
+    the {e hypervisor's} property; this checker verifies the guest
+    never usurps it:
+
+    - [Mtcr Cr_rc] (error) and [Mfcr Cr_rc] (warning) in guest code:
+      the counter holds the hypervisor's epoch budget, not anything
+      the guest may depend on or redefine;
+    - an indirect jump whose targets cannot be enumerated statically
+      (error): {!Hft_machine.Rewrite.site_list} instruments every
+      enumerable [Jr] landing site, but a register with unanalyzable
+      defs defeats both the instrumentation and this analysis;
+    - a [Trapc] with the reserved epoch-marker code 255 in an image
+      that was not produced by the rewriter (warning);
+
+    and, with [~rewritten:true] (the image runs under object-code
+    editing):
+
+    - a write to the reserved counter register r15 that is neither a
+      counting [subi] nor a load (the kernel's save/restore
+      discipline) — error;
+    - an epoch-marker [Trapc] not preceded by its counting sequence —
+      error;
+    - a reachable cycle containing no counting site (error): its epoch
+      never ends, so the backup would wait forever for an epoch
+      boundary that never comes. *)
+
+val check : ?syms:Symtab.t -> rewritten:bool -> Cfg.t -> Finding.t list

@@ -1,0 +1,47 @@
+type severity = Error | Warning | Info
+
+type t = {
+  checker : string;
+  severity : severity;
+  addr : int;
+  where : string;
+  message : string;
+}
+
+let v ~checker ~severity ~addr ~where message =
+  { checker; severity; addr; where; message }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match Int.compare a.addr b.addr with
+    | 0 -> Stdlib.compare (a.checker, a.message) (b.checker, b.message)
+    | c -> c)
+  | c -> c
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let warnings fs = List.filter (fun f -> f.severity = Warning) fs
+let has_errors fs = List.exists (fun f -> f.severity = Error) fs
+
+let summary fs =
+  let count s = List.length (List.filter (fun f -> f.severity = s) fs) in
+  let ne = count Error and nw = count Warning and ni = count Info in
+  if ne = 0 && nw = 0 && ni = 0 then "clean"
+  else
+    let part n singular plural =
+      if n = 0 then [] else [ Printf.sprintf "%d %s" n (if n = 1 then singular else plural) ]
+    in
+    String.concat ", "
+      (part ne "error" "errors" @ part nw "warning" "warnings"
+      @ part ni "note" "notes")
+
+let pp fmt f =
+  Format.fprintf fmt "%s %s %s: %s" (severity_name f.severity) f.checker
+    f.where f.message

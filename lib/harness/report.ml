@@ -42,6 +42,11 @@ let series ?(out = std) ~title ~columns points =
 let check ?(out = std) ~label ok =
   Format.fprintf out "%-60s %s@." label (if ok then "PASS" else "FAIL")
 
+let findings ?(out = std) ~title fs =
+  Format.fprintf out "== lint: %s ==@." title;
+  List.iter (fun f -> Format.fprintf out "%a@." Hft_analysis.Finding.pp f) fs;
+  Format.fprintf out "%s@." (Hft_analysis.Finding.summary fs)
+
 let channel_hardening ?(out = std) stats =
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
   Format.fprintf out

@@ -27,6 +27,14 @@ val check :
   ?out:Format.formatter -> label:string -> bool -> unit
 (** A PASS/FAIL line for invariant summaries in benchmark output. *)
 
+val findings :
+  ?out:Format.formatter -> title:string -> Hft_analysis.Finding.t list -> unit
+(** Render a lint report: one line per finding
+    ({!Hft_analysis.Finding.pp}) under a titled header, then the
+    {!Hft_analysis.Finding.summary} line.  Used by [hftsim lint] and
+    by {!Scenario.replicated}'s pre-run gate when it rejects an
+    image. *)
+
 val channel_hardening :
   ?out:Format.formatter -> Hft_core.Stats.t list -> unit
 (** One line summing the fair-lossy hardening counters (retransmits,

@@ -15,7 +15,34 @@ let bare_time ?(params = Params.default) workload =
   let o = Bare.run b in
   o.Bare.time
 
-let replicated ?(lockstep = false) ~params workload =
+(* The image a run will actually execute: under code rewriting,
+   System.create rewrites with the configured epoch length. *)
+let lint ~params (w : Hft_guest.Workload.t) =
+  let rewritten = params.Params.epoch_mechanism = Params.Code_rewriting in
+  let program =
+    if rewritten then
+      Hft_machine.Rewrite.rewrite_program ~every:params.Params.epoch_length
+        w.Hft_guest.Workload.program
+    else w.Hft_guest.Workload.program
+  in
+  Hft_analysis.Analysis.check ~rewritten
+    ~data_init:(List.map fst w.Hft_guest.Workload.config)
+    program
+
+let replicated ?(lockstep = false) ?(lint_gate = true) ~params workload =
+  if lint_gate then begin
+    let fs = lint ~params workload in
+    if Hft_analysis.Finding.has_errors fs then begin
+      Report.findings ~out:Format.err_formatter
+        ~title:workload.Hft_guest.Workload.name fs;
+      failwith
+        (Printf.sprintf
+           "Scenario.replicated: image %S failed the static analyzer (%s); \
+            see hftsim lint"
+           workload.Hft_guest.Workload.name
+           (Hft_analysis.Finding.summary fs))
+    end
+  end;
   let sys = System.create ~params ~lockstep ~workload () in
   System.run sys
 

@@ -18,11 +18,27 @@ val bare_time : ?params:Hft_core.Params.t -> Hft_guest.Workload.t -> Hft_sim.Tim
 (** Time for the workload on the bare machine (independent of epoch
     length and protocol). *)
 
+val lint :
+  params:Hft_core.Params.t ->
+  Hft_guest.Workload.t ->
+  Hft_analysis.Finding.t list
+(** Static analysis of the image the run will execute: the workload's
+    program as assembled, or — under [Code_rewriting] — after
+    object-code editing with the configured epoch length.  The
+    workload's [config] addresses count as host-initialized memory. *)
+
 val replicated :
-  ?lockstep:bool -> params:Hft_core.Params.t -> Hft_guest.Workload.t -> Hft_core.System.outcome
+  ?lockstep:bool ->
+  ?lint_gate:bool ->
+  params:Hft_core.Params.t ->
+  Hft_guest.Workload.t ->
+  Hft_core.System.outcome
 (** One replicated run.  Lockstep checking defaults to off here —
     benchmark runs are long and hashing is expensive; tests enable
-    it. *)
+    it.  [lint_gate] (default on) runs {!lint} first and raises
+    [Failure] — after printing the report to stderr — if the analyzer
+    finds errors: a guest that violates the paper's assumptions would
+    diverge or wedge the replicas, so it never starts. *)
 
 val normalized :
   ?bare:Hft_sim.Time.t ->

@@ -168,6 +168,7 @@ type program = {
   code : Isa.instr array;
   labels : (string * int) list;
   code_refs : int list;
+  srclines : (int * string) list;
 }
 
 let assemble items =
@@ -190,15 +191,27 @@ let assemble items =
       | Some a -> a
       | None -> raise (Error (Printf.sprintf "undefined label %S" name)))
   in
-  (* Pass 2: emit, remembering which immediates hold code addresses. *)
+  (* Pass 2: emit, remembering which immediates hold code addresses
+     and attaching each comment to the next emitted instruction (the
+     "source line" the linter cites alongside label+offset). *)
   let code = ref [] and code_refs = ref [] and emitted = ref 0 in
+  let srclines = ref [] and pending = ref [] in
+  let flush_pending () =
+    if !pending <> [] then begin
+      srclines := (!emitted, String.concat "; " (List.rev !pending)) :: !srclines;
+      pending := []
+    end
+  in
   List.iter
     (function
-      | Label _ | Comment _ -> ()
+      | Label _ -> ()
+      | Comment text -> pending := text :: !pending
       | Fixed i ->
+        flush_pending ();
         code := i :: !code;
         incr emitted
       | Needs_target { build; target; code_ref } ->
+        flush_pending ();
         code := build (resolve target) :: !code;
         if code_ref then code_refs := !emitted :: !code_refs;
         incr emitted)
@@ -207,6 +220,7 @@ let assemble items =
     code = Array.of_list (List.rev !code);
     labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
     code_refs = List.rev !code_refs;
+    srclines = List.rev !srclines;
   }
 
 let find_label p name =

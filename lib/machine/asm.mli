@@ -41,7 +41,8 @@ val insn : Isa.instr -> item
 (** Embed a raw instruction. *)
 
 val comment : string -> item
-(** Ignored by the assembler; keeps sources readable. *)
+(** Attached to the next instruction as its source line (surfaced by
+    the static analyzers); emits no code. *)
 
 (* Ordinary instructions. *)
 
@@ -118,6 +119,10 @@ type program = private {
       (** addresses of instructions whose immediate holds a code
           address (e.g. loading the trap vector); binary rewriting
           must relocate these *)
+  srclines : (int * string) list;
+      (** (address, comment) provenance: each {!comment} bound to the
+          instruction that follows it, kept through rewriting and the
+          {!Image} format so lint findings can cite source context *)
 }
 
 exception Error of string

@@ -15,6 +15,12 @@ let to_string (p : Asm.program) =
   List.iter
     (fun addr -> Buffer.add_string buf (Printf.sprintf "R %d\n" addr))
     p.Asm.code_refs;
+  List.iter
+    (fun (addr, text) ->
+      if String.contains text '\n' then
+        invalid_arg "Image.to_string: source line contains a newline";
+      Buffer.add_string buf (Printf.sprintf "C %d %s\n" addr text))
+    p.Asm.srclines;
   Array.iter
     (fun i -> Buffer.add_string buf (Printf.sprintf "%016Lx\n" (Encode.encode i)))
     p.Asm.code;
@@ -37,9 +43,22 @@ let of_string s =
       | _ -> raise (Format_error "bad magic")
     in
     let labels = ref [] and refs = ref [] and words = ref [] in
+    let srclines = ref [] in
     List.iter
       (fun line ->
-        if String.length line > 2 && String.sub line 0 2 = "L " then begin
+        if String.length line > 2 && String.sub line 0 2 = "C " then begin
+          let rest = String.sub line 2 (String.length line - 2) in
+          match String.index_opt rest ' ' with
+          | Some sp -> (
+            match int_of_string_opt (String.sub rest 0 sp) with
+            | Some a ->
+              srclines :=
+                (a, String.sub rest (sp + 1) (String.length rest - sp - 1))
+                :: !srclines
+            | None -> raise (Format_error ("bad source line: " ^ line)))
+          | None -> raise (Format_error ("bad source line: " ^ line))
+        end
+        else if String.length line > 2 && String.sub line 0 2 = "L " then begin
           match String.split_on_char ' ' line with
           | [ _; name; addr ] -> (
             match int_of_string_opt addr with
@@ -78,11 +97,21 @@ let of_string s =
       List.iter (fun a -> Hashtbl.replace tbl a ()) !refs;
       fun a -> Hashtbl.mem tbl a
     in
+    let cmt_by_addr = Hashtbl.create 8 in
+    List.iter
+      (fun (addr, text) ->
+        if addr < 0 || addr >= Array.length code then
+          raise (Format_error "source line out of range");
+        Hashtbl.replace cmt_by_addr addr text)
+      !srclines;
     let items = ref [] in
     Array.iteri
       (fun addr i ->
         (match Hashtbl.find_opt by_addr addr with
         | Some names -> List.iter (fun n -> items := Asm.label n :: !items) names
+        | None -> ());
+        (match Hashtbl.find_opt cmt_by_addr addr with
+        | Some text -> items := Asm.comment text :: !items
         | None -> ());
         (* re-express relocatable immediates through ldi_target so the
            reloaded program keeps its relocation list *)

@@ -8,8 +8,14 @@
     {v
     HFT1 <instruction count>
     L <name> <address>        (zero or more)
+    R <address>               (zero or more, relocatable immediates)
+    C <address> <text>        (zero or more, comment source lines)
     <16 hex digits>           (one per instruction)
     v}
+
+    Labels and comment lines survive the round trip so the static
+    analyzers ({!Hft_analysis}) can cite [label+offset] locations on a
+    reloaded image exactly as on a freshly assembled one.
 
     Used by the CLI to export and re-import workloads, and by tests to
     round-trip programs through the encoder. *)

@@ -13,7 +13,16 @@ type t = { code : Isa.instr array; markers : int; map : int array }
    the scheme sound: without it, a loop that fits between two static
    sites would never be counted and its epoch would never end —
    production object-code editors instrument back-edges for exactly
-   this reason. *)
+   this reason.
+
+   A loop closed through an indirect jump ([Jr]) has no static
+   backward branch for that rule to see, so the third rule
+   conservatively instruments every address a [Jr] might land on: for
+   each register some [Jr] consumes, each [Jal] return point linked
+   through it and each immediate loaded into it that decodes to a code
+   address.  A [Jr] whose register has other defs (loads, ALU results)
+   cannot be bounded statically at all; {!Hft_analysis.Epoch} rejects
+   such programs before they are rewritten. *)
 let site_list ~every (code : Isa.instr array) =
   if every < 1 then invalid_arg "Rewrite: epoch interval must be positive";
   let n = Array.length code in
@@ -28,6 +37,22 @@ let site_list ~every (code : Isa.instr array) =
       | Isa.Br (_, _, _, tgt) when backward tgt -> Hashtbl.replace sites tgt ()
       | Isa.Jmp tgt when backward tgt -> Hashtbl.replace sites tgt ()
       | Isa.Jal (_, tgt) when backward tgt -> Hashtbl.replace sites tgt ()
+      | _ -> ())
+    code;
+  let jr_regs = Array.make Isa.num_regs false in
+  Array.iter
+    (function
+      | Isa.Jr rs when rs <> 0 -> jr_regs.(rs) <- true
+      | _ -> ())
+    code;
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Isa.Jal (rd, _) when rd <> 0 && jr_regs.(rd) && i + 1 < n ->
+        Hashtbl.replace sites (i + 1) ()
+      | Isa.Ldi (rd, v) when rd <> 0 && jr_regs.(rd) ->
+        let t = v lsr 2 in
+        if t > 0 && t < n then Hashtbl.replace sites t ()
       | _ -> ())
     code;
   sites
@@ -121,8 +146,8 @@ let rewrite_program ~every p =
     else addr + (block_len * markers)
   in
   (* Re-assemble through the Asm front door so the result is a proper
-     program value: emit the instructions and re-declare the labels at
-     their relocated positions. *)
+     program value: emit the instructions and re-declare the labels
+     (and comment source lines) at their relocated positions. *)
   let by_addr = Hashtbl.create 16 in
   List.iter
     (fun (name, addr) ->
@@ -130,11 +155,20 @@ let rewrite_program ~every p =
       Hashtbl.replace by_addr addr
         (name :: (try Hashtbl.find by_addr addr with Not_found -> [])))
     p.Asm.labels;
+  let cmt_by_addr = Hashtbl.create 16 in
+  List.iter
+    (fun (addr, text) ->
+      if addr >= 0 && addr < Array.length map then
+        Hashtbl.replace cmt_by_addr map.(addr) text)
+    p.Asm.srclines;
   let acc = ref [] in
   Array.iteri
     (fun addr instr ->
       (match Hashtbl.find_opt by_addr addr with
       | Some names -> List.iter (fun nm -> acc := Asm.label nm :: !acc) names
+      | None -> ());
+      (match Hashtbl.find_opt cmt_by_addr addr with
+      | Some text -> acc := Asm.comment text :: !acc
       | None -> ());
       acc := Asm.insn instr :: !acc)
     code;

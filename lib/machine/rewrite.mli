@@ -9,8 +9,12 @@
 
     {!insert_epoch_markers} rewrites a program with {e software
     instruction counting}: at every instrumentation site — every
-    [every] static instructions, and every backward-branch target so
-    loops are counted — it inserts
+    [every] static instructions, every backward-branch target so
+    loops are counted, and (when the program contains indirect jumps)
+    every address a [Jr] might land on — each [Jal] return point
+    linked through a register some [Jr] consumes, and each code
+    address loaded into one by an immediate — so loops closed through
+    indirect jumps are counted too — it inserts
 
     {v
       subi  r15, r15, W      (* W ~ instructions since the last site *)

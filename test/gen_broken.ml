@@ -1,0 +1,24 @@
+(* Emits the deliberately broken image the lint exit-code rule feeds
+   to [hftsim lint --image]: a sensitive instruction at user level
+   with no trap vector, a read of a never-written register, and an
+   uncounted indirect-jump loop.  Mirrors [test_analysis.broken_program]. *)
+
+let () =
+  let open Hft_machine in
+  let p =
+    Asm.(
+      assemble
+        [
+          comment "drop to user level with no trap vector installed";
+          ldi r1 3;
+          mtcr Isa.Cr_status r1;
+          label "user";
+          tlbw r0 r0;
+          add r4 r5 r5;
+          label "dispatch";
+          ld r6 r0 0x50;
+          jr r6;
+          halt;
+        ])
+  in
+  print_string (Image.to_string p)
