@@ -1,0 +1,31 @@
+(* Standalone host-performance baseline runner.
+
+   [dune exec bench/baseline.exe -- --json BENCH_core.json] regenerates
+   the committed baseline; `hftsim bench` wraps the same measurements
+   with guard-ratio checking for CI.  Kept dependency-free (no
+   cmdliner) so it builds even in a minimal benchmarking switch. *)
+
+let usage () =
+  prerr_endline "usage: baseline [--quick] [--json PATH]";
+  exit 2
+
+let () =
+  let quick = ref false and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let r = Hft_harness.Bench_core.run ~quick:!quick () in
+  Hft_harness.Bench_core.report r;
+  match !json with
+  | None -> ()
+  | Some path ->
+    Hft_harness.Bench_core.write_json r path;
+    Printf.printf "wrote %s\n" path

@@ -128,6 +128,8 @@ let print_outcome (o : System.outcome) =
     o.System.bytes_sent;
   Hft_harness.Report.channel_hardening
     [ o.System.primary_stats; o.System.backup_stats ];
+  Hft_harness.Report.host_hashing
+    [ o.System.primary_stats; o.System.backup_stats ];
   Format.printf "disk history   : %s@."
     (if o.System.disk_consistent then "single-processor consistent"
      else "INCONSISTENT");
@@ -740,6 +742,80 @@ let lint_cmd =
           if any error-severity finding is reported.")
     term
 
+(* ---------- bench ---------- *)
+
+let bench_cmd =
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the results as machine-readable JSON to PATH.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Reduced measurement budget for CI smoke runs (noisier numbers, \
+             runs in a couple of seconds).")
+  in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"R"
+          ~doc:
+            "Fail (exit non-zero) unless incremental hashing beats full \
+             re-hashing by at least this factor at EL=1024.")
+  in
+  let max_overhead =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-hash-overhead" ] ~docv:"R"
+          ~doc:
+            "Fail (exit non-zero) if lockstep hashing costs more than R times \
+             the no-hashing epoch rate at EL=1024 — a loose guard against \
+             accidentally reintroducing full re-hashing.")
+  in
+  let action json_path quick min_speedup max_overhead =
+    let r = Hft_harness.Bench_core.run ~quick () in
+    Hft_harness.Bench_core.report r;
+    (match json_path with
+    | Some path ->
+      Hft_harness.Bench_core.write_json r path;
+      Format.printf "wrote %s@." path
+    | None -> ());
+    let p =
+      match Hft_harness.Bench_core.point r 1024 with
+      | Some p -> p
+      | None -> assert false (* 1024 is always measured *)
+    in
+    let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
+    match (min_speedup, max_overhead) with
+    | Some r, _ when p.Hft_harness.Bench_core.speedup < r ->
+      fail
+        "incremental hashing speedup %.2fx at EL=1024 is below the %.2fx guard"
+        p.Hft_harness.Bench_core.speedup r
+    | _, Some r when p.Hft_harness.Bench_core.hash_overhead > r ->
+      fail
+        "lockstep hashing overhead %.2fx at EL=1024 exceeds the %.2fx guard"
+        p.Hft_harness.Bench_core.hash_overhead r
+    | _ -> Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure host-side simulator performance: interpreter \
+          instructions/sec, epoch boundaries/sec with \
+          incremental/full/no lockstep hashing, and snapshot bytes \
+          copied.  Unlike the other subcommands, this reports host \
+          time, not simulated time.")
+    Term.(
+      term_result'
+        (const action $ json_path $ quick $ min_speedup $ max_overhead))
+
 (* ---------- disasm ---------- *)
 
 let disasm_cmd =
@@ -797,5 +873,6 @@ let () =
             trace_cmd;
             lint_cmd;
             disasm_cmd;
+            bench_cmd;
             selftest_cmd;
           ]))

@@ -144,7 +144,8 @@ let fnv_prime = 0x100000001b3
 let fnv_mask = (1 lsl 62) - 1
 
 let vm_state_hash t =
-  let h = ref (Cpu.state_hash ~include_tlb:false t.vm) in
+  let full = t.p.Params.hash_scheme = Params.Full_rehash in
+  let h = ref (Cpu.state_hash ~include_tlb:false ~full t.vm) in
   Array.iter (fun v -> h := (!h lxor v) * fnv_prime land fnv_mask) t.vcrs;
   !h
 
@@ -797,7 +798,11 @@ and reflect_trap t ~cause ~badvaddr ~epc =
 (* ---------- epoch boundaries ---------- *)
 
 and epoch_boundary t =
-  t.on_epoch_boundary ~epoch:t.epoch_ ~hash:(vm_state_hash t);
+  let hash = vm_state_hash t in
+  let hashed, skipped = Memory.take_hash_work (Cpu.mem t.vm) in
+  t.st.Stats.pages_hashed <- t.st.Stats.pages_hashed + hashed;
+  t.st.Stats.pages_skipped <- t.st.Stats.pages_skipped + skipped;
+  t.on_epoch_boundary ~epoch:t.epoch_ ~hash;
   match t.role_ with
   | Primary | Promoted -> primary_boundary_phase1 t
   | Backup -> backup_boundary t
@@ -1199,8 +1204,13 @@ and handle_body t body =
 and take_snapshot t =
   let ctl = Disk_ctl.create () in
   Disk_ctl.copy_state_from ctl t.ctl;
+  let bytes_before = Cpu.snapshot_bytes_copied t.vm in
+  let s_cpu = Cpu.snapshot t.vm in
+  t.st.Stats.snapshot_delta_bytes <-
+    t.st.Stats.snapshot_delta_bytes
+    + (Cpu.snapshot_bytes_copied t.vm - bytes_before);
   {
-    s_cpu = Cpu.snapshot t.vm;
+    s_cpu;
     s_vcrs = Array.copy t.vcrs;
     s_ctl = ctl;
     s_outstanding = List.of_seq (Queue.to_seq t.outstanding);

@@ -6,6 +6,8 @@ type tlb_mode = Hypervisor_managed | Guest_managed
 
 type epoch_mechanism = Recovery_register | Code_rewriting
 
+type hash_scheme = Incremental | Full_rehash
+
 type t = {
   epoch_length : int;
   protocol : protocol;
@@ -28,6 +30,7 @@ type t = {
   backup_clock_skew : Time.t;
   disk : Hft_devices.Disk.params;
   cpu_config : Hft_machine.Cpu.config;
+  hash_scheme : hash_scheme;
 }
 
 let default =
@@ -53,6 +56,7 @@ let default =
     backup_clock_skew = Time.of_us 1500;
     disk = Hft_devices.Disk.default_params;
     cpu_config = Hft_machine.Cpu.default_config;
+    hash_scheme = Incremental;
   }
 
 let hsim t = Time.add t.hv_entry_exit t.hv_work
@@ -64,6 +68,7 @@ let with_epoch_length t epoch_length =
 let with_protocol t protocol = { t with protocol }
 let with_link t link = { t with link }
 let with_retransmit t retransmit = { t with retransmit }
+let with_hash_scheme t hash_scheme = { t with hash_scheme }
 
 let pp_protocol fmt = function
   | Original -> Format.pp_print_string fmt "original"

@@ -41,6 +41,16 @@ type epoch_mechanism =
           hypervisor is invoked periodically ({!Hft_machine.Rewrite});
           epochs become variable-length, bounded by [epoch_length] *)
 
+type hash_scheme =
+  | Incremental
+      (** lockstep state hashes re-hash only memory pages written
+          since the previous epoch boundary ({!Hft_machine.Memory.digest}) *)
+  | Full_rehash
+      (** every boundary re-hashes all of memory from scratch — the
+          pre-dirty-tracking behaviour, kept as the reference and
+          benchmark baseline.  Both schemes produce identical hash
+          values, so replicas may differ in this setting. *)
+
 type t = {
   epoch_length : int;        (** instructions per epoch (the recovery
                                  register load, or the marker spacing
@@ -80,6 +90,7 @@ type t = {
           reason clock reads must be forwarded, not read locally *)
   disk : Hft_devices.Disk.params;
   cpu_config : Hft_machine.Cpu.config;
+  hash_scheme : hash_scheme;
 }
 
 val default : t
@@ -93,6 +104,7 @@ val with_epoch_length : t -> int -> t
 val with_protocol : t -> protocol -> t
 val with_link : t -> Hft_net.Link.t -> t
 val with_retransmit : t -> bool -> t
+val with_hash_scheme : t -> hash_scheme -> t
 
 val pp_protocol : Format.formatter -> protocol -> unit
 val pp : Format.formatter -> t -> unit

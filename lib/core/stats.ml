@@ -15,6 +15,9 @@ type t = {
   mutable retransmits : int;
   mutable duplicates_dropped : int;
   mutable corruptions_detected : int;
+  mutable pages_hashed : int;
+  mutable pages_skipped : int;
+  mutable snapshot_delta_bytes : int;
   mutable ack_wait : Time.t;
   mutable boundary : Time.t;
   mutable idle : Time.t;
@@ -37,6 +40,9 @@ let create () =
     retransmits = 0;
     duplicates_dropped = 0;
     corruptions_detected = 0;
+    pages_hashed = 0;
+    pages_skipped = 0;
+    snapshot_delta_bytes = 0;
     ack_wait = Time.zero;
     boundary = Time.zero;
     idle = Time.zero;
@@ -60,10 +66,11 @@ let pp fmt t =
      buffered, %d delivered@ env values: %d@ io: %d submitted, %d \
      suppressed, %d uncertain synthesized@ tlb fills: %d@ reflected traps: \
      %d@ channel: %d retransmits, %d duplicates dropped, %d corruptions \
-     detected@ ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: \
-     %.1fus@]"
+     detected@ hashing: %d pages hashed, %d skipped@ snapshot bytes: %d@ \
+     ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: %.1fus@]"
     t.instructions t.simulated t.epochs t.interrupts_buffered
     t.interrupts_delivered t.env_values t.io_submitted t.io_suppressed
     t.uncertain_synthesized t.tlb_fills t.reflected_traps t.retransmits
-    t.duplicates_dropped t.corruptions_detected Time.pp t.ack_wait
+    t.duplicates_dropped t.corruptions_detected t.pages_hashed
+    t.pages_skipped t.snapshot_delta_bytes Time.pp t.ack_wait
     Time.pp t.boundary Time.pp t.idle (mean_intr_delay_us t)

@@ -22,6 +22,14 @@ type t = {
       (** received copies of already-delivered reliable messages *)
   mutable corruptions_detected : int;
       (** frames whose checksum failed; treated as loss *)
+  mutable pages_hashed : int;
+      (** memory pages re-hashed by epoch-boundary state hashes *)
+  mutable pages_skipped : int;
+      (** pages whose cached digest the boundary hash reused — the
+          dirty-page tracking win *)
+  mutable snapshot_delta_bytes : int;
+      (** bytes actually copied by reintegration snapshots (full image
+          on the first, dirty pages only thereafter) *)
   mutable ack_wait : Hft_sim.Time.t;
       (** time the primary spent awaiting acknowledgements *)
   mutable boundary : Hft_sim.Time.t;

@@ -1,0 +1,192 @@
+open Hft_machine
+
+(* Host-side performance baseline: how fast the simulator itself runs,
+   as opposed to the simulated timings the rest of the harness deals
+   in.  Everything here is measured with [Sys.time] over a fixed CPU
+   budget, so results are machine-dependent by design — the JSON this
+   produces is a trajectory marker ("this PR on this machine"), and
+   the ratios in it (hashing overhead, incremental-vs-full speedup)
+   are what later PRs and the CI smoke job compare against. *)
+
+type epoch_point = {
+  el : int;  (* epoch length in instructions *)
+  no_hash_per_sec : float;  (* boundaries/sec, hashing skipped *)
+  incremental_per_sec : float;  (* boundaries/sec, dirty-page hashing *)
+  full_rehash_per_sec : float;  (* boundaries/sec, from-scratch hashing *)
+  no_hash_ns : float;  (* host ns per simulated epoch, per mode *)
+  incremental_ns : float;
+  full_rehash_ns : float;
+  speedup : float;  (* full-rehash ns / incremental ns *)
+  hash_overhead : float;  (* incremental ns / no-hash ns *)
+}
+
+type t = {
+  quick : bool;
+  instrs_per_sec : float;
+  epoch_points : epoch_point list;
+  snapshot_first_bytes : int;
+  snapshot_delta_bytes : int;
+}
+
+(* A store-heavy loop whose write set stays inside one page: the
+   representative case for dirty-page hashing (a guest touches a tiny
+   fraction of its address space per 1K-instruction epoch). *)
+let workload_code =
+  Isa.
+    [|
+      Ldi (1, 0);
+      Ldi (2, 0);
+      Ldi (3, 0x2000);
+      (* loop: *)
+      Alui (Add, 1, 1, 1);
+      Alu (Xor, 2, 2, 1);
+      St (2, 3, 0);
+      Alui (Add, 2, 2, 7);
+      Ld (4, 3, 0);
+      Jmp 3;
+    |]
+
+let fresh_cpu () = Cpu.create ~code:workload_code ()
+
+(* Repeat [step] until [budget] CPU-seconds elapse (at least once) and
+   return completed units per second. *)
+let rate ~budget step =
+  let t0 = Sys.time () in
+  let units = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < budget do
+    units := !units + step ();
+    elapsed := Sys.time () -. t0
+  done;
+  float_of_int !units /. !elapsed
+
+let bench_interpreter ~budget =
+  let cpu = fresh_cpu () in
+  let fuel = 100_000 in
+  rate ~budget (fun () ->
+      let r = Cpu.run cpu ~fuel in
+      (match r.Cpu.stop with
+      | Cpu.Fuel -> ()
+      | s -> Fmt.failwith "bench: unexpected stop %a" Cpu.pp_stop s);
+      r.Cpu.executed)
+
+type hash_mode = No_hash | Incremental | Full_rehash
+
+let bench_epochs ~budget ~el mode =
+  let cpu = fresh_cpu () in
+  Cpu.set_recovery cpu el;
+  (* warm the page-digest cache so the incremental numbers reflect the
+     steady state, not the first-ever hash *)
+  ignore (Cpu.state_hash cpu : int);
+  rate ~budget (fun () ->
+      let r = Cpu.run cpu ~fuel:(el + 8) in
+      (match r.Cpu.stop with
+      | Cpu.Recovery -> ()
+      | s -> Fmt.failwith "bench: unexpected stop %a" Cpu.pp_stop s);
+      (match mode with
+      | No_hash -> ()
+      | Incremental -> ignore (Cpu.state_hash cpu : int)
+      | Full_rehash -> ignore (Cpu.state_hash ~full:true cpu : int));
+      Cpu.set_recovery cpu el;
+      1)
+
+let bench_snapshot () =
+  let cpu = fresh_cpu () in
+  ignore (Cpu.run cpu ~fuel:5_000);
+  ignore (Cpu.snapshot cpu);
+  let first = Cpu.snapshot_bytes_copied cpu in
+  ignore (Cpu.run cpu ~fuel:5_000);
+  ignore (Cpu.snapshot cpu);
+  let delta = Cpu.snapshot_bytes_copied cpu - first in
+  (first, delta)
+
+let epoch_lengths = [ 1024; 4096; 32768 ]
+
+let run ?(quick = false) () =
+  let budget = if quick then 0.04 else 0.25 in
+  let instrs_per_sec = bench_interpreter ~budget in
+  let epoch_points =
+    List.map
+      (fun el ->
+        let no_hash = bench_epochs ~budget ~el No_hash in
+        let incremental = bench_epochs ~budget ~el Incremental in
+        let full = bench_epochs ~budget ~el Full_rehash in
+        let ns per_sec = 1e9 /. per_sec in
+        {
+          el;
+          no_hash_per_sec = no_hash;
+          incremental_per_sec = incremental;
+          full_rehash_per_sec = full;
+          no_hash_ns = ns no_hash;
+          incremental_ns = ns incremental;
+          full_rehash_ns = ns full;
+          speedup = incremental /. full;
+          hash_overhead = no_hash /. incremental;
+        })
+      epoch_lengths
+  in
+  let snapshot_first_bytes, snapshot_delta_bytes = bench_snapshot () in
+  {
+    quick;
+    instrs_per_sec;
+    epoch_points;
+    snapshot_first_bytes;
+    snapshot_delta_bytes;
+  }
+
+let point t el = List.find_opt (fun p -> p.el = el) t.epoch_points
+
+(* Hand-rolled JSON: the repo deliberately has no JSON dependency. *)
+let to_json t =
+  let b = Buffer.create 1024 in
+  let f = Printf.bprintf in
+  f b "{\n";
+  f b "  \"schema\": \"hftsim-bench-core/1\",\n";
+  f b "  \"quick\": %b,\n" t.quick;
+  f b "  \"interpreter\": { \"instrs_per_sec\": %.4e },\n" t.instrs_per_sec;
+  f b "  \"epoch_boundaries\": [\n";
+  List.iteri
+    (fun i p ->
+      f b "    { \"el\": %d,\n" p.el;
+      f b "      \"no_hash_boundaries_per_sec\": %.4e,\n" p.no_hash_per_sec;
+      f b "      \"incremental_boundaries_per_sec\": %.4e,\n"
+        p.incremental_per_sec;
+      f b "      \"full_rehash_boundaries_per_sec\": %.4e,\n"
+        p.full_rehash_per_sec;
+      f b "      \"no_hash_ns_per_epoch\": %.1f,\n" p.no_hash_ns;
+      f b "      \"incremental_ns_per_epoch\": %.1f,\n" p.incremental_ns;
+      f b "      \"full_rehash_ns_per_epoch\": %.1f,\n" p.full_rehash_ns;
+      f b "      \"incremental_speedup_over_full\": %.2f,\n" p.speedup;
+      f b "      \"hash_overhead_over_no_hash\": %.2f }%s\n" p.hash_overhead
+        (if i = List.length t.epoch_points - 1 then "" else ","))
+    t.epoch_points;
+  f b "  ],\n";
+  f b "  \"snapshot\": { \"first_bytes\": %d, \"delta_bytes\": %d }\n"
+    t.snapshot_first_bytes t.snapshot_delta_bytes;
+  f b "}\n";
+  Buffer.contents b
+
+let write_json t path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc
+
+let report ?out t =
+  Report.table ?out ~title:"host-side performance (this machine)"
+    ~header:[ "EL"; "no-hash/s"; "incr/s"; "full/s"; "speedup"; "overhead" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.el;
+           Printf.sprintf "%.0f" p.no_hash_per_sec;
+           Printf.sprintf "%.0f" p.incremental_per_sec;
+           Printf.sprintf "%.0f" p.full_rehash_per_sec;
+           Printf.sprintf "%.1fx" p.speedup;
+           Printf.sprintf "%.2fx" p.hash_overhead;
+         ])
+       t.epoch_points);
+  let out = match out with Some o -> o | None -> Format.std_formatter in
+  Format.fprintf out "interpreter    : %.1f M instrs/sec@."
+    (t.instrs_per_sec /. 1e6);
+  Format.fprintf out "snapshot bytes : %d first, %d delta@."
+    t.snapshot_first_bytes t.snapshot_delta_bytes

@@ -1,0 +1,49 @@
+(** Host-side performance baseline.
+
+    Unlike the rest of the harness — which deals in {e simulated}
+    time — this module measures how fast the simulator itself runs on
+    the host: interpreter instructions/sec, epoch boundaries/sec with
+    incremental (dirty-page), full-rehash, and no lockstep hashing,
+    and snapshot bytes copied.  [hftsim bench] and [bench/baseline.ml]
+    wrap it; the numbers are persisted in [BENCH_core.json] so later
+    changes can show their speedup or regression against this PR's
+    trajectory. *)
+
+type epoch_point = {
+  el : int;
+  no_hash_per_sec : float;
+  incremental_per_sec : float;
+  full_rehash_per_sec : float;
+  no_hash_ns : float;
+  incremental_ns : float;
+  full_rehash_ns : float;
+  speedup : float;  (** full-rehash ns/epoch over incremental ns/epoch *)
+  hash_overhead : float;
+      (** incremental-hashing ns/epoch over no-hashing ns/epoch — the
+          residual cost of lockstep checking; CI guards this ratio *)
+}
+
+type t = {
+  quick : bool;
+  instrs_per_sec : float;
+  epoch_points : epoch_point list;
+  snapshot_first_bytes : int;
+  snapshot_delta_bytes : int;
+}
+
+val epoch_lengths : int list
+(** The measured ELs: 1024, 4096, 32768. *)
+
+val run : ?quick:bool -> unit -> t
+(** Run all measurements.  [quick] shrinks the per-measurement CPU
+    budget for CI smoke use (noisier, but seconds not tens). *)
+
+val point : t -> int -> epoch_point option
+(** The measurement at a given epoch length, if it was taken. *)
+
+val to_json : t -> string
+
+val write_json : t -> string -> unit
+
+val report : ?out:Format.formatter -> t -> unit
+(** Human-readable rendering via {!Report.table}. *)

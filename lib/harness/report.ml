@@ -55,3 +55,18 @@ let channel_hardening ?(out = std) stats =
     (sum (fun s -> s.Hft_core.Stats.retransmits))
     (sum (fun s -> s.Hft_core.Stats.duplicates_dropped))
     (sum (fun s -> s.Hft_core.Stats.corruptions_detected))
+
+let host_hashing ?(out = std) stats =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let hashed = sum (fun s -> s.Hft_core.Stats.pages_hashed) in
+  let skipped = sum (fun s -> s.Hft_core.Stats.pages_skipped) in
+  let snap = sum (fun s -> s.Hft_core.Stats.snapshot_delta_bytes) in
+  let total = hashed + skipped in
+  let pct =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int skipped /. float_of_int total
+  in
+  Format.fprintf out
+    "state hashing  : %d pages hashed, %d reused from cache (%.1f%%), %d \
+     snapshot bytes copied@."
+    hashed skipped pct snap

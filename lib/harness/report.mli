@@ -41,3 +41,10 @@ val channel_hardening :
     duplicates dropped, corruptions detected) over the given
     per-hypervisor stats — shown alongside the section-4 numbers in
     [hftsim] output. *)
+
+val host_hashing :
+  ?out:Format.formatter -> Hft_core.Stats.t list -> unit
+(** One line summing the incremental-hashing counters (pages hashed
+    vs reused from the page-digest cache at epoch boundaries, and
+    snapshot bytes actually copied) over the given per-hypervisor
+    stats. *)

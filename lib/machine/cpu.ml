@@ -40,18 +40,25 @@ type t = {
   crs : int array;
   mutable pc_ : int;
   mutable retired : int;
+  mutable snap_base : Memory.t option;
+      (* shadow image the delta-snapshot path copies dirty pages into;
+         [None] until the first snapshot *)
+  mutable snap_bytes : int; (* cumulative bytes copied by snapshots *)
 }
 
 let create ?(config = default_config) ~code () =
   {
     cfg = config;
     code;
-    memory = Memory.create ~words:config.mem_words;
+    memory =
+      Memory.create ~page_shift:config.page_shift ~words:config.mem_words ();
     tlb_state = Tlb.create ~entries:config.tlb_entries config.tlb_policy;
     regs = Array.make Isa.num_regs 0;
     crs = Array.make Isa.num_crs 0;
     pc_ = 0;
     retired = 0;
+    snap_base = None;
+    snap_bytes = 0;
   }
 
 let config t = t.cfg
@@ -74,6 +81,7 @@ let priv t = Isa.status_priv (status t)
 let set_priv t p = set_cr t Isa.Cr_status (Isa.status_with_priv (status t) p)
 
 let rc_index = Isa.cr_index Isa.Cr_rc
+let status_index = Isa.cr_index Isa.Cr_status
 
 let set_recovery t n =
   if n <= 0 then invalid_arg "Cpu.set_recovery: count must be positive";
@@ -130,11 +138,6 @@ let translate t ~write vaddr =
         Ok ((e.Tlb.ppage lsl t.cfg.page_shift) lor offset)
   end
 
-(* Effects of the branch-and-link privilege quirk (section 3.1 of the
-   paper): the return address carries the current privilege level in
-   its two low bits. *)
-let link_value t = Word.mask (((t.pc_ + 1) lsl 2) lor priv t)
-
 let alu op a b =
   match (op : Isa.alu_op) with
   | Add -> Word.add a b
@@ -162,105 +165,185 @@ let cond_holds c a b =
 
 exception Stop_exec of stop
 
+(* Fault messages are built off the hot path: these never run on the
+   instructions-per-second-critical loop iterations. *)
+let[@inline never] fault_bad_pc pc =
+  Stop_exec (Fault (Printf.sprintf "pc 0x%x outside code" pc))
+
+let[@inline never] fault_load paddr =
+  Stop_exec (Fault (Printf.sprintf "load from bad address 0x%x" paddr))
+
+let[@inline never] fault_store paddr =
+  Stop_exec (Fault (Printf.sprintf "store to bad address 0x%x" paddr))
+
+(* The hot loop avoids per-instruction work that only rarely matters:
+
+   - the status-register flags (privilege, MMU enable, recovery-counter
+     enable) are hoisted into locals and refreshed only when the
+     privileged arm — the sole in-loop writer of [Cr_status] — runs;
+   - the recovery counter is not decremented per instruction; instead
+     the instruction count at which it will expire is computed once and
+     compared against, and the in-register value is written back
+     ([sync_rc]) on every exit and before any instruction that could
+     observe or modify it;
+   - loads and stores skip the translation function entirely while the
+     MMU is off (translation is the identity there). *)
 let run t ~fuel =
   if fuel <= 0 then invalid_arg "Cpu.run: fuel must be positive";
+  let code = t.code in
+  let code_len = Array.length code in
+  let regs = t.regs in
+  let crs = t.crs in
+  let memory = t.memory in
+  let mmio_base = t.cfg.mmio_base in
   let executed = ref 0 in
+  let spriv = ref 0 and smmu = ref false and src = ref false in
+  let rc_base = ref 0 in
+  let expire_at = ref max_int in
+  let refresh_status () =
+    let s = crs.(status_index) in
+    spriv := Isa.status_priv s;
+    smmu := Isa.status_mmu_enable s;
+    src := Isa.status_rc_enable s;
+    rc_base := !executed;
+    expire_at :=
+      if !src then
+        let v = Word.signed crs.(rc_index) in
+        !executed + (if v < 0 then 1 else v + 1)
+      else max_int
+  in
+  let sync_rc () =
+    if !src then begin
+      let ticks = !executed - !rc_base in
+      if ticks > 0 then
+        crs.(rc_index) <- Word.of_signed (Word.signed crs.(rc_index) - ticks);
+      rc_base := !executed
+    end
+  in
+  refresh_status ();
   let stop_reason = ref Fuel in
   (try
      while !executed < fuel do
-       if t.pc_ < 0 || t.pc_ >= Array.length t.code then
-         raise
-           (Stop_exec (Fault (Printf.sprintf "pc 0x%x outside code" t.pc_)));
-       let i = t.code.(t.pc_) in
-       (match i with
-       | Isa.Nop -> advance_pc t
+       let pc = t.pc_ in
+       if pc < 0 || pc >= code_len then raise (fault_bad_pc pc);
+       (match code.(pc) with
+       | Isa.Nop -> t.pc_ <- pc + 1
        | Isa.Ldi (rd, v) ->
-         set_reg t rd v;
-         advance_pc t
+         if rd <> 0 then regs.(rd) <- Word.mask v;
+         t.pc_ <- pc + 1
        | Isa.Alu (op, rd, r1, r2) ->
-         set_reg t rd (alu op t.regs.(r1) t.regs.(r2));
-         advance_pc t
+         if rd <> 0 then regs.(rd) <- Word.mask (alu op regs.(r1) regs.(r2));
+         t.pc_ <- pc + 1
        | Isa.Alui (op, rd, rs, imm) ->
-         set_reg t rd (alu op t.regs.(rs) (Word.of_signed imm));
-         advance_pc t
-       | Isa.Ld (rd, rs, off) -> (
-         let vaddr = Word.add t.regs.(rs) (Word.of_signed off) in
-         match translate t ~write:false vaddr with
-         | Error st -> raise (Stop_exec st)
-         | Ok paddr ->
-           if paddr >= t.cfg.mmio_base then
-             raise (Stop_exec (Mmio_read { paddr; reg = rd }))
-           else if not (Memory.in_range t.memory paddr) then
-             raise
-               (Stop_exec
-                  (Fault (Printf.sprintf "load from bad address 0x%x" paddr)))
+         if rd <> 0 then
+           regs.(rd) <- Word.mask (alu op regs.(rs) (Word.of_signed imm));
+         t.pc_ <- pc + 1
+       | Isa.Ld (rd, rs, off) ->
+         let vaddr = Word.add regs.(rs) (Word.of_signed off) in
+         if not !smmu then
+           (* MMU off: translation is the identity *)
+           if vaddr >= mmio_base then
+             raise (Stop_exec (Mmio_read { paddr = vaddr; reg = rd }))
+           else if not (Memory.in_range memory vaddr) then
+             raise (fault_load vaddr)
            else begin
-             set_reg t rd (Memory.read t.memory paddr);
-             advance_pc t
-           end)
-       | Isa.St (rv, rb, off) -> (
-         let vaddr = Word.add t.regs.(rb) (Word.of_signed off) in
-         match translate t ~write:true vaddr with
-         | Error st -> raise (Stop_exec st)
-         | Ok paddr ->
-           if paddr >= t.cfg.mmio_base then
-             raise (Stop_exec (Mmio_write { paddr; value = t.regs.(rv) }))
-           else if not (Memory.in_range t.memory paddr) then
-             raise
-               (Stop_exec
-                  (Fault (Printf.sprintf "store to bad address 0x%x" paddr)))
+             if rd <> 0 then regs.(rd) <- Memory.read memory vaddr;
+             t.pc_ <- pc + 1
+           end
+         else (
+           match translate t ~write:false vaddr with
+           | Error st -> raise (Stop_exec st)
+           | Ok paddr ->
+             if paddr >= mmio_base then
+               raise (Stop_exec (Mmio_read { paddr; reg = rd }))
+             else if not (Memory.in_range memory paddr) then
+               raise (fault_load paddr)
+             else begin
+               if rd <> 0 then regs.(rd) <- Memory.read memory paddr;
+               t.pc_ <- pc + 1
+             end)
+       | Isa.St (rv, rb, off) ->
+         let vaddr = Word.add regs.(rb) (Word.of_signed off) in
+         if not !smmu then
+           if vaddr >= mmio_base then
+             raise (Stop_exec (Mmio_write { paddr = vaddr; value = regs.(rv) }))
+           else if not (Memory.in_range memory vaddr) then
+             raise (fault_store vaddr)
            else begin
-             Memory.write t.memory paddr t.regs.(rv);
-             advance_pc t
-           end)
+             Memory.write memory vaddr regs.(rv);
+             t.pc_ <- pc + 1
+           end
+         else (
+           match translate t ~write:true vaddr with
+           | Error st -> raise (Stop_exec st)
+           | Ok paddr ->
+             if paddr >= mmio_base then
+               raise (Stop_exec (Mmio_write { paddr; value = regs.(rv) }))
+             else if not (Memory.in_range memory paddr) then
+               raise (fault_store paddr)
+             else begin
+               Memory.write memory paddr regs.(rv);
+               t.pc_ <- pc + 1
+             end)
        | Isa.Br (c, r1, r2, tgt) ->
-         if cond_holds c t.regs.(r1) t.regs.(r2) then t.pc_ <- tgt
-         else advance_pc t
+         if cond_holds c regs.(r1) regs.(r2) then t.pc_ <- tgt
+         else t.pc_ <- pc + 1
        | Isa.Jmp tgt -> t.pc_ <- tgt
        | Isa.Jal (rd, tgt) ->
-         set_reg t rd (link_value t);
+         (* branch-and-link privilege quirk (section 3.1): the return
+            address carries the privilege level in its two low bits *)
+         if rd <> 0 then regs.(rd) <- Word.mask (((pc + 1) lsl 2) lor !spriv);
          t.pc_ <- tgt
-       | Isa.Jr rs -> t.pc_ <- t.regs.(rs) lsr 2
+       | Isa.Jr rs -> t.pc_ <- regs.(rs) lsr 2
        | Isa.Probe rd ->
-         set_reg t rd (priv t);
-         advance_pc t
+         if rd <> 0 then regs.(rd) <- !spriv;
+         t.pc_ <- pc + 1
        | Isa.Halt -> raise (Stop_exec Stop_halt)
        | Isa.Wfi ->
          (* Completes (counts against the recovery counter), then
             relinquishes the processor. *)
-         advance_pc t;
-         t.retired <- t.retired + 1;
+         t.pc_ <- pc + 1;
          incr executed;
-         if tick_recovery t then stop_reason := Recovery else stop_reason := Stop_wfi;
+         if !executed = !expire_at then stop_reason := Recovery
+         else stop_reason := Stop_wfi;
          raise (Stop_exec !stop_reason)
-       | Isa.(Rdtod _ | Rdtmr _ | Wrtmr _ | Out _) -> raise (Stop_exec (Env i))
+       | Isa.(Rdtod _ | Rdtmr _ | Wrtmr _ | Out _) as i ->
+         raise (Stop_exec (Env i))
        | Isa.Trapc code -> raise (Stop_exec (Syscall code))
-       | Isa.(Mfcr _ | Mtcr _ | Tlbw _ | Rfi) ->
-         if priv t <> 0 then raise (Stop_exec (Priv i))
+       | Isa.(Mfcr _ | Mtcr _ | Tlbw _ | Rfi) as i ->
+         if !spriv <> 0 then raise (Stop_exec (Priv i))
          else begin
+           (* the counter must be architecturally accurate before any
+              control-register read or write *)
+           sync_rc ();
            (match i with
-           | Isa.Mfcr (rd, c) -> set_reg t rd (cr t c)
-           | Isa.Mtcr (c, rs) -> set_cr t c t.regs.(rs)
+           | Isa.Mfcr (rd, c) ->
+             if rd <> 0 then regs.(rd) <- Word.mask (cr t c);
+             t.pc_ <- pc + 1
+           | Isa.Mtcr (c, rs) ->
+             set_cr t c regs.(rs);
+             t.pc_ <- pc + 1
            | Isa.Tlbw (r1, r2) ->
-             let vpage = t.regs.(r1) in
-             Tlb.insert t.tlb_state (Tlb.decode_entry_word ~vpage t.regs.(r2))
+             let vpage = regs.(r1) in
+             Tlb.insert t.tlb_state (Tlb.decode_entry_word ~vpage regs.(r2));
+             t.pc_ <- pc + 1
            | Isa.Rfi ->
              set_cr t Isa.Cr_status (cr t Isa.Cr_istatus);
              t.pc_ <- cr t Isa.Cr_epc
            | _ -> assert false);
-           if not (Isa.equal i Isa.Rfi) then advance_pc t
+           refresh_status ()
          end);
-       (match i with
-       | Isa.Wfi -> () (* already accounted above *)
-       | _ ->
-         t.retired <- t.retired + 1;
-         incr executed;
-         if tick_recovery t then begin
-           stop_reason := Recovery;
-           raise (Stop_exec Recovery)
-         end)
+       (* every arm that does not complete the instruction raises, so
+          falling through here means one more completed instruction *)
+       incr executed;
+       if !executed = !expire_at then begin
+         stop_reason := Recovery;
+         raise (Stop_exec Recovery)
+       end
      done
    with Stop_exec st -> stop_reason := st);
+  sync_rc ();
+  t.retired <- t.retired + !executed;
   { executed = !executed; stop = !stop_reason }
 
 let deliver_trap ?(badvaddr = 0) t ~cause ~epc =
@@ -271,13 +354,16 @@ let instructions_retired t = t.retired
 let fnv_prime = 0x100000001b3
 let fnv_mask = (1 lsl 62) - 1
 
-let state_hash ?(include_tlb = false) t =
+let state_hash ?(include_tlb = false) ?(full = false) t =
   let h = ref 0x3bf29ce484222325 in
   let mix v = h := (!h lxor (v land fnv_mask)) * fnv_prime land fnv_mask in
   mix t.pc_;
   Array.iter mix t.regs;
   Array.iter mix t.crs;
-  h := Memory.hash_into t.memory !h;
+  (* [digest] and [full_digest] are equal by construction, so the two
+     schemes produce the same state hash — replicas need not agree on
+     which one they use *)
+  mix (if full then Memory.full_digest t.memory else Memory.digest t.memory);
   if include_tlb then h := Tlb.hash_into t.tlb_state !h;
   !h
 
@@ -290,13 +376,33 @@ type snapshot = {
 }
 
 let snapshot t =
+  let base =
+    match t.snap_base with
+    | None ->
+      (* first snapshot: the only full-memory copy this CPU ever pays *)
+      let m = Memory.copy t.memory in
+      t.snap_base <- Some m;
+      t.snap_bytes <- t.snap_bytes + (4 * Memory.size m);
+      Memory.clear_dirty t.memory;
+      m
+    | Some base ->
+      List.iter
+        (fun p ->
+          Memory.copy_page ~src:t.memory ~dst:base p;
+          t.snap_bytes <- t.snap_bytes + (4 * Memory.page_words t.memory p))
+        (Memory.dirty_pages t.memory);
+      Memory.clear_dirty t.memory;
+      base
+  in
   {
     s_regs = Array.copy t.regs;
     s_crs = Array.copy t.crs;
     s_pc = t.pc_;
-    s_mem = Memory.copy t.memory;
+    s_mem = base;
     s_code_len = Array.length t.code;
   }
+
+let snapshot_bytes_copied t = t.snap_bytes
 
 let restore t snap =
   if snap.s_code_len <> Array.length t.code then
@@ -304,8 +410,7 @@ let restore t snap =
   Array.blit snap.s_regs 0 t.regs 0 (Array.length t.regs);
   Array.blit snap.s_crs 0 t.crs 0 (Array.length t.crs);
   t.pc_ <- snap.s_pc;
-  Memory.blit_in t.memory ~addr:0
-    (Memory.blit_out snap.s_mem ~addr:0 ~len:(Memory.size snap.s_mem));
+  Memory.blit_from t.memory ~src:snap.s_mem;
   Tlb.flush t.tlb_state
 
 let pp_stop fmt = function

@@ -111,15 +111,32 @@ val translate : t -> write:bool -> int -> (int, stop) result
 val instructions_retired : t -> int
 (** Total completed instructions over the CPU's lifetime. *)
 
-val state_hash : ?include_tlb:bool -> t -> int
+val state_hash : ?include_tlb:bool -> ?full:bool -> t -> int
 (** Hash of the architectural state (registers, pc, control registers,
     memory; optionally the TLB).  Two virtual machines in lockstep
-    must have equal hashes at every epoch boundary. *)
+    must have equal hashes at every epoch boundary.
+
+    Memory is folded in as {!Memory.digest} — incremental over dirty
+    pages — unless [full] is set, which uses the from-scratch
+    {!Memory.full_digest}.  The two produce identical hashes, so
+    replicas may mix schemes freely; [full] exists as the reference
+    (and worst case) for benchmarks and equivalence tests. *)
 
 type snapshot
 
 val snapshot : t -> snapshot
-(** Deep copy of the architectural state, for backup reintegration. *)
+(** Copy of the architectural state, for backup reintegration.  The
+    first call copies memory in full; subsequent calls copy only the
+    pages written since the previous snapshot into a shared base
+    image.  Consequently taking a new snapshot invalidates the memory
+    contents of snapshots taken earlier from the same CPU — callers
+    keep at most one live snapshot per CPU (the hypervisor's
+    reintegration path does). *)
+
+val snapshot_bytes_copied : t -> int
+(** Cumulative bytes of memory copied by {!snapshot} over this CPU's
+    lifetime (the delta-snapshot win shows as this growing by much
+    less than a full image per call). *)
 
 val restore : t -> snapshot -> unit
 (** Overwrite this CPU's state with the snapshot.  The code image must

@@ -1,46 +1,233 @@
-type t = { words : int array }
+(* Dirty-page tracking.
 
-let create ~words =
+   The lockstep protocol hashes the whole guest memory at every epoch
+   boundary, and reintegration snapshots copy it.  Both costs are
+   proportional to memory size, not to how much the guest actually
+   wrote — at the paper's EL=1024 the simulator would spend far more
+   host time hashing than executing.  So memory keeps two per-page
+   dirty bitmaps keyed to the page size of the owning CPU's config:
+
+   - [stale] invalidates the cached per-page FNV digest; [digest]
+     re-hashes only stale pages and folds the cached digests of the
+     rest.  The digest is a pure function of the word contents (the
+     fold order is fixed), so the incremental result is always equal
+     to a from-scratch [full_digest] — that equivalence is what keeps
+     primary and backup comparable whichever scheme each side uses.
+   - [snap_dirty] records pages written since the last [clear_dirty],
+     which the CPU snapshot path uses to copy only the delta since the
+     previous snapshot. *)
+
+type t = {
+  words : int array;
+  page_shift : int;
+  pages : int;
+  page_digests : int array;
+  stale : bool array; (* page digest cache invalid *)
+  mutable clean : bool; (* no write since [digest_cache] was computed *)
+  mutable digest_cache : int;
+  snap_dirty : bool array; (* page written since last [clear_dirty] *)
+  (* cumulative work counters, drained by [take_hash_work] *)
+  mutable pages_hashed : int;
+  mutable pages_skipped : int;
+}
+
+let default_page_shift = 10
+
+let create ?(page_shift = default_page_shift) ~words () =
   if words <= 0 then invalid_arg "Memory.create: size must be positive";
-  { words = Array.make words 0 }
+  if page_shift < 0 || page_shift > 30 then
+    invalid_arg "Memory.create: bad page_shift";
+  let pages = (words + (1 lsl page_shift) - 1) lsr page_shift in
+  {
+    words = Array.make words 0;
+    page_shift;
+    pages;
+    page_digests = Array.make pages 0;
+    stale = Array.make pages true;
+    clean = false;
+    digest_cache = 0;
+    snap_dirty = Array.make pages true;
+    pages_hashed = 0;
+    pages_skipped = 0;
+  }
 
 let size t = Array.length t.words
+let page_shift t = t.page_shift
+let pages t = t.pages
 
-let in_range t addr = addr >= 0 && addr < Array.length t.words
+let page_words t p =
+  if p < 0 || p >= t.pages then invalid_arg "Memory.page_words: bad page";
+  min (1 lsl t.page_shift) (Array.length t.words - (p lsl t.page_shift))
 
-let read t addr =
-  if not (in_range t addr) then
-    invalid_arg (Printf.sprintf "Memory.read: address 0x%x out of range" addr);
+let[@inline] in_range t addr = addr >= 0 && addr < Array.length t.words
+
+let[@inline never] oob op addr =
+  invalid_arg (Printf.sprintf "Memory.%s: address 0x%x out of range" op addr)
+
+let[@inline] read t addr =
+  if not (in_range t addr) then oob "read" addr;
   t.words.(addr)
 
-let write t addr v =
-  if not (in_range t addr) then
-    invalid_arg (Printf.sprintf "Memory.write: address 0x%x out of range" addr);
-  t.words.(addr) <- Word.mask v
+let[@inline] mark t addr =
+  let p = addr lsr t.page_shift in
+  t.stale.(p) <- true;
+  t.snap_dirty.(p) <- true;
+  t.clean <- false
+
+let[@inline] write t addr v =
+  if not (in_range t addr) then oob "write" addr;
+  t.words.(addr) <- Word.mask v;
+  mark t addr
+
+let mark_range t ~addr ~len =
+  if len > 0 then begin
+    let first = addr lsr t.page_shift
+    and last = (addr + len - 1) lsr t.page_shift in
+    for p = first to last do
+      t.stale.(p) <- true;
+      t.snap_dirty.(p) <- true
+    done;
+    t.clean <- false
+  end
 
 let blit_in t ~addr block =
   let len = Array.length block in
   if addr < 0 || addr + len > Array.length t.words then
     invalid_arg "Memory.blit_in: block out of range";
-  Array.blit block 0 t.words addr len
+  Array.blit block 0 t.words addr len;
+  mark_range t ~addr ~len
 
 let blit_out t ~addr ~len =
   if addr < 0 || len < 0 || addr + len > Array.length t.words then
     invalid_arg "Memory.blit_out: block out of range";
   Array.sub t.words addr len
 
-let copy t = { words = Array.copy t.words }
+let copy t =
+  {
+    words = Array.copy t.words;
+    page_shift = t.page_shift;
+    pages = t.pages;
+    page_digests = Array.copy t.page_digests;
+    stale = Array.copy t.stale;
+    clean = t.clean;
+    digest_cache = t.digest_cache;
+    snap_dirty = Array.copy t.snap_dirty;
+    pages_hashed = 0;
+    pages_skipped = 0;
+  }
 
-let equal a b = a.words = b.words
+let blit_from t ~src =
+  if Array.length t.words <> Array.length src.words then
+    invalid_arg "Memory.blit_from: size mismatch";
+  if t != src then begin
+    Array.blit src.words 0 t.words 0 (Array.length src.words);
+    if t.page_shift = src.page_shift then begin
+      (* adopt the source's digest caches so a restore costs no
+         re-hashing beyond what the source already owed *)
+      Array.blit src.page_digests 0 t.page_digests 0 t.pages;
+      Array.blit src.stale 0 t.stale 0 t.pages;
+      t.digest_cache <- src.digest_cache;
+      t.clean <- src.clean
+    end
+    else begin
+      Array.fill t.stale 0 t.pages true;
+      t.clean <- false
+    end;
+    (* relative to this memory's snapshot base, everything changed *)
+    Array.fill t.snap_dirty 0 t.pages true
+  end
+
+let copy_page ~src ~dst p =
+  if
+    src.page_shift <> dst.page_shift
+    || Array.length src.words <> Array.length dst.words
+  then invalid_arg "Memory.copy_page: geometry mismatch";
+  if p < 0 || p >= src.pages then invalid_arg "Memory.copy_page: bad page";
+  let lo = p lsl src.page_shift in
+  let len = min (1 lsl src.page_shift) (Array.length src.words - lo) in
+  Array.blit src.words lo dst.words lo len;
+  dst.page_digests.(p) <- src.page_digests.(p);
+  dst.stale.(p) <- src.stale.(p);
+  dst.snap_dirty.(p) <- true;
+  dst.clean <- false
+
+let equal a b =
+  let n = Array.length a.words in
+  n = Array.length b.words
+  &&
+  let i = ref 0 in
+  while !i < n && a.words.(!i) = b.words.(!i) do
+    incr i
+  done;
+  !i = n
 
 let fnv_prime = 0x100000001b3
 let fnv_mask = (1 lsl 62) - 1
 
-let hash_into t seed =
-  let h = ref seed in
-  for i = 0 to Array.length t.words - 1 do
-    h := (!h lxor t.words.(i)) * fnv_prime land fnv_mask
+(* distinct bases for the word-level and page-level folds, so a page
+   digest can never be mistaken for a fold of page digests *)
+let page_basis = 0x3bf29ce484222325
+let digest_basis = 0x27d4eb2f165667c5
+
+let hash_page t p =
+  let lo = p lsl t.page_shift in
+  let hi = min (lo + (1 lsl t.page_shift)) (Array.length t.words) in
+  let words = t.words in
+  let h = ref page_basis in
+  for i = lo to hi - 1 do
+    h := (!h lxor words.(i)) * fnv_prime land fnv_mask
   done;
   !h
+
+let fold_pages digests pages =
+  let h = ref digest_basis in
+  for p = 0 to pages - 1 do
+    h := (!h lxor digests.(p)) * fnv_prime land fnv_mask
+  done;
+  !h
+
+let digest t =
+  if t.clean then begin
+    t.pages_skipped <- t.pages_skipped + t.pages;
+    t.digest_cache
+  end
+  else begin
+    for p = 0 to t.pages - 1 do
+      if t.stale.(p) then begin
+        t.page_digests.(p) <- hash_page t p;
+        t.stale.(p) <- false;
+        t.pages_hashed <- t.pages_hashed + 1
+      end
+      else t.pages_skipped <- t.pages_skipped + 1
+    done;
+    t.digest_cache <- fold_pages t.page_digests t.pages;
+    t.clean <- true;
+    t.digest_cache
+  end
+
+let full_digest t =
+  let h = ref digest_basis in
+  for p = 0 to t.pages - 1 do
+    h := (!h lxor hash_page t p) * fnv_prime land fnv_mask
+  done;
+  t.pages_hashed <- t.pages_hashed + t.pages;
+  !h
+
+let hash_into t seed = (seed lxor digest t) * fnv_prime land fnv_mask
+
+let take_hash_work t =
+  let r = (t.pages_hashed, t.pages_skipped) in
+  t.pages_hashed <- 0;
+  t.pages_skipped <- 0;
+  r
+
+let dirty_pages t =
+  let acc = ref [] in
+  for p = t.pages - 1 downto 0 do
+    if t.snap_dirty.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let clear_dirty t = Array.fill t.snap_dirty 0 t.pages false
 
 let load t ~addr words = blit_in t ~addr (Array.of_list words)

@@ -1,15 +1,34 @@
-(** Physical data memory: a flat array of 32-bit words.
+(** Physical data memory: a flat array of 32-bit words, with per-page
+    dirty tracking for incremental hashing and delta snapshots.
 
     Addresses are word indices.  The region at and above the MMIO base
     (see {!Cpu.config}) is not backed by this array; accesses there are
-    routed to devices by the executor. *)
+    routed to devices by the executor.
+
+    Every mutation ([write]/[blit_in]/[load]) marks the containing
+    page(s) dirty in two independent bitmaps: one invalidates the
+    cached per-page FNV digest used by {!digest}, the other feeds
+    {!dirty_pages}/{!clear_dirty} so snapshots can copy only the pages
+    written since the previous snapshot. *)
 
 type t
 
-val create : words:int -> t
-(** Zero-initialised memory of [words] words. *)
+val create : ?page_shift:int -> words:int -> unit -> t
+(** Zero-initialised memory of [words] words, tracked in pages of
+    [2{^page_shift}] words (default 10, matching
+    {!Cpu.default_config}).  The last page may be partial when [words]
+    is not a multiple of the page size. *)
 
 val size : t -> int
+
+val page_shift : t -> int
+
+val pages : t -> int
+(** Number of tracked pages ([ceil (size / 2^page_shift)]). *)
+
+val page_words : t -> int -> int
+(** Words in page [p] (smaller than [2^page_shift] only for a trailing
+    partial page).  @raise Invalid_argument on a bad page index. *)
 
 val read : t -> int -> Word.t
 (** @raise Invalid_argument if the address is out of range. *)
@@ -26,14 +45,51 @@ val blit_in : t -> addr:int -> Word.t array -> unit
 val blit_out : t -> addr:int -> len:int -> Word.t array
 (** Copy [len] words out of memory starting at [addr] (DMA). *)
 
+val blit_from : t -> src:t -> unit
+(** Overwrite this memory's contents with [src]'s, directly, without
+    materialising an intermediate array.  Digest caches are adopted
+    from [src] when the page geometry matches; all pages are marked
+    dirty for snapshot purposes.
+    @raise Invalid_argument on a size mismatch. *)
+
 val copy : t -> t
-(** Deep copy, used for state snapshots (backup reintegration). *)
+(** Deep copy, used for state snapshots (backup reintegration).  Work
+    counters start at zero in the copy. *)
+
+val copy_page : src:t -> dst:t -> int -> unit
+(** Copy one page of words (and its digest-cache state) between two
+    memories of identical geometry — the delta-snapshot primitive.
+    @raise Invalid_argument on geometry mismatch or bad page index. *)
 
 val equal : t -> t -> bool
+(** Word-array content equality (early-exit loop; tracking state is
+    not compared). *)
+
+val digest : t -> int
+(** FNV digest of the whole contents, computed incrementally: only
+    pages written since the last call are re-hashed, the rest fold in
+    their cached page digests.  A pure function of the contents —
+    always equal to {!full_digest}. *)
+
+val full_digest : t -> int
+(** The same digest computed from scratch, ignoring (and not
+    updating) the page-digest cache; the reference implementation the
+    incremental path is checked against. *)
 
 val hash_into : t -> int -> int
-(** [hash_into mem seed] folds the memory contents into a running FNV
-    hash; used for lockstep state comparison. *)
+(** [hash_into mem seed] folds {!digest} into a running FNV hash; used
+    for lockstep state comparison. *)
+
+val take_hash_work : t -> int * int
+(** [(pages hashed, pages skipped)] by digest computations since the
+    last call; resets both counters.  Skipped pages are those whose
+    cached digest was reused. *)
+
+val dirty_pages : t -> int list
+(** Pages written since the last {!clear_dirty}, ascending.  All pages
+    are dirty initially. *)
+
+val clear_dirty : t -> unit
 
 val load : t -> addr:int -> Word.t list -> unit
 (** Write a literal list of words at [addr] (program loading). *)

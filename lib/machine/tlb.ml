@@ -6,24 +6,32 @@ type t = {
   policy : policy;
   slots : entry option array;
   mutable next_victim : int;
+  mutable last_hit : entry option;
+      (* one-entry MRU cache over [lookup]; sound because [insert]
+         keeps vpages unique among slots and invalidates it *)
 }
 
 let create ?(entries = 16) policy =
   if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
-  { policy; slots = Array.make entries None; next_victim = 0 }
+  { policy; slots = Array.make entries None; next_victim = 0; last_hit = None }
 
 let size t = Array.length t.slots
 
 let lookup t ~vpage =
-  let n = Array.length t.slots in
-  let rec scan i =
-    if i >= n then None
-    else
-      match t.slots.(i) with
-      | Some e when e.vpage = vpage -> Some e
-      | _ -> scan (i + 1)
-  in
-  scan 0
+  match t.last_hit with
+  | Some e when e.vpage = vpage -> t.last_hit
+  | _ ->
+    let n = Array.length t.slots in
+    let rec scan i =
+      if i >= n then None
+      else
+        match t.slots.(i) with
+        | Some e when e.vpage = vpage ->
+          t.last_hit <- t.slots.(i);
+          t.slots.(i)
+        | _ -> scan (i + 1)
+    in
+    scan 0
 
 let find_slot t vpage =
   (* Prefer the slot already holding this vpage, then an invalid slot,
@@ -49,11 +57,13 @@ let find_slot t vpage =
 
 let insert t entry =
   let i = find_slot t entry.vpage in
-  t.slots.(i) <- Some entry
+  t.slots.(i) <- Some entry;
+  t.last_hit <- None
 
 let flush t =
   Array.fill t.slots 0 (Array.length t.slots) None;
-  t.next_victim <- 0
+  t.next_victim <- 0;
+  t.last_hit <- None
 
 let entries t =
   Array.to_list t.slots |> List.filter_map (fun e -> e)

@@ -3,14 +3,14 @@ type t = int
 let m32 = 0xFFFF_FFFF
 let sign_bit = 0x8000_0000
 
-let mask v = v land m32
+let[@inline] mask v = v land m32
 
-let signed v = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v
+let[@inline] signed v = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v
 
-let of_signed v = v land m32
+let[@inline] of_signed v = v land m32
 
-let add a b = (a + b) land m32
-let sub a b = (a - b) land m32
+let[@inline] add a b = (a + b) land m32
+let[@inline] sub a b = (a - b) land m32
 let mul a b = (a * b) land m32
 
 let divu a b = if b = 0 then m32 else a / b

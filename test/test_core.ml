@@ -678,10 +678,60 @@ let random_lockstep_prop =
       && Hypervisor.vm_state_hash (System.primary sys)
          = Hypervisor.vm_state_hash (System.backup sys))
 
+(* -------- incremental lockstep hashing -------- *)
+
+let incremental_hashing_tests =
+  let open Alcotest in
+  [
+    test_case "epoch hashes agree under the incremental scheme" `Quick
+      (fun () ->
+        let sys, o = run_sys (Workload.dhrystone ~iterations:2000) in
+        check_lockstep "incremental" o;
+        check int "final hash equal"
+          (Hypervisor.vm_state_hash (System.primary sys))
+          (Hypervisor.vm_state_hash (System.backup sys)));
+    test_case "incremental and full-rehash schemes give equal hashes" `Quick
+      (fun () ->
+        (* same workload under both schemes: lockstep must hold in
+           each, and the final state hashes must agree across runs —
+           the scheme is invisible to the protocol *)
+        let run scheme =
+          let params = Params.with_hash_scheme small_params scheme in
+          let sys, o = run_sys ~params (Workload.dhrystone ~iterations:1500) in
+          check (list int) "no divergence" [] o.System.lockstep_mismatches;
+          Hypervisor.vm_state_hash (System.primary sys)
+        in
+        check int "schemes agree" (run Params.Incremental)
+          (run Params.Full_rehash));
+    test_case "a single corrupted word is caught at the next boundary" `Quick
+      (fun () ->
+        let w = Workload.dhrystone ~iterations:3000 in
+        let sys = System.create ~params:small_params ~lockstep:true ~workload:w () in
+        (* flip one word of the backup's memory mid-run, in an area the
+           guest never touches: only the state hash can see it *)
+        ignore
+          (Hft_sim.Engine.at (System.engine sys) (Hft_sim.Time.of_ms 2)
+             (fun () ->
+               let mem = Hft_machine.Cpu.mem (Hypervisor.cpu (System.backup sys)) in
+               Hft_machine.Memory.write mem 0xE000
+                 (Hft_machine.Memory.read mem 0xE000 + 1)));
+        let o = System.run sys in
+        check bool "mismatch detected" true
+          (o.System.lockstep_mismatches <> []));
+    test_case "boundary hashing reuses cached page digests" `Quick (fun () ->
+        let sys, o = run_sys (Workload.dhrystone ~iterations:2000) in
+        check_lockstep "stats" o;
+        let st = Hypervisor.stats (System.primary sys) in
+        check bool "some pages hashed" true (st.Stats.pages_hashed > 0);
+        check bool "most pages skipped" true
+          (st.Stats.pages_skipped > st.Stats.pages_hashed));
+  ]
+
 let () =
   Alcotest.run "hft_core"
     [
       ("lockstep", lockstep_tests);
+      ("incremental-hashing", incremental_hashing_tests);
       ("suppression", suppression_tests);
       ("timer-env", timer_env_tests);
       ("section-3.1", section31_tests);

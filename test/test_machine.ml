@@ -657,21 +657,180 @@ let memory_tests =
   let open Alcotest in
   [
     test_case "bounds checked" `Quick (fun () ->
-        let m = Memory.create ~words:16 in
+        let m = Memory.create ~words:16 () in
         let raised =
           try ignore (Memory.read m 16); false with Invalid_argument _ -> true
         in
         check bool "read oob" true raised);
     test_case "blit in and out" `Quick (fun () ->
-        let m = Memory.create ~words:64 in
+        let m = Memory.create ~words:64 () in
         Memory.blit_in m ~addr:8 [| 1; 2; 3 |];
         check bool "roundtrip" true
           (Memory.blit_out m ~addr:8 ~len:3 = [| 1; 2; 3 |]));
     test_case "copy is deep" `Quick (fun () ->
-        let m = Memory.create ~words:8 in
+        let m = Memory.create ~words:8 () in
         let c = Memory.copy m in
         Memory.write m 0 5;
         check int "copy unchanged" 0 (Memory.read c 0));
+  ]
+
+(* -------- dirty-page tracking and incremental digests -------- *)
+
+(* The incremental digest must be indistinguishable from a from-scratch
+   re-hash after any interleaving of writes, DMA blits, digest reads
+   (which build the page cache), dirty-bit clears, and snapshot/restore
+   roundtrips. *)
+let digest_equiv_prop =
+  let open QCheck.Gen in
+  let words = 4096 and page_shift = 8 in
+  let op =
+    frequency
+      [
+        ( 6,
+          map2
+            (fun a v -> `Write (a, v))
+            (int_range 0 (words - 1))
+            (int_range 0 1_000_000) );
+        ( 2,
+          map2
+            (fun a len -> `Blit (a, len))
+            (int_range 0 (words - 65))
+            (int_range 1 64) );
+        (2, return `Digest);
+        (1, return `Clear);
+        (1, return `Snap);
+        (1, return `Restore);
+      ]
+  in
+  let ops_gen = list_size (int_range 1 120) op in
+  QCheck.Test.make ~name:"incremental digest equals full re-hash" ~count:200
+    (QCheck.make ops_gen) (fun ops ->
+      let m = Memory.create ~page_shift ~words () in
+      let truth = Array.make words 0 in
+      let saved = ref (Memory.copy m) in
+      let truth_saved = ref (Array.copy truth) in
+      List.iter
+        (fun op ->
+          match op with
+          | `Write (a, v) ->
+            Memory.write m a v;
+            truth.(a) <- Word.mask v
+          | `Blit (a, len) ->
+            let block = Array.init len (fun i -> Word.mask (a + (i * 37))) in
+            Memory.blit_in m ~addr:a block;
+            Array.blit block 0 truth a len
+          | `Digest -> ignore (Memory.digest m : int)
+          | `Clear -> Memory.clear_dirty m
+          | `Snap ->
+            saved := Memory.copy m;
+            truth_saved := Array.copy truth
+          | `Restore ->
+            Memory.blit_from m ~src:!saved;
+            Array.blit !truth_saved 0 truth 0 words)
+        ops;
+      let fresh = Memory.create ~page_shift ~words () in
+      Memory.blit_in fresh ~addr:0 truth;
+      Memory.digest m = Memory.full_digest m
+      && Memory.digest m = Memory.digest fresh
+      && Memory.equal m fresh)
+
+(* Same equivalence at the CPU level, across run/snapshot/run/restore:
+   the state hash a replica sends at a boundary must not depend on
+   which digest scheme computed it. *)
+let incremental_hash_prop =
+  QCheck.Test.make ~name:"state hash scheme-independent across snapshots"
+    ~count:50 (QCheck.make safe_program_gen) (fun code ->
+      let cpu = Cpu.create ~code () in
+      let _ = Cpu.run cpu ~fuel:100 in
+      let agree () = Cpu.state_hash cpu = Cpu.state_hash ~full:true cpu in
+      let ok0 = agree () in
+      let snap = Cpu.snapshot cpu in
+      let h = Cpu.state_hash cpu in
+      let _ = Cpu.run cpu ~fuel:1000 in
+      let ok1 = agree () in
+      Cpu.restore cpu snap;
+      ok0 && ok1 && agree () && Cpu.state_hash ~full:true cpu = h)
+
+let dirty_page_tests =
+  let open Alcotest in
+  [
+    test_case "dirty_pages tracks writes, clear_dirty resets" `Quick
+      (fun () ->
+        let m = Memory.create ~words:4096 () in
+        check (list int) "all dirty initially" [ 0; 1; 2; 3 ]
+          (Memory.dirty_pages m);
+        Memory.clear_dirty m;
+        check (list int) "clean after clear" [] (Memory.dirty_pages m);
+        Memory.write m 0x500 1;
+        Memory.write m 0xC01 2;
+        check (list int) "written pages dirty" [ 1; 3 ] (Memory.dirty_pages m);
+        Memory.blit_in m ~addr:0x3FE [| 1; 2; 3; 4 |];
+        check (list int) "blit spans pages" [ 0; 1; 3 ]
+          (Memory.dirty_pages m));
+    test_case "single-word corruption flips the digest and back" `Quick
+      (fun () ->
+        let m = Memory.create ~words:4096 () in
+        Memory.write m 7 123;
+        let d0 = Memory.digest m in
+        let prev = Memory.read m 0x800 in
+        Memory.write m 0x800 (prev + 1);
+        check bool "corruption detected" true (Memory.digest m <> d0);
+        Memory.write m 0x800 prev;
+        check int "restored digest" d0 (Memory.digest m));
+    test_case "digest work is proportional to dirty pages" `Quick (fun () ->
+        let m = Memory.create ~words:4096 () in
+        ignore (Memory.digest m : int);
+        ignore (Memory.take_hash_work m);
+        Memory.write m 0 1;
+        ignore (Memory.digest m : int);
+        let hashed, skipped = Memory.take_hash_work m in
+        check int "one page re-hashed" 1 hashed;
+        check int "three reused" 3 skipped);
+    test_case "blit_from matches contents without staging" `Quick (fun () ->
+        let a = Memory.create ~words:64 () in
+        let b = Memory.create ~words:64 () in
+        Memory.write a 3 99;
+        Memory.blit_from b ~src:a;
+        check int "copied" 99 (Memory.read b 3);
+        check bool "equal" true (Memory.equal a b);
+        check int "digest agrees" (Memory.digest a) (Memory.digest b);
+        let c = Memory.create ~words:65 () in
+        let raised =
+          try Memory.blit_from c ~src:a; false
+          with Invalid_argument _ -> true
+        in
+        check bool "size mismatch rejected" true raised);
+    test_case "equal ignores tracking state" `Quick (fun () ->
+        let a = Memory.create ~words:32 () in
+        let b = Memory.create ~words:32 () in
+        ignore (Memory.digest a : int);
+        (* a has a built cache, b none *)
+        Memory.clear_dirty a;
+        check bool "same contents" true (Memory.equal a b);
+        Memory.write b 31 1;
+        check bool "differ" false (Memory.equal a b));
+    test_case "snapshots copy the delta only" `Quick (fun () ->
+        let p = Asm.assemble [ Asm.halt ] in
+        let cpu = Cpu.create ~code:p.Asm.code () in
+        let mem_bytes = 4 * Memory.size (Cpu.mem cpu) in
+        ignore (Cpu.snapshot cpu);
+        check int "first snapshot is a full copy" mem_bytes
+          (Cpu.snapshot_bytes_copied cpu);
+        Memory.write (Cpu.mem cpu) 0x2000 42;
+        ignore (Cpu.snapshot cpu);
+        check int "second copies one page" (mem_bytes + 4096)
+          (Cpu.snapshot_bytes_copied cpu);
+        ignore (Cpu.snapshot cpu);
+        check int "unchanged memory copies nothing" (mem_bytes + 4096)
+          (Cpu.snapshot_bytes_copied cpu));
+    test_case "partial trailing page is tracked" `Quick (fun () ->
+        let m = Memory.create ~page_shift:4 ~words:20 () in
+        check int "two pages" 2 (Memory.pages m);
+        check int "full page" 16 (Memory.page_words m 0);
+        check int "partial page" 4 (Memory.page_words m 1);
+        Memory.write m 19 7;
+        check bool "digest sees the tail" true
+          (Memory.digest m = Memory.full_digest m));
   ]
 
 let () =
@@ -695,5 +854,11 @@ let () =
         @ [
             QCheck_alcotest.to_alcotest determinism_prop;
             QCheck_alcotest.to_alcotest snapshot_prop;
+          ] );
+      ( "dirty-pages",
+        dirty_page_tests
+        @ [
+            QCheck_alcotest.to_alcotest digest_equiv_prop;
+            QCheck_alcotest.to_alcotest incremental_hash_prop;
           ] );
     ]
