@@ -668,17 +668,73 @@ let lint_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
   in
-  let lint_one ~title ~rewritten ~rewrite_el ~data_init program =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the findings as machine-readable JSON \
+             (schema hftsim-lint/1) to PATH; $(b,-) writes JSON to stdout \
+             and suppresses the human report.")
+  in
+  let lint_one ~quiet ~title ~rewritten ~rewrite_el ~data_init program =
     let program, rewritten =
       match rewrite_el with
       | Some el -> (Hft_machine.Rewrite.rewrite_program ~every:el program, true)
       | None -> (program, rewritten)
     in
     let fs = Hft_analysis.Analysis.check ~rewritten ~data_init program in
-    Hft_harness.Report.findings ~title fs;
-    fs
+    if not quiet then Hft_harness.Report.findings ~title fs;
+    (title, fs)
   in
-  let action workload all image rewrite_el rewritten strict =
+  let lint_json runs =
+    let b = Buffer.create 1024 in
+    let esc s =
+      String.concat ""
+        (List.map
+           (function
+             | '"' -> "\\\""
+             | '\\' -> "\\\\"
+             | '\n' -> "\\n"
+             | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    in
+    Buffer.add_string b "{\n  \"schema\": \"hftsim-lint/1\",\n  \"images\": [";
+    List.iteri
+      (fun i (title, fs) ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf "\n    {\"title\": \"%s\", \"findings\": [" (esc title));
+        List.iteri
+          (fun j f ->
+            if j > 0 then Buffer.add_string b ",";
+            Buffer.add_string b
+              (Printf.sprintf
+                 "\n      {\"checker\": \"%s\", \"severity\": \"%s\", \
+                  \"addr\": %d, \"where\": \"%s\", \"message\": \"%s\"}"
+                 (esc f.Hft_analysis.Finding.checker)
+                 (Hft_analysis.Finding.severity_name
+                    f.Hft_analysis.Finding.severity)
+                 f.Hft_analysis.Finding.addr
+                 (esc f.Hft_analysis.Finding.where)
+                 (esc f.Hft_analysis.Finding.message)))
+          fs;
+        if fs <> [] then Buffer.add_string b "\n    ";
+        Buffer.add_string b "]}")
+      runs;
+    Buffer.add_string b "\n  ],\n";
+    let all = List.concat_map snd runs in
+    let errors = List.length (Hft_analysis.Finding.errors all) in
+    let warnings = List.length (Hft_analysis.Finding.warnings all) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"findings\": %d}\n}\n"
+         errors warnings (List.length all));
+    Buffer.contents b
+  in
+  let action workload all image rewrite_el rewritten strict json =
+    let quiet = json = Some "-" in
     let runs =
       if all then
         List.concat_map
@@ -691,11 +747,12 @@ let lint_cmd =
               in
               let el = Params.default.Params.epoch_length in
               let plain =
-                lint_one ~title:(name ^ " (as assembled)") ~rewritten:false
-                  ~rewrite_el:None ~data_init w.Hft_guest.Workload.program
+                lint_one ~quiet ~title:(name ^ " (as assembled)")
+                  ~rewritten:false ~rewrite_el:None ~data_init
+                  w.Hft_guest.Workload.program
               in
               let rewritten =
-                lint_one
+                lint_one ~quiet
                   ~title:(Printf.sprintf "%s (rewritten, EL=%d)" name el)
                   ~rewritten:false ~rewrite_el:(Some el) ~data_init
                   w.Hft_guest.Workload.program
@@ -706,19 +763,30 @@ let lint_cmd =
         match image with
         | Some path ->
           let program = Hft_machine.Image.load ~path in
-          [ lint_one ~title:path ~rewritten ~rewrite_el ~data_init:[] program ]
+          [
+            lint_one ~quiet ~title:path ~rewritten ~rewrite_el ~data_init:[]
+              program;
+          ]
         | None ->
           [
-            lint_one ~title:workload.Hft_guest.Workload.name ~rewritten
+            lint_one ~quiet ~title:workload.Hft_guest.Workload.name ~rewritten
               ~rewrite_el
               ~data_init:(List.map fst workload.Hft_guest.Workload.config)
               workload.Hft_guest.Workload.program;
           ]
     in
-    let findings = List.concat runs in
+    (match json with
+    | Some "-" -> print_string (lint_json runs)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (lint_json runs);
+      close_out oc;
+      Format.printf "wrote %s@." path
+    | None -> ());
+    let findings = List.concat_map snd runs in
     let errors = List.length (Hft_analysis.Finding.errors findings) in
     let warnings = List.length (Hft_analysis.Finding.warnings findings) in
-    if List.length runs > 1 then
+    if (not quiet) && List.length runs > 1 then
       Format.printf "@.%d image(s): %s@." (List.length runs)
         (Hft_analysis.Finding.summary findings);
     if errors > 0 then
@@ -731,7 +799,7 @@ let lint_cmd =
     Term.(
       ret
         (const action $ workload_arg $ all_arg $ image_arg $ rewrite_el
-       $ rewritten_arg $ strict_arg))
+       $ rewritten_arg $ strict_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -741,6 +809,307 @@ let lint_cmd =
           inputs, and epoch-counting safety (section 2.1).  Exits non-zero \
           if any error-severity finding is reported.")
     term
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let scenario_arg =
+    Arg.(
+      value & opt string "handoff"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Bounded scenario to explore (see $(b,--list)).")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Explore every bounded scenario in sequence.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the bounded scenarios and exit.")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Bound each schedule to N scheduler choices; deeper runs are \
+             truncated (and reported, since truncation forfeits the \
+             exhaustiveness claim).")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Stop after visiting N frontier states.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the exploration report as machine-readable JSON (schema \
+             hftsim-check/1) to PATH; $(b,-) writes it to stdout.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Do not explore; re-execute the serialized counterexample \
+             schedule in FILE and report whether it still violates.")
+  in
+  let save_replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-replay" ] ~docv:"FILE"
+          ~doc:
+            "Serialize the first counterexample found to FILE \
+             (hftsim-check-replay/1, replayable with $(b,--replay)).")
+  in
+  let no_dpor_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dpor" ]
+          ~doc:"Disable sleep-set partial-order reduction (for comparison).")
+  in
+  let no_fp_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fingerprints" ]
+          ~doc:"Disable visited-state fingerprint pruning (for comparison).")
+  in
+  let compare_naive_arg =
+    Arg.(
+      value & flag
+      & info [ "compare-naive" ]
+          ~doc:
+            "After the reduced exploration, rerun without DPOR or \
+             fingerprints (state-capped) and report the reduction factor.")
+  in
+  let no_retransmit_arg =
+    Arg.(
+      value & flag
+      & info [ "no-retransmit" ]
+          ~doc:
+            "Check the deliberately broken protocol variant that never \
+             retransmits unacknowledged messages.")
+  in
+  let no_ack_wait_arg =
+    Arg.(
+      value & flag
+      & info [ "no-ack-wait" ]
+          ~doc:
+            "Check the broken variant where the primary delivers epoch \
+             outputs without waiting for the backup acknowledgement.")
+  in
+  let max_violations_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-violations" ] ~docv:"N"
+          ~doc:"Keep exploring until N counterexamples are found.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Report counterexamples verbatim, without minimization.")
+  in
+  let print_report (r : Hft_check.Checker.result)
+      (naive : Hft_check.Checker.stats option) =
+    let open Hft_check.Checker in
+    let st = r.r_stats in
+    Format.printf "scenario %s: %s@."
+      r.r_scenario.Hft_harness.Scenarios.sc_name
+      r.r_scenario.Hft_harness.Scenarios.sc_descr;
+    Format.printf
+      "  variant: retransmit=%b ack_wait=%b@."
+      r.r_variant.Hft_harness.Scenarios.retransmit
+      r.r_variant.Hft_harness.Scenarios.ack_wait;
+    Format.printf
+      "  %d runs, %d states, %d transitions, max depth %d@."
+      st.runs st.states st.transitions st.max_depth;
+    Format.printf
+      "  pruned: %d revisited, %d slept, %d all-asleep; %d truncated run(s)@."
+      st.pruned_visited st.sleep_skipped st.sleep_pruned st.truncated_runs;
+    (match naive with
+    | Some n ->
+      let factor =
+        if st.states > 0 then float_of_int n.states /. float_of_int st.states
+        else 0.
+      in
+      Format.printf "  naive: %d states in %d runs; reduction factor %.1fx@."
+        n.states n.runs factor
+    | None -> ());
+    if r.r_complete then
+      Format.printf "  bounded state space explored to fixpoint@."
+    else
+      Format.printf
+        "  exploration incomplete (capped, truncated or stopped early)@.";
+    List.iter
+      (fun v ->
+        Format.printf "  VIOLATION%s: %s@."
+          (if v.v_shrunk then " (shrunk)" else "")
+          v.v_reason;
+        Format.printf "    roots: [%s]  choices: [%s]@."
+          (String.concat " " (List.map string_of_int v.v_roots))
+          (String.concat " " (List.map string_of_int v.v_choices)))
+      r.r_violations
+  in
+  let action scenario all list_scenarios depth max_states json replay
+      save_replay no_dpor no_fp compare_naive no_retransmit no_ack_wait
+      max_violations no_shrink =
+    if list_scenarios then begin
+      List.iter
+        (fun sc ->
+          Format.printf "%-20s %s@." sc.Hft_harness.Scenarios.sc_name
+            sc.Hft_harness.Scenarios.sc_descr)
+        Hft_harness.Scenarios.all;
+      `Ok ()
+    end
+    else
+      match replay with
+      | Some path -> (
+        match Hft_check.Schedule.load path with
+        | Error m -> `Error (false, m)
+        | Ok sched -> (
+          Format.printf "replaying %s: scenario %s, roots [%s], %d choice(s)@."
+            path sched.Hft_check.Schedule.scenario
+            (String.concat " "
+               (List.map string_of_int sched.Hft_check.Schedule.roots))
+            (List.length sched.Hft_check.Schedule.choices);
+          match Hft_check.Checker.replay sched with
+          | Error m -> `Error (false, m)
+          | Ok (Some v) ->
+            Format.printf "reproduced: %s@." v;
+            `Ok ()
+          | Ok None ->
+            `Error (false, "schedule no longer produces a violation")))
+      | None -> (
+        let scenarios =
+          if all then Ok Hft_harness.Scenarios.all
+          else
+            match Hft_harness.Scenarios.find scenario with
+            | Some sc -> Ok [ sc ]
+            | None ->
+              Error
+                (Printf.sprintf "unknown scenario %S (try --list)" scenario)
+        in
+        match scenarios with
+        | Error m -> `Error (false, m)
+        | Ok scenarios ->
+          let variant =
+            {
+              Hft_harness.Scenarios.retransmit = not no_retransmit;
+              ack_wait = not no_ack_wait;
+            }
+          in
+          let options =
+            {
+              Hft_check.Checker.depth;
+              max_states;
+              dpor = not no_dpor;
+              fingerprints = not no_fp;
+              max_violations;
+              shrink = not no_shrink;
+            }
+          in
+          let quiet = json = Some "-" in
+          let reports =
+            List.map
+              (fun sc ->
+                let r = Hft_check.Checker.explore ~options sc ~variant in
+                let naive =
+                  if compare_naive then
+                    let naive_options =
+                      {
+                        options with
+                        Hft_check.Checker.dpor = false;
+                        fingerprints = false;
+                        max_states =
+                          Some (Option.value max_states ~default:50_000);
+                      }
+                    in
+                    let nr =
+                      Hft_check.Checker.explore ~options:naive_options sc
+                        ~variant
+                    in
+                    Some nr.Hft_check.Checker.r_stats
+                  else None
+                in
+                (r, naive))
+              scenarios
+          in
+          if not quiet then List.iter (fun (r, n) -> print_report r n) reports;
+          let json_text () =
+            match reports with
+            | [ (r, naive) ] -> Hft_check.Checker.to_json ?naive r
+            | _ ->
+              "[\n"
+              ^ String.concat ",\n"
+                  (List.map
+                     (fun (r, naive) -> Hft_check.Checker.to_json ?naive r)
+                     reports)
+              ^ "]\n"
+          in
+          (match json with
+          | Some "-" -> print_string (json_text ())
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (json_text ());
+            close_out oc;
+            Format.printf "wrote %s@." path
+          | None -> ());
+          let first_violation =
+            List.find_map
+              (fun (r, _) ->
+                match r.Hft_check.Checker.r_violations with
+                | v :: _ -> Some (r, v)
+                | [] -> None)
+              reports
+          in
+          (match (save_replay, first_violation) with
+          | Some path, Some (r, v) ->
+            Hft_check.Schedule.save
+              (Hft_check.Checker.schedule_of_violation r v)
+              path;
+            Format.printf "counterexample written to %s@." path
+          | Some path, None ->
+            Format.printf "no counterexample to write to %s@." path
+          | None, _ -> ());
+          let total_violations =
+            List.fold_left
+              (fun n (r, _) ->
+                n + List.length r.Hft_check.Checker.r_violations)
+              0 reports
+          in
+          if total_violations > 0 then
+            `Error
+              (false, Printf.sprintf "%d violation(s) found" total_violations)
+          else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check the replica-coordination protocol on a \
+          bounded scenario: every root fault assignment (crash epoch, \
+          single message losses) crossed with every interleaving of \
+          co-enabled events, pruned by sleep-set partial-order reduction \
+          and canonical state fingerprints.  Invariants (P1-P7 \
+          consequences) are checked between every two events; violations \
+          are shrunk and serialized as replayable schedules.")
+    Term.(
+      ret
+        (const action $ scenario_arg $ all_arg $ list_arg $ depth_arg
+       $ max_states_arg $ json_arg $ replay_arg $ save_replay_arg
+       $ no_dpor_arg $ no_fp_arg $ compare_naive_arg $ no_retransmit_arg
+       $ no_ack_wait_arg $ max_violations_arg $ no_shrink_arg))
 
 (* ---------- bench ---------- *)
 
@@ -872,6 +1241,7 @@ let () =
             model_cmd;
             trace_cmd;
             lint_cmd;
+            check_cmd;
             disasm_cmd;
             bench_cmd;
             selftest_cmd;

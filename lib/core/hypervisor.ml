@@ -278,7 +278,8 @@ let rec arm_detector ?timeout t =
   if t.peer_alive then
     t.detector <-
       Some
-        (Engine.after t.engine timeout (fun () ->
+        (Engine.after t.engine ~label:"detector" ~actor:t.name_ timeout
+           (fun () ->
              t.detector <- None;
              detector_fired t))
 
@@ -322,7 +323,8 @@ and arm_rtx t =
   then
     t.rtx_timer <-
       Some
-        (Engine.after t.engine (rtx_delay t) (fun () ->
+        (Engine.after t.engine ~label:"rtx" ~actor:t.name_ (rtx_delay t)
+           (fun () ->
              t.rtx_timer <- None;
              rtx_fire t))
 
@@ -436,7 +438,9 @@ and deliver_one_interrupt t { bi; since } =
     Disk_ctl.set_status t.ctl rc.Message.status;
     (match Queue.take_opt t.outstanding with
     | Some _ -> ()
-    | None -> trace t "warning: disk completion with no outstanding op");
+    | None ->
+      t.st.Stats.spurious_completions <- t.st.Stats.spurious_completions + 1;
+      trace t "warning: disk completion with no outstanding op");
     set_vcr t Isa.Cr_scratch0 Layout.intr_kind_disk
   | Bi_timer -> set_vcr t Isa.Cr_scratch0 Layout.intr_kind_timer);
   t.st.Stats.interrupts_delivered <- t.st.Stats.interrupts_delivered + 1;
@@ -463,7 +467,9 @@ and arm_epoch t =
 (* ---------- main execution loop ---------- *)
 
 and resume_after t d =
-  ignore (Engine.after t.engine d (fun () -> continue_vm t))
+  ignore
+    (Engine.after t.engine ~label:"resume" ~actor:t.name_ d (fun () ->
+         continue_vm t))
 
 and continue_vm t =
   if t.alive_ && not t.halted_ then begin
@@ -489,7 +495,8 @@ and continue_vm t =
           t.st.Stats.instructions + res.Cpu.executed;
         let dt = Time.scale t.p.Params.instr_time res.Cpu.executed in
         ignore
-          (Engine.after t.engine dt (fun () -> handle_stop t res.Cpu.stop))
+          (Engine.after t.engine ~label:"stop" ~actor:t.name_ dt (fun () ->
+               handle_stop t res.Cpu.stop))
       | _ -> () (* a resume path will reschedule us *)
   end
 
@@ -510,7 +517,9 @@ and handle_stop t stop =
           let d = Time.scale t.p.Params.instr_time rem in
           Stats.add_time t.st `Idle d;
           t.st.Stats.instructions <- t.st.Stats.instructions + rem;
-          ignore (Engine.after t.engine d (fun () -> epoch_boundary t))
+          ignore
+            (Engine.after t.engine ~label:"idle-epoch" ~actor:t.name_ d (fun () ->
+                 epoch_boundary t))
         end
       | Params.Code_rewriting ->
         (* no counted epoch to idle towards: the wait loop simply
@@ -552,7 +561,10 @@ and complete_simulated ?(advance = true) ?(extra = Time.zero) t =
   if advance then Cpu.advance_pc t.vm;
   let expired = Cpu.tick_recovery t.vm in
   let d = Time.add (hsim t) extra in
-  if expired then ignore (Engine.after t.engine d (fun () -> epoch_boundary t))
+  if expired then
+    ignore
+      (Engine.after t.engine ~label:"epoch" ~actor:t.name_ d (fun () ->
+           epoch_boundary t))
   else resume_after t d
 
 (* ---------- environment instructions ---------- *)
@@ -707,6 +719,7 @@ and handle_doorbell t req =
   | Primary | Promoted ->
     if
       t.p.Params.protocol = Params.Revised
+      && t.p.Params.ack_wait
       && t.peer_alive
       && t.acked < t.data_sent
     then begin
@@ -815,7 +828,7 @@ and primary_boundary_phase1 t =
   let cost = Time.add t.p.Params.hv_epoch_local t.p.Params.hv_send_setup in
   Stats.add_time t.st `Boundary cost;
   ignore
-    (Engine.after t.engine cost (fun () ->
+    (Engine.after t.engine ~label:"boundary-send" ~actor:t.name_ cost (fun () ->
          if t.alive_ then begin
            (* the [Tme] message leaves once the controller set-up is
               paid for; only then can the ack wait begin *)
@@ -829,6 +842,7 @@ and primary_boundary_phase1 t =
                   });
            if
              t.p.Params.protocol = Params.Original
+             && t.p.Params.ack_wait
              && t.peer_alive
              && t.acked < t.data_sent
            then begin
@@ -858,7 +872,7 @@ and primary_boundary_phase2 t ~tod =
   Stats.add_time t.st `Boundary cost;
   arm_epoch t;
   ignore
-    (Engine.after t.engine cost (fun () ->
+    (Engine.after t.engine ~label:"epoch-end" ~actor:t.name_ cost (fun () ->
          if t.alive_ then begin
            if t.peer_alive then send_msg t (Message.Epoch_end { epoch = ended });
            if t.reintegrate_requested then start_reintegration t
@@ -915,7 +929,8 @@ and backup_boundary t =
       Stats.add_time t.st `Boundary cost;
       arm_epoch t;
       ignore
-        (Engine.after t.engine cost (fun () ->
+        (Engine.after t.engine ~label:"boundary-resume" ~actor:t.name_ cost
+           (fun () ->
              if t.alive_ then begin
                deliver_pending_if_possible t;
                continue_vm t
@@ -1009,7 +1024,8 @@ and failover_epoch t ~promoting =
   arm_epoch t;
   if promoting then t.on_promote t;
   ignore
-    (Engine.after t.engine cost (fun () ->
+    (Engine.after t.engine ~label:"failover-resume" ~actor:t.name_ cost
+       (fun () ->
          if t.alive_ then begin
            deliver_pending_if_possible t;
            continue_vm t
@@ -1293,7 +1309,8 @@ and receive_snapshot t ~epoch ~code_hash =
     send_msg ~up:true t (Message.Snapshot_done { epoch });
     trace t "reintegrated as backup at epoch %d" epoch;
     ignore
-      (Engine.after t.engine Time.zero (fun () ->
+      (Engine.after t.engine ~label:"reintegrated" ~actor:t.name_ Time.zero
+         (fun () ->
            deliver_pending_if_possible t;
            continue_vm t))
 
@@ -1336,4 +1353,64 @@ let start t =
   | Params.Code_rewriting ->
     Cpu.disable_recovery t.vm;
     Cpu.set_reg t.vm Hft_machine.Rewrite.counter_reg t.p.Params.epoch_length);
-  ignore (Engine.after t.engine Time.zero (fun () -> continue_vm t))
+  ignore
+    (Engine.after t.engine ~label:"start" ~actor:t.name_ Time.zero (fun () ->
+         continue_vm t))
+
+(* ---------- model-checker accessors ---------- *)
+
+let outstanding_io t = Queue.length t.outstanding
+
+(* Canonical digest of the protocol state.  Arrival stamps ([since],
+   [ack_wait_start], [halt_time_]) are deliberately excluded: they
+   feed timing statistics, not behaviour, and including them would
+   split states that cannot diverge.  Hash tables are folded with xor
+   so iteration order does not matter. *)
+let fingerprint t =
+  let bh x = Hashtbl.hash_param 128 256 x in
+  let xor_tbl f tbl = Hashtbl.fold (fun k v acc -> acc lxor f k v) tbl 0 in
+  let bi_list l = List.map (fun { bi; _ } -> bi) l in
+  let queue_fold f init q = Queue.fold f init q in
+  let rtx =
+    queue_fold
+      (fun acc e -> bh (acc, e.r_dseq, e.r_body, e.r_up))
+      0x7a11 t.rtx_queue
+  in
+  let outs =
+    queue_fold (fun acc r -> bh (acc, r.cmd, r.block, r.dma)) 0x0dd t.outstanding
+  in
+  let blocked =
+    match t.blocked with
+    | Not_blocked -> 0
+    | B_acks { upto; resume } ->
+      bh (1, upto, match resume with R_boundary -> None | R_io r -> Some r)
+    | B_tme -> 2
+    | B_end -> 3
+    | B_env -> 4
+    | B_snapshot -> 5
+  in
+  let h = vm_state_hash t in
+  let h = bh (h, t.role_, t.alive_, t.peer_alive, t.halted_, blocked) in
+  let h = bh (h, t.epoch_, t.relay_epoch, t.env_idx, t.failover_notice) in
+  let h =
+    bh (h, t.send_seq, t.data_sent, t.acked, t.data_recvd, t.rtx_backoff, rtx)
+  in
+  let h = bh (h, xor_tbl (fun d body -> bh (d, body)) t.rcv_hold) in
+  let h = bh (h, bi_list t.buffered_current, bi_list t.pending_delivery) in
+  let h =
+    bh (h, xor_tbl (fun e r -> bh (e, bi_list !r)) t.buffered_by_epoch)
+  in
+  let h = bh (h, xor_tbl (fun k v -> bh (k, v)) t.env_vals) in
+  let h = bh (h, xor_tbl (fun e tv -> bh (e, tv)) t.tmes) in
+  let h = bh (h, xor_tbl (fun e () -> bh e) t.ends) in
+  let h = bh (h, outs, t.vtimer_deadline_us, t.vtod_us, t.vtod_offset_us) in
+  let h = bh (h, t.boundary_tod, Time.to_ns t.debt) in
+  let h =
+    bh
+      ( h,
+        t.reintegrate_requested,
+        (match t.snapshot_box with None -> -1 | Some s -> s.s_epoch),
+        t.detector <> None,
+        t.rtx_timer <> None )
+  in
+  h

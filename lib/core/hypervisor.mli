@@ -96,6 +96,21 @@ val vm_state_hash : t -> int
     registers (and excluding the physical TLB, which the
     hypervisor-managed mode keeps invisible). *)
 
+val outstanding_io : t -> int
+(** I/O operations issued (or, at the backup, suppressed) whose
+    completion interrupt has not yet been delivered to the VM — the
+    set rules P6/P7 must cover at failover. *)
+
+val fingerprint : t -> int
+(** Canonical digest of the whole node: VM state hash plus every piece
+    of protocol state (role, liveness, blocking, reliable-stream
+    counters and queues, buffered interrupts, forwarded values,
+    virtual clocks).  Timing {e statistics} and arrival stamps are
+    excluded, so two runs that reach behaviourally identical states by
+    different schedules fingerprint alike.  Used with
+    {!Hft_sim.Engine.pending_fingerprint} and the channel/disk
+    fingerprints to prune the model checker's state graph. *)
+
 (* Hooks installed by {!System}. *)
 
 val set_on_epoch_boundary : t -> (epoch:int -> hash:int -> unit) -> unit

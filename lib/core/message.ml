@@ -52,6 +52,11 @@ let reliable t = t.dseq >= 0
 
 let valid t = t.checksum = checksum_of ~seq:t.seq ~dseq:t.dseq t.body
 
+(* The stored checksum already digests seq, dseq and the whole body;
+   folding it once more with the header fields keeps corrupted copies
+   (whose stored checksum was damaged) distinct from intact ones. *)
+let hash t = mix (mix (mix fnv_offset t.seq) t.dseq) t.checksum
+
 let corrupt ~flip t =
   (* Simulated payload damage: some bits of the frame are wrong on the
      wire.  Damaging the stored checksum (never with a zero mask) is

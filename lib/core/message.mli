@@ -71,6 +71,11 @@ val reliable : t -> bool
 val valid : t -> bool
 (** Does the checksum match the contents?  False after {!corrupt}. *)
 
+val hash : t -> int
+(** Content digest of the whole message (header and body), used by the
+    model checker to hash a channel's in-flight multiset.  Cheap: it
+    folds the already-computed checksum with the header fields. *)
+
 val corrupt : flip:int -> t -> t
 (** Simulate wire damage: a copy of the message whose checksum no
     longer matches (the low bit of [flip] is forced so [flip = 0]

@@ -24,6 +24,7 @@ type t = {
   bare_trap_latency : Time.t;
   link : Hft_net.Link.t;
   retransmit : bool;
+  ack_wait : bool;
   rtx_timeout : Time.t;
   rtx_give_up : int;
   detector_timeout : Time.t;
@@ -50,6 +51,7 @@ let default =
     bare_trap_latency = Time.of_ns 500;
     link = Hft_net.Link.ethernet;
     retransmit = true;
+    ack_wait = true;
     rtx_timeout = Time.of_ms 1;
     rtx_give_up = 25;
     detector_timeout = Time.of_ms 100;
@@ -68,6 +70,7 @@ let with_epoch_length t epoch_length =
 let with_protocol t protocol = { t with protocol }
 let with_link t link = { t with link }
 let with_retransmit t retransmit = { t with retransmit }
+let with_ack_wait t ack_wait = { t with ack_wait }
 let with_hash_scheme t hash_scheme = { t with hash_scheme }
 
 let pp_protocol fmt = function

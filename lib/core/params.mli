@@ -78,6 +78,12 @@ type t = {
       (** harden the protocol against a fair-lossy channel: unacked
           reliable messages are resent on a timeout; off reproduces
           the paper's reliable-channel assumption taken on faith *)
+  ack_wait : bool;
+      (** honour the protocol's acknowledgement gate (rule P2's
+          boundary wait under [Original], the I/O gate under
+          [Revised]).  Turning it off deliberately breaks the
+          protocol; it exists so the model checker can demonstrate a
+          found counterexample, like PR 1's [--no-retransmit] *)
   rtx_timeout : Hft_sim.Time.t;
       (** base retransmission timeout; each fire also waits out the
           link backlog and doubles the base (capped at 4x) *)
@@ -104,6 +110,7 @@ val with_epoch_length : t -> int -> t
 val with_protocol : t -> protocol -> t
 val with_link : t -> Hft_net.Link.t -> t
 val with_retransmit : t -> bool -> t
+val with_ack_wait : t -> bool -> t
 val with_hash_scheme : t -> hash_scheme -> t
 
 val pp_protocol : Format.formatter -> protocol -> unit

@@ -10,6 +10,7 @@ type t = {
   mutable io_submitted : int;
   mutable io_suppressed : int;
   mutable uncertain_synthesized : int;
+  mutable spurious_completions : int;
   mutable tlb_fills : int;
   mutable reflected_traps : int;
   mutable retransmits : int;
@@ -35,6 +36,7 @@ let create () =
     io_submitted = 0;
     io_suppressed = 0;
     uncertain_synthesized = 0;
+    spurious_completions = 0;
     tlb_fills = 0;
     reflected_traps = 0;
     retransmits = 0;

@@ -14,6 +14,10 @@ type t = {
   mutable io_submitted : int;
   mutable io_suppressed : int;     (** backup-side suppressions *)
   mutable uncertain_synthesized : int;  (** P7 interrupts at failover *)
+  mutable spurious_completions : int;
+      (** disk completions that arrived with no outstanding operation
+          — zero in a correct run; the model checker's P6/P7 invariant
+          treats any increment as a violation *)
   mutable tlb_fills : int;
   mutable reflected_traps : int;   (** traps delivered to the guest *)
   mutable retransmits : int;

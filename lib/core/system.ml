@@ -90,12 +90,18 @@ let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
       ~params:(params_for (snd seeds)) ~workload ~disk:disk_ ~console:console_
       ~clock:clock_b ()
   in
+  (* delivery events are tagged with the RECEIVER: that is whose state
+     the delivery handler mutates (model-checker independence) *)
   let ch_pb =
-    Channel.create ~engine ~link:params.Params.link ~name:"primary->backup" ()
+    Channel.create ~engine ~link:params.Params.link ~name:"primary->backup"
+      ~actor:"backup" ()
   in
   let ch_bp =
-    Channel.create ~engine ~link:params.Params.link ~name:"backup->primary" ()
+    Channel.create ~engine ~link:params.Params.link ~name:"backup->primary"
+      ~actor:"primary" ()
   in
+  Channel.set_hasher ch_pb Message.hash;
+  Channel.set_hasher ch_bp Message.hash;
   (* chain extension (t = 2): a second backup hangs off the first,
      which forwards the whole coordination stream *)
   let backup2_ =
@@ -121,12 +127,14 @@ let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
       in
       let ch_b1b2 =
         Channel.create ~engine ~link:params.Params.link ~name:"backup->backup2"
-          ()
+          ~actor:"backup2" ()
       in
       let ch_b2b1 =
         Channel.create ~engine ~link:params.Params.link ~name:"backup2->backup"
-          ()
+          ~actor:"backup" ()
       in
+      Channel.set_hasher ch_b1b2 Message.hash;
+      Channel.set_hasher ch_b2b1 Message.hash;
       Hypervisor.connect backup_ ~tx_ack:ch_bp ~tx_data:ch_b1b2 ~peer:primary_;
       Hypervisor.connect b2 ~tx_ack:ch_b2b1 ~peer:backup_;
       Channel.connect ch_b1b2 (fun msg -> Hypervisor.on_message b2 msg);
@@ -174,8 +182,10 @@ let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
       match t.reintegration_delay with
       | None -> ()
       | Some delay ->
+        (* touches both nodes: deliberately actorless (dependent with
+           everything) for the model checker *)
         ignore
-          (Engine.after engine delay (fun () ->
+          (Engine.after engine ~label:"reintegrate" delay (fun () ->
                Hypervisor.revive_as_backup t.primary_;
                Hypervisor.request_reintegration t.backup_)));
   (match backup2_ with
@@ -194,7 +204,8 @@ let channel_to_primary t = t.ch_bp
 
 let crash_primary_at t time =
   ignore
-    (Engine.at t.engine time (fun () -> Hypervisor.crash t.primary_))
+    (Engine.at t.engine ~label:"crash" ~actor:"primary" time (fun () ->
+         Hypervisor.crash t.primary_))
 
 let crash_on_epoch t hv target =
   let previous = ref (fun ~epoch:_ ~hash:_ -> ()) in
@@ -208,7 +219,9 @@ let crash_on_epoch t hv target =
 let crash_primary_on_epoch t target = crash_on_epoch t t.primary_ target
 
 let crash_backup_at t time =
-  ignore (Engine.at t.engine time (fun () -> Hypervisor.crash t.backup_))
+  ignore
+    (Engine.at t.engine ~label:"crash" ~actor:"backup" time (fun () ->
+         Hypervisor.crash t.backup_))
 
 let crash_backup_on_epoch t target = crash_on_epoch t t.backup_ target
 
@@ -223,6 +236,26 @@ let faults_injected t =
     + Channel.faults_corrupted ch + Channel.faults_delayed ch
   in
   per t.ch_pb + per t.ch_bp
+
+let fingerprint t =
+  Hashtbl.hash
+    [
+      (* the virtual clock: schedule interleavings merge at the same
+         instant (same-instant dispatches never advance time), while
+         states that differ only by a time shift — e.g. successive
+         rounds of an idle polling loop — must NOT merge, because
+         pending timers fire relative to the absolute clock *)
+      Hft_sim.Time.to_ns (Engine.now t.engine);
+      Hypervisor.fingerprint t.primary_;
+      Hypervisor.fingerprint t.backup_;
+      (match t.backup2_ with Some b2 -> Hypervisor.fingerprint b2 | None -> 0);
+      Channel.fingerprint t.ch_pb;
+      Channel.fingerprint t.ch_bp;
+      Disk.fingerprint t.disk_;
+      Hashtbl.hash (Console.contents t.console_);
+      Engine.pending_fingerprint t.engine;
+      Bool.to_int t.failover_;
+    ]
 
 let reintegrate_after_failover t ~delay =
   if t.backup2_ <> None then

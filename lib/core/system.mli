@@ -84,6 +84,18 @@ val faults_injected : t -> int
 (** Total faults (losses, duplicates, corruptions, nonzero delays)
     the two channels' fault models have injected so far. *)
 
+val fingerprint : t -> int
+(** Canonical digest of the whole system — the virtual clock, both
+    hypervisors (VM state and protocol state), the primary/backup
+    channel pair, the disk, the console output and the pending event
+    set (relative times).  Two interleavings that reach behaviourally
+    identical global states fingerprint alike (same-instant
+    reorderings never advance the clock); states differing only by a
+    time shift stay distinct, since pending timers fire on the
+    absolute clock.  The model checker uses this to prune revisited
+    states.  The chained second backup's private
+    channels are not covered — checker scenarios are two-replica. *)
+
 val reintegrate_after_failover : t -> delay:Hft_sim.Time.t -> unit
 (** After a promotion, wait [delay], revive the failed processor as a
     fresh backup and stream a state snapshot to it (extension beyond

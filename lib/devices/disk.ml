@@ -63,22 +63,31 @@ type t = {
   mutable next_op_id : int;
   mutable next_log_seq : int;
   mutable log_rev : log_entry list;
+  mutable storage_hash_ : int;
 }
+
+(* Position-dependent per-block digest; the whole-storage hash is the
+   xor over blocks, maintained incrementally at each write. *)
+let block_hash b data = Hashtbl.hash (b, hash_content data)
 
 let create ~engine ?rng prm =
   if prm.blocks <= 0 || prm.block_words <= 0 then
     invalid_arg "Disk.create: bad geometry";
   let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  let storage = Array.init prm.blocks (fun _ -> Array.make prm.block_words 0) in
+  let h = ref 0 in
+  Array.iteri (fun b data -> h := !h lxor block_hash b data) storage;
   {
     engine;
     prm;
     rng;
-    storage = Array.init prm.blocks (fun _ -> Array.make prm.block_words 0);
+    storage;
     queue = Queue.create ();
     busy_ = false;
     next_op_id = 0;
     next_log_seq = 0;
     log_rev = [];
+    storage_hash_ = !h;
   }
 
 let params t = t.prm
@@ -94,11 +103,16 @@ let read_block_now t block =
   check_block t block;
   Array.copy t.storage.(block)
 
+let store t block data =
+  t.storage_hash_ <- t.storage_hash_ lxor block_hash block t.storage.(block);
+  Array.blit data 0 t.storage.(block) 0 t.prm.block_words;
+  t.storage_hash_ <- t.storage_hash_ lxor block_hash block t.storage.(block)
+
 let write_block_now t block data =
   check_block t block;
   if Array.length data <> t.prm.block_words then
     invalid_arg "Disk.write_block_now: wrong block size";
-  Array.blit data 0 t.storage.(block) 0 t.prm.block_words
+  store t block data
 
 let op_block = function Read { block } -> block | Write { block; _ } -> block
 let op_is_write = function Read _ -> false | Write _ -> true
@@ -132,7 +146,8 @@ let rec start_next t =
       | Write _ -> t.prm.write_latency
     in
     ignore
-      (Engine.after t.engine latency (fun () -> complete t p))
+      (Engine.after t.engine ~label:"disk complete" latency (fun () ->
+           complete t p))
 
 and complete t p =
   let uncertain = Rng.chance t.rng t.prm.fault_rate in
@@ -141,8 +156,7 @@ and complete t p =
   let data =
     match p.p_op with
     | Write { block; data } ->
-      if performed then
-        Array.blit data 0 t.storage.(block) 0 t.prm.block_words;
+      if performed then store t block data;
       None
     | Read { block } ->
       if performed && not uncertain then Some (Array.copy t.storage.(block))
@@ -171,6 +185,31 @@ let submit t ~port op ~on_complete =
   Queue.add { p_port = port; p_op = op; p_id = id; p_done = on_complete } t.queue;
   if not t.busy_ then start_next t;
   id
+
+let storage_hash t = t.storage_hash_
+
+let fingerprint t =
+  let op_digest op =
+    match op with
+    | Read { block } -> Hashtbl.hash (false, block, 0)
+    | Write { block; data } -> Hashtbl.hash (true, block, hash_content data)
+  in
+  let queued =
+    Queue.fold
+      (fun acc p -> Hashtbl.hash (acc, p.p_port, op_digest p.p_op))
+      0x51ab3 t.queue
+  in
+  (* Log entries without their seq, op_id and completion times: those
+     encode when things happened, not what the environment observed. *)
+  let log =
+    List.fold_left
+      (fun acc e ->
+        Hashtbl.hash
+          (acc, e.port, e.block, e.is_write, e.status, e.performed,
+           e.content_hash))
+      0x9d217 t.log_rev
+  in
+  Hashtbl.hash (t.storage_hash_, t.busy_, Queue.length t.queue, queued, log)
 
 module Log = struct
   type entry = log_entry = {

@@ -72,6 +72,17 @@ val submit :
 val busy : t -> bool
 val queue_depth : t -> int
 
+val storage_hash : t -> int
+(** Digest of the whole storage contents, maintained incrementally:
+    each write re-hashes only the block it touches. *)
+
+val fingerprint : t -> int
+(** Canonical digest of the device state for the model checker:
+    storage contents, queued operations, busy flag and the operation
+    log {e minus} its sequence numbers, op ids and completion times
+    (which encode when things happened, not what the environment
+    observed). *)
+
 val read_block_now : t -> int -> Hft_machine.Word.t array
 (** Direct storage access for tests and for initialising disk
     contents; not part of the device interface. *)

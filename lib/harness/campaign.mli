@@ -82,6 +82,22 @@ type reference = Hft_core.Bare.outcome
 
 val reference : config -> reference
 
+val check_invariants :
+  ?console:[ `Exact | `Replay_extension ] ->
+  reference:reference ->
+  Hft_core.System.t ->
+  Hft_core.System.outcome ->
+  string list
+(** The five campaign invariants, shared with the model checker:
+    exactly one primary-role finisher, guest results equal to bare,
+    console output, disk single-processor consistency, lockstep
+    agreement.  [console] selects the output check: [`Exact]
+    (default) demands byte equality with the bare run;
+    [`Replay_extension] accepts the bare stream with a replayed
+    overlap — prefix + suffix with [j <= i] — which is what the
+    paper's at-least-once output guarantee permits across a failover.
+    Returns the violations (empty = all held). *)
+
 val run_trial : config -> reference:reference -> index:int -> schedule -> trial
 (** One deterministic trial: build the system, install the schedule's
     fault model and crashes, run, check invariants. *)

@@ -19,35 +19,41 @@ type 'msg t = {
   engine : Engine.t;
   lnk : Link.t;
   name_ : string;
+  actor_ : string;
   mutable receiver : ('msg -> unit) option;
   mutable crashed : bool;
   mutable loss_plan : int -> bool;
   mutable faults : 'msg faults option;
+  mutable hasher : ('msg -> int) option;
   mutable busy_until_ : Time.t;
   mutable sent : int;
   mutable bytes : int;
   mutable delivered : int;
   mutable in_flight_ : int;
+  mutable inflight_hash_ : int;
   mutable lost_ : int;
   mutable duplicated_ : int;
   mutable corrupted_ : int;
   mutable delayed_ : int;
 }
 
-let create ~engine ~link ~name () =
+let create ~engine ~link ~name ?(actor = "") () =
   {
     engine;
     lnk = link;
     name_ = name;
+    actor_ = actor;
     receiver = None;
     crashed = false;
     loss_plan = (fun _ -> false);
     faults = None;
+    hasher = None;
     busy_until_ = Time.zero;
     sent = 0;
     bytes = 0;
     delivered = 0;
     in_flight_ = 0;
+    inflight_hash_ = 0;
     lost_ = 0;
     duplicated_ = 0;
     corrupted_ = 0;
@@ -74,11 +80,17 @@ let set_fault_model t ~rng ?corrupter model =
 
 let clear_fault_model t = t.faults <- None
 
+let msg_hash t msg =
+  match t.hasher with Some h -> h msg | None -> 0
+
 let deliver t arrival msg =
   t.in_flight_ <- t.in_flight_ + 1;
+  t.inflight_hash_ <- t.inflight_hash_ lxor msg_hash t msg;
   ignore
-    (Engine.at t.engine arrival (fun () ->
+    (Engine.at t.engine ~label:(t.name_ ^ " deliver") ~actor:t.actor_ arrival
+       (fun () ->
          t.in_flight_ <- t.in_flight_ - 1;
+         t.inflight_hash_ <- t.inflight_hash_ lxor msg_hash t msg;
          t.delivered <- t.delivered + 1;
          match t.receiver with
          | Some f -> f msg
@@ -146,6 +158,21 @@ let sender_crashed t = t.crashed
 let revive_sender t = t.crashed <- false
 
 let set_loss_plan t p = t.loss_plan <- p
+let set_hasher t h = t.hasher <- Some h
+
+let fingerprint t =
+  let busy_left =
+    let now = Engine.now t.engine in
+    if Time.(t.busy_until_ <= now) then 0
+    else Time.to_ns (Time.diff t.busy_until_ now)
+  in
+  Hashtbl.hash
+    ( t.sent,
+      t.delivered,
+      t.crashed,
+      t.in_flight_,
+      t.inflight_hash_,
+      busy_left )
 
 let in_flight t = t.in_flight_
 let messages_sent t = t.sent

@@ -44,8 +44,13 @@ val create :
   engine:Hft_sim.Engine.t ->
   link:Link.t ->
   name:string ->
+  ?actor:string ->
   unit ->
   'msg t
+(** [actor] tags this channel's delivery events for the model
+    checker's independence relation — conventionally the {e receiving}
+    node's name, since a delivery handler mutates receiver state.
+    Defaults to [""] (dependent with everything). *)
 
 val name : 'msg t -> string
 val link : 'msg t -> Link.t
@@ -105,3 +110,14 @@ val faults_delayed : 'msg t -> int
 
 val busy_until : 'msg t -> Hft_sim.Time.t
 (** Time at which the link becomes idle. *)
+
+val set_hasher : 'msg t -> ('msg -> int) -> unit
+(** Install a message hash used to maintain an order-insensitive
+    digest of the in-flight multiset.  Without one, in-flight messages
+    contribute only their count to {!fingerprint}. *)
+
+val fingerprint : 'msg t -> int
+(** Canonical digest of the channel state for the model checker:
+    send/delivery counters, crash flag, in-flight count and multiset
+    hash, and remaining serialization busy time (relative to now, so
+    equal states reached at different instants can still merge). *)

@@ -2,11 +2,14 @@ type event = {
   time : Time.t;
   seq : int;
   label : string;
+  actor : string;
   fn : unit -> unit;
   mutable cancelled : bool;
 }
 
 type handle = event
+
+type choice = { c_time : Time.t; c_seq : int; c_label : string; c_actor : string }
 
 type t = {
   queue : event Heap.t;
@@ -16,6 +19,7 @@ type t = {
   mutable dispatched : int;
   mutable live : int;
   mutable stopping : bool;
+  mutable sched : (choice array -> int) option;
 }
 
 exception Stopped
@@ -33,23 +37,24 @@ let create ?(trace = Trace.null) () =
     dispatched = 0;
     live = 0;
     stopping = false;
+    sched = None;
   }
 
 let trace t = t.tr
 let now t = t.clock
 
-let at t ?(label = "") time fn =
+let at t ?(label = "") ?(actor = "") time fn =
   if Time.(time < t.clock) then
     invalid_arg
       (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp time Time.pp
          t.clock);
-  let ev = { time; seq = t.next_seq; label; fn; cancelled = false } in
+  let ev = { time; seq = t.next_seq; label; actor; fn; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.queue ev;
   ev
 
-let after t ?label d fn = at t ?label (Time.add t.clock d) fn
+let after t ?label ?actor d fn = at t ?label ?actor (Time.add t.clock d) fn
 
 let cancel t ev =
   if not ev.cancelled then begin
@@ -73,6 +78,28 @@ let next_time t =
 
 let pending t = t.live
 
+let set_scheduler t f = t.sched <- Some f
+let clear_scheduler t = t.sched <- None
+
+(* Order-insensitive digest of the pending event set: each live event
+   contributes (time since now, actor, label) — but not its sequence
+   number, which depends on the allocation order of earlier instants
+   and would make otherwise-identical states hash apart.  Used by the
+   model checker's state fingerprint. *)
+let pending_fingerprint t =
+  let fnv_prime = 0x100000001b3 in
+  let mask = (1 lsl 62) - 1 in
+  List.fold_left
+    (fun acc ev ->
+      if ev.cancelled then acc
+      else
+        let h =
+          Hashtbl.hash
+            (Time.to_ns (Time.diff ev.time t.clock), ev.actor, ev.label)
+        in
+        acc lxor ((h + 0x9e3779b9) * fnv_prime land mask))
+    0x12d6f1e9 (Heap.to_list t.queue)
+
 let dispatch t ev =
   t.clock <- ev.time;
   ev.cancelled <- true;
@@ -82,12 +109,41 @@ let dispatch t ev =
     Trace.record t.tr ~time:t.clock ~source:"engine" ev.label;
   ev.fn ()
 
+(* With a scheduler installed, every dispatch consults it: the set of
+   co-enabled events (everything live at the earliest pending instant,
+   in scheduling order) is surfaced as a choice and the scheduler picks
+   which fires first.  Index 0 reproduces the default seq-order
+   tie-break exactly. *)
+let step_scheduled t f first =
+  let batch = ref [] in
+  let rec collect () =
+    match skip_cancelled t with
+    | Some ev when Time.equal ev.time first.time ->
+      batch := Heap.pop_exn t.queue :: !batch;
+      collect ()
+    | _ -> ()
+  in
+  collect ();
+  (* heap pops at one instant come out in seq order *)
+  let evs = Array.of_list (List.rev !batch) in
+  let choices =
+    Array.map
+      (fun e ->
+        { c_time = e.time; c_seq = e.seq; c_label = e.label; c_actor = e.actor })
+      evs
+  in
+  let idx = f choices in
+  let idx = if idx < 0 || idx >= Array.length evs then 0 else idx in
+  Array.iteri (fun i e -> if i <> idx then Heap.push t.queue e) evs;
+  dispatch t evs.(idx)
+
 let step t =
   match skip_cancelled t with
   | None -> false
-  | Some _ ->
-    let ev = Heap.pop_exn t.queue in
-    dispatch t ev;
+  | Some first ->
+    (match t.sched with
+    | None -> dispatch t (Heap.pop_exn t.queue)
+    | Some f -> step_scheduled t f first);
     true
 
 let run ?(limit = 200_000_000) t =
@@ -111,8 +167,9 @@ let run_until t deadline =
     else
       match skip_cancelled t with
       | Some ev when Time.(ev.time <= deadline) ->
-        let ev = Heap.pop_exn t.queue in
-        dispatch t ev;
+        (match t.sched with
+        | None -> dispatch t (Heap.pop_exn t.queue)
+        | Some f -> step_scheduled t f ev);
         loop ()
       | _ -> ()
   in

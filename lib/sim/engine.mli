@@ -28,11 +28,20 @@ val trace : t -> Trace.t
 
 val now : t -> Time.t
 
-val at : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+val at :
+  t -> ?label:string -> ?actor:string -> Time.t -> (unit -> unit) -> handle
 (** [at t time f] schedules [f] to run when the clock reaches [time].
-    Raises [Invalid_argument] if [time] is in the past. *)
+    Raises [Invalid_argument] if [time] is in the past.
 
-val after : t -> ?label:string -> Time.t -> (unit -> unit) -> handle
+    [actor] tags the event with the component whose state its handler
+    mutates (a hypervisor name, or the receiving end of a channel).
+    The model checker's partial-order reduction treats same-instant
+    events with distinct non-empty actors as independent; the empty
+    default means "touches shared state — dependent with everything",
+    which is always sound. *)
+
+val after :
+  t -> ?label:string -> ?actor:string -> Time.t -> (unit -> unit) -> handle
 (** [after t d f] is [at t (Time.add (now t) d) f]. *)
 
 val cancel : t -> handle -> unit
@@ -52,6 +61,39 @@ val pending : t -> int
 val step : t -> bool
 (** Dispatch the single earliest event.  Returns [false] when the
     queue is empty. *)
+
+(** {2 Scheduler hook}
+
+    By default same-instant events fire in scheduling order (the seq
+    tie-break above).  A model checker can install a scheduler to
+    override that choice: before every dispatch the engine collects
+    all co-enabled events — the live events sharing the earliest
+    pending instant, presented in scheduling order — and asks the hook
+    which fires first.  Returning [0] reproduces the default order
+    exactly; the remaining events stay queued and are re-offered on
+    the next step.  The hook runs on every step, including singleton
+    batches, so a checker can examine system state between any two
+    events. *)
+
+type choice = {
+  c_time : Time.t;  (** instant shared by the whole batch *)
+  c_seq : int;  (** engine sequence number (unique per run) *)
+  c_label : string;  (** trace label, [""] if none *)
+  c_actor : string;  (** component tag, [""] = shared state *)
+}
+
+val set_scheduler : t -> (choice array -> int) -> unit
+(** Install the hook.  The argument array is never empty; an
+    out-of-range return value is treated as [0]. *)
+
+val clear_scheduler : t -> unit
+
+val pending_fingerprint : t -> int
+(** Order-insensitive digest of the live pending events, hashing each
+    as (delay from now, actor, label) — sequence numbers and absolute
+    times are excluded so runs that reach the same state by different
+    interleavings hash alike.  Part of the checker's state
+    fingerprint. *)
 
 val run : ?limit:int -> t -> unit
 (** Dispatch events until the queue is empty, or [limit] events have

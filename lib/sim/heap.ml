@@ -64,5 +64,6 @@ let pop t = if t.size = 0 then None else Some (pop_exn t)
 let clear t = t.size <- 0
 
 let to_list t =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
-  loop (t.size - 1) []
+  let a = Array.sub t.data 0 t.size in
+  Array.sort t.cmp a;
+  Array.to_list a

@@ -27,4 +27,7 @@ val pop_exn : 'a t -> 'a
 val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list
-(** Snapshot of the contents in unspecified order (for tests). *)
+(** Snapshot of the contents, sorted ascending by the heap's
+    comparison (smallest first).  The heap itself is not modified.
+    Callers that iterate the pending set — the engine's state
+    fingerprint, tests — rely on this order being canonical. *)

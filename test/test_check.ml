@@ -1,0 +1,156 @@
+(* Model-checker tests: exhaustive scenario pins, the seeded-bug
+   counterexample with its replay round-trip, and schedule
+   serialization. *)
+
+open Hft_check
+module Scenarios = Hft_harness.Scenarios
+
+let find_scenario name =
+  match Scenarios.find name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "unknown scenario %S" name
+
+let explore ?options name ~variant =
+  Checker.explore ?options (find_scenario name) ~variant
+
+(* The acceptance-bar scenario: 2 replicas, one optional crash, guest
+   done within three epochs — explored to fixpoint, no violations. *)
+let handoff_fixpoint () =
+  let r = explore "handoff" ~variant:Scenarios.correct in
+  Alcotest.(check bool) "fixpoint" true r.Checker.r_complete;
+  Alcotest.(check int) "no violations" 0 (List.length r.Checker.r_violations);
+  Alcotest.(check bool)
+    "nontrivial state space" true
+    (r.Checker.r_stats.Checker.states > 100);
+  Alcotest.(check bool)
+    "dpor actually pruned" true
+    (r.Checker.r_stats.Checker.sleep_skipped > 0)
+
+(* PR 1's failover-during-reintegration-snapshot bug, pinned
+   exhaustively: every single-loss schedule across the reintegration
+   handshake must satisfy the invariants. *)
+let reintegration_regression () =
+  let r = explore "reintegration-loss" ~variant:Scenarios.correct in
+  Alcotest.(check bool) "fixpoint" true r.Checker.r_complete;
+  Alcotest.(check int) "no violations" 0 (List.length r.Checker.r_violations)
+
+(* The seeded bug: without retransmission a lost acknowledgement
+   splits the brain.  The checker must find it, shrink it, and the
+   serialized counterexample must replay to the same violation. *)
+let broken_variant_counterexample () =
+  let variant = { Scenarios.retransmit = false; ack_wait = true } in
+  let r = explore "crash-loss" ~variant in
+  match r.Checker.r_violations with
+  | [] -> Alcotest.fail "no-retransmit variant should violate"
+  | v :: _ ->
+    Alcotest.(check bool) "shrunk" true v.Checker.v_shrunk;
+    let sched = Checker.schedule_of_violation r v in
+    Alcotest.(check bool)
+      "schedule remembers the violation" true
+      (sched.Schedule.violation <> None);
+    (* text round-trip *)
+    let text = Schedule.to_string sched in
+    (match Schedule.of_string text with
+    | Error m -> Alcotest.failf "of_string: %s" m
+    | Ok sched' ->
+      Alcotest.(check string) "round-trip" text (Schedule.to_string sched'));
+    (* the replayable counterexample reproduces the violation *)
+    (match Checker.replay sched with
+    | Ok (Some _) -> ()
+    | Ok None -> Alcotest.fail "replay did not reproduce the violation"
+    | Error m -> Alcotest.failf "replay: %s" m)
+
+(* The correct variant survives the same scenario the broken one
+   fails, so the counterexample above is the protocol's fault, not the
+   scenario's. *)
+let correct_variant_survives () =
+  let r = explore "crash-loss" ~variant:Scenarios.correct in
+  Alcotest.(check bool) "fixpoint" true r.Checker.r_complete;
+  Alcotest.(check int) "no violations" 0 (List.length r.Checker.r_violations)
+
+let run_forced_fault_free () =
+  let sc = find_scenario "handoff" in
+  match
+    Checker.run_forced sc ~variant:Scenarios.correct
+      ~roots:[ 0; 0; 0; 0 ] ~choices:[] ()
+  with
+  | None -> ()
+  | Some v -> Alcotest.failf "fault-free schedule violated: %s" v
+
+let schedule_round_trip () =
+  let check_rt sched =
+    let text = Schedule.to_string sched in
+    match Schedule.of_string text with
+    | Error m -> Alcotest.failf "of_string: %s" m
+    | Ok sched' ->
+      Alcotest.(check string) "text round-trip" text
+        (Schedule.to_string sched')
+  in
+  check_rt
+    {
+      Schedule.scenario = "handoff";
+      retransmit = true;
+      ack_wait = true;
+      roots = [ 1; 0; 0; 0 ];
+      choices = [ 0; 2; 1 ];
+      violation = None;
+    };
+  check_rt
+    {
+      Schedule.scenario = "crash-loss";
+      retransmit = false;
+      ack_wait = true;
+      roots = [ 0; 0; 0; 1 ];
+      choices = [];
+      violation = Some "two live replicas hold a primary role (split brain)";
+    }
+
+let schedule_rejects_garbage () =
+  (match Schedule.of_string "not a schedule\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match Schedule.of_string "hftsim-check-replay/1\nroots: x y\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed ints"
+
+let replay_unknown_scenario () =
+  let sched =
+    {
+      Schedule.scenario = "no-such-scenario";
+      retransmit = true;
+      ack_wait = true;
+      roots = [ 0; 0; 0; 0 ];
+      choices = [];
+      violation = None;
+    }
+  in
+  match Checker.replay sched with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replayed an unknown scenario"
+
+let () =
+  let open Alcotest in
+  run "hft_check"
+    [
+      ( "scenarios",
+        [
+          test_case "handoff explored to fixpoint" `Quick handoff_fixpoint;
+          test_case "reintegration-loss regression pin" `Quick
+            reintegration_regression;
+          test_case "correct variant survives crash-loss" `Quick
+            correct_variant_survives;
+          test_case "fault-free forced run is clean" `Quick
+            run_forced_fault_free;
+        ] );
+      ( "counterexamples",
+        [
+          test_case "no-retransmit found, shrunk, replayable" `Quick
+            broken_variant_counterexample;
+        ] );
+      ( "schedules",
+        [
+          test_case "serialization round-trips" `Quick schedule_round_trip;
+          test_case "garbage rejected" `Quick schedule_rejects_garbage;
+          test_case "unknown scenario rejected" `Quick replay_unknown_scenario;
+        ] );
+    ]

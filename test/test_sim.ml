@@ -55,6 +55,35 @@ let heap_tests =
         check bool "empty" true (Heap.is_empty h));
   ]
 
+let heap_to_list_tests =
+  let open Alcotest in
+  [
+    test_case "to_list is sorted and non-destructive" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        let l = [ 5; 1; 4; 1; 3; 9; 2 ] in
+        List.iter (Heap.push h) l;
+        check (list int) "sorted snapshot" (List.sort Int.compare l)
+          (Heap.to_list h);
+        check int "heap untouched" (List.length l) (Heap.length h);
+        check (option int) "min still poppable" (Some 1) (Heap.pop h));
+    test_case "to_list of empty heap" `Quick (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        check (list int) "empty" [] (Heap.to_list h));
+  ]
+
+let heap_to_list_property =
+  (* The canonical-order contract the engine fingerprint relies on:
+     a snapshot is always ascending, whatever the push order. *)
+  let prop l =
+    let h = Heap.create ~cmp:Int.compare in
+    List.iter (Heap.push h) l;
+    Heap.to_list h = List.sort Int.compare l
+    && Heap.length h = List.length l
+  in
+  QCheck.Test.make ~name:"to_list sorted ascending" ~count:200
+    QCheck.(list int)
+    prop
+
 let heap_property =
   let prop l =
     let h = Heap.create ~cmp:Int.compare in
@@ -232,12 +261,115 @@ let engine_tests =
         check bool "limited" true raised);
   ]
 
+(* Same-instant ordering under the model checker's scheduler hook:
+   whatever index the hook picks, every event fires exactly once at
+   its scheduled time, the clock never regresses, and each co-enabled
+   batch is presented at one instant in scheduling (seq) order. *)
+let scheduler_permutation_property =
+  let prop (seed, delays) =
+    let e = Engine.create () in
+    let fired = ref [] in
+    List.iteri
+      (fun i d_us ->
+        ignore
+          (Engine.after e
+             (Time.of_us (d_us mod 4))
+             (fun () -> fired := (i, Engine.now e) :: !fired)))
+      delays;
+    let expected =
+      List.mapi (fun i d_us -> (i, Time.of_us (d_us mod 4))) delays
+    in
+    let rng = Rng.create seed in
+    let batches_ok = ref true in
+    Engine.set_scheduler e (fun batch ->
+        let t0 = batch.(0).Engine.c_time in
+        let seqs = Array.map (fun c -> c.Engine.c_seq) batch in
+        if
+          not
+            (Array.for_all (fun c -> Time.equal c.Engine.c_time t0) batch)
+        then batches_ok := false;
+        for i = 1 to Array.length seqs - 1 do
+          if seqs.(i - 1) >= seqs.(i) then batches_ok := false
+        done;
+        Rng.int rng (Array.length batch));
+    Engine.run e;
+    let fired = List.rev !fired in
+    let sort l =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) l
+    in
+    let monotone =
+      let rec go = function
+        | (_, a) :: ((_, b) :: _ as rest) -> Time.(a <= b) && go rest
+        | _ -> true
+      in
+      go fired
+    in
+    !batches_ok && monotone && sort fired = sort expected
+  in
+  QCheck.Test.make ~name:"seeded scheduler permutes same-instant ties safely"
+    ~count:100
+    QCheck.(pair small_nat (list_of_size Gen.(int_range 0 12) small_nat))
+    prop
+
+let scheduler_tests =
+  let open Alcotest in
+  [
+    test_case "scheduler returning 0 reproduces default order" `Quick
+      (fun () ->
+        let order_with hook =
+          let e = Engine.create () in
+          let log = ref [] in
+          List.iteri
+            (fun i d ->
+              ignore
+                (Engine.after e (Time.of_us d) (fun () -> log := i :: !log)))
+            [ 2; 1; 1; 2; 1; 3; 2 ];
+          (match hook with
+          | Some f -> Engine.set_scheduler e f
+          | None -> ());
+          Engine.run e;
+          List.rev !log
+        in
+        check (list int) "identical orders" (order_with None)
+          (order_with (Some (fun _ -> 0))));
+    test_case "out-of-range scheduler choice falls back to 0" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        for i = 1 to 3 do
+          ignore (Engine.after e (Time.of_us 1) (fun () -> log := i :: !log))
+        done;
+        Engine.set_scheduler e (fun _ -> 99);
+        Engine.run e;
+        check (list int) "default order" [ 1; 2; 3 ] (List.rev !log));
+    test_case "clear_scheduler restores default dispatch" `Quick (fun () ->
+        let e = Engine.create () in
+        let calls = ref 0 in
+        ignore (Engine.after e (Time.of_us 1) (fun () -> ()));
+        ignore (Engine.after e (Time.of_us 2) (fun () -> ()));
+        Engine.set_scheduler e (fun _ ->
+            incr calls;
+            0);
+        ignore (Engine.step e);
+        Engine.clear_scheduler e;
+        ignore (Engine.step e);
+        check int "hook saw only the first step" 1 !calls);
+  ]
+
 let () =
   Alcotest.run "hft_sim"
     [
       ("time", time_tests);
-      ("heap", heap_tests @ [ QCheck_alcotest.to_alcotest heap_property ]);
+      ( "heap",
+        heap_tests @ heap_to_list_tests
+        @ [
+            QCheck_alcotest.to_alcotest heap_property;
+            QCheck_alcotest.to_alcotest heap_to_list_property;
+          ] );
       ("rng", rng_tests);
       ("trace", trace_tests);
       ("engine", engine_tests);
+      ( "scheduler",
+        scheduler_tests
+        @ [ QCheck_alcotest.to_alcotest scheduler_permutation_property ] );
     ]
