@@ -318,15 +318,23 @@ let ablations () =
         Params.detector_timeout = Hft_sim.Time.of_ms timeout_ms;
       }
     in
-    let trace = Hft_sim.Trace.create () in
-    let sys = System.create ~params ~lockstep:false ~trace ~workload:w () in
+    let obs = Hft_obs.Recorder.create () in
+    let sys = System.create ~params ~lockstep:false ~obs ~workload:w () in
     let crash_at = Hft_sim.Time.of_ms 5 in
     System.crash_primary_at sys crash_at;
     ignore (System.run sys);
-    match Hft_sim.Trace.find trace ~source:"backup" ~prefix:"FAILOVER" with
-    | e :: _ ->
-      Hft_sim.Time.to_ms (Hft_sim.Time.diff e.Hft_sim.Trace.time crash_at)
-    | [] -> nan
+    let promotion =
+      List.find_opt
+        (fun (e : Hft_obs.Recorder.entry) ->
+          match e.Hft_obs.Recorder.ev with
+          | Hft_obs.Event.Promoted _ -> true
+          | _ -> false)
+        (Hft_obs.Recorder.entries obs)
+    in
+    match promotion with
+    | Some e ->
+      Hft_sim.Time.to_ms (Hft_sim.Time.diff e.Hft_obs.Recorder.time crash_at)
+    | None -> nan
   in
   let timeouts = [ 10; 50; 100; 200 ] in
   let blackouts = List.map (fun t -> (t, blackout t)) timeouts in

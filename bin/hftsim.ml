@@ -113,6 +113,48 @@ let params_of ~epoch ~protocol ~link ~mechanism =
     Params.epoch_mechanism = mechanism;
   }
 
+(* ---------- observability artifacts ---------- *)
+
+module Obs = Hft_obs
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's protocol timeline as Chrome trace-event JSON to \
+           FILE (loadable in ui.perfetto.dev or chrome://tracing).")
+
+(* Shared post-run artifact emission: Chrome trace, metrics JSON,
+   span-quantile table, and — whenever a crash was recorded — the
+   failover post-mortem timeline. *)
+let emit_artifacts ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
+    obs =
+  if Obs.Recorder.enabled obs then begin
+    let entries = Obs.Recorder.entries obs in
+    (match trace_out with
+    | Some path ->
+      write_file path (Obs.Export.chrome entries);
+      Format.printf "trace written  : %s (chrome trace-event JSON)@." path
+    | None -> ());
+    let hists =
+      lazy (Obs.Span.histograms (Obs.Span.of_entries entries))
+    in
+    (match metrics_out with
+    | Some path ->
+      write_file path (Obs.Export.metrics_json (Lazy.force hists));
+      Format.printf "metrics written: %s@." path
+    | None -> ());
+    if metrics then Hft_harness.Report.span_metrics (Lazy.force hists);
+    Hft_harness.Report.failover_postmortem entries
+  end
+
 (* ---------- run ---------- *)
 
 let print_outcome (o : System.outcome) =
@@ -159,8 +201,25 @@ let run_cmd =
             "After a failover, revive the failed node as a new backup this \
              many milliseconds later.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print span-duration quantiles (epoch, ack-wait, intr-delay, \
+             msg-rtt, rtx-chain, failover) after the run.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the span histograms as machine-readable JSON (schema \
+             hftsim-metrics/1) to FILE.")
+  in
   let action workload epoch protocol link mechanism bare crash_ms
-      reintegrate_ms =
+      reintegrate_ms trace_out metrics metrics_out =
     let params = params_of ~epoch ~protocol ~link ~mechanism in
     if bare then begin
       let b = Bare.create ~params ~workload () in
@@ -174,7 +233,14 @@ let run_cmd =
         Format.printf "console        : %S@." o.Bare.console
     end
     else begin
-      let sys = System.create ~params ~workload () in
+      let obs =
+        if
+          trace_out <> None || metrics || metrics_out <> None
+          || crash_ms <> None
+        then Obs.Recorder.create ()
+        else Obs.Recorder.null
+      in
+      let sys = System.create ~params ~obs ~workload () in
       (match crash_ms with
       | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
       | None -> ());
@@ -183,13 +249,15 @@ let run_cmd =
         System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms ms)
       | None -> ());
       Format.printf "replicated system (%a)@." Params.pp params;
-      print_outcome (System.run sys)
+      print_outcome (System.run sys);
+      emit_artifacts ~trace_out ~metrics ~metrics_out obs
     end
   in
   let term =
     Term.(
       const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
-      $ mechanism_arg $ bare $ crash_ms $ reintegrate_ms)
+      $ mechanism_arg $ bare $ crash_ms $ reintegrate_ms $ trace_out_arg
+      $ metrics $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload, bare or replicated.")
@@ -283,7 +351,7 @@ let trace_cmd =
   let lines =
     Arg.(
       value & opt int 80
-      & info [ "n" ] ~docv:"N" ~doc:"Number of trace lines to print.")
+      & info [ "n" ] ~docv:"N" ~doc:"Number of trace events to print.")
   in
   let crash_ms =
     Arg.(
@@ -291,35 +359,122 @@ let trace_cmd =
       & opt (some int) None
       & info [ "crash" ] ~docv:"MS" ~doc:"Crash the primary at MS.")
   in
-  let action workload epoch protocol link lines crash_ms =
-    let params =
-      params_of ~epoch ~protocol ~link ~mechanism:Params.Recovery_register
-    in
-    let tr = Hft_sim.Trace.create ~capacity:(max lines 1024) () in
-    let sys = System.create ~params ~trace:tr ~workload () in
-    (match crash_ms with
-    | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
-    | None -> ());
-    let o = System.run sys in
-    let entries = Hft_sim.Trace.entries tr in
-    let skip = max 0 (List.length entries - lines) in
-    List.iteri
-      (fun i e ->
-        if i >= skip then
-          Format.printf "%10.3fms %-10s %s@."
-            (Hft_sim.Time.to_ms e.Hft_sim.Trace.time)
-            e.Hft_sim.Trace.source e.Hft_sim.Trace.event)
-      entries;
-    Format.printf "...@.";
-    print_outcome o
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the timeline as Chrome trace-event JSON to FILE \
+             (loadable in ui.perfetto.dev or chrome://tracing).")
+  in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Write the hftsim-trace/1 JSONL stream (events, reconstructed \
+             spans, histogram summaries) to FILE; $(b,-) writes it to \
+             stdout and suppresses all other output.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print span-duration quantiles after the event dump.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Do not run anything; structurally validate a trace artifact \
+             (Chrome trace-event JSON or hftsim-trace/1 JSONL), print its \
+             summary and exit non-zero if it is malformed.")
+  in
+  let dispatch_arg =
+    Arg.(
+      value & flag
+      & info [ "dispatch" ]
+          ~doc:
+            "Also record one event per simulation-engine dispatch \
+             (verbose; shows the discrete-event schedule itself).")
+  in
+  let action workload epoch protocol link lines crash_ms chrome jsonl metrics
+      validate dispatch =
+    match validate with
+    | Some path -> (
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      match Obs.Export.validate contents with
+      | Ok s ->
+        Format.printf "%s: %a@." path Obs.Export.pp_summary s;
+        `Ok ()
+      | Error m -> `Error (false, Printf.sprintf "%s: %s" path m))
+    | None ->
+      let quiet = jsonl = Some "-" in
+      let params =
+        params_of ~epoch ~protocol ~link ~mechanism:Params.Recovery_register
+      in
+      let obs = Obs.Recorder.create ~dispatch () in
+      let sys = System.create ~params ~obs ~workload () in
+      (match crash_ms with
+      | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
+      | None -> ());
+      let o = System.run sys in
+      let entries = Obs.Recorder.entries obs in
+      if not quiet then begin
+        let skip = max 0 (List.length entries - lines) in
+        if skip > 0 then
+          Format.printf "... (%d earlier events; %d recorded in total)@." skip
+            (Obs.Recorder.total_recorded obs);
+        List.iteri
+          (fun i (e : Obs.Recorder.entry) ->
+            if i >= skip then
+              Format.printf "%10.3fms %-8s %a@."
+                (Hft_sim.Time.to_ms e.Obs.Recorder.time)
+                e.Obs.Recorder.source Obs.Event.pp e.Obs.Recorder.ev)
+          entries;
+        Format.printf "...@.";
+        print_outcome o
+      end;
+      (match chrome with
+      | Some path ->
+        write_file path (Obs.Export.chrome entries);
+        if not quiet then
+          Format.printf "trace written  : %s (chrome trace-event JSON)@." path
+      | None -> ());
+      (match jsonl with
+      | Some "-" -> print_string (Obs.Export.jsonl entries)
+      | Some path ->
+        write_file path (Obs.Export.jsonl entries);
+        if not quiet then
+          Format.printf "trace written  : %s (%s JSONL)@." path
+            Obs.Export.schema
+      | None -> ());
+      if metrics && not quiet then
+        Hft_harness.Report.span_metrics
+          (Obs.Span.histograms (Obs.Span.of_entries entries));
+      `Ok ()
   in
   let term =
     Term.(
-      const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg $ lines
-      $ crash_ms)
+      ret
+        (const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
+       $ lines $ crash_ms $ chrome_arg $ jsonl_arg $ metrics_arg
+       $ validate_arg $ dispatch_arg))
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run replicated and dump the protocol event trace.")
+    (Cmd.info "trace"
+       ~doc:
+         "Run replicated and dump the typed protocol event trace, or export \
+          it as a Chrome/Perfetto or JSONL artifact ($(b,--chrome), \
+          $(b,--jsonl)), or validate an existing artifact \
+          ($(b,--validate)).")
     term
 
 (* ---------- chaos ---------- *)
@@ -429,7 +584,7 @@ let chaos_cmd =
   in
   let action workload epoch protocol link seed trials loss dup corrupt
       delay_us no_retransmit exact crash_epoch backup_crash_epoch reintegrate
-      no_shrink =
+      no_shrink trace_out =
     let bad_rate r = r < 0. || r >= 1. in
     if bad_rate loss || bad_rate dup || bad_rate corrupt || delay_us < 0 then
       `Error
@@ -464,14 +619,23 @@ let chaos_cmd =
         }
       in
       let reference = Campaign.reference cfg in
-      let t = Campaign.run_trial cfg ~reference ~index:0 s in
+      let obs =
+        if trace_out <> None then Obs.Recorder.create ()
+        else Obs.Recorder.null
+      in
+      let t = Campaign.run_trial ~obs cfg ~reference ~index:0 s in
       print_trial t;
       List.iter (fun v -> Format.printf "  violation: %s@." v)
         t.Campaign.violations;
+      emit_artifacts ~trace_out obs;
       if t.Campaign.violations = [] then `Ok ()
       else `Error (false, "invariant violation")
     end
     else begin
+      if trace_out <> None then
+        Format.printf
+          "note: --trace-out records a single trial; combine it with \
+           --exact (ignored here)@.";
       Format.printf
         "chaos campaign: %d trials of %s, seed %d, retransmit %s@."
         trials workload.Hft_guest.Workload.name seed
@@ -510,7 +674,7 @@ let chaos_cmd =
         (const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
        $ seed_arg $ trials_arg $ loss_arg $ dup_arg $ corrupt_arg $ delay_arg
        $ no_retransmit $ exact $ crash_epoch $ backup_crash_epoch
-       $ reintegrate $ no_shrink))
+       $ reintegrate $ no_shrink $ trace_out_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -964,7 +1128,7 @@ let check_cmd =
   in
   let action scenario all list_scenarios depth max_states json replay
       save_replay no_dpor no_fp compare_naive no_retransmit no_ack_wait
-      max_violations no_shrink =
+      max_violations no_shrink trace_out =
     if list_scenarios then begin
       List.iter
         (fun sc ->
@@ -984,13 +1148,22 @@ let check_cmd =
             (String.concat " "
                (List.map string_of_int sched.Hft_check.Schedule.roots))
             (List.length sched.Hft_check.Schedule.choices);
-          match Hft_check.Checker.replay sched with
+          let obs =
+            if trace_out <> None then Obs.Recorder.create ()
+            else Obs.Recorder.null
+          in
+          let finish r =
+            emit_artifacts ~trace_out obs;
+            r
+          in
+          match Hft_check.Checker.replay ~obs sched with
           | Error m -> `Error (false, m)
           | Ok (Some v) ->
             Format.printf "reproduced: %s@." v;
-            `Ok ()
+            finish (`Ok ())
           | Ok None ->
-            `Error (false, "schedule no longer produces a violation")))
+            finish
+              (`Error (false, "schedule no longer produces a violation"))))
       | None -> (
         let scenarios =
           if all then Ok Hft_harness.Scenarios.all
@@ -1109,7 +1282,8 @@ let check_cmd =
         (const action $ scenario_arg $ all_arg $ list_arg $ depth_arg
        $ max_states_arg $ json_arg $ replay_arg $ save_replay_arg
        $ no_dpor_arg $ no_fp_arg $ compare_naive_arg $ no_retransmit_arg
-       $ no_ack_wait_arg $ max_violations_arg $ no_shrink_arg))
+       $ no_ack_wait_arg $ max_violations_arg $ no_shrink_arg
+       $ trace_out_arg))
 
 (* ---------- bench ---------- *)
 

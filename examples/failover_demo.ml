@@ -18,29 +18,32 @@ let () =
   let workload = Hft_guest.Workload.disk_write ~ops () in
   let params = { Params.default with Params.epoch_length = 1024 } in
 
-  let trace = Hft_sim.Trace.create ~capacity:100_000 () in
-  let sys = System.create ~params ~trace ~workload () in
+  let obs = Hft_obs.Recorder.create () in
+  let sys = System.create ~params ~obs ~workload () in
 
   (* kill the primary 40 virtual milliseconds in: mid-disk-operation *)
   System.crash_primary_at sys (Hft_sim.Time.of_ms 40);
   let o = System.run sys in
 
   Format.printf "--- protocol events ---@.";
-  let interesting e =
-    let has prefix =
-      String.length e.Hft_sim.Trace.event >= String.length prefix
-      && String.sub e.Hft_sim.Trace.event 0 (String.length prefix) = prefix
-    in
-    has "CRASH" || has "FAILOVER" || has "failure detector" || has "halt"
-    || has "buffered disk"
+  let interesting (e : Hft_obs.Recorder.entry) =
+    match e.Hft_obs.Recorder.ev with
+    | Hft_obs.Event.Crash | Hft_obs.Event.Detector_fired _
+    | Hft_obs.Event.Promoted _ | Hft_obs.Event.Halt _
+    | Hft_obs.Event.Intr_buffered _ | Hft_obs.Event.Io_suppressed _ ->
+      true
+    | _ -> false
   in
   List.iter
-    (fun e ->
+    (fun (e : Hft_obs.Recorder.entry) ->
       if interesting e then
-        Format.printf "%10.3fms %-8s %s@."
-          (Hft_sim.Time.to_ms e.Hft_sim.Trace.time)
-          e.Hft_sim.Trace.source e.Hft_sim.Trace.event)
-    (Hft_sim.Trace.entries trace);
+        Format.printf "%10.3fms %-8s %a@."
+          (Hft_sim.Time.to_ms e.Hft_obs.Recorder.time)
+          e.Hft_obs.Recorder.source Hft_obs.Event.pp e.Hft_obs.Recorder.ev)
+    (Hft_obs.Recorder.entries obs);
+
+  (* the same data, reduced: the crash-to-first-I/O post-mortem *)
+  Hft_harness.Report.failover_postmortem (Hft_obs.Recorder.entries obs);
 
   Format.printf "@.--- outcome ---@.";
   Format.printf "completed by       : %s@."

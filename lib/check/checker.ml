@@ -143,14 +143,14 @@ let dims (sc : Scenarios.bounded) =
     Array.of_list sc.Scenarios.sc_loss_bp;
   |]
 
-let build sc ~variant (roots : int array) =
+let build sc ~variant ?obs (roots : int array) =
   let d = dims sc in
   let pick i =
     let a = d.(i) in
     a.(if roots.(i) >= 0 && roots.(i) < Array.length a then roots.(i) else 0)
   in
   Scenarios.instantiate sc ~variant ?crash_epoch:(pick 0)
-    ?backup_crash_epoch:(pick 1) ?loss_pb:(pick 2) ?loss_bp:(pick 3) ()
+    ?backup_crash_epoch:(pick 1) ?loss_pb:(pick 2) ?loss_bp:(pick 3) ?obs ()
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
@@ -433,7 +433,7 @@ let slice stack consumed =
 (* ------------------------------------------------------------------ *)
 (* Forced replay (used by --replay and the shrinker)                   *)
 
-let run_forced sc ~variant ?reference ~roots ~choices () =
+let run_forced sc ~variant ?reference ?obs ~roots ~choices () =
   let reference =
     match reference with
     | Some r -> r
@@ -441,7 +441,7 @@ let run_forced sc ~variant ?reference ~roots ~choices () =
   in
   let ra = Array.make n_dims 0 in
   List.iteri (fun i v -> if i < n_dims then ra.(i) <- v) roots;
-  let sys = build sc ~variant ra in
+  let sys = build sc ~variant ?obs ra in
   let engine = System.engine sys in
   let baselines = [| 0; 0 |] in
   let ch = Array.of_list choices in
@@ -579,7 +579,7 @@ let schedule_of_violation (r : result) (v : violation) =
 
 (* Replay a serialized schedule.  Returns the violation it reproduces,
    if any. *)
-let replay (s : Schedule.t) =
+let replay ?obs (s : Schedule.t) =
   match Scenarios.find s.Schedule.scenario with
   | None -> Error (Printf.sprintf "unknown scenario %S" s.Schedule.scenario)
   | Some sc ->
@@ -590,7 +590,7 @@ let replay (s : Schedule.t) =
       }
     in
     Ok
-      (run_forced sc ~variant ~roots:s.Schedule.roots
+      (run_forced sc ~variant ?obs ~roots:s.Schedule.roots
          ~choices:s.Schedule.choices ())
 
 (* ------------------------------------------------------------------ *)

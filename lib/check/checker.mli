@@ -65,15 +65,18 @@ val run_forced :
   Hft_harness.Scenarios.bounded ->
   variant:Hft_harness.Scenarios.variant ->
   ?reference:Hft_harness.Campaign.reference ->
+  ?obs:Hft_obs.Recorder.t ->
   roots:int list ->
   choices:int list ->
   unit ->
   string option
 (** Execute one exact schedule: follow [roots] and [choices], default
     engine order beyond the recorded prefix.  Returns the violation
-    observed, if any. *)
+    observed, if any.  [obs] records the schedule's typed protocol
+    events, so a counterexample replay can emit the same timeline
+    artifacts as a normal run. *)
 
-val replay : Schedule.t -> (string option, string) Stdlib.result
+val replay : ?obs:Hft_obs.Recorder.t -> Schedule.t -> (string option, string) Stdlib.result
 (** Replay a serialized counterexample.  [Error] = the file references
     an unknown scenario; [Ok None] = the schedule no longer violates
     anything; [Ok (Some v)] = reproduced violation [v]. *)

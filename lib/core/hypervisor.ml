@@ -3,6 +3,7 @@ open Hft_machine
 open Hft_devices
 module Channel = Hft_net.Channel
 module Layout = Hft_guest.Layout
+module Ev = Hft_obs.Event
 
 let max_burst = 2_000_000
 
@@ -14,8 +15,10 @@ type buffered_intr =
   | Bi_disk of Message.relayed_completion
   | Bi_timer
 
-(* arrival-stamped buffer entry, for the delay(EL) measurement *)
-type stamped = { bi : buffered_intr; since : Time.t }
+(* arrival-stamped buffer entry, for the delay(EL) measurement.
+   [obs_id] pairs the buffered and delivered observability events; it
+   is excluded from fingerprints, like the stamp itself. *)
+type stamped = { bi : buffered_intr; since : Time.t; obs_id : int }
 
 (* What the actor is waiting for.  While blocked the VM makes no
    progress; message arrivals (or the failure detector) resume it. *)
@@ -65,6 +68,8 @@ type t = {
   workload : Hft_guest.Workload.t;
   ctl : Disk_ctl.t;
   st : Stats.t;
+  obs : Hft_obs.Recorder.t;
+  mutable next_intr_id : int;
   vcrs : int array;
   mutable role_ : role;
   mutable alive_ : bool;
@@ -136,9 +141,26 @@ let stats t = t.st
 
 let results t = Guest_results.read t.vm
 
-let trace t fmt =
-  Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
-    ~source:t.name_ fmt
+(* Typed observability: a free sink unless a recorder was threaded in
+   through [create].  The [enabled] guard keeps event payloads from
+   being allocated on benchmark runs. *)
+let emit t ev =
+  if Hft_obs.Recorder.enabled t.obs then
+    Hft_obs.Recorder.emit t.obs ~time:(Engine.now t.engine) ~source:t.name_ ev
+
+(* Stamp a buffered interrupt with its arrival time and a fresh
+   pairing id, and record the buffering event. *)
+let stamp t bi ~epoch =
+  let id = t.next_intr_id in
+  t.next_intr_id <- id + 1;
+  emit t
+    (Ev.Intr_buffered
+       {
+         id;
+         kind = (match bi with Bi_disk _ -> "disk" | Bi_timer -> "timer");
+         epoch;
+       });
+  { bi; since = Engine.now t.engine; obs_id = id }
 
 let fnv_prime = 0x100000001b3
 let fnv_mask = (1 lsl 62) - 1
@@ -149,8 +171,8 @@ let vm_state_hash t =
   Array.iter (fun v -> h := (!h lxor v) * fnv_prime land fnv_mask) t.vcrs;
   !h
 
-let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock ()
-    =
+let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock
+    ?(obs = Hft_obs.Recorder.null) () =
   let vm =
     Cpu.create ~config:params.Params.cpu_config
       ~code:workload.Hft_guest.Workload.program.Asm.code ()
@@ -167,6 +189,8 @@ let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock ()
     workload;
     ctl = Disk_ctl.create ();
     st = Stats.create ();
+    obs;
+    next_intr_id = 0;
     vcrs = Array.make Isa.num_crs 0;
     role_ = role;
     alive_ = true;
@@ -336,8 +360,7 @@ and rtx_fire t =
   if t.alive_ && not (Queue.is_empty t.rtx_queue) then begin
     if not t.peer_alive then clear_rtx t
     else if t.rtx_backoff >= t.p.Params.rtx_give_up then begin
-      trace t "retransmission give-up after %d rounds: peer presumed dead"
-        t.rtx_backoff;
+      emit t (Ev.Rtx_give_up { rounds = t.rtx_backoff });
       clear_rtx t;
       if t.halted_ then t.peer_alive <- false
       else begin
@@ -357,7 +380,7 @@ and rtx_fire t =
               e.r_body)
         t.rtx_queue;
       t.st.Stats.retransmits <- t.st.Stats.retransmits + n;
-      trace t "retransmit %d unacked (round %d)" n t.rtx_backoff;
+      emit t (Ev.Rtx_round { round = t.rtx_backoff; count = n });
       arm_rtx t
     end
   end
@@ -374,6 +397,7 @@ and send_msg ?snapshot_bytes ?(up = false) t body =
     let dseq = t.data_sent in
     t.data_sent <- t.data_sent + 1;
     let bytes = Message.bytes ?snapshot_bytes (Message.make ~seq:0 ~dseq body) in
+    emit t (Ev.Msg_send { dseq; kind = Message.body_kind body; bytes });
     Queue.add
       {
         r_dseq = dseq;
@@ -428,8 +452,14 @@ and deliver_virtual_trap t ~cause ~badvaddr ~epc =
   Cpu.set_pc t.vm (vcr t Isa.Cr_ivec)
 
 (* Deliver one buffered interrupt into the VM. *)
-and deliver_one_interrupt t { bi; since } =
+and deliver_one_interrupt t { bi; since; obs_id } =
   Stats.add_time t.st `Intr_delay (Time.diff (Engine.now t.engine) since);
+  emit t
+    (Ev.Intr_delivered
+       {
+         id = obs_id;
+         kind = (match bi with Bi_disk _ -> "disk" | Bi_timer -> "timer");
+       });
   (match bi with
   | Bi_disk rc ->
     (match rc.Message.dma with
@@ -440,7 +470,7 @@ and deliver_one_interrupt t { bi; since } =
     | Some _ -> ()
     | None ->
       t.st.Stats.spurious_completions <- t.st.Stats.spurious_completions + 1;
-      trace t "warning: disk completion with no outstanding op");
+      emit t (Ev.Note "disk completion with no outstanding op"));
     set_vcr t Isa.Cr_scratch0 Layout.intr_kind_disk
   | Bi_timer -> set_vcr t Isa.Cr_scratch0 Layout.intr_kind_timer);
   t.st.Stats.interrupts_delivered <- t.st.Stats.interrupts_delivered + 1;
@@ -529,7 +559,7 @@ and handle_stop t stop =
       t.halted_ <- true;
       t.halt_time_ <- Engine.now t.engine;
       cancel_detector t;
-      trace t "halt at epoch %d" t.epoch_;
+      emit t (Ev.Halt { epoch = t.epoch_ });
       t.on_halt t
     | Cpu.Env i -> sim_env t i
     | Cpu.Priv i -> sim_priv t i
@@ -715,6 +745,9 @@ and handle_doorbell t req =
        so a failover can synthesize its uncertain completion (P7) *)
     Queue.add req t.outstanding;
     t.st.Stats.io_suppressed <- t.st.Stats.io_suppressed + 1;
+    emit t
+      (Ev.Io_suppressed
+         { block = req.block; write = req.cmd = Layout.cmd_write });
     complete_simulated t
   | Primary | Promoted ->
     if
@@ -727,6 +760,7 @@ and handle_doorbell t req =
          everything sent has been acknowledged *)
       t.blocked <- B_acks { upto = t.data_sent; resume = R_io req };
       t.ack_wait_start <- Engine.now t.engine;
+      emit t (Ev.Ack_wait_begin { upto = t.data_sent; at_io = true });
       arm_detector t
     end
     else issue_io t req
@@ -746,9 +780,13 @@ and issue_io t req =
   Queue.add req t.outstanding;
   t.st.Stats.io_submitted <- t.st.Stats.io_submitted + 1;
   let dma = req.dma in
-  ignore
-    (Disk.submit t.disk ~port:t.port op ~on_complete:(fun c ->
-         primary_completion t ~dma c));
+  let op_id =
+    Disk.submit t.disk ~port:t.port op ~on_complete:(fun c ->
+        primary_completion t ~dma c)
+  in
+  emit t
+    (Ev.Io_submit
+       { op_id; block = req.block; write = req.cmd = Layout.cmd_write });
   complete_simulated t
 
 (* A device interrupt arrives at the primary's hypervisor: buffer it
@@ -768,16 +806,14 @@ and primary_completion t ~dma (c : Disk.completion) =
       }
     in
     t.buffered_current <-
-      { bi = Bi_disk rc; since = Engine.now t.engine } :: t.buffered_current;
+      stamp t (Bi_disk rc) ~epoch:t.relay_epoch :: t.buffered_current;
     t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1;
     t.debt <- Time.add t.debt t.p.Params.hv_intr_receive;
     if t.peer_alive then begin
       t.debt <- Time.add t.debt t.p.Params.hv_send_setup;
       send_msg t
         (Message.Intr { epoch = t.relay_epoch; completion = rc })
-    end;
-    trace t "buffered disk completion #%d for epoch %d" c.Disk.op_id
-      t.relay_epoch
+    end
   end
 
 (* ---------- TLB ---------- *)
@@ -848,6 +884,7 @@ and primary_boundary_phase1 t =
            then begin
              t.blocked <- B_acks { upto = t.data_sent; resume = R_boundary };
              t.ack_wait_start <- Engine.now t.engine;
+             emit t (Ev.Ack_wait_begin { upto = t.data_sent; at_io = false });
              arm_detector t
            end
            else primary_boundary_phase2 t ~tod
@@ -860,7 +897,9 @@ and primary_boundary_phase2 t ~tod =
   let deliver_set = List.rev t.buffered_current in
   t.buffered_current <- [];
   t.relay_epoch <- t.epoch_ + 1;
-  trace t "end of epoch %d (%d interrupts)" t.epoch_ (List.length deliver_set);
+  emit t
+    (Ev.Epoch_end { epoch = ended; interrupts = List.length deliver_set });
+  emit t (Ev.Epoch_begin { epoch = ended + 1 });
   t.epoch_ <- t.epoch_ + 1;
   t.env_idx <- 0;
   t.st.Stats.epochs <- t.st.Stats.epochs + 1;
@@ -886,7 +925,7 @@ and check_virtual_timer t ~tod =
   if t.vtimer_deadline_us >= 0 && t.vtimer_deadline_us <= tod then begin
     t.vtimer_deadline_us <- -1;
     t.buffered_current <-
-      { bi = Bi_timer; since = Engine.now t.engine } :: t.buffered_current;
+      stamp t Bi_timer ~epoch:t.epoch_ :: t.buffered_current;
     t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
   end
 
@@ -917,7 +956,9 @@ and backup_boundary t =
       t.vtimer_deadline_us <- deadline;
       check_virtual_timer_backup t ~tod;
       let deliver_set = take_buffered t e in
-      trace t "end of epoch %d (%d interrupts)" e (List.length deliver_set);
+      emit t
+        (Ev.Epoch_end { epoch = e; interrupts = List.length deliver_set });
+      emit t (Ev.Epoch_begin { epoch = e + 1 });
       t.epoch_ <- e + 1;
       t.env_idx <- 0;
       t.st.Stats.epochs <- t.st.Stats.epochs + 1;
@@ -941,7 +982,7 @@ and check_virtual_timer_backup t ~tod =
   if t.vtimer_deadline_us >= 0 && t.vtimer_deadline_us <= tod then begin
     t.vtimer_deadline_us <- -1;
     let r = buffered_ref t t.epoch_ in
-    r := { bi = Bi_timer; since = Engine.now t.engine } :: !r;
+    r := stamp t Bi_timer ~epoch:t.epoch_ :: !r;
     t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
   end
 
@@ -995,16 +1036,19 @@ and failover_epoch t ~promoting =
   let to_synthesize = max 0 (Queue.length t.outstanding - relayed_disk) in
   let synths =
     List.init to_synthesize (fun _ ->
-        {
-          bi = Bi_disk { Message.status = Layout.status_uncertain; dma = None };
-          since = Engine.now t.engine;
-        })
+        stamp t
+          (Bi_disk { Message.status = Layout.status_uncertain; dma = None })
+          ~epoch:e)
   in
   t.st.Stats.uncertain_synthesized <-
     t.st.Stats.uncertain_synthesized + to_synthesize;
-  trace t "%s at epoch %d: %d relayed, %d uncertain synthesized"
-    (if promoting then "FAILOVER" else "failover-follow")
-    e (List.length deliver_set) to_synthesize;
+  let relayed = List.length deliver_set in
+  emit t
+    (if promoting then
+       Ev.Promoted { epoch = e; relayed; synthesized = to_synthesize }
+     else Ev.Failover_followed { epoch = e; relayed; synthesized = to_synthesize });
+  emit t (Ev.Epoch_end { epoch = e; interrupts = relayed + to_synthesize });
+  emit t (Ev.Epoch_begin { epoch = e + 1 });
   t.failover_notice <- None;
   if promoting then begin
     t.role_ <- Promoted;
@@ -1037,14 +1081,18 @@ and promote t = failover_epoch t ~promoting:true
 
 and detector_fired t =
   if t.alive_ && not t.halted_ then begin
-    trace t "failure detector fired (blocked=%s)"
-      (match t.blocked with
-      | B_tme -> "tme"
-      | B_end -> "end"
-      | B_env -> "env"
-      | B_acks _ -> "acks"
-      | B_snapshot -> "snapshot"
-      | Not_blocked -> "none");
+    emit t
+      (Ev.Detector_fired
+         {
+           blocked =
+             (match t.blocked with
+             | B_tme -> "tme"
+             | B_end -> "end"
+             | B_env -> "env"
+             | B_acks _ -> "acks"
+             | B_snapshot -> "snapshot"
+             | Not_blocked -> "none");
+         });
     t.peer_alive <- false;
     clear_rtx t;
     match t.blocked with
@@ -1055,10 +1103,11 @@ and detector_fired t =
       t.blocked <- Not_blocked;
       (* re-enter the environment simulation, which now self-sources *)
       continue_after_env_retry t
-    | B_acks { resume; _ } ->
+    | B_acks { upto; resume } ->
       (* the backup is gone: the primary continues unreplicated *)
       Stats.add_time t.st `Ack_wait
         (Time.diff (Engine.now t.engine) t.ack_wait_start);
+      emit t (Ev.Ack_wait_end { upto; released = Ev.By_detector });
       t.blocked <- Not_blocked;
       (match resume with
       | R_boundary -> primary_boundary_phase2 t ~tod:t.boundary_tod
@@ -1087,7 +1136,8 @@ and on_message t msg =
   if t.alive_ then begin
     if not (Message.valid msg) then begin
       t.st.Stats.corruptions_detected <- t.st.Stats.corruptions_detected + 1;
-      trace t "corrupt frame dropped (wire #%d)" msg.Message.seq
+      emit t
+        (Ev.Frame_dropped { wire_seq = msg.Message.seq; reason = Ev.Corrupt })
     end
     else if not (Message.reliable msg) then handle_body t msg.Message.body
     else begin
@@ -1095,11 +1145,18 @@ and on_message t msg =
       if d < t.data_recvd then begin
         (* already delivered: the ack covering it must have been lost *)
         t.st.Stats.duplicates_dropped <- t.st.Stats.duplicates_dropped + 1;
+        emit t
+          (Ev.Frame_dropped
+             { wire_seq = msg.Message.seq; reason = Ev.Duplicate });
         send_ack t
       end
       else if d > t.data_recvd then begin
-        if Hashtbl.mem t.rcv_hold d then
-          t.st.Stats.duplicates_dropped <- t.st.Stats.duplicates_dropped + 1
+        if Hashtbl.mem t.rcv_hold d then begin
+          t.st.Stats.duplicates_dropped <- t.st.Stats.duplicates_dropped + 1;
+          emit t
+            (Ev.Frame_dropped
+               { wire_seq = msg.Message.seq; reason = Ev.Duplicate })
+        end
         else Hashtbl.replace t.rcv_hold d msg.Message.body;
         (* a gap separates this message from the delivered prefix; the
            cumulative ack doubles as a gap signal, prompting the sender
@@ -1133,7 +1190,8 @@ and apply_ack t upto =
       (not (Queue.is_empty t.rtx_queue))
       && (Queue.peek t.rtx_queue).r_dseq < t.acked
     do
-      ignore (Queue.pop t.rtx_queue)
+      let e = Queue.pop t.rtx_queue in
+      emit t (Ev.Msg_acked { dseq = e.r_dseq })
     done;
     (* progress restarts the retransmission clock *)
     t.rtx_backoff <- 0;
@@ -1153,6 +1211,7 @@ and handle_body t body =
     | B_acks { upto = _; resume } when t.acked >= t.data_sent ->
       Stats.add_time t.st `Ack_wait
         (Time.diff (Engine.now t.engine) t.ack_wait_start);
+      emit t (Ev.Ack_wait_end { upto = t.acked; released = Ev.By_ack });
       cancel_detector t;
       t.blocked <- Not_blocked;
       (match resume with
@@ -1163,7 +1222,7 @@ and handle_body t body =
     (match body with
     | Message.Intr { epoch; completion } ->
       let r = buffered_ref t epoch in
-      r := { bi = Bi_disk completion; since = Engine.now t.engine } :: !r;
+      r := stamp t (Bi_disk completion) ~epoch :: !r;
       t.st.Stats.interrupts_buffered <- t.st.Stats.interrupts_buffered + 1
     | Message.Env_val { epoch; idx; value } ->
       Hashtbl.replace t.env_vals (epoch, idx) value
@@ -1185,12 +1244,12 @@ and handle_body t body =
         t.blocked <- Not_blocked;
         t.peer_alive <- true;
         t.reintegrate_requested <- false;
-        trace t "reintegration complete; replication resumed";
+        emit t (Ev.Reintegration_done { epoch = t.epoch_ });
         deliver_pending_if_possible t;
         continue_vm t
       | _ -> ())
     | Message.Failover { epoch } ->
-      trace t "upstream failover at epoch %d noted" epoch;
+      emit t (Ev.Upstream_failover { epoch });
       t.failover_notice <- Some epoch
     | Message.Ack _ -> assert false);
     (* chained replication: a backup with a downstream relays the
@@ -1271,12 +1330,11 @@ and start_reintegration t =
         (Time.add (Time.scale transfer 2)
            (Time.scale t.p.Params.detector_timeout 2))
       t;
-    trace t "reintegration: snapshot of epoch %d offered (%d bytes)"
-      t.epoch_ mem_bytes
+    emit t (Ev.Reintegration_offer { epoch = t.epoch_; bytes = mem_bytes })
 
 and receive_snapshot t ~epoch ~code_hash =
   match t.snapshot_box with
-  | None -> trace t "snapshot offer with no snapshot data; ignored"
+  | None -> emit t (Ev.Note "snapshot offer with no snapshot data; ignored")
   | Some snap ->
     if code_hash <> Encode.program_hash (Cpu.code t.vm) then
       failwith (t.name_ ^ ": reintegration with different code image");
@@ -1307,7 +1365,8 @@ and receive_snapshot t ~epoch ~code_hash =
     (* reliable: a lost [Snapshot_done] would strand the primary in
        B_snapshot until its detector gave the peer up for dead *)
     send_msg ~up:true t (Message.Snapshot_done { epoch });
-    trace t "reintegrated as backup at epoch %d" epoch;
+    emit t (Ev.Snapshot_restored { epoch });
+    emit t (Ev.Epoch_begin { epoch });
     ignore
       (Engine.after t.engine ~label:"reintegrated" ~actor:t.name_ Time.zero
          (fun () ->
@@ -1341,11 +1400,11 @@ let crash t =
   clear_rtx t;
   (match t.tx_data with Some ch -> Channel.crash_sender ch | None -> ());
   (match t.tx_ack with Some ch -> Channel.crash_sender ch | None -> ());
-  Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
-    ~source:t.name_ "CRASH"
+  emit t Ev.Crash
 
 let start t =
   Guest_results.write_config t.vm t.workload.Hft_guest.Workload.config;
+  emit t (Ev.Epoch_begin { epoch = 0 });
   (* the kernel boots at real privilege 1 = virtual privilege 0 *)
   apply_vstatus t;
   (match t.p.Params.epoch_mechanism with

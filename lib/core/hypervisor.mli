@@ -50,8 +50,13 @@ val create :
   disk:Hft_devices.Disk.t ->
   console:Hft_devices.Console.t ->
   clock:Hft_devices.Clock.t ->
+  ?obs:Hft_obs.Recorder.t ->
   unit ->
   t
+(** [obs] receives typed protocol events (epoch boundaries, ack waits,
+    interrupt buffering and delivery, failover steps, …) under this
+    hypervisor's name as the source; defaults to the null recorder,
+    which costs nothing. *)
 
 val connect :
   ?tx_data:Message.t Hft_net.Channel.t ->

@@ -48,6 +48,16 @@ let checksum_of ~seq ~dseq body =
 let make ~seq ?(dseq = -1) body =
   { seq; dseq; checksum = checksum_of ~seq ~dseq body; body }
 
+let body_kind = function
+  | Intr _ -> "intr"
+  | Env_val _ -> "env"
+  | Tme _ -> "tme"
+  | Epoch_end _ -> "end"
+  | Ack _ -> "ack"
+  | Snapshot_offer _ -> "snap-offer"
+  | Snapshot_done _ -> "snap-done"
+  | Failover _ -> "failover"
+
 let reliable t = t.dseq >= 0
 
 let valid t = t.checksum = checksum_of ~seq:t.seq ~dseq:t.dseq t.body

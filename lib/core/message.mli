@@ -64,6 +64,10 @@ val make : seq:int -> ?dseq:int -> body -> t
 (** Seal a message: compute its checksum.  [dseq] defaults to [-1]
     (unreliable). *)
 
+val body_kind : body -> string
+(** Short stable tag for observability ("intr", "env", "tme", "end",
+    "ack", "snap-offer", "snap-done", "failover"). *)
+
 val reliable : t -> bool
 (** [dseq >= 0]: the message is part of the acknowledged,
     retransmitted, dedup-checked stream. *)

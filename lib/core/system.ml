@@ -37,7 +37,7 @@ let record_boundary ls ~epoch ~hash =
 
 let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
     ?(lockstep = true) ?(init_disk = true) ?(second_backup = false) ?trace
-    ~workload () =
+    ?(obs = Hft_obs.Recorder.null) ~workload () =
   let workload =
     match params.Params.epoch_mechanism with
     | Params.Recovery_register -> workload
@@ -50,8 +50,16 @@ let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
       }
   in
   let engine = Engine.create ?trace () in
+  (* scheduler dispatches are high-volume; only feed them to the
+     recorder when it asked for them, or they would evict the protocol
+     events from the ring *)
+  if Hft_obs.Recorder.dispatch_enabled obs then
+    Engine.set_observer engine (fun time ~label ~actor ->
+        Hft_obs.Recorder.emit obs ~time
+          ~source:(if actor = "" then "engine" else actor)
+          (Hft_obs.Event.Dispatch { label }));
   let disk_ =
-    Disk.create ~engine ~rng:(Rng.create disk_seed) params.Params.disk
+    Disk.create ~engine ~rng:(Rng.create disk_seed) ~obs params.Params.disk
   in
   if init_disk then begin
     let prm = Disk.params disk_ in
@@ -83,22 +91,22 @@ let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
   let primary_ =
     Hypervisor.create ~name:"primary" ~role:Hypervisor.Primary ~port:0 ~engine
       ~params:(params_for (fst seeds)) ~workload ~disk:disk_ ~console:console_
-      ~clock:clock_p ()
+      ~clock:clock_p ~obs ()
   in
   let backup_ =
     Hypervisor.create ~name:"backup" ~role:Hypervisor.Backup ~port:1 ~engine
       ~params:(params_for (snd seeds)) ~workload ~disk:disk_ ~console:console_
-      ~clock:clock_b ()
+      ~clock:clock_b ~obs ()
   in
   (* delivery events are tagged with the RECEIVER: that is whose state
      the delivery handler mutates (model-checker independence) *)
   let ch_pb =
     Channel.create ~engine ~link:params.Params.link ~name:"primary->backup"
-      ~actor:"backup" ()
+      ~actor:"backup" ~obs ()
   in
   let ch_bp =
     Channel.create ~engine ~link:params.Params.link ~name:"backup->primary"
-      ~actor:"primary" ()
+      ~actor:"primary" ~obs ()
   in
   Channel.set_hasher ch_pb Message.hash;
   Channel.set_hasher ch_bp Message.hash;
@@ -123,15 +131,15 @@ let create ?(params = Params.default) ?(disk_seed = 42) ?tlb_seeds
       let b2 =
         Hypervisor.create ~name:"backup2" ~role:Hypervisor.Backup ~port:2
           ~engine ~params:params2 ~workload ~disk:disk_ ~console:console_
-          ~clock:clock_b2 ()
+          ~clock:clock_b2 ~obs ()
       in
       let ch_b1b2 =
         Channel.create ~engine ~link:params.Params.link ~name:"backup->backup2"
-          ~actor:"backup2" ()
+          ~actor:"backup2" ~obs ()
       in
       let ch_b2b1 =
         Channel.create ~engine ~link:params.Params.link ~name:"backup2->backup"
-          ~actor:"backup" ()
+          ~actor:"backup" ~obs ()
       in
       Channel.set_hasher ch_b1b2 Message.hash;
       Channel.set_hasher ch_b2b1 Message.hash;

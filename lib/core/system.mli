@@ -23,10 +23,15 @@ val create :
   ?init_disk:bool ->
   ?second_backup:bool ->
   ?trace:Hft_sim.Trace.t ->
+  ?obs:Hft_obs.Recorder.t ->
   workload:Hft_guest.Workload.t ->
   unit ->
   t
-(** [tlb_seeds] gives each processor's TLB-replacement RNG when the
+(** [obs] is threaded to every hypervisor, channel and the disk: all
+    typed protocol events of the run land in this one recorder (and,
+    when the recorder was created with [~dispatch:true], every
+    scheduler dispatch as well).  Defaults to the null recorder.
+    [tlb_seeds] gives each processor's TLB-replacement RNG when the
     CPU config uses a [Random] policy — pass different seeds to
     reproduce the paper's nondeterministic-TLB divergence.
     [lockstep] (default true) records the VM state hash at every epoch

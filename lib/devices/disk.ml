@@ -57,6 +57,7 @@ type t = {
   engine : Engine.t;
   prm : params;
   rng : Rng.t;
+  obs : Hft_obs.Recorder.t;
   storage : Hft_machine.Word.t array array;
   queue : pending Queue.t;
   mutable busy_ : bool;
@@ -70,7 +71,7 @@ type t = {
    xor over blocks, maintained incrementally at each write. *)
 let block_hash b data = Hashtbl.hash (b, hash_content data)
 
-let create ~engine ?rng prm =
+let create ~engine ?rng ?(obs = Hft_obs.Recorder.null) prm =
   if prm.blocks <= 0 || prm.block_words <= 0 then
     invalid_arg "Disk.create: bad geometry";
   let rng = match rng with Some r -> r | None -> Rng.create 0 in
@@ -81,6 +82,7 @@ let create ~engine ?rng prm =
     engine;
     prm;
     rng;
+    obs;
     storage;
     queue = Queue.create ();
     busy_ = false;
@@ -163,12 +165,16 @@ and complete t p =
       else None
   in
   log t ~port:p.p_port ~op_id:p.p_id ~op:p.p_op ~status ~performed;
-  Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
-    ~source:"disk" "complete #%d port=%d block=%d %s %s%s" p.p_id p.p_port
-    (op_block p.p_op)
-    (if op_is_write p.p_op then "write" else "read")
-    (match status with Ok -> "ok" | Uncertain -> "uncertain")
-    (if performed then "" else " not-performed");
+  if Hft_obs.Recorder.enabled t.obs then
+    Hft_obs.Recorder.emit t.obs ~time:(Engine.now t.engine) ~source:"disk"
+      (Hft_obs.Event.Io_complete
+         {
+           op_id = p.p_id;
+           port = p.p_port;
+           block = op_block p.p_op;
+           write = op_is_write p.p_op;
+           uncertain = (status = Uncertain);
+         });
   p.p_done
     { op_id = p.p_id; port = p.p_port; op = p.p_op; status; performed; data };
   start_next t

@@ -56,9 +56,15 @@ val default_params : params
 type t
 
 val create :
-  engine:Hft_sim.Engine.t -> ?rng:Hft_sim.Rng.t -> params -> t
+  engine:Hft_sim.Engine.t ->
+  ?rng:Hft_sim.Rng.t ->
+  ?obs:Hft_obs.Recorder.t ->
+  params ->
+  t
 (** [rng] drives fault injection; defaults to a quiet device when
-    [fault_rate] is zero. *)
+    [fault_rate] is zero.  [obs] receives a typed [Io_complete] event
+    per completion under source ["disk"]; defaults to the null
+    recorder. *)
 
 val params : t -> params
 

@@ -170,8 +170,8 @@ let check_invariants ?(console = `Exact) ~(reference : Bare.outcome) sys
     add "lockstep diverged at %d epoch(s), first at %d" (List.length l) e);
   List.rev !v
 
-let run_trial cfg ~reference ~index schedule =
-  let sys = System.create ~params:cfg.params ~workload:cfg.workload () in
+let run_trial ?obs cfg ~reference ~index schedule =
+  let sys = System.create ~params:cfg.params ?obs ~workload:cfg.workload () in
   System.install_fault_model sys ~rng:(Rng.create schedule.seed)
     {
       Hft_net.Channel.loss = schedule.loss;

@@ -98,9 +98,17 @@ val check_invariants :
     paper's at-least-once output guarantee permits across a failover.
     Returns the violations (empty = all held). *)
 
-val run_trial : config -> reference:reference -> index:int -> schedule -> trial
+val run_trial :
+  ?obs:Hft_obs.Recorder.t ->
+  config ->
+  reference:reference ->
+  index:int ->
+  schedule ->
+  trial
 (** One deterministic trial: build the system, install the schedule's
-    fault model and crashes, run, check invariants. *)
+    fault model and crashes, run, check invariants.  [obs] records the
+    trial's typed protocol events (used by [hftsim chaos --exact
+    --trace-out] to emit a timeline for a shrunk reproducer). *)
 
 val shrink :
   ?max_steps:int -> config -> reference:reference -> schedule -> schedule

@@ -56,6 +56,54 @@ let channel_hardening ?(out = std) stats =
     (sum (fun s -> s.Hft_core.Stats.duplicates_dropped))
     (sum (fun s -> s.Hft_core.Stats.corruptions_detected))
 
+let span_metrics ?(out = std) hists =
+  let rows =
+    List.filter_map
+      (fun (cat, h) ->
+        if Hft_obs.Hist.count h = 0 then None
+        else
+          Some
+            [
+              cat;
+              string_of_int (Hft_obs.Hist.count h);
+              fnum (Hft_obs.Hist.p50_us h);
+              fnum (Hft_obs.Hist.p95_us h);
+              fnum (Hft_obs.Hist.p99_us h);
+              fnum (Hft_obs.Hist.max_us h);
+            ])
+      hists
+  in
+  if rows <> [] then
+    table ~out ~title:"span metrics (us)"
+      ~header:[ "category"; "count"; "p50"; "p95"; "p99"; "max" ]
+      rows
+
+let failover_postmortem ?(out = std) entries =
+  List.iter
+    (fun (f : Hft_obs.Span.failover) ->
+      let open Hft_obs.Span in
+      let plus t = Hft_sim.Time.to_ms (Hft_sim.Time.diff t f.crash_time) in
+      Format.fprintf out "@.== failover post-mortem: %s crashed ==@." f.crashed;
+      Format.fprintf out "  crash             at %a@." Hft_sim.Time.pp
+        f.crash_time;
+      (match f.detector_time with
+      | Some t ->
+        Format.fprintf out "  detector fired    at %a  (+%.3f ms)@."
+          Hft_sim.Time.pp t (plus t)
+      | None -> Format.fprintf out "  detector fired    (not observed)@.");
+      (match (f.promoted, f.promoted_time) with
+      | Some who, Some t ->
+        Format.fprintf out
+          "  %-18sat %a  (+%.3f ms; %d uncertain synthesized)@."
+          (who ^ " promoted") Hft_sim.Time.pp t (plus t) f.synthesized
+      | _ -> Format.fprintf out "  promotion         (not observed)@.");
+      match f.first_io_time with
+      | Some t ->
+        Format.fprintf out "  first new-primary I/O at %a  (+%.3f ms blackout)@."
+          Hft_sim.Time.pp t (plus t)
+      | None -> Format.fprintf out "  first new-primary I/O (none submitted)@.")
+    (Hft_obs.Span.failovers entries)
+
 let host_hashing ?(out = std) stats =
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
   let hashed = sum (fun s -> s.Hft_core.Stats.pages_hashed) in

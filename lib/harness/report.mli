@@ -42,6 +42,20 @@ val channel_hardening :
     per-hypervisor stats — shown alongside the section-4 numbers in
     [hftsim] output. *)
 
+val span_metrics :
+  ?out:Format.formatter -> (string * Hft_obs.Hist.t) list -> unit
+(** Aligned table of span-duration histograms (one row per category:
+    count, p50/p95/p99/max in microseconds), as produced by
+    {!Hft_obs.Span.histograms}.  Empty histograms are skipped; prints
+    nothing when no category has a closed span. *)
+
+val failover_postmortem :
+  ?out:Format.formatter -> Hft_obs.Recorder.entry list -> unit
+(** Human-readable timeline for every crash observed in the entries:
+    crash instant, failure detection, promotion (with the synthesized
+    uncertain-completion count) and the promoted node's first
+    submitted I/O — the environment-visible blackout. *)
+
 val host_hashing :
   ?out:Format.formatter -> Hft_core.Stats.t list -> unit
 (** One line summing the incremental-hashing counters (pages hashed

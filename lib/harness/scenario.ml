@@ -29,7 +29,7 @@ let lint ~params (w : Hft_guest.Workload.t) =
     ~data_init:(List.map fst w.Hft_guest.Workload.config)
     program
 
-let replicated ?(lockstep = false) ?(lint_gate = true) ~params workload =
+let replicated ?(lockstep = false) ?(lint_gate = true) ?obs ~params workload =
   if lint_gate then begin
     let fs = lint ~params workload in
     if Hft_analysis.Finding.has_errors fs then begin
@@ -43,7 +43,7 @@ let replicated ?(lockstep = false) ?(lint_gate = true) ~params workload =
            (Hft_analysis.Finding.summary fs))
     end
   end;
-  let sys = System.create ~params ~lockstep ~workload () in
+  let sys = System.create ~params ~lockstep ?obs ~workload () in
   System.run sys
 
 let normalized ?bare ~params workload =

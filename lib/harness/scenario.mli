@@ -30,6 +30,7 @@ val lint :
 val replicated :
   ?lockstep:bool ->
   ?lint_gate:bool ->
+  ?obs:Hft_obs.Recorder.t ->
   params:Hft_core.Params.t ->
   Hft_guest.Workload.t ->
   Hft_core.System.outcome
@@ -38,7 +39,8 @@ val replicated :
     it.  [lint_gate] (default on) runs {!lint} first and raises
     [Failure] — after printing the report to stderr — if the analyzer
     finds errors: a guest that violates the paper's assumptions would
-    diverge or wedge the replicas, so it never starts. *)
+    diverge or wedge the replicas, so it never starts.  [obs] collects
+    the run's typed protocol events (see {!Hft_obs}). *)
 
 val normalized :
   ?bare:Hft_sim.Time.t ->

@@ -128,9 +128,9 @@ let reference sc ~variant =
   Bare.run b
 
 let instantiate sc ~variant ?crash_epoch ?backup_crash_epoch ?loss_pb ?loss_bp
-    () =
+    ?obs () =
   let sys =
-    System.create ~params:(params sc ~variant) ~workload:sc.sc_workload ()
+    System.create ~params:(params sc ~variant) ?obs ~workload:sc.sc_workload ()
   in
   (match crash_epoch with
   | Some e -> System.crash_primary_on_epoch sys e

@@ -70,6 +70,7 @@ val instantiate :
   ?backup_crash_epoch:int ->
   ?loss_pb:int ->
   ?loss_bp:int ->
+  ?obs:Hft_obs.Recorder.t ->
   unit ->
   Hft_core.System.t
 (** Build the system for one assignment of the scenario's root

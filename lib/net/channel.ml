@@ -20,6 +20,7 @@ type 'msg t = {
   lnk : Link.t;
   name_ : string;
   actor_ : string;
+  obs : Hft_obs.Recorder.t;
   mutable receiver : ('msg -> unit) option;
   mutable crashed : bool;
   mutable loss_plan : int -> bool;
@@ -37,12 +38,14 @@ type 'msg t = {
   mutable delayed_ : int;
 }
 
-let create ~engine ~link ~name ?(actor = "") () =
+let create ~engine ~link ~name ?(actor = "") ?(obs = Hft_obs.Recorder.null) ()
+    =
   {
     engine;
     lnk = link;
     name_ = name;
     actor_ = actor;
+    obs;
     receiver = None;
     crashed = false;
     loss_plan = (fun _ -> false);
@@ -83,7 +86,11 @@ let clear_fault_model t = t.faults <- None
 let msg_hash t msg =
   match t.hasher with Some h -> h msg | None -> 0
 
-let deliver t arrival msg =
+let emit t ev =
+  if Hft_obs.Recorder.enabled t.obs then
+    Hft_obs.Recorder.emit t.obs ~time:(Engine.now t.engine) ~source:t.name_ ev
+
+let deliver t ~seq arrival msg =
   t.in_flight_ <- t.in_flight_ + 1;
   t.inflight_hash_ <- t.inflight_hash_ lxor msg_hash t msg;
   ignore
@@ -92,6 +99,7 @@ let deliver t arrival msg =
          t.in_flight_ <- t.in_flight_ - 1;
          t.inflight_hash_ <- t.inflight_hash_ lxor msg_hash t msg;
          t.delivered <- t.delivered + 1;
+         emit t (Hft_obs.Event.Ch_deliver { seq });
          match t.receiver with
          | Some f -> f msg
          | None ->
@@ -129,25 +137,27 @@ let send t ~bytes msg =
     let start = Time.max (Engine.now t.engine) t.busy_until_ in
     let arrival = Time.add start (Link.transfer_time t.lnk ~bytes) in
     t.busy_until_ <- arrival;
+    emit t (Hft_obs.Event.Ch_send { seq; bytes });
     if t.loss_plan seq then
-      Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
-        ~source:t.name_ "drop #%d (%dB)" seq bytes
+      emit t
+        (Hft_obs.Event.Ch_drop { seq; bytes; reason = Hft_obs.Event.Loss_plan })
     else begin
       match t.faults with
-      | None -> deliver t arrival msg
+      | None -> deliver t ~seq arrival msg
       | Some f ->
         if Rng.chance f.rng f.model.loss then begin
           t.lost_ <- t.lost_ + 1;
-          Trace.recordf (Engine.trace t.engine) ~time:(Engine.now t.engine)
-            ~source:t.name_ "fault-drop #%d (%dB)" seq bytes
+          emit t
+            (Hft_obs.Event.Ch_drop
+               { seq; bytes; reason = Hft_obs.Event.Fault_loss })
         end
         else begin
           let jitter, msg' = faulty_copy t f msg in
-          deliver t (Time.add arrival jitter) msg';
+          deliver t ~seq (Time.add arrival jitter) msg';
           if Rng.chance f.rng f.model.duplicate then begin
             t.duplicated_ <- t.duplicated_ + 1;
             let jitter2, msg'' = faulty_copy t f msg in
-            deliver t (Time.add arrival jitter2) msg''
+            deliver t ~seq (Time.add arrival jitter2) msg''
           end
         end
     end

@@ -45,12 +45,15 @@ val create :
   link:Link.t ->
   name:string ->
   ?actor:string ->
+  ?obs:Hft_obs.Recorder.t ->
   unit ->
   'msg t
 (** [actor] tags this channel's delivery events for the model
     checker's independence relation — conventionally the {e receiving}
     node's name, since a delivery handler mutates receiver state.
-    Defaults to [""] (dependent with everything). *)
+    Defaults to [""] (dependent with everything).  [obs] receives
+    typed wire events ([Ch_send]/[Ch_deliver]/[Ch_drop]) under this
+    channel's name; defaults to the null recorder. *)
 
 val name : 'msg t -> string
 val link : 'msg t -> Link.t

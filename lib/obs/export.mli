@@ -1,0 +1,43 @@
+(** Trace artifact exporters and validators.
+
+    Two formats:
+    - Chrome trace-event JSON ({!chrome}): loads directly in Perfetto
+      (ui.perfetto.dev) or chrome://tracing.  One process per layer
+      (replicas / channels / devices), one track group per source;
+      epoch, ack-wait, rtx-chain and failover spans are synchronous
+      slices on per-category lanes, intr-delay and msg-rtt spans are
+      async begin/end pairs (they overlap), and every recorded event
+      appears as an instant with its fields as args.
+    - [hftsim-trace/1] JSONL ({!jsonl}): a header line, then one JSON
+      object per line — every event ([kind:"event"]), every
+      reconstructed span ([kind:"span"], [t1_ns] null when unclosed)
+      and one [kind:"hist"] summary per span category.
+
+    {!validate} checks either format structurally without any external
+    JSON dependency — the CI schema gate runs it via
+    [hftsim trace --validate]. *)
+
+val schema : string
+(** ["hftsim-trace/1"]. *)
+
+val chrome : Recorder.entry list -> string
+val jsonl : Recorder.entry list -> string
+
+val metrics_json : (string * Hist.t) list -> string
+(** [hftsim-metrics/1]: per-category quantiles plus the raw
+    log-bucket counts. *)
+
+type summary = {
+  format : [ `Chrome | `Jsonl ];
+  events : int;
+  spans : int;
+  span_cats : string list;  (** sorted, distinct *)
+  hists : int;
+}
+
+val validate : string -> (summary, string) result
+(** Sniffs the format (a top-level object with [traceEvents] is a
+    Chrome trace, anything else is tried as JSONL) and checks every
+    record for the fields its [ph]/[kind] requires. *)
+
+val pp_summary : Format.formatter -> summary -> unit

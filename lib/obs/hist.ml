@@ -1,0 +1,80 @@
+open Hft_sim
+
+(* Log-bucketed duration histogram: bucket [b] holds durations in
+   [2^b, 2^(b+1)) nanoseconds (bucket 0 also absorbs 0).  63 buckets
+   cover the whole non-negative int range, so recording never
+   saturates; quantiles are estimated from bucket boundaries and
+   clamped to the exact observed min/max. *)
+
+let num_buckets = 63
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum_ns : int;
+  mutable min_ns : int;
+  mutable max_ns : int;
+}
+
+let create () =
+  {
+    buckets = Array.make num_buckets 0;
+    count = 0;
+    sum_ns = 0;
+    min_ns = max_int;
+    max_ns = 0;
+  }
+
+let bucket_of ns =
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 ns
+
+let add t d =
+  let ns = Time.to_ns d in
+  let b = bucket_of ns in
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum_ns <- t.sum_ns + ns;
+  if ns < t.min_ns then t.min_ns <- ns;
+  if ns > t.max_ns then t.max_ns <- ns
+
+let count t = t.count
+let max_ns t = if t.count = 0 then 0 else t.max_ns
+let min_ns t = if t.count = 0 then 0 else t.min_ns
+let mean_ns t = if t.count = 0 then 0.0 else float t.sum_ns /. float t.count
+
+(* Quantile estimate: walk to the bucket containing the p-th sample
+   and take its geometric midpoint, clamped to the observed range. *)
+let quantile_ns t p =
+  if t.count = 0 then 0.0
+  else begin
+    let target =
+      let x = int_of_float (ceil (p *. float t.count)) in
+      if x < 1 then 1 else if x > t.count then t.count else x
+    in
+    let rec walk b cum =
+      if b >= num_buckets then float t.max_ns
+      else
+        let cum = cum + t.buckets.(b) in
+        if cum >= target then
+          let lo = if b = 0 then 0.0 else float (1 lsl b) in
+          let hi = float (1 lsl (b + 1)) in
+          (lo +. hi) /. 2.0
+        else walk (b + 1) cum
+    in
+    let est = walk 0 0 in
+    Float.min (float t.max_ns) (Float.max (float t.min_ns) est)
+  end
+
+let p50_us t = quantile_ns t 0.50 /. 1_000.0
+let p95_us t = quantile_ns t 0.95 /. 1_000.0
+let p99_us t = quantile_ns t 0.99 /. 1_000.0
+let max_us t = float (max_ns t) /. 1_000.0
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for b = num_buckets - 1 downto 0 do
+    if t.buckets.(b) > 0 then
+      acc := ((if b = 0 then 0 else 1 lsl b), t.buckets.(b)) :: !acc
+  done;
+  !acc

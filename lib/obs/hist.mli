@@ -1,0 +1,26 @@
+(** Streaming log-bucketed duration histogram.
+
+    Fixed 63 power-of-two buckets over nanoseconds: O(1) memory
+    regardless of sample count, quantile estimates accurate to a
+    factor of sqrt(2) (and exact at the observed extremes, to which
+    they are clamped). *)
+
+type t
+
+val create : unit -> t
+val add : t -> Hft_sim.Time.t -> unit
+val count : t -> int
+val min_ns : t -> int
+val max_ns : t -> int
+val mean_ns : t -> float
+
+val quantile_ns : t -> float -> float
+(** [quantile_ns t p] for [p] in [0,1]; 0 on an empty histogram. *)
+
+val p50_us : t -> float
+val p95_us : t -> float
+val p99_us : t -> float
+val max_us : t -> float
+
+val nonzero_buckets : t -> (int * int) list
+(** [(lower_bound_ns, count)] for each non-empty bucket, ascending. *)

@@ -1,0 +1,23 @@
+(** Minimal self-contained JSON: escaping for the emitters and a
+    parser for validating emitted artifacts (the toolchain has no JSON
+    library; the CI schema check must not need one). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects too. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+val to_list_opt : t -> t list option

@@ -1,0 +1,40 @@
+(** Bounded ring of typed protocol events.
+
+    The structured sibling of {!Hft_sim.Trace}: same ring semantics
+    (once [capacity] entries have been recorded the oldest are
+    discarded), but entries carry an {!Event.t} instead of a formatted
+    string, so spans, histograms and exporters can consume them
+    without parsing. *)
+
+type entry = { time : Hft_sim.Time.t; source : string; ev : Event.t }
+
+type t
+
+val create : ?capacity:int -> ?dispatch:bool -> unit -> t
+(** Default capacity is 262144 entries.  [dispatch] (default false)
+    opts into mirroring raw engine dispatches into the ring — useful
+    for full timeline dumps, but high-frequency enough to evict the
+    protocol events on long runs, so it is off for artifacts. *)
+
+val null : t
+(** A shared sink that retains nothing; recording into it is free. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}: call sites use this to skip building
+    event payloads when nobody is listening. *)
+
+val dispatch_enabled : t -> bool
+
+val emit : t -> time:Hft_sim.Time.t -> source:string -> Event.t -> unit
+
+val entries : t -> entry list
+(** Oldest first, at most [capacity] of the most recent entries. *)
+
+val length : t -> int
+(** Number of retained entries; O(1). *)
+
+val total_recorded : t -> int
+(** Number of entries ever recorded, including discarded ones. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

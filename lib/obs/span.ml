@@ -1,0 +1,205 @@
+open Hft_sim
+
+type t = {
+  cat : string;
+  source : string;
+  label : string;
+  t0 : Time.t;
+  t1 : Time.t option;
+}
+
+let closed s = s.t1 <> None
+
+let duration s =
+  match s.t1 with Some t1 -> Some (Time.diff t1 s.t0) | None -> None
+
+let categories = [ "epoch"; "ack-wait"; "intr-delay"; "msg-rtt"; "rtx-chain"; "failover" ]
+
+(* One forward pass over the (time-ordered) entries.  Begin events
+   open a keyed slot; the matching end event closes it.  A re-begin on
+   an open key (possible only across a reintegration, where the
+   revived node restarts an epoch number it had crashed inside)
+   abandons the earlier open; unmatched ends (an interrupt carried to
+   the peer inside a snapshot) are ignored. *)
+let of_entries entries =
+  let spans = ref [] in
+  let opens : (string * string * int, Time.t * string) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let open_ ~cat ~source ~key ~label time =
+    Hashtbl.replace opens (cat, source, key) (time, label)
+  in
+  let close_ ?label ~cat ~source ~key time =
+    match Hashtbl.find_opt opens (cat, source, key) with
+    | None -> ()
+    | Some (t0, lbl) ->
+      Hashtbl.remove opens (cat, source, key);
+      let label = match label with Some l -> l | None -> lbl in
+      spans := { cat; source; label; t0; t1 = Some time } :: !spans
+  in
+  (* rtx chains: rounds seen since the chain opened, per source *)
+  let rtx_rounds : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let close_rtx ~source time =
+    match Hashtbl.find_opt rtx_rounds source with
+    | None -> ()
+    | Some rounds ->
+      Hashtbl.remove rtx_rounds source;
+      close_ ~cat:"rtx-chain" ~source ~key:0
+        ~label:(Printf.sprintf "rtx x%d" rounds)
+        time
+  in
+  (* failover: crash on one node, promotion on another, first I/O
+     submitted by the promoted node *)
+  let crashes = ref [] (* (source, time), newest first *) in
+  let promoted_src = ref None in
+  List.iter
+    (fun { Recorder.time; source; ev } ->
+      match ev with
+      | Event.Epoch_begin { epoch } ->
+        open_ ~cat:"epoch" ~source ~key:epoch
+          ~label:(Printf.sprintf "epoch %d" epoch)
+          time
+      | Event.Epoch_end { epoch; _ } ->
+        close_ ~cat:"epoch" ~source ~key:epoch time
+      | Event.Ack_wait_begin { at_io; _ } ->
+        open_ ~cat:"ack-wait" ~source ~key:0
+          ~label:(if at_io then "ack-wait (io)" else "ack-wait (boundary)")
+          time
+      | Event.Ack_wait_end _ -> close_ ~cat:"ack-wait" ~source ~key:0 time
+      | Event.Intr_buffered { id; kind; _ } ->
+        open_ ~cat:"intr-delay" ~source ~key:id
+          ~label:(Printf.sprintf "%s intr #%d" kind id)
+          time
+      | Event.Intr_delivered { id; _ } ->
+        close_ ~cat:"intr-delay" ~source ~key:id time
+      | Event.Msg_send { dseq; kind; _ } ->
+        open_ ~cat:"msg-rtt" ~source ~key:dseq
+          ~label:(Printf.sprintf "%s dseq %d" kind dseq)
+          time
+      | Event.Msg_acked { dseq } ->
+        close_ ~cat:"msg-rtt" ~source ~key:dseq time;
+        close_rtx ~source time
+      | Event.Rtx_round { round; count = _ } ->
+        if not (Hashtbl.mem rtx_rounds source) then
+          open_ ~cat:"rtx-chain" ~source ~key:0 ~label:"rtx" time;
+        Hashtbl.replace rtx_rounds source round
+      | Event.Rtx_give_up _ -> close_rtx ~source time
+      | Event.Crash -> crashes := (source, time) :: !crashes
+      | Event.Promoted _ ->
+        promoted_src := Some source;
+        let t0 =
+          (* measured from the most recent crash of another node; a
+             promotion with no observed crash (pure detector false
+             positive) starts at the promotion itself *)
+          match List.find_opt (fun (s, _) -> s <> source) !crashes with
+          | Some (_, tc) -> tc
+          | None -> time
+        in
+        open_ ~cat:"failover" ~source ~key:0 ~label:"crash to first I/O" t0
+      | Event.Io_submit _ ->
+        if !promoted_src = Some source then begin
+          close_ ~cat:"failover" ~source ~key:0 time;
+          promoted_src := None
+        end
+      | _ -> ())
+    entries;
+  (* whatever is still open stays open: a crash mid-epoch, an
+     interrupt never delivered, a failover with no subsequent I/O *)
+  let open_spans =
+    Hashtbl.fold
+      (fun (cat, source, _key) (t0, label) acc ->
+        { cat; source; label; t0; t1 = None } :: acc)
+      opens []
+  in
+  let all = List.rev_append !spans open_spans in
+  List.stable_sort
+    (fun a b ->
+      let c = Time.compare a.t0 b.t0 in
+      if c <> 0 then c else compare (a.cat, a.source) (b.cat, b.source))
+    all
+
+let histograms spans =
+  let tbl : (string, Hist.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match duration s with
+      | None -> ()
+      | Some d ->
+        let h =
+          match Hashtbl.find_opt tbl s.cat with
+          | Some h -> h
+          | None ->
+            let h = Hist.create () in
+            Hashtbl.replace tbl s.cat h;
+            h
+        in
+        Hist.add h d)
+    spans;
+  Hashtbl.fold (fun cat h acc -> (cat, h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type failover = {
+  crashed : string;
+  crash_time : Time.t;
+  detector_time : Time.t option;
+  promoted : string option;
+  promoted_time : Time.t option;
+  first_io_time : Time.t option;
+  synthesized : int;
+}
+
+(* Post-mortem timelines, one per crash: the crash, the surviving
+   node's failure detection, its promotion, and its first submitted
+   I/O operation (the moment the environment is served again). *)
+let failovers entries =
+  let done_ = ref [] in
+  let current = ref None in
+  let finish () =
+    match !current with
+    | Some f ->
+      done_ := f :: !done_;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun { Recorder.time; source; ev } ->
+      match ev with
+      | Event.Crash ->
+        finish ();
+        current :=
+          Some
+            {
+              crashed = source;
+              crash_time = time;
+              detector_time = None;
+              promoted = None;
+              promoted_time = None;
+              first_io_time = None;
+              synthesized = 0;
+            }
+      | Event.Detector_fired _ -> (
+        match !current with
+        | Some f when f.detector_time = None && source <> f.crashed ->
+          current := Some { f with detector_time = Some time }
+        | _ -> ())
+      | Event.Promoted { synthesized; _ } -> (
+        match !current with
+        | Some f when f.promoted = None ->
+          current :=
+            Some
+              {
+                f with
+                promoted = Some source;
+                promoted_time = Some time;
+                synthesized;
+              }
+        | _ -> ())
+      | Event.Io_submit _ -> (
+        match !current with
+        | Some f when f.promoted = Some source && f.first_io_time = None ->
+          current := Some { f with first_io_time = Some time }
+        | _ -> ())
+      | _ -> ())
+    entries;
+  finish ();
+  List.rev !done_

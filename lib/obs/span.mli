@@ -1,0 +1,53 @@
+(** Span reconstruction: pair begin/end events into timed intervals.
+
+    Categories produced (see {!categories}):
+    - ["epoch"]     — {!Event.Epoch_begin} to {!Event.Epoch_end}, keyed
+      by epoch number per source: the paper's EL term as lived.
+    - ["ack-wait"]  — {!Event.Ack_wait_begin}/[_end]: the P2 stall.
+    - ["intr-delay"]— {!Event.Intr_buffered} to {!Event.Intr_delivered}
+      keyed by interrupt id: the paper's delay(EL), per interrupt.
+    - ["msg-rtt"]   — {!Event.Msg_send} to {!Event.Msg_acked} keyed by
+      [dseq] at the sender: send-to-cumulative-ack round trip.
+    - ["rtx-chain"] — first {!Event.Rtx_round} of a backoff chain to
+      the ack (or give-up) that ends it.
+    - ["failover"]  — a {!Event.Crash} to the promoted survivor's
+      first {!Event.Io_submit}.
+
+    Spans without a matching end (a crash mid-epoch, an interrupt
+    never delivered) are kept with [t1 = None]. *)
+
+type t = {
+  cat : string;
+  source : string;
+  label : string;
+  t0 : Hft_sim.Time.t;
+  t1 : Hft_sim.Time.t option;
+}
+
+val closed : t -> bool
+val duration : t -> Hft_sim.Time.t option
+
+val categories : string list
+(** All category names {!of_entries} can produce. *)
+
+val of_entries : Recorder.entry list -> t list
+(** Reconstruct spans from a time-ordered entry list (as returned by
+    {!Recorder.entries}).  Result is sorted by start time. *)
+
+val histograms : t list -> (string * Hist.t) list
+(** One histogram of closed-span durations per category, sorted by
+    category name.  Categories with no closed span are absent. *)
+
+type failover = {
+  crashed : string;
+  crash_time : Hft_sim.Time.t;
+  detector_time : Hft_sim.Time.t option;
+  promoted : string option;
+  promoted_time : Hft_sim.Time.t option;
+  first_io_time : Hft_sim.Time.t option;
+  synthesized : int;
+}
+
+val failovers : Recorder.entry list -> failover list
+(** Post-mortem failover timelines, one per observed crash, in crash
+    order. *)

@@ -20,6 +20,7 @@ type t = {
   mutable live : int;
   mutable stopping : bool;
   mutable sched : (choice array -> int) option;
+  mutable observer : (Time.t -> label:string -> actor:string -> unit) option;
 }
 
 exception Stopped
@@ -38,6 +39,7 @@ let create ?(trace = Trace.null) () =
     live = 0;
     stopping = false;
     sched = None;
+    observer = None;
   }
 
 let trace t = t.tr
@@ -81,6 +83,9 @@ let pending t = t.live
 let set_scheduler t f = t.sched <- Some f
 let clear_scheduler t = t.sched <- None
 
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+
 (* Order-insensitive digest of the pending event set: each live event
    contributes (time since now, actor, label) — but not its sequence
    number, which depends on the allocation order of earlier instants
@@ -105,8 +110,12 @@ let dispatch t ev =
   ev.cancelled <- true;
   t.live <- t.live - 1;
   t.dispatched <- t.dispatched + 1;
-  if not (String.equal ev.label "") then
+  if not (String.equal ev.label "") then begin
     Trace.record t.tr ~time:t.clock ~source:"engine" ev.label;
+    match t.observer with
+    | Some f -> f t.clock ~label:ev.label ~actor:ev.actor
+    | None -> ()
+  end;
   ev.fn ()
 
 (* With a scheduler installed, every dispatch consults it: the set of

@@ -88,6 +88,16 @@ val set_scheduler : t -> (choice array -> int) -> unit
 
 val clear_scheduler : t -> unit
 
+val set_observer : t -> (Time.t -> label:string -> actor:string -> unit) -> unit
+(** Install a dispatch observer: called for every dispatched event
+    that carries a non-empty label, after the event is recorded into
+    the string trace and before its handler runs.  Unlike the
+    scheduler hook it cannot affect ordering — it exists so an
+    observability layer can mirror dispatches into a structured
+    recorder without the engine depending on it. *)
+
+val clear_observer : t -> unit
+
 val pending_fingerprint : t -> int
 (** Order-insensitive digest of the live pending events, hashing each
     as (delay from now, actor, label) — sequence numbers and absolute

@@ -19,7 +19,10 @@ let record t ~time ~source event =
   end
 
 let recordf t ~time ~source fmt =
-  Format.kasprintf (fun s -> record t ~time ~source s) fmt
+  (* The null sink must not pay for formatting: [ikfprintf] consumes
+     the arguments without ever rendering them. *)
+  if t.capacity = 0 then Format.ikfprintf ignore Format.str_formatter fmt
+  else Format.kasprintf (fun s -> record t ~time ~source s) fmt
 
 let entries t =
   (* Replay the ring from the oldest retained slot. *)
@@ -40,7 +43,9 @@ let find t ~source ~prefix =
   in
   List.filter matches (entries t)
 
-let length t = List.length (entries t)
+(* O(1): eviction only happens once the ring has wrapped, so the
+   retained count is exactly [min total capacity]. *)
+let length t = min t.total t.capacity
 
 let total_recorded t = t.total
 

@@ -1,0 +1,402 @@
+(* Tests for the observability layer (hft_obs): recorder ring
+   semantics, histogram quantiles, span reconstruction (unit and
+   seeded property tests), exporter round-trips against the validator,
+   and the zero-cost guarantee of the disabled string trace. *)
+
+open Hft_obs
+module Time = Hft_sim.Time
+
+let ev_note s = Event.Note s
+
+let mk ?(source = "primary") ms ev =
+  { Recorder.time = Time.of_ms ms; source; ev }
+
+let emit_entry r (e : Recorder.entry) =
+  Recorder.emit r ~time:e.Recorder.time ~source:e.Recorder.source e.Recorder.ev
+
+(* ---------- recorder ring ---------- *)
+
+let recorder_tests =
+  let open Alcotest in
+  [
+    test_case "eviction keeps the newest, oldest first" `Quick (fun () ->
+        let r = Recorder.create ~capacity:3 () in
+        for i = 1 to 5 do
+          emit_entry r (mk i (ev_note (string_of_int i)))
+        done;
+        let notes =
+          List.map
+            (fun (e : Recorder.entry) ->
+              match e.Recorder.ev with Event.Note s -> s | _ -> assert false)
+            (Recorder.entries r)
+        in
+        check (list string) "last three, oldest first" [ "3"; "4"; "5" ] notes);
+    test_case "length vs total_recorded across wraparound" `Quick (fun () ->
+        let r = Recorder.create ~capacity:4 () in
+        check int "empty length" 0 (Recorder.length r);
+        for i = 1 to 3 do
+          emit_entry r (mk i (ev_note "x"))
+        done;
+        check int "before wrap" 3 (Recorder.length r);
+        check int "total before wrap" 3 (Recorder.total_recorded r);
+        for i = 4 to 11 do
+          emit_entry r (mk i (ev_note "x"))
+        done;
+        check int "capped length" 4 (Recorder.length r);
+        check int "total keeps counting" 11 (Recorder.total_recorded r);
+        check int "entries agrees with length" 4
+          (List.length (Recorder.entries r)));
+    test_case "clear empties but keeps capacity" `Quick (fun () ->
+        let r = Recorder.create ~capacity:4 () in
+        emit_entry r (mk 1 (ev_note "x"));
+        Recorder.clear r;
+        check int "length" 0 (Recorder.length r);
+        check (list string) "entries" []
+          (List.map (fun _ -> "e") (Recorder.entries r));
+        emit_entry r (mk 2 (ev_note "y"));
+        check int "usable after clear" 1 (Recorder.length r));
+    test_case "null sink records nothing and is disabled" `Quick (fun () ->
+        emit_entry Recorder.null (mk 1 (ev_note "x"));
+        check int "length" 0 (Recorder.length Recorder.null);
+        check bool "enabled" false (Recorder.enabled Recorder.null);
+        check bool "created is enabled" true
+          (Recorder.enabled (Recorder.create ())));
+  ]
+
+(* The string trace (Hft_sim.Trace) shares the ring contract. *)
+let trace_ring_tests =
+  let open Alcotest in
+  let module Trace = Hft_sim.Trace in
+  [
+    test_case "length is retained count across wraparound" `Quick (fun () ->
+        let t = Trace.create ~capacity:3 () in
+        for i = 1 to 7 do
+          Trace.record t ~time:(Time.of_ms i) ~source:"s" "e"
+        done;
+        check int "length" 3 (Trace.length t);
+        check int "total" 7 (Trace.total_recorded t);
+        check int "entries" 3 (List.length (Trace.entries t)));
+    test_case "disabled recordf does not build the string" `Quick (fun () ->
+        (* The satellite fix: recordf on the null trace must not
+           format.  Formatting through a %a printer that raises proves
+           the arguments are never rendered. *)
+        let exploding _fmt () = failwith "formatted despite null sink" in
+        Trace.recordf Trace.null ~time:(Time.of_ms 1) ~source:"s" "boom %a"
+          exploding ();
+        check int "nothing recorded" 0 (Trace.length Trace.null));
+    test_case "disabled recordf costs less than enabled" `Slow (fun () ->
+        let n = 300_000 in
+        let bench t =
+          let t0 = Sys.time () in
+          for i = 1 to n do
+            Trace.recordf t ~time:(Time.of_ms 1) ~source:"bench"
+              "event %d of %d" i n
+          done;
+          Sys.time () -. t0
+        in
+        let active = bench (Trace.create ~capacity:1024 ()) in
+        let null = bench Trace.null in
+        (* Generous margin: the null sink skips formatting entirely, so
+           it must be well under the active cost even on noisy CI. *)
+        check bool
+          (Printf.sprintf "null %.4fs should be < active %.4fs" null active)
+          true
+          (null < (active /. 2.) +. 0.01));
+  ]
+
+(* ---------- histogram ---------- *)
+
+let hist_tests =
+  let open Alcotest in
+  [
+    test_case "count, extremes and clamped quantiles" `Quick (fun () ->
+        let h = Hist.create () in
+        List.iter (fun us -> Hist.add h (Time.of_us us)) [ 10; 20; 30; 40 ];
+        check int "count" 4 (Hist.count h);
+        check int "min" 10_000 (Hist.min_ns h);
+        check int "max" 40_000 (Hist.max_ns h);
+        (* log-bucketed: quantiles are bucket midpoints clamped to the
+           observed range *)
+        check bool "p50 in range" true
+          (Hist.quantile_ns h 0.5 >= 10_000. && Hist.quantile_ns h 0.5 <= 40_000.);
+        check (float 1e-9) "p100 clamps to max" 40.0 (Hist.max_us h));
+    test_case "empty histogram is all zeroes" `Quick (fun () ->
+        let h = Hist.create () in
+        check int "count" 0 (Hist.count h);
+        check (float 1e-9) "quantile" 0.0 (Hist.quantile_ns h 0.99));
+    test_case "identical samples collapse to one bucket" `Quick (fun () ->
+        let h = Hist.create () in
+        for _ = 1 to 100 do
+          Hist.add h (Time.of_us 7)
+        done;
+        check int "one bucket" 1 (List.length (Hist.nonzero_buckets h));
+        check (float 1e-9) "p50 exact via clamp" 7.0 (Hist.p50_us h));
+  ]
+
+(* ---------- span reconstruction: units ---------- *)
+
+let span_of_cat spans cat =
+  List.filter (fun (s : Span.t) -> s.Span.cat = cat) spans
+
+let span_tests =
+  let open Alcotest in
+  [
+    test_case "epoch begin/end pairs, keyed per source" `Quick (fun () ->
+        let entries =
+          [
+            mk 0 (Event.Epoch_begin { epoch = 0 });
+            mk ~source:"backup" 0 (Event.Epoch_begin { epoch = 0 });
+            mk 1 (Event.Epoch_end { epoch = 0; interrupts = 1 });
+            mk 1 (Event.Epoch_begin { epoch = 1 });
+            mk ~source:"backup" 2 (Event.Epoch_end { epoch = 0; interrupts = 1 });
+          ]
+        in
+        let spans = span_of_cat (Span.of_entries entries) "epoch" in
+        check int "three spans" 3 (List.length spans);
+        let closed = List.filter Span.closed spans in
+        check int "two closed" 2 (List.length closed);
+        List.iter
+          (fun (s : Span.t) ->
+            match Span.duration s with
+            | Some d -> check bool "duration positive" true (Time.to_ns d > 0)
+            | None -> ())
+          spans);
+    test_case "intr-delay keyed by id survives interleaving" `Quick (fun () ->
+        let entries =
+          [
+            mk 1 (Event.Intr_buffered { id = 0; kind = "disk"; epoch = 3 });
+            mk 2 (Event.Intr_buffered { id = 1; kind = "timer"; epoch = 3 });
+            mk 4 (Event.Intr_delivered { id = 1; kind = "timer" });
+            mk 9 (Event.Intr_delivered { id = 0; kind = "disk" });
+          ]
+        in
+        let spans = span_of_cat (Span.of_entries entries) "intr-delay" in
+        check int "two spans, both closed" 2
+          (List.length (List.filter Span.closed spans));
+        let by_label l =
+          List.find (fun (s : Span.t) -> s.Span.label = l) spans
+        in
+        check (option int) "disk waited 8ms"
+          (Some (Time.to_ns (Time.of_ms 8)))
+          (Option.map Time.to_ns (Span.duration (by_label "disk intr #0")));
+        check (option int) "timer waited 2ms"
+          (Some (Time.to_ns (Time.of_ms 2)))
+          (Option.map Time.to_ns
+             (Span.duration (by_label "timer intr #1"))));
+    test_case "unmatched begin is kept open" `Quick (fun () ->
+        let entries =
+          [ mk 1 (Event.Intr_buffered { id = 7; kind = "disk"; epoch = 0 }) ]
+        in
+        match span_of_cat (Span.of_entries entries) "intr-delay" with
+        | [ s ] -> check bool "open" false (Span.closed s)
+        | l -> failf "expected one span, got %d" (List.length l));
+    test_case "failover span runs crash to first promoted I/O" `Quick
+      (fun () ->
+        let entries =
+          [
+            mk 5 Event.Crash;
+            mk ~source:"backup" 105 (Event.Detector_fired { blocked = "tme" });
+            mk ~source:"backup" 105
+              (Event.Promoted { epoch = 9; relayed = 0; synthesized = 2 });
+            mk ~source:"backup" 110
+              (Event.Io_submit { op_id = 3; block = 1; write = true });
+          ]
+        in
+        (match span_of_cat (Span.of_entries entries) "failover" with
+        | [ s ] ->
+          check bool "closed" true (Span.closed s);
+          check (option int) "105ms blackout"
+            (Some (Time.to_ns (Time.of_ms 105)))
+            (Option.map Time.to_ns (Span.duration s))
+        | l -> failf "expected one failover span, got %d" (List.length l));
+        match Span.failovers entries with
+        | [ f ] ->
+          check string "crashed" "primary" f.Span.crashed;
+          check (option string) "promoted" (Some "backup") f.Span.promoted;
+          check int "synthesized" 2 f.Span.synthesized;
+          check bool "detector attributed" true (f.Span.detector_time <> None)
+        | l -> failf "expected one failover, got %d" (List.length l));
+  ]
+
+(* ---------- span reconstruction: seeded properties ---------- *)
+
+(* Generator: per-source alternating begin/end epoch streams merged
+   into one time-ordered list.  By construction every end has exactly
+   one earlier begin with its key, so reconstruction must close
+   exactly [ends] spans and leave [begins - ends] open. *)
+let epoch_stream_gen =
+  QCheck.Gen.(
+    let* nsources = 1 -- 3 in
+    let* shapes =
+      list_repeat nsources
+        (let* pairs = 0 -- 12 in
+         let* trailing_begin = bool in
+         return (pairs, trailing_begin))
+    in
+    let streams =
+      List.mapi
+        (fun si (pairs, trailing) ->
+          let source = Printf.sprintf "src%d" si in
+          let evs = ref [] in
+          for e = 0 to pairs - 1 do
+            evs :=
+              (source, Event.Epoch_end { epoch = e; interrupts = 0 })
+              :: (source, Event.Epoch_begin { epoch = e })
+              :: !evs
+          done;
+          if trailing then
+            evs := (source, Event.Epoch_begin { epoch = pairs }) :: !evs;
+          List.rev !evs)
+        shapes
+    in
+    (* Random fair interleaving that preserves each source's order. *)
+    let* picks = list_repeat 200 (0 -- 1000) in
+    let rec weave acc streams picks =
+      let streams = List.filter (fun s -> s <> []) streams in
+      match (streams, picks) with
+      | [], _ -> List.rev acc
+      | _, [] -> List.rev acc @ List.concat streams
+      | _, pick :: rest ->
+        let i = pick mod List.length streams in
+        let hd, tl =
+          match List.nth streams i with
+          | hd :: tl -> (hd, tl)
+          | [] -> assert false
+        in
+        let streams = List.mapi (fun j s -> if j = i then tl else s) streams in
+        weave (hd :: acc) streams rest
+    in
+    let shuffled = weave [] streams picks in
+    return
+      (List.mapi
+         (fun i (source, ev) ->
+           { Recorder.time = Time.of_us (i + 1); source; ev })
+         shuffled))
+
+let span_pairing_prop =
+  QCheck.Test.make ~name:"every epoch end closes exactly one begin" ~count:100
+    (QCheck.make epoch_stream_gen) (fun entries ->
+      let count p =
+        List.length
+          (List.filter (fun (e : Recorder.entry) -> p e.Recorder.ev) entries)
+      in
+      let begins =
+        count (function Event.Epoch_begin _ -> true | _ -> false)
+      in
+      let ends = count (function Event.Epoch_end _ -> true | _ -> false) in
+      let spans =
+        List.filter
+          (fun (s : Span.t) -> s.Span.cat = "epoch")
+          (Span.of_entries entries)
+      in
+      let closed = List.filter Span.closed spans in
+      List.length spans = begins
+      && List.length closed = ends
+      && List.for_all
+           (fun (s : Span.t) ->
+             match Span.duration s with
+             | Some d -> Time.to_ns d >= 0
+             | None -> true)
+           spans)
+
+(* ---------- end-to-end: real runs, exporters, validator ---------- *)
+
+let run_with_obs ?crash_ms workload =
+  let open Hft_core in
+  let params = { Params.default with Params.epoch_length = 1024 } in
+  let obs = Recorder.create () in
+  let sys = System.create ~params ~obs ~workload () in
+  (match crash_ms with
+  | Some ms -> System.crash_primary_at sys (Time.of_ms ms)
+  | None -> ());
+  let o = System.run sys in
+  (o, Recorder.entries obs)
+
+let e2e_tests =
+  let open Alcotest in
+  [
+    test_case "crash-free run: spans reconstruct and validate" `Quick
+      (fun () ->
+        let _, entries =
+          run_with_obs (Hft_guest.Workload.disk_write ~ops:6 ())
+        in
+        check bool "events recorded" true (entries <> []);
+        let spans = Span.of_entries entries in
+        let cats =
+          List.sort_uniq compare
+            (List.map (fun (s : Span.t) -> s.Span.cat) spans)
+        in
+        List.iter
+          (fun c ->
+            check bool (c ^ " is a declared category") true
+              (List.mem c Span.categories))
+          cats;
+        check bool "epoch spans present" true (List.mem "epoch" cats);
+        check bool "msg-rtt spans present" true (List.mem "msg-rtt" cats);
+        check bool "no failover without a crash" false
+          (List.mem "failover" cats);
+        (* every msg-rtt close pairs a send with the cumulative ack *)
+        let rtt = List.filter (fun (s : Span.t) -> s.Span.cat = "msg-rtt") spans in
+        check bool "some rtt spans closed" true
+          (List.exists Span.closed rtt);
+        (* exporters round-trip through the validator *)
+        (match Export.validate (Export.chrome entries) with
+        | Ok s ->
+          check bool "chrome events" true (s.Export.events > 0);
+          check bool "chrome spans" true (s.Export.spans > 0)
+        | Error m -> failf "chrome artifact invalid: %s" m);
+        match Export.validate (Export.jsonl entries) with
+        | Ok s ->
+          check bool "jsonl is jsonl" true (s.Export.format = `Jsonl);
+          check bool "jsonl hists" true (s.Export.hists > 0)
+        | Error m -> failf "jsonl artifact invalid: %s" m);
+    test_case "crash run: failover span and post-mortem" `Quick (fun () ->
+        let o, entries =
+          run_with_obs ~crash_ms:20 (Hft_guest.Workload.disk_write ~ops:6 ())
+        in
+        check bool "failover happened" true
+          (o.Hft_core.System.completed_by = `Promoted_backup);
+        let spans = Span.of_entries entries in
+        let fo = List.filter (fun (s : Span.t) -> s.Span.cat = "failover") spans in
+        check int "one failover span" 1 (List.length fo);
+        check bool "failover span closed" true
+          (List.for_all Span.closed fo);
+        (match Span.failovers entries with
+        | [ f ] ->
+          check string "primary crashed" "primary" f.Span.crashed;
+          check (option string) "backup promoted" (Some "backup")
+            f.Span.promoted;
+          check bool "first I/O observed" true (f.Span.first_io_time <> None)
+        | l -> failf "expected one failover, got %d" (List.length l));
+        let hists = Span.histograms spans in
+        check bool "failover histogram present" true
+          (List.mem_assoc "failover" hists);
+        check bool "metrics json validates as json" true
+          (match Json.parse (Export.metrics_json hists) with
+          | Ok _ -> true
+          | Error _ -> false));
+    test_case "recorder off: run is unobserved but completes" `Quick
+      (fun () ->
+        let open Hft_core in
+        let params = { Params.default with Params.epoch_length = 1024 } in
+        let sys =
+          System.create ~params
+            ~workload:(Hft_guest.Workload.disk_write ~ops:3 ())
+            ()
+        in
+        let o = System.run sys in
+        check bool "completed" true
+          (o.System.results.Guest_results.ops = 3));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("recorder", recorder_tests);
+      ("trace-ring", trace_ring_tests);
+      ("hist", hist_tests);
+      ("spans", span_tests);
+      ( "span-properties",
+        [ QCheck_alcotest.to_alcotest ~long:false span_pairing_prop ] );
+      ("end-to-end", e2e_tests);
+    ]
