@@ -116,6 +116,16 @@ let params_of ~epoch ~protocol ~link ~mechanism =
 (* ---------- observability artifacts ---------- *)
 
 module Obs = Hft_obs
+module Campaign = Hft_harness.Campaign
+
+let hv_fault_conv =
+  Arg.conv
+    ( (fun s ->
+        match Campaign.hv_fault_spec_of_string s with
+        | Ok f -> Ok f
+        | Error m -> Error (`Msg m)),
+      fun fmt f ->
+        Format.pp_print_string fmt (Campaign.hv_fault_spec_to_string f) )
 
 let write_file path contents =
   let oc = open_out path in
@@ -152,7 +162,8 @@ let emit_artifacts ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
       Format.printf "metrics written: %s@." path
     | None -> ());
     if metrics then Hft_harness.Report.span_metrics (Lazy.force hists);
-    Hft_harness.Report.failover_postmortem entries
+    Hft_harness.Report.failover_postmortem entries;
+    Hft_harness.Report.recovery_postmortem entries
   end
 
 (* ---------- run ---------- *)
@@ -169,6 +180,8 @@ let print_outcome (o : System.outcome) =
   Format.printf "messages       : %d (%d bytes)@." o.System.messages_sent
     o.System.bytes_sent;
   Hft_harness.Report.channel_hardening
+    [ o.System.primary_stats; o.System.backup_stats ];
+  Hft_harness.Report.recovery
     [ o.System.primary_stats; o.System.backup_stats ];
   Hft_harness.Report.host_hashing
     [ o.System.primary_stats; o.System.backup_stats ];
@@ -218,8 +231,19 @@ let run_cmd =
             "Write the span histograms as machine-readable JSON (schema \
              hftsim-metrics/1) to FILE.")
   in
+  let hv_fault_specs =
+    Arg.(
+      value
+      & opt_all hv_fault_conv []
+      & info [ "hv-fault" ] ~docv:"TARGET:KIND:EPOCH"
+          ~doc:
+            "Seed a hypervisor fault (repeatable): TARGET is primary or \
+             backup, KIND is crash, hang, corrupt-epoch, corrupt-acks or \
+             corrupt-rtx; the fault strikes mid-way through EPOCH and is \
+             healed by an in-place microreboot (ReHype extension).")
+  in
   let action workload epoch protocol link mechanism bare crash_ms
-      reintegrate_ms trace_out metrics metrics_out =
+      reintegrate_ms hv_fault_list trace_out metrics metrics_out =
     let params = params_of ~epoch ~protocol ~link ~mechanism in
     if bare then begin
       let b = Bare.create ~params ~workload () in
@@ -236,7 +260,7 @@ let run_cmd =
       let obs =
         if
           trace_out <> None || metrics || metrics_out <> None
-          || crash_ms <> None
+          || crash_ms <> None || hv_fault_list <> []
         then Obs.Recorder.create ()
         else Obs.Recorder.null
       in
@@ -244,6 +268,11 @@ let run_cmd =
       (match crash_ms with
       | Some ms -> System.crash_primary_at sys (Hft_sim.Time.of_ms ms)
       | None -> ());
+      List.iter
+        (fun (f : Campaign.hv_fault_spec) ->
+          System.hv_fault_on_epoch sys ~target:f.Campaign.hf_target
+            ~kind:f.Campaign.hf_kind f.Campaign.hf_epoch)
+        hv_fault_list;
       (match reintegrate_ms with
       | Some ms ->
         System.reintegrate_after_failover sys ~delay:(Hft_sim.Time.of_ms ms)
@@ -256,8 +285,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
-      $ mechanism_arg $ bare $ crash_ms $ reintegrate_ms $ trace_out_arg
-      $ metrics $ metrics_out)
+      $ mechanism_arg $ bare $ crash_ms $ reintegrate_ms $ hv_fault_specs
+      $ trace_out_arg $ metrics $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload, bare or replicated.")
@@ -479,13 +508,11 @@ let trace_cmd =
 
 (* ---------- chaos ---------- *)
 
-module Campaign = Hft_harness.Campaign
-
 let print_trial (t : Campaign.trial) =
   let s = t.Campaign.schedule in
   Format.printf
-    "trial %3d  seed %-19d loss %.3f dup %.3f corr %.3f delay %4dus%s%s%s | \
-     %4d faults %4d rtx %3d dup-drop %3d corr-drop | %s@."
+    "trial %3d  seed %-19d loss %.3f dup %.3f corr %.3f delay %4dus%s%s%s%s | \
+     %4d faults %4d rtx %3d dup-drop %3d corr-drop%s | %s@."
     t.Campaign.index s.Campaign.seed s.Campaign.loss s.Campaign.duplicate
     s.Campaign.corrupt s.Campaign.delay_us
     (match s.Campaign.crash_epoch with
@@ -495,11 +522,79 @@ let print_trial (t : Campaign.trial) =
     (match s.Campaign.backup_crash_epoch with
     | Some e -> Printf.sprintf " bkcrash@%d" e
     | None -> "")
+    (match s.Campaign.hv_faults with
+    | [] -> ""
+    | fs ->
+      " hv["
+      ^ String.concat "," (List.map Campaign.hv_fault_spec_to_string fs)
+      ^ "]")
     t.Campaign.faults_injected t.Campaign.retransmits
     t.Campaign.duplicates_dropped t.Campaign.corruptions_detected
+    (if t.Campaign.hv_injected = 0 then ""
+     else
+       Printf.sprintf " %d hv-fault %d reboot %d esc" t.Campaign.hv_injected
+         t.Campaign.microreboots t.Campaign.recovery_escalations)
     (match t.Campaign.violations with
     | [] -> "PASS"
     | v :: _ -> "FAIL: " ^ v)
+
+(* Aggregate recovery-window quantiles plus a machine-readable summary
+   of the whole campaign ("hftsim-chaos/1") for CI artifact upload. *)
+let recovery_window_hist trials =
+  let h = Obs.Hist.create () in
+  List.iter
+    (fun (t : Campaign.trial) ->
+      List.iter (Obs.Hist.add h) t.Campaign.recovery_windows)
+    trials;
+  h
+
+let chaos_summary_json ~workload ~seed ~trials (s : Campaign.summary) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 s.Campaign.trials in
+  let h = recovery_window_hist s.Campaign.trials in
+  add "{\n";
+  add "  \"schema\": \"hftsim-chaos/1\",\n";
+  add "  \"workload\": \"%s\",\n" workload;
+  add "  \"seed\": %d,\n" seed;
+  add "  \"trials\": %d,\n" trials;
+  add "  \"passed\": %d,\n" (trials - List.length s.Campaign.failures);
+  add "  \"failed\": %d,\n" (List.length s.Campaign.failures);
+  add "  \"channel_faults\": %d,\n"
+    (sum (fun t -> t.Campaign.faults_injected));
+  add "  \"retransmits\": %d,\n" (sum (fun t -> t.Campaign.retransmits));
+  add "  \"hv_faults\": %d,\n" (sum (fun t -> t.Campaign.hv_injected));
+  add "  \"microreboots\": %d,\n" (sum (fun t -> t.Campaign.microreboots));
+  add "  \"recovery_escalations\": %d,\n"
+    (sum (fun t -> t.Campaign.recovery_escalations));
+  add "  \"reconciled_ios\": %d,\n" (sum (fun t -> t.Campaign.reconciled_ios));
+  add "  \"reconciled_msgs\": %d,\n"
+    (sum (fun t -> t.Campaign.reconciled_msgs));
+  add
+    "  \"recovery_window_us\": {\"count\": %d, \"p50\": %.3f, \"p99\": %.3f, \
+     \"max\": %.3f},\n"
+    (Obs.Hist.count h) (Obs.Hist.p50_us h) (Obs.Hist.p99_us h)
+    (Obs.Hist.max_us h);
+  add "  \"failures\": [";
+  List.iteri
+    (fun i ((t : Campaign.trial), shrunk) ->
+      if i > 0 then add ",";
+      let esc s =
+        String.concat ""
+          (List.map
+             (function
+               | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+               | c -> String.make 1 c)
+             (List.init (String.length s) (String.get s)))
+      in
+      add "\n    {\"index\": %d, \"violation\": \"%s\", \"flags\": \"%s\"}"
+        t.Campaign.index
+        (esc (match t.Campaign.violations with v :: _ -> v | [] -> ""))
+        (esc (Campaign.flags shrunk)))
+    s.Campaign.failures;
+  if s.Campaign.failures <> [] then add "\n  ";
+  add "]\n}\n";
+  Buffer.contents b
 
 let chaos_cmd =
   let seed_arg =
@@ -582,9 +677,38 @@ let chaos_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Do not shrink failing schedules.")
   in
+  let hv_faults_flag =
+    Arg.(
+      value & flag
+      & info [ "hv-faults" ]
+          ~doc:
+            "Also sample hypervisor faults (ReHype extension): crashes, \
+             hangs and recovery-block corruption, up to two per trial, \
+             healed by in-place microreboot or escalated to fail-stop.")
+  in
+  let hv_fault_specs =
+    Arg.(
+      value
+      & opt_all hv_fault_conv []
+      & info [ "hv-fault" ] ~docv:"TARGET:KIND:EPOCH"
+          ~doc:
+            "With $(b,--exact): seed this hypervisor fault (repeatable). \
+             TARGET is primary or backup; KIND is crash, hang, \
+             corrupt-epoch, corrupt-acks or corrupt-rtx; the fault strikes \
+             mid-way through EPOCH.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the campaign summary as machine-readable JSON (schema \
+             hftsim-chaos/1) to PATH.")
+  in
   let action workload epoch protocol link seed trials loss dup corrupt
       delay_us no_retransmit exact crash_epoch backup_crash_epoch reintegrate
-      no_shrink trace_out =
+      no_shrink hv_faults hv_fault_list json trace_out =
     let bad_rate r = r < 0. || r >= 1. in
     if bad_rate loss || bad_rate dup || bad_rate corrupt || delay_us < 0 then
       `Error
@@ -598,7 +722,8 @@ let chaos_cmd =
     let params = Params.with_retransmit params (not no_retransmit) in
     let cfg =
       {
-        (Campaign.default_config ~params ~workload ~trials ~seed ()) with
+        (Campaign.default_config ~params ~hv_faults ~workload ~trials ~seed ())
+        with
         Campaign.max_loss = loss;
         max_duplicate = dup;
         max_corrupt = corrupt;
@@ -616,6 +741,7 @@ let chaos_cmd =
           crash_epoch;
           backup_crash_epoch;
           reintegrate;
+          hv_faults = hv_fault_list;
         }
       in
       let reference = Campaign.reference cfg in
@@ -637,9 +763,10 @@ let chaos_cmd =
           "note: --trace-out records a single trial; combine it with \
            --exact (ignored here)@.";
       Format.printf
-        "chaos campaign: %d trials of %s, seed %d, retransmit %s@."
+        "chaos campaign: %d trials of %s, seed %d, retransmit %s%s@."
         trials workload.Hft_guest.Workload.name seed
-        (if no_retransmit then "OFF" else "on");
+        (if no_retransmit then "OFF" else "on")
+        (if hv_faults then ", hv faults on" else "");
       let summary =
         Campaign.run ~shrink_failures:(not no_shrink) ~on_trial:print_trial
           cfg
@@ -647,6 +774,40 @@ let chaos_cmd =
       let nfail = List.length summary.Campaign.failures in
       Format.printf "@.%d/%d trials passed every invariant@."
         (trials - nfail) trials;
+      let hv_total =
+        List.fold_left
+          (fun acc (t : Campaign.trial) -> acc + t.Campaign.hv_injected)
+          0 summary.Campaign.trials
+      in
+      if hv_total > 0 then begin
+        let sum f =
+          List.fold_left
+            (fun acc t -> acc + f t)
+            0 summary.Campaign.trials
+        in
+        Format.printf
+          "hv recovery    : %d faults, %d microreboots, %d ios + %d msgs \
+           reconciled, %d escalations@."
+          hv_total
+          (sum (fun t -> t.Campaign.microreboots))
+          (sum (fun t -> t.Campaign.reconciled_ios))
+          (sum (fun t -> t.Campaign.reconciled_msgs))
+          (sum (fun t -> t.Campaign.recovery_escalations));
+        let h = recovery_window_hist summary.Campaign.trials in
+        if Obs.Hist.count h > 0 then
+          Format.printf
+            "recovery window: %d samples, p50 %.1f us, p99 %.1f us, max %.1f \
+             us@."
+            (Obs.Hist.count h) (Obs.Hist.p50_us h) (Obs.Hist.p99_us h)
+            (Obs.Hist.max_us h)
+      end;
+      (match json with
+      | Some path ->
+        write_file path
+          (chaos_summary_json ~workload:workload.Hft_guest.Workload.name
+             ~seed ~trials summary);
+        Format.printf "summary written: %s@." path
+      | None -> ());
       List.iter
         (fun ((t : Campaign.trial), shrunk) ->
           Format.printf "@.trial %d FAILED:@." t.Campaign.index;
@@ -674,13 +835,15 @@ let chaos_cmd =
         (const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
        $ seed_arg $ trials_arg $ loss_arg $ dup_arg $ corrupt_arg $ delay_arg
        $ no_retransmit $ exact $ crash_epoch $ backup_crash_epoch
-       $ reintegrate $ no_shrink $ trace_out_arg))
+       $ reintegrate $ no_shrink $ hv_faults_flag $ hv_fault_specs $ json_arg
+       $ trace_out_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Randomized fault-injection campaign: seeded loss, duplication, \
-          corruption, delivery jitter and crashes, with per-trial invariant \
+          corruption, delivery jitter, crashes and (with $(b,--hv-faults)) \
+          hypervisor faults healed by microreboot, with per-trial invariant \
           checking against the bare machine and shrinking of failing \
           schedules.")
     term

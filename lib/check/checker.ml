@@ -133,24 +133,41 @@ type frame = {
   mutable chosen : int;
 }
 
-let n_dims = 4
+let n_dims = 5
 
+(* The root dimensions have heterogeneous element types (the fifth is
+   a hypervisor-fault choice, not an epoch/message index), so the
+   generic view the tree driver and the shrinker need is just each
+   dimension's width and the index of its no-fault option. *)
 let dims (sc : Scenarios.bounded) =
+  let d l =
+    let rec none_idx i = function
+      | [] -> -1
+      | None :: _ -> i
+      | _ :: tl -> none_idx (i + 1) tl
+    in
+    (List.length l, none_idx 0 l)
+  in
   [|
-    Array.of_list sc.Scenarios.sc_crash_epochs;
-    Array.of_list sc.Scenarios.sc_backup_crash_epochs;
-    Array.of_list sc.Scenarios.sc_loss_pb;
-    Array.of_list sc.Scenarios.sc_loss_bp;
+    d sc.Scenarios.sc_crash_epochs;
+    d sc.Scenarios.sc_backup_crash_epochs;
+    d sc.Scenarios.sc_loss_pb;
+    d sc.Scenarios.sc_loss_bp;
+    d sc.Scenarios.sc_hv_faults;
   |]
 
 let build sc ~variant ?obs (roots : int array) =
-  let d = dims sc in
-  let pick i =
-    let a = d.(i) in
-    a.(if roots.(i) >= 0 && roots.(i) < Array.length a then roots.(i) else 0)
+  let pick l k =
+    let a = Array.of_list l in
+    a.(if roots.(k) >= 0 && roots.(k) < Array.length a then roots.(k) else 0)
   in
-  Scenarios.instantiate sc ~variant ?crash_epoch:(pick 0)
-    ?backup_crash_epoch:(pick 1) ?loss_pb:(pick 2) ?loss_bp:(pick 3) ?obs ()
+  Scenarios.instantiate sc ~variant
+    ?crash_epoch:(pick sc.Scenarios.sc_crash_epochs 0)
+    ?backup_crash_epoch:(pick sc.Scenarios.sc_backup_crash_epochs 1)
+    ?loss_pb:(pick sc.Scenarios.sc_loss_pb 2)
+    ?loss_bp:(pick sc.Scenarios.sc_loss_bp 3)
+    ?hv_fault:(pick sc.Scenarios.sc_hv_faults 4)
+    ?obs ()
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
@@ -167,8 +184,12 @@ let is_primary_role hv =
 (* Checked between every two events.  [baselines] tracks each node's
    io_submitted counter across role changes, so a reintegrated
    ex-primary is only held to the no-I/O rule for ops submitted
-   *after* it became a backup. *)
-let check_step sys baselines =
+   *after* it became a backup.  [frozen] holds, per node, the (epoch,
+   io_submitted) pair recorded when the node was first observed with a
+   down hypervisor: neither may move again until its microreboot ends
+   — a hypervisor in the Faulted or Recovering state must do no
+   protocol work. *)
+let check_step sys baselines frozen =
   let nodes = [| System.primary sys; System.backup sys |] in
   let live_primaries =
     Array.fold_left
@@ -194,7 +215,22 @@ let check_step sys baselines =
         raise
           (Violation_mid
              (Printf.sprintf "%s submitted device I/O while in the backup role"
-                (Hypervisor.name hv))))
+                (Hypervisor.name hv)));
+      match Hypervisor.hv_health hv with
+      | Hypervisor.Healthy -> frozen.(i) <- None
+      | _ -> (
+        let now = (Hypervisor.epoch hv, st.Stats.io_submitted) in
+        match frozen.(i) with
+        | None -> frozen.(i) <- Some now
+        | Some was ->
+          if was <> now then
+            raise
+              (Violation_mid
+                 (Printf.sprintf
+                    "%s did protocol work (epoch %d->%d, io %d->%d) while \
+                     its hypervisor was down"
+                    (Hypervisor.name hv) (fst was) (fst now) (snd was)
+                    (snd now)))))
     nodes
 
 (* End-of-run checks on a completed schedule: the five campaign
@@ -246,7 +282,7 @@ let execute sc ~variant ~reference ~opts ~st ~visited stack =
         let f =
           {
             kind = Root k;
-            width = Array.length d.(k);
+            width = fst d.(k);
             events = [||];
             sleep = [];
             f_fp = None;
@@ -268,10 +304,11 @@ let execute sc ~variant ~reference ~opts ~st ~visited stack =
   let sys = build sc ~variant roots in
   let engine = System.engine sys in
   let baselines = [| 0; 0 |] in
+  let frozen = [| None; None |] in
   let cursor = ref n_dims in
   Engine.set_scheduler engine (fun batch ->
       st.transitions <- st.transitions + 1;
-      check_step sys baselines;
+      check_step sys baselines frozen;
       let idx = !cursor in
       incr cursor;
       if idx < nf then frames.(idx).chosen
@@ -444,10 +481,11 @@ let run_forced sc ~variant ?reference ?obs ~roots ~choices () =
   let sys = build sc ~variant ?obs ra in
   let engine = System.engine sys in
   let baselines = [| 0; 0 |] in
+  let frozen = [| None; None |] in
   let ch = Array.of_list choices in
   let cursor = ref 0 in
   Engine.set_scheduler engine (fun batch ->
-      check_step sys baselines;
+      check_step sys baselines frozen;
       let idx = !cursor in
       incr cursor;
       if idx < Array.length ch then
@@ -479,14 +517,10 @@ let shrink_violation sc ~variant ~reference v =
     let d = dims sc in
     let roots = ref v.v_roots and choices = ref v.v_choices in
     Array.iteri
-      (fun k dim ->
-        let none_idx = ref (-1) in
-        Array.iteri
-          (fun i o -> if o = None && !none_idx < 0 then none_idx := i)
-          dim;
-        if !none_idx >= 0 && List.nth !roots k <> !none_idx then begin
+      (fun k (_, none_idx) ->
+        if none_idx >= 0 && List.nth !roots k <> none_idx then begin
           let cand =
-            List.mapi (fun j x -> if j = k then !none_idx else x) !roots
+            List.mapi (fun j x -> if j = k then none_idx else x) !roots
           in
           if fails cand !choices then roots := cand
         end)

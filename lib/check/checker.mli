@@ -26,7 +26,10 @@ val default_options : options
     first violation, shrink it. *)
 
 type violation = {
-  v_roots : int list;  (** root-choice indices (crash epoch, losses) *)
+  v_roots : int list;
+      (** root-choice indices (crash epochs, losses, hypervisor
+          fault); shorter lists replay with the no-fault default for
+          the missing trailing dimensions *)
   v_choices : int list;  (** scheduler picks along the failing schedule *)
   v_reason : string;
   v_shrunk : bool;

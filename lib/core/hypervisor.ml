@@ -56,6 +56,46 @@ type snapshot = {
   s_epoch : int;
 }
 
+(* ---------- hypervisor-failure model (ReHype extension) ---------- *)
+
+(* The paper assumes the hypervisor itself is correct and fail-stop;
+   ReHype (Le & Tamir) shows hypervisor failures are a recoverable
+   fault class.  Three kinds are modelled: a crash (the hypervisor
+   panics and its panic handler triggers recovery), a hang (only an
+   out-of-band hardware watchdog can notice the frozen heartbeat), and
+   seeded corruption of hypervisor-internal structures. *)
+type corrupt_target = C_epoch | C_acks | C_rtx
+
+type hv_fault = Hv_crash | Hv_hang | Hv_corrupt of corrupt_target
+
+type hv_health = Healthy | Faulted of hv_fault | Recovering
+
+let hv_fault_kind = function
+  | Hv_crash -> "crash"
+  | Hv_hang -> "hang"
+  | Hv_corrupt C_epoch -> "corrupt-epoch"
+  | Hv_corrupt C_acks -> "corrupt-acks"
+  | Hv_corrupt C_rtx -> "corrupt-rtx"
+
+(* The microreboot's state partition.  Guest memory, CPU state and the
+   device-facing structures survive a reboot in place (they live in
+   preserved domain memory); timers and receive-side reassembly are
+   volatile and reconciled afresh; and the small set of protocol
+   counters a corruption can damage — epoch counters, ack bookkeeping,
+   the retransmission queue — is mirrored into this recovery block,
+   committed at the end of every event-handling quantum and restored
+   wholesale by the reboot. *)
+type recovery_block = {
+  mutable rb_epoch : int;
+  mutable rb_relay_epoch : int;
+  mutable rb_env_idx : int;
+  mutable rb_send_seq : int;
+  mutable rb_data_sent : int;
+  mutable rb_acked : int;
+  mutable rb_data_recvd : int;
+  mutable rb_rtx : rtx_entry list;
+}
+
 type t = {
   name_ : string;
   engine : Engine.t;
@@ -124,6 +164,19 @@ type t = {
   mutable halt_time_ : Time.t;
   mutable reintegrate_requested : bool;
   mutable snapshot_box : snapshot option;
+  (* hypervisor-failure recovery (ReHype extension) *)
+  mutable health : hv_health;
+  mutable heartbeat : int;
+      (* bumped once per serviced event; a hung hypervisor freezes it,
+         which is what the out-of-band watchdog observes *)
+  mutable missed : (string * (unit -> unit)) list;
+      (* work continuations that fired while the hypervisor was down,
+         latched (newest first) for FIFO replay after the reboot *)
+  mutable dropped_while_down : int;
+      (* channel messages a down hypervisor failed to service; healed
+         post-reboot by resync/retransmission *)
+  mutable fault_since : Time.t; (* injection time of the current fault *)
+  rb : recovery_block;
   (* hooks *)
   mutable on_epoch_boundary : epoch:int -> hash:int -> unit;
   mutable on_halt : t -> unit;
@@ -229,6 +282,22 @@ let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock
     halt_time_ = Time.zero;
     reintegrate_requested = false;
     snapshot_box = None;
+    health = Healthy;
+    heartbeat = 0;
+    missed = [];
+    dropped_while_down = 0;
+    fault_since = Time.zero;
+    rb =
+      {
+        rb_epoch = 0;
+        rb_relay_epoch = 0;
+        rb_env_idx = 0;
+        rb_send_seq = 0;
+        rb_data_sent = 0;
+        rb_acked = 0;
+        rb_data_recvd = 0;
+        rb_rtx = [];
+      };
     on_epoch_boundary = (fun ~epoch:_ ~hash:_ -> ());
     on_halt = (fun _ -> ());
     on_promote = (fun _ -> ());
@@ -240,6 +309,7 @@ let connect ?tx_data ?tx_ack t ~peer =
   t.peer <- Some peer
 
 let set_on_epoch_boundary t f = t.on_epoch_boundary <- f
+let get_on_epoch_boundary t = t.on_epoch_boundary
 let set_on_halt t f = t.on_halt <- f
 let set_on_promote t f = t.on_promote <- f
 
@@ -305,7 +375,7 @@ let rec arm_detector ?timeout t =
         (Engine.after t.engine ~label:"detector" ~actor:t.name_ timeout
            (fun () ->
              t.detector <- None;
-             detector_fired t))
+             guarded t ~label:"detector" `Timer (fun () -> detector_fired t) ()))
 
 (* ---------- retransmission (fair-lossy hardening) ---------- *)
 
@@ -350,7 +420,7 @@ and arm_rtx t =
         (Engine.after t.engine ~label:"rtx" ~actor:t.name_ (rtx_delay t)
            (fun () ->
              t.rtx_timer <- None;
-             rtx_fire t))
+             guarded t ~label:"rtx" `Timer (fun () -> rtx_fire t) ()))
 
 (* Go-back-N: resend everything unacknowledged.  A halted node keeps
    retransmitting its tail (the peer still needs the final epoch's
@@ -498,8 +568,8 @@ and arm_epoch t =
 
 and resume_after t d =
   ignore
-    (Engine.after t.engine ~label:"resume" ~actor:t.name_ d (fun () ->
-         continue_vm t))
+    (Engine.after t.engine ~label:"resume" ~actor:t.name_ d
+       (guarded t ~label:"resume" `Work (fun () -> continue_vm t)))
 
 and continue_vm t =
   if t.alive_ && not t.halted_ then begin
@@ -525,8 +595,9 @@ and continue_vm t =
           t.st.Stats.instructions + res.Cpu.executed;
         let dt = Time.scale t.p.Params.instr_time res.Cpu.executed in
         ignore
-          (Engine.after t.engine ~label:"stop" ~actor:t.name_ dt (fun () ->
-               handle_stop t res.Cpu.stop))
+          (Engine.after t.engine ~label:"stop" ~actor:t.name_ dt
+             (guarded t ~label:"stop" `Work (fun () ->
+                  handle_stop t res.Cpu.stop)))
       | _ -> () (* a resume path will reschedule us *)
   end
 
@@ -548,8 +619,9 @@ and handle_stop t stop =
           Stats.add_time t.st `Idle d;
           t.st.Stats.instructions <- t.st.Stats.instructions + rem;
           ignore
-            (Engine.after t.engine ~label:"idle-epoch" ~actor:t.name_ d (fun () ->
-                 epoch_boundary t))
+            (Engine.after t.engine ~label:"idle-epoch" ~actor:t.name_ d
+               (guarded t ~label:"idle-epoch" `Work (fun () ->
+                    epoch_boundary t)))
         end
       | Params.Code_rewriting ->
         (* no counted epoch to idle towards: the wait loop simply
@@ -593,8 +665,8 @@ and complete_simulated ?(advance = true) ?(extra = Time.zero) t =
   let d = Time.add (hsim t) extra in
   if expired then
     ignore
-      (Engine.after t.engine ~label:"epoch" ~actor:t.name_ d (fun () ->
-           epoch_boundary t))
+      (Engine.after t.engine ~label:"epoch" ~actor:t.name_ d
+         (guarded t ~label:"epoch" `Work (fun () -> epoch_boundary t)))
   else resume_after t d
 
 (* ---------- environment instructions ---------- *)
@@ -813,7 +885,11 @@ and primary_completion t ~dma (c : Disk.completion) =
       t.debt <- Time.add t.debt t.p.Params.hv_send_setup;
       send_msg t
         (Message.Intr { epoch = t.relay_epoch; completion = rc })
-    end
+    end;
+    (* the send counters just moved: commit them to the recovery block
+       (this handler runs from the device interrupt, outside the
+       guarded event quantum that normally does so) *)
+    (match t.health with Healthy -> persist t | _ -> ())
   end
 
 (* ---------- TLB ---------- *)
@@ -864,7 +940,8 @@ and primary_boundary_phase1 t =
   let cost = Time.add t.p.Params.hv_epoch_local t.p.Params.hv_send_setup in
   Stats.add_time t.st `Boundary cost;
   ignore
-    (Engine.after t.engine ~label:"boundary-send" ~actor:t.name_ cost (fun () ->
+    (Engine.after t.engine ~label:"boundary-send" ~actor:t.name_ cost
+       (guarded t ~label:"boundary-send" `Work (fun () ->
          if t.alive_ then begin
            (* the [Tme] message leaves once the controller set-up is
               paid for; only then can the ack wait begin *)
@@ -888,7 +965,7 @@ and primary_boundary_phase1 t =
              arm_detector t
            end
            else primary_boundary_phase2 t ~tod
-         end))
+         end)))
 
 (* P2, second half: interrupts based on Tme, delivery, [end,E]. *)
 and primary_boundary_phase2 t ~tod =
@@ -911,7 +988,8 @@ and primary_boundary_phase2 t ~tod =
   Stats.add_time t.st `Boundary cost;
   arm_epoch t;
   ignore
-    (Engine.after t.engine ~label:"epoch-end" ~actor:t.name_ cost (fun () ->
+    (Engine.after t.engine ~label:"epoch-end" ~actor:t.name_ cost
+       (guarded t ~label:"epoch-end" `Work (fun () ->
          if t.alive_ then begin
            if t.peer_alive then send_msg t (Message.Epoch_end { epoch = ended });
            if t.reintegrate_requested then start_reintegration t
@@ -919,7 +997,7 @@ and primary_boundary_phase2 t ~tod =
              deliver_pending_if_possible t;
              continue_vm t
            end
-         end))
+         end)))
 
 and check_virtual_timer t ~tod =
   if t.vtimer_deadline_us >= 0 && t.vtimer_deadline_us <= tod then begin
@@ -971,11 +1049,11 @@ and backup_boundary t =
       arm_epoch t;
       ignore
         (Engine.after t.engine ~label:"boundary-resume" ~actor:t.name_ cost
-           (fun () ->
+           (guarded t ~label:"boundary-resume" `Work (fun () ->
              if t.alive_ then begin
                deliver_pending_if_possible t;
                continue_vm t
-             end))
+             end)))
     end
 
 and check_virtual_timer_backup t ~tod =
@@ -1069,11 +1147,11 @@ and failover_epoch t ~promoting =
   if promoting then t.on_promote t;
   ignore
     (Engine.after t.engine ~label:"failover-resume" ~actor:t.name_ cost
-       (fun () ->
+       (guarded t ~label:"failover-resume" `Work (fun () ->
          if t.alive_ then begin
            deliver_pending_if_possible t;
            continue_vm t
-         end))
+         end)))
 
 and promote t = failover_epoch t ~promoting:true
 
@@ -1133,7 +1211,27 @@ and continue_after_env_retry t =
    [handle_body] sees exactly the sender's order — the FIFO semantics
    the protocol proper (P1-P7) was designed against. *)
 and on_message t msg =
-  if t.alive_ then begin
+  if t.alive_ then
+    match t.health with
+    | Faulted (Hv_corrupt _) ->
+      (* the receive interrupt enters the hypervisor, whose entry
+         audit notices the scrambled recovery-block mirror; the frame
+         itself is lost in the ensuing reboot *)
+      t.dropped_while_down <- t.dropped_while_down + 1;
+      begin_recovery t ~by:"integrity"
+    | Faulted _ | Recovering ->
+      (* a down hypervisor fields no receive interrupts: the frame
+         dies at the adapter; resync and go-back-N heal the stream
+         after the reboot *)
+      t.dropped_while_down <- t.dropped_while_down + 1
+    | Healthy ->
+      t.heartbeat <- t.heartbeat + 1;
+      handle_frame t msg;
+      if t.alive_ && (match t.health with Healthy -> true | _ -> false) then
+        persist t
+
+and handle_frame t msg =
+  begin
     if not (Message.valid msg) then begin
       t.st.Stats.corruptions_detected <- t.st.Stats.corruptions_detected + 1;
       emit t
@@ -1218,6 +1316,27 @@ and handle_body t body =
       | R_boundary -> primary_boundary_phase2 t ~tod:t.boundary_tod
       | R_io req -> issue_io t req)
     | _ -> ())
+  | Message.Resync { upto } ->
+    (* the peer just completed a microreboot: [upto] is its receive
+       cursor.  Treat it as a cumulative ack, resend everything past
+       it at once (whatever was in flight died at the peer's adapter),
+       and re-ack our own cursor so a sender stranded in an ack wait
+       by the outage is released without waiting out a timeout. *)
+    apply_ack t upto;
+    let n = Queue.length t.rtx_queue in
+    if n > 0 then begin
+      Queue.iter
+        (fun e ->
+          match (if e.r_up then ack_channel t else out_channel t) with
+          | None -> ()
+          | Some ch ->
+            transmit t ch ?snapshot_bytes:e.r_snapshot_bytes ~dseq:e.r_dseq
+              e.r_body)
+        t.rtx_queue;
+      t.st.Stats.retransmits <- t.st.Stats.retransmits + n;
+      arm_rtx t
+    end;
+    send_ack t
   | body ->
     (match body with
     | Message.Intr { epoch; completion } ->
@@ -1251,7 +1370,7 @@ and handle_body t body =
     | Message.Failover { epoch } ->
       emit t (Ev.Upstream_failover { epoch });
       t.failover_notice <- Some epoch
-    | Message.Ack _ -> assert false);
+    | Message.Ack _ | Message.Resync _ -> assert false);
     (* chained replication: a backup with a downstream relays the
        whole stream, preserving order; its own sequence numbers
        continue seamlessly if it is later promoted *)
@@ -1369,9 +1488,234 @@ and receive_snapshot t ~epoch ~code_hash =
     emit t (Ev.Epoch_begin { epoch });
     ignore
       (Engine.after t.engine ~label:"reintegrated" ~actor:t.name_ Time.zero
-         (fun () ->
-           deliver_pending_if_possible t;
-           continue_vm t))
+         (guarded t ~label:"reintegrated" `Work (fun () ->
+              deliver_pending_if_possible t;
+              continue_vm t)))
+
+(* ---------- hypervisor-failure recovery (ReHype extension) ---------- *)
+
+and hv_healthy t = match t.health with Healthy -> true | _ -> false
+
+(* Commit the protected protocol counters to the recovery block.
+   Called at the end of every event-handling quantum, so the mirror is
+   consistent at every event boundary — the only instants at which a
+   fault can be injected. *)
+and persist t =
+  let rb = t.rb in
+  rb.rb_epoch <- t.epoch_;
+  rb.rb_relay_epoch <- t.relay_epoch;
+  rb.rb_env_idx <- t.env_idx;
+  rb.rb_send_seq <- t.send_seq;
+  rb.rb_data_sent <- t.data_sent;
+  rb.rb_acked <- t.acked;
+  rb.rb_data_recvd <- t.data_recvd;
+  rb.rb_rtx <- List.of_seq (Queue.to_seq t.rtx_queue)
+
+(* Every hypervisor-owned event handler enters through this guard.
+   Healthy: pat the heartbeat (the out-of-band watchdog's only view of
+   us), run the handler, commit the recovery block.  Down: [`Work]
+   continuations — the VM loop, epoch boundaries — are latched for
+   FIFO replay after the reboot; [`Timer] events (failure detector,
+   retransmission clock) simply die, because a hung hypervisor cannot
+   service its own timers — the reboot re-arms them from scratch.  A
+   corruption fault is caught here, before the handler would act on
+   the scrambled state: the entry audit compares the live counters
+   against the recovery-block mirror. *)
+and guarded t ~label kind fn () =
+  match t.health with
+  | Healthy ->
+    t.heartbeat <- t.heartbeat + 1;
+    fn ();
+    if t.alive_ && hv_healthy t then persist t
+  | Faulted (Hv_corrupt _) ->
+    (match kind with
+    | `Work -> t.missed <- (label, fn) :: t.missed
+    | `Timer -> ());
+    begin_recovery t ~by:"integrity"
+  | Faulted _ | Recovering -> (
+    match kind with
+    | `Work -> t.missed <- (label, fn) :: t.missed
+    | `Timer -> ())
+
+and scramble t = function
+  | C_epoch ->
+    (* wild writes land in the epoch bookkeeping *)
+    t.epoch_ <- t.epoch_ + 7919;
+    t.relay_epoch <- t.relay_epoch + 104729;
+    t.env_idx <- t.env_idx + 13
+  | C_acks ->
+    t.acked <- t.acked + 5077;
+    t.data_recvd <- t.data_recvd + 7577;
+    t.data_sent <- t.data_sent + 3169
+  | C_rtx ->
+    (* the in-flight bookkeeping is lost wholesale *)
+    Queue.clear t.rtx_queue;
+    t.rtx_backoff <- 0
+
+(* Seed a hypervisor fault.  With [hv_recovery] off this is the
+   paper's world: hypervisor failures are fail-stop and the peer's
+   failover takes over.  With it on, detection depends on the kind:
+   a crash reaches recovery through the panic handler, a hang is only
+   visible to the out-of-band watchdog, and corruption surfaces at the
+   next guarded entry's integrity audit. *)
+and inject_hv_fault t fault =
+  if t.alive_ && not t.halted_ then begin
+    t.st.Stats.hv_faults_injected <- t.st.Stats.hv_faults_injected + 1;
+    emit t (Ev.Hv_fault { kind = hv_fault_kind fault });
+    if not t.p.Params.hv_recovery then do_crash t
+    else
+      match t.health with
+      | Faulted _ | Recovering ->
+        (* double fault: a second failure while detection or recovery
+           is in progress exceeds what an in-place reboot can untangle *)
+        t.st.Stats.recovery_escalations <-
+          t.st.Stats.recovery_escalations + 1;
+        emit t (Ev.Recovery_escalated { reason = "double fault" });
+        do_crash t
+      | Healthy -> (
+        t.fault_since <- Engine.now t.engine;
+        t.health <- Faulted fault;
+        (* a down hypervisor cannot field completion interrupts: the
+           controller parks them until reconciliation (IO1 holds
+           across the reboot) *)
+        Disk.defer_port t.disk ~port:t.port;
+        match fault with
+        | Hv_crash ->
+          (* the panic handler runs from the exception path, outside
+             the wedged event loop *)
+          ignore
+            (Engine.after t.engine ~label:"hv-panic" ~actor:t.name_
+               t.p.Params.hv_panic_latency (fun () ->
+                 if t.alive_ && t.health = Faulted Hv_crash then
+                   begin_recovery t ~by:"panic"))
+        | Hv_hang ->
+          (* Only out-of-band hardware can notice a hang: the
+             hypervisor cannot service its own detector, and indeed
+             every hypervisor-owned timer above routes through
+             [guarded], where a down hypervisor drops it.  The
+             watchdog samples the heartbeat on its own absolute grid —
+             the next multiple of its interval, exactly where a
+             free-running watchdog's tick would land. *)
+          let iv = Time.to_ns t.p.Params.watchdog_interval in
+          let now = Time.to_ns (Engine.now t.engine) in
+          let tick = Time.of_ns (((now / iv) + 1) * iv) in
+          let seen = t.heartbeat in
+          ignore
+            (Engine.at t.engine ~label:"hv-watchdog" ~actor:t.name_ tick
+               (fun () ->
+                 if t.alive_ && t.heartbeat = seen && not (hv_healthy t) then
+                   begin_recovery t ~by:"watchdog"))
+        | Hv_corrupt target -> scramble t target)
+  end
+
+and begin_recovery t ~by =
+  if t.alive_ && not t.halted_ then begin
+    emit t (Ev.Hv_detected { by });
+    if t.st.Stats.microreboots >= t.p.Params.hv_recovery_max then begin
+      t.st.Stats.recovery_escalations <- t.st.Stats.recovery_escalations + 1;
+      emit t (Ev.Recovery_escalated { reason = "recovery budget exhausted" });
+      do_crash t
+    end
+    else begin
+      t.health <- Recovering;
+      t.st.Stats.recovery_cycles <- t.st.Stats.recovery_cycles + 1;
+      (* the reboot completion is raw, not guarded: it IS the recovery *)
+      ignore
+        (Engine.after t.engine ~label:"hv-reboot" ~actor:t.name_
+           t.p.Params.hv_reboot_time (fun () -> complete_microreboot t))
+    end
+  end
+
+(* The in-place microreboot.  Guest memory, CPU state, the virtual
+   device controllers and the suppressed-I/O record were preserved in
+   place; this path restores the protected counters from the recovery
+   block, rebuilds the volatile pieces, and reconciles everything that
+   was in flight — parked disk completions, dropped channel frames,
+   unacknowledged sends — before letting the epoch machinery resume. *)
+and complete_microreboot t =
+  if t.alive_ && not t.halted_ then begin
+    (* 1. protected counters come back from the recovery block; this
+       also heals whatever a corruption fault scrambled *)
+    let rb = t.rb in
+    t.epoch_ <- rb.rb_epoch;
+    t.relay_epoch <- rb.rb_relay_epoch;
+    t.env_idx <- rb.rb_env_idx;
+    t.send_seq <- rb.rb_send_seq;
+    t.data_sent <- rb.rb_data_sent;
+    t.acked <- rb.rb_acked;
+    t.data_recvd <- rb.rb_data_recvd;
+    Queue.clear t.rtx_queue;
+    List.iter (fun e -> Queue.add e t.rtx_queue) rb.rb_rtx;
+    (* 2. volatile state did not survive: stale timer handles are
+       cancelled (safe on already-fired events), interrupt-level debt
+       is void, and the receive-side reassembly window restarts — its
+       contents count as reconciled, the peer resends them *)
+    cancel_detector t;
+    cancel_rtx t;
+    t.rtx_backoff <- 0;
+    t.debt <- Time.zero;
+    let held = Hashtbl.length t.rcv_hold in
+    Hashtbl.reset t.rcv_hold;
+    let msgs = held + t.dropped_while_down in
+    t.dropped_while_down <- 0;
+    t.st.Stats.reconciled_msgs <- t.st.Stats.reconciled_msgs + msgs;
+    t.st.Stats.microreboots <- t.st.Stats.microreboots + 1;
+    t.st.Stats.recovery_windows <-
+      Time.diff (Engine.now t.engine) t.fault_since
+      :: t.st.Stats.recovery_windows;
+    t.health <- Healthy;
+    persist t;
+    (* 3. outstanding disk I/O: completions the controller parked
+       while the port was masked are delivered now, in arrival order
+       (each re-enters the buffering/relay path and commits the
+       recovery block itself) *)
+    let ios = Disk.release_port t.disk ~port:t.port in
+    t.st.Stats.reconciled_ios <- t.st.Stats.reconciled_ios + ios;
+    (* 4. in-flight channel traffic: tell the peer where our receive
+       cursor stands — it treats that as a cumulative ack, resends
+       everything past it, and re-acks, releasing any ack wait the
+       outage stranded; our own retransmission clock restarts for the
+       restored queue *)
+    if t.peer_alive then send_up t (Message.Resync { upto = t.data_recvd });
+    arm_rtx t;
+    if t.blocked <> Not_blocked && t.peer_alive then arm_detector t;
+    emit t
+      (Ev.Microreboot_done
+         { epoch = t.epoch_; reconciled_ios = ios; reconciled_msgs = msgs });
+    (* 5. replay the work the down hypervisor missed, oldest first.
+       Each latched thunk was the single continuation pending when it
+       fired, so FIFO replay reconstructs the exact sequence the
+       healthy hypervisor would have run — no guest-visible
+       divergence.  Never re-enter [continue_vm] directly here: the
+       loop's own continuation is either in this list or still
+       pending. *)
+    let work = List.rev t.missed in
+    t.missed <- [];
+    List.iter
+      (fun (_label, fn) ->
+        if t.alive_ && hv_healthy t then begin
+          fn ();
+          if t.alive_ && hv_healthy t then persist t
+        end)
+      work
+  end
+
+(* Fail-stop, the paper's original failure semantics: the node goes
+   silent for good and the peer's failure detector drives a failover.
+   Also the escalation target when in-place recovery is exhausted or a
+   double fault hits.  Parked completion interrupts die with the
+   processor — a later revived incarnation must not see them. *)
+and do_crash t =
+  t.alive_ <- false;
+  t.health <- Healthy;
+  t.missed <- [];
+  t.dropped_while_down <- 0;
+  cancel_detector t;
+  clear_rtx t;
+  ignore (Disk.drop_port t.disk ~port:t.port);
+  (match t.tx_data with Some ch -> Channel.crash_sender ch | None -> ());
+  (match t.tx_ack with Some ch -> Channel.crash_sender ch | None -> ());
+  emit t Ev.Crash
 
 let request_reintegration t =
   match t.role_ with
@@ -1391,16 +1735,18 @@ let revive_as_backup t =
   t.data_recvd <- 0;
   clear_rtx t;
   Hashtbl.reset t.rcv_hold;
+  t.health <- Healthy;
+  t.heartbeat <- 0;
+  t.missed <- [];
+  t.dropped_while_down <- 0;
+  ignore (Disk.drop_port t.disk ~port:t.port);
+  persist t;
   (match t.tx_data with Some ch -> Channel.revive_sender ch | None -> ());
   (match t.tx_ack with Some ch -> Channel.revive_sender ch | None -> ())
 
-let crash t =
-  t.alive_ <- false;
-  cancel_detector t;
-  clear_rtx t;
-  (match t.tx_data with Some ch -> Channel.crash_sender ch | None -> ());
-  (match t.tx_ack with Some ch -> Channel.crash_sender ch | None -> ());
-  emit t Ev.Crash
+let crash = do_crash
+
+let hv_health t = t.health
 
 let start t =
   Guest_results.write_config t.vm t.workload.Hft_guest.Workload.config;
@@ -1413,8 +1759,8 @@ let start t =
     Cpu.disable_recovery t.vm;
     Cpu.set_reg t.vm Hft_machine.Rewrite.counter_reg t.p.Params.epoch_length);
   ignore
-    (Engine.after t.engine ~label:"start" ~actor:t.name_ Time.zero (fun () ->
-         continue_vm t))
+    (Engine.after t.engine ~label:"start" ~actor:t.name_ Time.zero
+       (guarded t ~label:"start" `Work (fun () -> continue_vm t)))
 
 (* ---------- model-checker accessors ---------- *)
 
@@ -1471,5 +1817,32 @@ let fingerprint t =
         (match t.snapshot_box with None -> -1 | Some s -> s.s_epoch),
         t.detector <> None,
         t.rtx_timer <> None )
+  in
+  (* Recovery state.  The heartbeat is excluded: it is a per-event
+     tick (including it would make every path length a distinct
+     state); its only observable effect — frozen vs advancing — is
+     captured by [health] plus the pending watchdog event.  The
+     recovery block's list is summarised by its [dseq]s (the bodies
+     are determined by the live queue at persist time). *)
+  let health_code =
+    match t.health with
+    | Healthy -> 0
+    | Recovering -> 1
+    | Faulted Hv_crash -> 2
+    | Faulted Hv_hang -> 3
+    | Faulted (Hv_corrupt C_epoch) -> 4
+    | Faulted (Hv_corrupt C_acks) -> 5
+    | Faulted (Hv_corrupt C_rtx) -> 6
+  in
+  let rb = t.rb in
+  let rb_rtx = List.fold_left (fun acc e -> bh (acc, e.r_dseq)) 0x5ec rb.rb_rtx in
+  let h =
+    bh
+      ( h,
+        health_code,
+        List.map fst t.missed,
+        t.dropped_while_down,
+        ( rb.rb_epoch, rb.rb_relay_epoch, rb.rb_env_idx, rb.rb_send_seq,
+          rb.rb_data_sent, rb.rb_acked, rb.rb_data_recvd, rb_rtx ) )
   in
   h

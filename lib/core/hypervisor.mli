@@ -122,6 +122,10 @@ val set_on_epoch_boundary : t -> (epoch:int -> hash:int -> unit) -> unit
 (** Called at every epoch boundary, before interrupt delivery, with
     the VM state hash at that instruction-stream point. *)
 
+val get_on_epoch_boundary : t -> epoch:int -> hash:int -> unit
+(** The currently installed boundary hook, so fault installers can
+    chain onto it instead of displacing each other. *)
+
 val set_on_halt : t -> (t -> unit) -> unit
 val set_on_promote : t -> (t -> unit) -> unit
 
@@ -135,3 +139,37 @@ val request_reintegration : t -> unit
 val revive_as_backup : t -> unit
 (** Reset a crashed instance so it can receive a snapshot and rejoin
     as the backup. *)
+
+(* Hypervisor-failure recovery (ReHype extension). *)
+
+type corrupt_target =
+  | C_epoch  (** epoch counters ([epoch], [relay_epoch], [env_idx]) *)
+  | C_acks  (** ack bookkeeping ([acked], [data_sent], [data_recvd]) *)
+  | C_rtx  (** the retransmission queue *)
+
+type hv_fault = Hv_crash | Hv_hang | Hv_corrupt of corrupt_target
+
+type hv_health = Healthy | Faulted of hv_fault | Recovering
+
+val hv_fault_kind : hv_fault -> string
+(** Stable tag: ["crash"], ["hang"], ["corrupt-epoch"],
+    ["corrupt-acks"], ["corrupt-rtx"]. *)
+
+val inject_hv_fault : t -> hv_fault -> unit
+(** Seed a hypervisor fault.  With [Params.hv_recovery] the node
+    detects it (panic handler, out-of-band watchdog, or the
+    recovery-block integrity audit) and performs an in-place
+    microreboot: guest memory and CPU state are preserved, protocol
+    counters are restored from the recovery block, parked disk
+    completions and dropped channel traffic are reconciled, and epochs
+    resume — invisibly to both guest replicas.  A second fault during
+    detection or recovery, or an exhausted reboot budget
+    ([Params.hv_recovery_max]), escalates to fail-stop and the
+    ordinary failover path.  Without [Params.hv_recovery] every
+    hypervisor fault is immediately fail-stop (the paper's
+    assumption).  No-op on a dead or halted node. *)
+
+val hv_health : t -> hv_health
+(** The node's recovery state; [Healthy] except between fault
+    injection and the end of its microreboot.  The model checker uses
+    this to assert that a down hypervisor does no protocol work. *)

@@ -12,6 +12,7 @@ type body =
   | Snapshot_offer of { epoch : int; code_hash : int }
   | Snapshot_done of { epoch : int }
   | Failover of { epoch : int }
+  | Resync of { upto : int }
 
 type t = { seq : int; dseq : int; checksum : int; body : body }
 
@@ -41,6 +42,7 @@ let body_checksum h body =
   | Snapshot_offer { epoch; code_hash } -> mix (mix (mix h 6) epoch) code_hash
   | Snapshot_done { epoch } -> mix (mix h 7) epoch
   | Failover { epoch } -> mix (mix h 8) epoch
+  | Resync { upto } -> mix (mix h 9) upto
 
 let checksum_of ~seq ~dseq body =
   body_checksum (mix (mix fnv_offset seq) dseq) body
@@ -57,6 +59,7 @@ let body_kind = function
   | Snapshot_offer _ -> "snap-offer"
   | Snapshot_done _ -> "snap-done"
   | Failover _ -> "failover"
+  | Resync _ -> "resync"
 
 let reliable t = t.dseq >= 0
 
@@ -95,6 +98,7 @@ let bytes ?(snapshot_bytes = 0) t =
   | Snapshot_offer _ -> 16 + snapshot_bytes
   | Snapshot_done _ -> 8
   | Failover _ -> 8
+  | Resync _ -> 8
 
 let pp fmt t =
   match t.body with
@@ -118,3 +122,5 @@ let pp fmt t =
     Format.fprintf fmt "[#%d snapshot-done epoch=%d]" t.seq epoch
   | Failover { epoch } ->
     Format.fprintf fmt "[#%d failover epoch=%d]" t.seq epoch
+  | Resync { upto } ->
+    Format.fprintf fmt "[#%d resync upto=%d]" t.seq upto

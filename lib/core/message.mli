@@ -47,6 +47,12 @@ type body =
           downstream backup which epoch was the failover epoch, so the
           downstream performs the same P6/P7 delivery and re-homes to
           the new primary without promoting itself *)
+  | Resync of { upto : int }
+      (** recovery extension: sent (unreliably) by a node that has just
+          completed a microreboot.  [upto] is its receive cursor; the
+          peer treats it as a cumulative ack and immediately
+          retransmits everything past it, healing any messages the
+          down hypervisor dropped without waiting out a timeout *)
 
 type t = {
   seq : int;
@@ -66,7 +72,7 @@ val make : seq:int -> ?dseq:int -> body -> t
 
 val body_kind : body -> string
 (** Short stable tag for observability ("intr", "env", "tme", "end",
-    "ack", "snap-offer", "snap-done", "failover"). *)
+    "ack", "snap-offer", "snap-done", "failover", "resync"). *)
 
 val reliable : t -> bool
 (** [dseq >= 0]: the message is part of the acknowledged,

@@ -29,6 +29,11 @@ type t = {
   rtx_give_up : int;
   detector_timeout : Time.t;
   backup_clock_skew : Time.t;
+  hv_recovery : bool;
+  hv_reboot_time : Time.t;
+  hv_panic_latency : Time.t;
+  watchdog_interval : Time.t;
+  hv_recovery_max : int;
   disk : Hft_devices.Disk.params;
   cpu_config : Hft_machine.Cpu.config;
   hash_scheme : hash_scheme;
@@ -56,6 +61,11 @@ let default =
     rtx_give_up = 25;
     detector_timeout = Time.of_ms 100;
     backup_clock_skew = Time.of_us 1500;
+    hv_recovery = true;
+    hv_reboot_time = Time.of_ms 10;
+    hv_panic_latency = Time.of_us 50;
+    watchdog_interval = Time.of_ms 5;
+    hv_recovery_max = 8;
     disk = Hft_devices.Disk.default_params;
     cpu_config = Hft_machine.Cpu.default_config;
     hash_scheme = Incremental;

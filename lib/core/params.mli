@@ -94,6 +94,23 @@ type t = {
   backup_clock_skew : Hft_sim.Time.t;
       (** time-of-day skew of the backup processor's clock — the
           reason clock reads must be forwarded, not read locally *)
+  hv_recovery : bool;
+      (** attempt a ReHype-style in-place microreboot when the
+          hypervisor itself fails, instead of treating every
+          hypervisor fault as fail-stop (the paper's assumption) *)
+  hv_reboot_time : Hft_sim.Time.t;
+      (** wall time of one microreboot: reinitialising hypervisor
+          code/data while guest memory and CPU state stay in place *)
+  hv_panic_latency : Hft_sim.Time.t;
+      (** delay between a hypervisor crash and its panic handler
+          triggering the reboot (detection is immediate: the fault
+          raises a trap, unlike a hang) *)
+  watchdog_interval : Hft_sim.Time.t;
+      (** period of the out-of-band hardware watchdog that detects a
+          hung hypervisor by observing a frozen heartbeat counter *)
+  hv_recovery_max : int;
+      (** microreboots tolerated per node; one more escalates to
+          fail-stop and lets the peer's failover path take over *)
   disk : Hft_devices.Disk.params;
   cpu_config : Hft_machine.Cpu.config;
   hash_scheme : hash_scheme;

@@ -19,6 +19,13 @@ type t = {
   mutable pages_hashed : int;
   mutable pages_skipped : int;
   mutable snapshot_delta_bytes : int;
+  mutable hv_faults_injected : int;
+  mutable microreboots : int;
+  mutable reconciled_ios : int;
+  mutable reconciled_msgs : int;
+  mutable recovery_cycles : int;
+  mutable recovery_escalations : int;
+  mutable recovery_windows : Time.t list;
   mutable ack_wait : Time.t;
   mutable boundary : Time.t;
   mutable idle : Time.t;
@@ -45,6 +52,13 @@ let create () =
     pages_hashed = 0;
     pages_skipped = 0;
     snapshot_delta_bytes = 0;
+    hv_faults_injected = 0;
+    microreboots = 0;
+    reconciled_ios = 0;
+    reconciled_msgs = 0;
+    recovery_cycles = 0;
+    recovery_escalations = 0;
+    recovery_windows = [];
     ack_wait = Time.zero;
     boundary = Time.zero;
     idle = Time.zero;
@@ -69,10 +83,12 @@ let pp fmt t =
      suppressed, %d uncertain synthesized@ tlb fills: %d@ reflected traps: \
      %d@ channel: %d retransmits, %d duplicates dropped, %d corruptions \
      detected@ hashing: %d pages hashed, %d skipped@ snapshot bytes: %d@ \
+     recovery: %d hv faults, %d microreboots, %d ios + %d msgs reconciled@ \
      ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: %.1fus@]"
     t.instructions t.simulated t.epochs t.interrupts_buffered
     t.interrupts_delivered t.env_values t.io_submitted t.io_suppressed
     t.uncertain_synthesized t.tlb_fills t.reflected_traps t.retransmits
     t.duplicates_dropped t.corruptions_detected t.pages_hashed
-    t.pages_skipped t.snapshot_delta_bytes Time.pp t.ack_wait
+    t.pages_skipped t.snapshot_delta_bytes t.hv_faults_injected
+    t.microreboots t.reconciled_ios t.reconciled_msgs Time.pp t.ack_wait
     Time.pp t.boundary Time.pp t.idle (mean_intr_delay_us t)

@@ -34,6 +34,28 @@ type t = {
   mutable snapshot_delta_bytes : int;
       (** bytes actually copied by reintegration snapshots (full image
           on the first, dirty pages only thereafter) *)
+  mutable hv_faults_injected : int;
+      (** hypervisor-level faults (crash, hang, state corruption)
+          injected into this node *)
+  mutable microreboots : int;
+      (** in-place microreboots completed (ReHype-style recovery) *)
+  mutable reconciled_ios : int;
+      (** disk completions that arrived while the hypervisor was down
+          and were re-delivered from the controller's completion ring
+          after the microreboot *)
+  mutable reconciled_msgs : int;
+      (** channel messages dropped on the floor by a down hypervisor
+          and healed afterwards by resync/retransmission *)
+  mutable recovery_cycles : int;
+      (** recovery attempts begun (detection events); exceeds
+          [microreboots] when an attempt escalated to fail-stop *)
+  mutable recovery_escalations : int;
+      (** recovery attempts abandoned as fail-stop: a second fault
+          arrived mid-recovery, or the per-node reboot budget
+          ([Params.hv_recovery_max]) was exhausted *)
+  mutable recovery_windows : Hft_sim.Time.t list;
+      (** per-microreboot wall time from fault injection to the end of
+          reconciliation, newest first *)
   mutable ack_wait : Hft_sim.Time.t;
       (** time the primary spent awaiting acknowledgements *)
   mutable boundary : Hft_sim.Time.t;

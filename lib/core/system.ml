@@ -215,14 +215,11 @@ let crash_primary_at t time =
     (Engine.at t.engine ~label:"crash" ~actor:"primary" time (fun () ->
          Hypervisor.crash t.primary_))
 
-let crash_on_epoch t hv target =
-  let previous = ref (fun ~epoch:_ ~hash:_ -> ()) in
-  (match t.ls with
-  | Some ls -> previous := record_boundary ls
-  | None -> ());
+let crash_on_epoch _t hv target =
+  let previous = Hypervisor.get_on_epoch_boundary hv in
   Hypervisor.set_on_epoch_boundary hv (fun ~epoch ~hash ->
       if epoch = target && Hypervisor.alive hv then Hypervisor.crash hv
-      else !previous ~epoch ~hash)
+      else previous ~epoch ~hash)
 
 let crash_primary_on_epoch t target = crash_on_epoch t t.primary_ target
 
@@ -232,6 +229,38 @@ let crash_backup_at t time =
          Hypervisor.crash t.backup_))
 
 let crash_backup_on_epoch t target = crash_on_epoch t t.backup_ target
+
+(* ---------- hypervisor faults (ReHype extension) ---------- *)
+
+let hv_of_target t = function `Primary -> t.primary_ | `Backup -> t.backup_
+
+let hv_fault_at t ~target ~kind time =
+  let hv = hv_of_target t target in
+  ignore
+    (Engine.at t.engine ~label:"hv-fault" ~actor:(Hypervisor.name hv) time
+       (fun () -> Hypervisor.inject_hv_fault hv kind))
+
+(* Inject mid-epoch, deterministically: the boundary hook fires at the
+   start of epoch [target]'s boundary processing, and the fault lands
+   half an epoch's worth of simulated time later — inside the epoch,
+   between event handlers, wherever the node happens to be.  Hooks
+   chain like [crash_on_epoch]'s so several injections (and the
+   lockstep recorder) coexist. *)
+let hv_fault_on_epoch t ~target ~kind epoch_target =
+  let hv = hv_of_target t target in
+  let previous = Hypervisor.get_on_epoch_boundary hv in
+  let armed = ref false in
+  Hypervisor.set_on_epoch_boundary hv (fun ~epoch ~hash ->
+      if epoch = epoch_target && Hypervisor.alive hv && not !armed then begin
+        armed := true;
+        let half =
+          Time.scale t.p.Params.instr_time (t.p.Params.epoch_length / 2)
+        in
+        ignore
+          (Engine.after t.engine ~label:"hv-fault" ~actor:(Hypervisor.name hv)
+             half (fun () -> Hypervisor.inject_hv_fault hv kind))
+      end;
+      previous ~epoch ~hash)
 
 let install_fault_model t ~rng model =
   let corrupter flip msg = Message.corrupt ~flip msg in

@@ -78,6 +78,22 @@ val crash_backup_on_epoch : t -> int -> unit
     primary detects the silence (missing acknowledgements) and
     continues unreplicated. *)
 
+val hv_fault_at :
+  t ->
+  target:[ `Primary | `Backup ] ->
+  kind:Hypervisor.hv_fault ->
+  Hft_sim.Time.t ->
+  unit
+(** Schedule a hypervisor fault (ReHype extension) on the given node
+    at an absolute time; see {!Hypervisor.inject_hv_fault}. *)
+
+val hv_fault_on_epoch :
+  t -> target:[ `Primary | `Backup ] -> kind:Hypervisor.hv_fault -> int -> unit
+(** Inject a hypervisor fault mid-epoch, deterministically: when the
+    node starts the given epoch's boundary processing, the fault is
+    scheduled half an epoch's simulated time later.  Chains with other
+    boundary hooks ([crash_*_on_epoch], lockstep recording). *)
+
 val install_fault_model :
   t -> rng:Hft_sim.Rng.t -> Hft_net.Channel.fault_model -> unit
 (** Downgrade both hypervisor channels to fair-lossy with independent

@@ -53,6 +53,12 @@ let hash_content data =
 
 type pending = { p_port : int; p_op : op; p_id : int; p_done : completion -> unit }
 
+(* A completion whose interrupt is masked because the submitting
+   port's hypervisor is down: the device performed (and logged) the
+   operation, but delivery waits in the controller ring until the
+   hypervisor's microreboot drains it. *)
+type parked = { k_done : completion -> unit; k_completion : completion }
+
 type t = {
   engine : Engine.t;
   prm : params;
@@ -60,6 +66,9 @@ type t = {
   obs : Hft_obs.Recorder.t;
   storage : Hft_machine.Word.t array array;
   queue : pending Queue.t;
+  deferred : (int, parked list) Hashtbl.t;
+      (* port -> parked completions, newest first; a port bound here
+         has its completion interrupts masked *)
   mutable busy_ : bool;
   mutable next_op_id : int;
   mutable next_log_seq : int;
@@ -85,6 +94,7 @@ let create ~engine ?rng ?(obs = Hft_obs.Recorder.null) prm =
     obs;
     storage;
     queue = Queue.create ();
+    deferred = Hashtbl.create 2;
     busy_ = false;
     next_op_id = 0;
     next_log_seq = 0;
@@ -175,8 +185,14 @@ and complete t p =
            write = op_is_write p.p_op;
            uncertain = (status = Uncertain);
          });
-  p.p_done
-    { op_id = p.p_id; port = p.p_port; op = p.p_op; status; performed; data };
+  let c =
+    { op_id = p.p_id; port = p.p_port; op = p.p_op; status; performed; data }
+  in
+  (match Hashtbl.find_opt t.deferred p.p_port with
+  | Some parked ->
+    Hashtbl.replace t.deferred p.p_port
+      ({ k_done = p.p_done; k_completion = c } :: parked)
+  | None -> p.p_done c);
   start_next t
 
 let submit t ~port op ~on_complete =
@@ -191,6 +207,33 @@ let submit t ~port op ~on_complete =
   Queue.add { p_port = port; p_op = op; p_id = id; p_done = on_complete } t.queue;
   if not t.busy_ then start_next t;
   id
+
+let defer_port t ~port =
+  if not (Hashtbl.mem t.deferred port) then Hashtbl.replace t.deferred port []
+
+let release_port t ~port =
+  match Hashtbl.find_opt t.deferred port with
+  | None -> 0
+  | Some parked ->
+    Hashtbl.remove t.deferred port;
+    (* oldest first, the order the interrupts would have arrived in *)
+    let parked = List.rev parked in
+    List.iter (fun k -> k.k_done k.k_completion) parked;
+    List.length parked
+
+let drop_port t ~port =
+  match Hashtbl.find_opt t.deferred port with
+  | None -> 0
+  | Some parked ->
+    Hashtbl.remove t.deferred port;
+    List.length parked
+
+let deferred_count t ~port =
+  match Hashtbl.find_opt t.deferred port with
+  | None -> 0
+  | Some parked -> List.length parked
+
+let port_deferred t ~port = Hashtbl.mem t.deferred port
 
 let storage_hash t = t.storage_hash_
 
@@ -215,7 +258,28 @@ let fingerprint t =
            e.content_hash))
       0x9d217 t.log_rev
   in
-  Hashtbl.hash (t.storage_hash_, t.busy_, Queue.length t.queue, queued, log)
+  (* Parked completions are protocol-visible state: two global states
+     that differ only in what waits in the controller ring must not
+     fingerprint alike.  Xor-folded so hashtable iteration order does
+     not matter. *)
+  let deferred =
+    Hashtbl.fold
+      (fun port parked acc ->
+        let l =
+          List.fold_left
+            (fun a k ->
+              Hashtbl.hash
+                ( a,
+                  op_digest k.k_completion.op,
+                  k.k_completion.status,
+                  k.k_completion.performed ))
+            0x77a1 parked
+        in
+        acc lxor Hashtbl.hash (port, List.length parked, l))
+      t.deferred 0x2f53
+  in
+  Hashtbl.hash
+    (t.storage_hash_, t.busy_, Queue.length t.queue, queued, log, deferred)
 
 module Log = struct
   type entry = log_entry = {

@@ -78,6 +78,36 @@ val submit :
 val busy : t -> bool
 val queue_depth : t -> int
 
+(** {2 Completion deferral (hypervisor-recovery support)}
+
+    While a port's hypervisor is down (crashed, hung or mid-reboot) it
+    cannot field completion interrupts.  The controller masks the
+    port: operations still complete against storage and enter the
+    operation log at their real completion time, but delivery of the
+    interrupt is parked in a small per-port ring.  A recovered
+    hypervisor drains the ring during reconciliation — property IO1
+    (every performed operation yields a completion interrupt) then
+    holds across a microreboot.  A node that instead fail-stops must
+    drop its ring, or stale completions would fire into a later
+    revived incarnation. *)
+
+val defer_port : t -> port:int -> unit
+(** Mask the port: park subsequent completions instead of delivering
+    them.  Idempotent. *)
+
+val release_port : t -> port:int -> int
+(** Unmask the port and deliver every parked completion, oldest first
+    (the order the interrupts would have arrived in).  Returns how
+    many were delivered. *)
+
+val drop_port : t -> port:int -> int
+(** Unmask the port and discard its parked completions (fail-stop:
+    the interrupts die with the processor).  Returns how many were
+    discarded. *)
+
+val deferred_count : t -> port:int -> int
+val port_deferred : t -> port:int -> bool
+
 val storage_hash : t -> int
 (** Digest of the whole storage contents, maintained incrementally:
     each write re-hashes only the block it touches. *)

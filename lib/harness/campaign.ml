@@ -2,6 +2,12 @@ open Hft_core
 module Rng = Hft_sim.Rng
 module Time = Hft_sim.Time
 
+type hv_fault_spec = {
+  hf_target : [ `Primary | `Backup ];
+  hf_kind : Hypervisor.hv_fault;
+  hf_epoch : int;
+}
+
 type schedule = {
   seed : int;
   loss : float;
@@ -11,6 +17,7 @@ type schedule = {
   crash_epoch : int option;
   backup_crash_epoch : int option;
   reintegrate : bool;
+  hv_faults : hv_fault_spec list;
 }
 
 type config = {
@@ -23,6 +30,8 @@ type config = {
   max_corrupt : float;
   max_delay_us : int;
   max_crash_epoch : int;
+  with_hv_faults : bool;
+  max_hv_faults : int;
 }
 
 (* The caps keep the fault intensity inside the protocol's tolerance
@@ -30,7 +39,8 @@ type config = {
    this low leave the probability of [rtx_give_up] consecutive losses
    (a false crash suspicion) negligible across hundreds of trials,
    while an unhardened run at the same rates reliably diverges. *)
-let default_config ?(params = Params.default) ~workload ~trials ~seed () =
+let default_config ?(params = Params.default) ?(hv_faults = false) ~workload
+    ~trials ~seed () =
   {
     params;
     workload;
@@ -41,7 +51,18 @@ let default_config ?(params = Params.default) ~workload ~trials ~seed () =
     max_corrupt = 0.1;
     max_delay_us = 3_000;
     max_crash_epoch = 24;
+    with_hv_faults = hv_faults;
+    max_hv_faults = 2;
   }
+
+let hv_fault_kinds =
+  [|
+    Hypervisor.Hv_crash;
+    Hypervisor.Hv_hang;
+    Hypervisor.Hv_corrupt Hypervisor.C_epoch;
+    Hypervisor.Hv_corrupt Hypervisor.C_acks;
+    Hypervisor.Hv_corrupt Hypervisor.C_rtx;
+  |]
 
 let generate cfg rng =
   (* the trial seed alone replays the channels' randomness, so a
@@ -64,6 +85,27 @@ let generate cfg rng =
       Some (1 + Rng.int rng cfg.max_crash_epoch)
     else None
   in
+  let hv_faults =
+    if not cfg.with_hv_faults then []
+    else
+      let n = Rng.int rng (cfg.max_hv_faults + 1) in
+      List.init n (fun _ ->
+          (* if a processor fail-stop is scheduled, only seed hypervisor
+             faults on the node that dies anyway: a recovery escalation
+             on the *other* node could otherwise leave no survivor, and
+             with no survivor there is nothing to check *)
+          let hf_target =
+            match (crash_epoch, backup_crash_epoch) with
+            | Some _, _ -> `Primary
+            | _, Some _ -> `Backup
+            | None, None -> if Rng.chance rng 0.5 then `Primary else `Backup
+          in
+          let hf_kind =
+            hv_fault_kinds.(Rng.int rng (Array.length hv_fault_kinds))
+          in
+          let hf_epoch = 1 + Rng.int rng cfg.max_crash_epoch in
+          { hf_target; hf_kind; hf_epoch })
+  in
   {
     seed;
     loss;
@@ -73,6 +115,7 @@ let generate cfg rng =
     crash_epoch;
     backup_crash_epoch;
     reintegrate;
+    hv_faults;
   }
 
 type trial = {
@@ -84,6 +127,12 @@ type trial = {
   retransmits : int;
   duplicates_dropped : int;
   corruptions_detected : int;
+  hv_injected : int;
+  microreboots : int;
+  recovery_escalations : int;
+  reconciled_ios : int;
+  reconciled_msgs : int;
+  recovery_windows : Time.t list;
 }
 
 type reference = Bare.outcome
@@ -187,6 +236,11 @@ let run_trial ?obs cfg ~reference ~index schedule =
   | None -> ());
   if schedule.reintegrate then
     System.reintegrate_after_failover sys ~delay:(Time.of_ms 2);
+  List.iter
+    (fun f ->
+      System.hv_fault_on_epoch sys ~target:f.hf_target ~kind:f.hf_kind
+        f.hf_epoch)
+    schedule.hv_faults;
   let stats () =
     let p = Hypervisor.stats (System.primary sys) in
     let b = Hypervisor.stats (System.backup sys) in
@@ -195,31 +249,43 @@ let run_trial ?obs cfg ~reference ~index schedule =
       p.Stats.duplicates_dropped + b.Stats.duplicates_dropped,
       p.Stats.corruptions_detected + b.Stats.corruptions_detected )
   in
+  let recovery_stats () =
+    let p = Hypervisor.stats (System.primary sys) in
+    let b = Hypervisor.stats (System.backup sys) in
+    ( p.Stats.hv_faults_injected + b.Stats.hv_faults_injected,
+      p.Stats.microreboots + b.Stats.microreboots,
+      p.Stats.recovery_escalations + b.Stats.recovery_escalations,
+      p.Stats.reconciled_ios + b.Stats.reconciled_ios,
+      p.Stats.reconciled_msgs + b.Stats.reconciled_msgs,
+      p.Stats.recovery_windows @ b.Stats.recovery_windows )
+  in
+  let finish ~violations ~time =
+    let fi, rtx, dup, cor = stats () in
+    let hvi, mrb, esc, rio, rmsg, wins = recovery_stats () in
+    {
+      index;
+      schedule;
+      violations;
+      time;
+      faults_injected = fi;
+      retransmits = rtx;
+      duplicates_dropped = dup;
+      corruptions_detected = cor;
+      hv_injected = hvi;
+      microreboots = mrb;
+      recovery_escalations = esc;
+      reconciled_ios = rio;
+      reconciled_msgs = rmsg;
+      recovery_windows = wins;
+    }
+  in
   match System.run sys with
   | exception Failure msg ->
-    let fi, rtx, dup, cor = stats () in
-    {
-      index;
-      schedule;
-      violations = [ "no surviving machine completed: " ^ msg ];
-      time = None;
-      faults_injected = fi;
-      retransmits = rtx;
-      duplicates_dropped = dup;
-      corruptions_detected = cor;
-    }
+    finish ~violations:[ "no surviving machine completed: " ^ msg ] ~time:None
   | o ->
-    let fi, rtx, dup, cor = stats () in
-    {
-      index;
-      schedule;
-      violations = check_invariants ~reference sys o;
-      time = Some o.System.time;
-      faults_injected = fi;
-      retransmits = rtx;
-      duplicates_dropped = dup;
-      corruptions_detected = cor;
-    }
+    finish
+      ~violations:(check_invariants ~reference sys o)
+      ~time:(Some o.System.time)
 
 let fails cfg ~reference s =
   (run_trial cfg ~reference ~index:(-1) s).violations <> []
@@ -239,6 +305,15 @@ let shrink ?(max_steps = 64) cfg ~reference schedule =
         (match s.backup_crash_epoch with
         | Some _ -> [ { s with backup_crash_epoch = None } ]
         | None -> []);
+        (match s.hv_faults with
+        | [] -> []
+        | fs ->
+          (* drop them all, then each one individually *)
+          { s with hv_faults = [] }
+          :: List.mapi
+               (fun i _ ->
+                 { s with hv_faults = List.filteri (fun j _ -> j <> i) fs })
+               fs);
         (if s.reintegrate then [ { s with reintegrate = false } ] else []);
         (if s.loss > 0. then
            [ { s with loss = 0. }; { s with loss = s.loss /. 2. } ]
@@ -293,25 +368,68 @@ let run ?(shrink_failures = true) ?on_trial cfg =
   in
   { trials; failures }
 
+let hv_fault_spec_to_string f =
+  Printf.sprintf "%s:%s:%d"
+    (match f.hf_target with `Primary -> "primary" | `Backup -> "backup")
+    (Hypervisor.hv_fault_kind f.hf_kind)
+    f.hf_epoch
+
+let hv_fault_spec_of_string s =
+  match String.split_on_char ':' s with
+  | [ target; kind; epoch ] -> (
+    let target =
+      match target with
+      | "primary" -> Some `Primary
+      | "backup" -> Some `Backup
+      | _ -> None
+    in
+    let kind =
+      match kind with
+      | "crash" -> Some Hypervisor.Hv_crash
+      | "hang" -> Some Hypervisor.Hv_hang
+      | "corrupt-epoch" -> Some (Hypervisor.Hv_corrupt Hypervisor.C_epoch)
+      | "corrupt-acks" -> Some (Hypervisor.Hv_corrupt Hypervisor.C_acks)
+      | "corrupt-rtx" -> Some (Hypervisor.Hv_corrupt Hypervisor.C_rtx)
+      | _ -> None
+    in
+    match (target, kind, int_of_string_opt epoch) with
+    | Some hf_target, Some hf_kind, Some hf_epoch when hf_epoch > 0 ->
+      Ok { hf_target; hf_kind; hf_epoch }
+    | _ ->
+      Error
+        (Printf.sprintf
+           "bad hv fault spec %S (want TARGET:KIND:EPOCH, e.g. \
+            primary:crash:3)"
+           s))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad hv fault spec %S (want TARGET:KIND:EPOCH, e.g. primary:crash:3)"
+         s)
+
 (* Command-line flags that replay this exact schedule standalone
    (`hftsim chaos --exact ...`). *)
 let flags s =
   String.concat " "
     (List.filter
        (fun x -> x <> "")
-       [
-         Printf.sprintf "--exact --seed %d" s.seed;
-         Printf.sprintf "--loss %g" s.loss;
-         Printf.sprintf "--dup %g" s.duplicate;
-         Printf.sprintf "--corrupt %g" s.corrupt;
-         Printf.sprintf "--delay-us %d" s.delay_us;
-         (match s.crash_epoch with
-         | Some e -> Printf.sprintf "--crash-epoch %d" e
-         | None -> "");
-         (match s.backup_crash_epoch with
-         | Some e -> Printf.sprintf "--backup-crash-epoch %d" e
-         | None -> "");
-         (if s.reintegrate then "--reintegrate" else "");
-       ])
+       ([
+          Printf.sprintf "--exact --seed %d" s.seed;
+          Printf.sprintf "--loss %g" s.loss;
+          Printf.sprintf "--dup %g" s.duplicate;
+          Printf.sprintf "--corrupt %g" s.corrupt;
+          Printf.sprintf "--delay-us %d" s.delay_us;
+          (match s.crash_epoch with
+          | Some e -> Printf.sprintf "--crash-epoch %d" e
+          | None -> "");
+          (match s.backup_crash_epoch with
+          | Some e -> Printf.sprintf "--backup-crash-epoch %d" e
+          | None -> "");
+          (if s.reintegrate then "--reintegrate" else "");
+        ]
+       @ List.map
+           (fun f ->
+             Printf.sprintf "--hv-fault %s" (hv_fault_spec_to_string f))
+           s.hv_faults))
 
 let pp_schedule fmt s = Format.pp_print_string fmt (flags s)

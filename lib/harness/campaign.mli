@@ -28,6 +28,15 @@
     reproducer by greedily zeroing/halving fault dimensions while the
     failure persists. *)
 
+type hv_fault_spec = {
+  hf_target : [ `Primary | `Backup ];
+  hf_kind : Hft_core.Hypervisor.hv_fault;
+  hf_epoch : int;  (** inject mid-way through this epoch *)
+}
+(** One seeded hypervisor fault (ReHype extension): crash, hang or
+    recovery-block corruption, injected half an epoch after the target
+    node starts the given boundary. *)
+
 type schedule = {
   seed : int;  (** regenerates the channel fault randomness *)
   loss : float;
@@ -37,6 +46,9 @@ type schedule = {
   crash_epoch : int option;  (** fail the primary at this boundary *)
   backup_crash_epoch : int option;
   reintegrate : bool;  (** revive the crashed primary as a backup *)
+  hv_faults : hv_fault_spec list;
+      (** hypervisor faults to seed; each normally heals by in-place
+          microreboot, or escalates to fail-stop on a double fault *)
 }
 
 type config = {
@@ -49,10 +61,13 @@ type config = {
   max_corrupt : float;
   max_delay_us : int;
   max_crash_epoch : int;
+  with_hv_faults : bool;  (** sample hypervisor faults too *)
+  max_hv_faults : int;  (** per-trial cap when [with_hv_faults] *)
 }
 
 val default_config :
   ?params:Hft_core.Params.t ->
+  ?hv_faults:bool ->
   workload:Hft_guest.Workload.t ->
   trials:int ->
   seed:int ->
@@ -75,6 +90,13 @@ type trial = {
   retransmits : int;  (** summed over both hypervisors *)
   duplicates_dropped : int;
   corruptions_detected : int;
+  hv_injected : int;  (** hypervisor faults actually injected *)
+  microreboots : int;
+  recovery_escalations : int;
+  reconciled_ios : int;  (** parked disk completions delivered at reboot *)
+  reconciled_msgs : int;  (** held/dropped frames reconciled at reboot *)
+  recovery_windows : Hft_sim.Time.t list;
+      (** fault-to-healthy durations, both nodes, newest first *)
 }
 
 type reference = Hft_core.Bare.outcome
@@ -126,6 +148,12 @@ val run :
   ?shrink_failures:bool -> ?on_trial:(trial -> unit) -> config -> summary
 (** Run the whole campaign.  [on_trial] is called after each trial
     (progress reporting). *)
+
+val hv_fault_spec_to_string : hv_fault_spec -> string
+(** ["target:kind:epoch"], e.g. ["primary:crash:3"] — the argument
+    format of [hftsim chaos --hv-fault]. *)
+
+val hv_fault_spec_of_string : string -> (hv_fault_spec, string) result
 
 val flags : schedule -> string
 (** [hftsim chaos] command-line flags that replay this exact schedule

@@ -104,6 +104,51 @@ let failover_postmortem ?(out = std) entries =
       | None -> Format.fprintf out "  first new-primary I/O (none submitted)@.")
     (Hft_obs.Span.failovers entries)
 
+let recovery ?(out = std) stats =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let faults = sum (fun s -> s.Hft_core.Stats.hv_faults_injected) in
+  if faults > 0 then
+    Format.fprintf out
+      "hv recovery    : %d faults, %d microreboots, %d ios + %d msgs \
+       reconciled, %d escalations@."
+      faults
+      (sum (fun s -> s.Hft_core.Stats.microreboots))
+      (sum (fun s -> s.Hft_core.Stats.reconciled_ios))
+      (sum (fun s -> s.Hft_core.Stats.reconciled_msgs))
+      (sum (fun s -> s.Hft_core.Stats.recovery_escalations))
+
+let recovery_postmortem ?(out = std) entries =
+  List.iter
+    (fun (r : Hft_obs.Span.recovery) ->
+      let open Hft_obs.Span in
+      let plus t = Hft_sim.Time.to_ms (Hft_sim.Time.diff t r.fault_time) in
+      Format.fprintf out "@.== recovery post-mortem: %s %s fault ==@." r.node
+        r.fault_kind;
+      Format.fprintf out "  fault injected    at %a@." Hft_sim.Time.pp
+        r.fault_time;
+      (match (r.detected_by, r.detect_time) with
+      | Some by, Some t ->
+        Format.fprintf out "  detected by %-6s at %a  (+%.3f ms)@." by
+          Hft_sim.Time.pp t (plus t)
+      | _ -> Format.fprintf out "  detection         (not observed)@.");
+      (match r.reboot_time with
+      | Some t ->
+        Format.fprintf out
+          "  microreboot done  at %a  (+%.3f ms; %d ios, %d msgs reconciled)@."
+          Hft_sim.Time.pp t (plus t) r.r_reconciled_ios r.r_reconciled_msgs
+      | None ->
+        if r.escalated then
+          Format.fprintf out "  escalated to fail-stop (no microreboot)@."
+        else Format.fprintf out "  microreboot       (not observed)@.");
+      match r.first_epoch_time with
+      | Some t ->
+        Format.fprintf out "  first epoch after at %a  (+%.3f ms window)@."
+          Hft_sim.Time.pp t (plus t)
+      | None ->
+        if not r.escalated then
+          Format.fprintf out "  first epoch after (not observed)@.")
+    (Hft_obs.Span.recoveries entries)
+
 let host_hashing ?(out = std) stats =
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
   let hashed = sum (fun s -> s.Hft_core.Stats.pages_hashed) in

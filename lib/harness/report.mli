@@ -56,6 +56,19 @@ val failover_postmortem :
     uncertain-completion count) and the promoted node's first
     submitted I/O — the environment-visible blackout. *)
 
+val recovery : ?out:Format.formatter -> Hft_core.Stats.t list -> unit
+(** One line summing the hypervisor-recovery counters (faults seeded,
+    microreboots, reconciled I/Os and messages, escalations) over the
+    given per-hypervisor stats.  Prints nothing when no hypervisor
+    fault was seeded. *)
+
+val recovery_postmortem :
+  ?out:Format.formatter -> Hft_obs.Recorder.entry list -> unit
+(** Human-readable timeline for every seeded hypervisor fault:
+    injection, detection (panic/watchdog/integrity), microreboot
+    completion with reconciliation counts, and the first epoch the
+    recovered node completes — or the escalation to fail-stop. *)
+
 val host_hashing :
   ?out:Format.formatter -> Hft_core.Stats.t list -> unit
 (** One line summing the incremental-hashing counters (pages hashed

@@ -1,6 +1,12 @@
 open Hft_core
 module Time = Hft_sim.Time
 
+type hv_fault_choice = {
+  hv_target : [ `Primary | `Backup ];
+  hv_kind : Hypervisor.hv_fault;
+  hv_epoch : int;
+}
+
 type bounded = {
   sc_name : string;
   sc_descr : string;
@@ -10,6 +16,7 @@ type bounded = {
   sc_backup_crash_epochs : int option list;
   sc_loss_pb : int option list;
   sc_loss_bp : int option list;
+  sc_hv_faults : hv_fault_choice option list;
   sc_reintegrate_ms : int option;
   sc_limit : int;
 }
@@ -46,6 +53,7 @@ let handoff =
     sc_backup_crash_epochs = [ None ];
     sc_loss_pb = [ None ];
     sc_loss_bp = [ None ];
+    sc_hv_faults = [ None ];
     sc_reintegrate_ms = None;
     sc_limit = 400_000;
   }
@@ -65,6 +73,7 @@ let crash_write =
     sc_backup_crash_epochs = [ None ];
     sc_loss_pb = [ None ];
     sc_loss_bp = [ None ];
+    sc_hv_faults = [ None ];
     sc_reintegrate_ms = None;
     sc_limit = 600_000;
   }
@@ -83,6 +92,7 @@ let crash_loss =
     sc_backup_crash_epochs = [ None ];
     sc_loss_pb = [ None; Some 1; Some 3 ];
     sc_loss_bp = [ None; Some 0; Some 1 ];
+    sc_hv_faults = [ None ];
     sc_reintegrate_ms = None;
     sc_limit = 600_000;
   }
@@ -103,11 +113,54 @@ let reintegration_loss =
     sc_backup_crash_epochs = [ None ];
     sc_loss_pb = [ None; Some 0; Some 1 ];
     sc_loss_bp = [ None; Some 4; Some 5; Some 6 ];
+    sc_hv_faults = [ None ];
     sc_reintegrate_ms = Some 1;
     sc_limit = 900_000;
   }
 
-let all = [ handoff; crash_write; crash_loss; reintegration_loss ]
+(* ReHype extension: a hypervisor fault strikes mid-epoch and the node
+   microreboots in place.  The recovery timings are scaled down with
+   the rest of the bounded-scenario clock so that detection (panic,
+   watchdog) plus the reboot finishes well inside the peer's 2 ms
+   failure detector — recovery must stay invisible, which is exactly
+   what the exact-console and lockstep invariants then prove. *)
+let hv_recovery_params ~epoch_length =
+  {
+    (base_params ~epoch_length) with
+    Params.hv_reboot_time = Time.of_us 200;
+    hv_panic_latency = Time.of_us 30;
+    watchdog_interval = Time.of_us 500;
+  }
+
+let hv_crash =
+  {
+    sc_name = "hv-crash";
+    sc_descr =
+      "console workload, optional hypervisor crash/hang/corruption \
+       mid-epoch, healed by in-place microreboot";
+    sc_params = hv_recovery_params ~epoch_length:48;
+    sc_workload = Hft_guest.Workload.console_hello ~text:"hft";
+    sc_crash_epochs = [ None ];
+    sc_backup_crash_epochs = [ None ];
+    sc_loss_pb = [ None ];
+    sc_loss_bp = [ None ];
+    sc_hv_faults =
+      [
+        None;
+        Some { hv_target = `Primary; hv_kind = Hypervisor.Hv_crash; hv_epoch = 1 };
+        Some { hv_target = `Primary; hv_kind = Hypervisor.Hv_hang; hv_epoch = 2 };
+        Some
+          {
+            hv_target = `Backup;
+            hv_kind = Hypervisor.Hv_corrupt Hypervisor.C_acks;
+            hv_epoch = 1;
+          };
+      ];
+    sc_reintegrate_ms = None;
+    sc_limit = 600_000;
+  }
+
+let all = [ handoff; crash_write; crash_loss; reintegration_loss; hv_crash ]
 
 let find name = List.find_opt (fun s -> String.equal s.sc_name name) all
 
@@ -128,7 +181,7 @@ let reference sc ~variant =
   Bare.run b
 
 let instantiate sc ~variant ?crash_epoch ?backup_crash_epoch ?loss_pb ?loss_bp
-    ?obs () =
+    ?hv_fault ?obs () =
   let sys =
     System.create ~params:(params sc ~variant) ?obs ~workload:sc.sc_workload ()
   in
@@ -145,6 +198,10 @@ let instantiate sc ~variant ?crash_epoch ?backup_crash_epoch ?loss_pb ?loss_bp
   (match loss_bp with
   | Some n ->
     Hft_net.Channel.set_loss_plan (System.channel_to_primary sys) (Int.equal n)
+  | None -> ());
+  (match hv_fault with
+  | Some f ->
+    System.hv_fault_on_epoch sys ~target:f.hv_target ~kind:f.hv_kind f.hv_epoch
   | None -> ());
   (match sc.sc_reintegrate_ms with
   | Some ms -> System.reintegrate_after_failover sys ~delay:(Time.of_ms ms)

@@ -49,6 +49,15 @@ type t =
   | Reintegration_offer of { epoch : int; bytes : int }
   | Snapshot_restored of { epoch : int }
   | Reintegration_done of { epoch : int }
+  (* hypervisor-failure recovery (ReHype extension) *)
+  | Hv_fault of { kind : string }
+  | Hv_detected of { by : string }
+  | Microreboot_done of {
+      epoch : int;
+      reconciled_ios : int;
+      reconciled_msgs : int;
+    }
+  | Recovery_escalated of { reason : string }
   (* channel-level wire events *)
   | Ch_send of { seq : int; bytes : int }
   | Ch_deliver of { seq : int }
@@ -82,6 +91,10 @@ let tag = function
   | Reintegration_offer _ -> "reintegration-offer"
   | Snapshot_restored _ -> "snapshot-restored"
   | Reintegration_done _ -> "reintegration-done"
+  | Hv_fault _ -> "hv-fault"
+  | Hv_detected _ -> "hv-detected"
+  | Microreboot_done _ -> "microreboot-done"
+  | Recovery_escalated _ -> "recovery-escalated"
   | Ch_send _ -> "ch-send"
   | Ch_deliver _ -> "ch-deliver"
   | Ch_drop _ -> "ch-drop"
@@ -136,6 +149,15 @@ let fields = function
     [ ("epoch", Int epoch); ("bytes", Int bytes) ]
   | Snapshot_restored { epoch } | Reintegration_done { epoch } ->
     [ ("epoch", Int epoch) ]
+  | Hv_fault { kind } -> [ ("kind", Str kind) ]
+  | Hv_detected { by } -> [ ("by", Str by) ]
+  | Microreboot_done { epoch; reconciled_ios; reconciled_msgs } ->
+    [
+      ("epoch", Int epoch);
+      ("reconciled_ios", Int reconciled_ios);
+      ("reconciled_msgs", Int reconciled_msgs);
+    ]
+  | Recovery_escalated { reason } -> [ ("reason", Str reason) ]
   | Ch_send { seq; bytes } -> [ ("seq", Int seq); ("bytes", Int bytes) ]
   | Ch_deliver { seq } -> [ ("seq", Int seq) ]
   | Ch_drop { seq; bytes; reason } ->

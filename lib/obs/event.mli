@@ -56,6 +56,23 @@ type t =
   | Reintegration_offer of { epoch : int; bytes : int }
   | Snapshot_restored of { epoch : int }
   | Reintegration_done of { epoch : int }
+  | Hv_fault of { kind : string }
+      (** A hypervisor fault was seeded: ["crash"], ["hang"] or
+          ["corrupt-*"] (ReHype extension). *)
+  | Hv_detected of { by : string }
+      (** Detection: ["panic"] (crash), ["watchdog"] (hang) or
+          ["integrity"] (corruption caught by the recovery-block
+          audit).  Opens the ["recovery"] span. *)
+  | Microreboot_done of {
+      epoch : int;
+      reconciled_ios : int;
+      reconciled_msgs : int;
+    }
+      (** The in-place reboot finished reconciliation: parked disk
+          completions delivered, dropped channel traffic resynced. *)
+  | Recovery_escalated of { reason : string }
+      (** In-place recovery gave up (double fault or exhausted reboot
+          budget); the node fail-stops and failover takes over. *)
   | Ch_send of { seq : int; bytes : int }
   | Ch_deliver of { seq : int }
   | Ch_drop of { seq : int; bytes : int; reason : drop_reason }

@@ -34,6 +34,7 @@ let lane_of_cat = function
   | "ack-wait" -> Some 2
   | "rtx-chain" -> Some 3
   | "failover" -> Some 4
+  | "recovery" -> Some 5
   | _ -> None (* async: intr-delay, msg-rtt *)
 
 let build_tracks entries =

@@ -13,7 +13,11 @@ let closed s = s.t1 <> None
 let duration s =
   match s.t1 with Some t1 -> Some (Time.diff t1 s.t0) | None -> None
 
-let categories = [ "epoch"; "ack-wait"; "intr-delay"; "msg-rtt"; "rtx-chain"; "failover" ]
+let categories =
+  [
+    "epoch"; "ack-wait"; "intr-delay"; "msg-rtt"; "rtx-chain"; "failover";
+    "recovery";
+  ]
 
 (* One forward pass over the (time-ordered) entries.  Begin events
    open a keyed slot; the matching end event closes it.  A re-begin on
@@ -52,6 +56,9 @@ let of_entries entries =
      submitted by the promoted node *)
   let crashes = ref [] (* (source, time), newest first *) in
   let promoted_src = ref None in
+  (* recovery: detection opens the span; it runs through the reboot to
+     the first epoch the recovered node completes afterwards *)
+  let rebooted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun { Recorder.time; source; ev } ->
       match ev with
@@ -60,7 +67,20 @@ let of_entries entries =
           ~label:(Printf.sprintf "epoch %d" epoch)
           time
       | Event.Epoch_end { epoch; _ } ->
-        close_ ~cat:"epoch" ~source ~key:epoch time
+        close_ ~cat:"epoch" ~source ~key:epoch time;
+        if Hashtbl.mem rebooted source then begin
+          Hashtbl.remove rebooted source;
+          close_ ~cat:"recovery" ~source ~key:0 time
+        end
+      | Event.Hv_detected { by } ->
+        open_ ~cat:"recovery" ~source ~key:0
+          ~label:(Printf.sprintf "recovery (%s)" by)
+          time
+      | Event.Microreboot_done _ -> Hashtbl.replace rebooted source ()
+      | Event.Recovery_escalated _ ->
+        Hashtbl.remove rebooted source;
+        close_ ~label:"recovery (escalated)" ~cat:"recovery" ~source ~key:0
+          time
       | Event.Ack_wait_begin { at_io; _ } ->
         open_ ~cat:"ack-wait" ~source ~key:0
           ~label:(if at_io then "ack-wait (io)" else "ack-wait (boundary)")
@@ -203,3 +223,90 @@ let failovers entries =
     entries;
   finish ();
   List.rev !done_
+
+type recovery = {
+  node : string;
+  fault_kind : string;
+  fault_time : Time.t;
+  detected_by : string option;
+  detect_time : Time.t option;
+  reboot_time : Time.t option;
+  first_epoch_time : Time.t option;
+  r_reconciled_ios : int;
+  r_reconciled_msgs : int;
+  escalated : bool;
+}
+
+(* Post-mortem recovery timelines, one per seeded hypervisor fault:
+   injection, detection (panic / watchdog / integrity audit), the
+   microreboot's completion with its reconciliation counts, and the
+   first epoch the recovered node completes afterwards.  Tracked per
+   node: both hypervisors can be recovering at once. *)
+let recoveries entries =
+  let done_ = ref [] in
+  let current : (string, recovery) Hashtbl.t = Hashtbl.create 4 in
+  let finish source =
+    match Hashtbl.find_opt current source with
+    | Some r ->
+      Hashtbl.remove current source;
+      done_ := r :: !done_
+    | None -> ()
+  in
+  List.iter
+    (fun { Recorder.time; source; ev } ->
+      match ev with
+      | Event.Hv_fault { kind } -> (
+        match Hashtbl.find_opt current source with
+        | Some _ ->
+          (* a second fault on a recovering node escalates; the
+             Recovery_escalated event below closes the record *)
+          ()
+        | None ->
+          Hashtbl.replace current source
+            {
+              node = source;
+              fault_kind = kind;
+              fault_time = time;
+              detected_by = None;
+              detect_time = None;
+              reboot_time = None;
+              first_epoch_time = None;
+              r_reconciled_ios = 0;
+              r_reconciled_msgs = 0;
+              escalated = false;
+            })
+      | Event.Hv_detected { by } -> (
+        match Hashtbl.find_opt current source with
+        | Some r when r.detect_time = None ->
+          Hashtbl.replace current source
+            { r with detected_by = Some by; detect_time = Some time }
+        | _ -> ())
+      | Event.Microreboot_done { reconciled_ios; reconciled_msgs; _ } -> (
+        match Hashtbl.find_opt current source with
+        | Some r ->
+          Hashtbl.replace current source
+            {
+              r with
+              reboot_time = Some time;
+              r_reconciled_ios = reconciled_ios;
+              r_reconciled_msgs = reconciled_msgs;
+            }
+        | None -> ())
+      | Event.Epoch_end _ -> (
+        match Hashtbl.find_opt current source with
+        | Some r when r.reboot_time <> None ->
+          Hashtbl.replace current source
+            { r with first_epoch_time = Some time };
+          finish source
+        | _ -> ())
+      | Event.Recovery_escalated _ -> (
+        match Hashtbl.find_opt current source with
+        | Some r ->
+          Hashtbl.replace current source { r with escalated = true };
+          finish source
+        | None -> ())
+      | _ -> ())
+    entries;
+  (* faults still mid-recovery when the record ends stay reported *)
+  Hashtbl.iter (fun _ r -> done_ := r :: !done_) current;
+  List.sort (fun a b -> Time.compare a.fault_time b.fault_time) !done_

@@ -12,6 +12,9 @@
       the ack (or give-up) that ends it.
     - ["failover"]  — a {!Event.Crash} to the promoted survivor's
       first {!Event.Io_submit}.
+    - ["recovery"]  — {!Event.Hv_detected} to the first
+      {!Event.Epoch_end} the node completes after its
+      {!Event.Microreboot_done} (or to {!Event.Recovery_escalated}).
 
     Spans without a matching end (a crash mid-epoch, an interrupt
     never delivered) are kept with [t1 = None]. *)
@@ -51,3 +54,22 @@ type failover = {
 val failovers : Recorder.entry list -> failover list
 (** Post-mortem failover timelines, one per observed crash, in crash
     order. *)
+
+type recovery = {
+  node : string;
+  fault_kind : string;
+  fault_time : Hft_sim.Time.t;
+  detected_by : string option;
+  detect_time : Hft_sim.Time.t option;
+  reboot_time : Hft_sim.Time.t option;
+  first_epoch_time : Hft_sim.Time.t option;
+  r_reconciled_ios : int;
+  r_reconciled_msgs : int;
+  escalated : bool;
+}
+
+val recoveries : Recorder.entry list -> recovery list
+(** Post-mortem recovery timelines, one per seeded hypervisor fault,
+    in injection order: injection, detection, microreboot completion
+    (with reconciliation counts) and first post-reboot epoch — or
+    [escalated] when in-place recovery gave up. *)

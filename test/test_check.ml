@@ -26,6 +26,19 @@ let handoff_fixpoint () =
     "dpor actually pruned" true
     (r.Checker.r_stats.Checker.sleep_skipped > 0)
 
+(* The ReHype extension pinned exhaustively: every interleaving of a
+   mid-epoch hypervisor crash / hang / corruption with the guest's
+   console output must heal by in-place microreboot with no
+   guest-visible divergence (exact-console + lockstep invariants) and
+   no protocol progress while the faulted hypervisor is down.  The
+   state count is pinned so a change to the recovery state machine is
+   a visible diff, not silent drift. *)
+let hv_crash_fixpoint () =
+  let r = explore "hv-crash" ~variant:Scenarios.correct in
+  Alcotest.(check bool) "fixpoint" true r.Checker.r_complete;
+  Alcotest.(check int) "no violations" 0 (List.length r.Checker.r_violations);
+  Alcotest.(check int) "states pinned" 952 r.Checker.r_stats.Checker.states
+
 (* PR 1's failover-during-reintegration-snapshot bug, pinned
    exhaustively: every single-loss schedule across the reintegration
    handshake must satisfy the invariants. *)
@@ -135,6 +148,8 @@ let () =
       ( "scenarios",
         [
           test_case "handoff explored to fixpoint" `Quick handoff_fixpoint;
+          test_case "hv-crash microreboot explored to fixpoint" `Quick
+            hv_crash_fixpoint;
           test_case "reintegration-loss regression pin" `Quick
             reintegration_regression;
           test_case "correct variant survives crash-loss" `Quick
