@@ -185,6 +185,8 @@ let print_outcome (o : System.outcome) =
     [ o.System.primary_stats; o.System.backup_stats ];
   Hft_harness.Report.host_hashing
     [ o.System.primary_stats; o.System.backup_stats ];
+  Hft_harness.Report.certification
+    [ o.System.primary_stats; o.System.backup_stats ];
   Format.printf "disk history   : %s@."
     (if o.System.disk_consistent then "single-processor consistent"
      else "INCONSISTENT");
@@ -1002,10 +1004,42 @@ let lint_cmd =
       & info [ "json" ] ~docv:"PATH"
           ~doc:
             "Write the findings as machine-readable JSON \
-             (schema hftsim-lint/1) to PATH; $(b,-) writes JSON to stdout \
+             (schema hftsim-lint/2, including a per-image compilation \
+             manifest summary) to PATH; $(b,-) writes JSON to stdout \
              and suppresses the human report.")
   in
-  let lint_one ~quiet ~title ~rewritten ~rewrite_el ~data_init program =
+  let manifest_arg =
+    Arg.(
+      value & flag
+      & info [ "manifest" ]
+          ~doc:
+            "Print each image's compilation-manifest summary (certified \
+             blocks/superblocks, coverage, indirect-jump resolution) and \
+             validate any manifest embedded in a loaded image against the \
+             analyzed code.")
+  in
+  let manifest_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest-out" ] ~docv:"PATH"
+          ~doc:
+            "Write the compilation manifest(s) as JSON: schema \
+             hftsim-manifest/1 for a single image, hftsim-manifest-set/1 \
+             (one manifest per analyzed image) with $(b,--all).")
+  in
+  let manifest_baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare certification against a committed manifest-set \
+             baseline: exit non-zero if any image in both sets lost \
+             certified blocks, certified superblocks, or static coverage.")
+  in
+  let lint_one ~quiet ~title ~rewritten ~rewrite_el ~data_init ?embedded
+      program =
     let program, rewritten =
       match rewrite_el with
       | Some el -> (Hft_machine.Rewrite.rewrite_program ~every:el program, true)
@@ -1013,7 +1047,20 @@ let lint_cmd =
     in
     let fs = Hft_analysis.Analysis.check ~rewritten ~data_init program in
     if not quiet then Hft_harness.Report.findings ~title fs;
-    (title, fs)
+    let manifest = Hft_analysis.Manifest.of_program ~rewritten program in
+    (* an image file may carry a manifest from an earlier compilation:
+       check it against the code we just analyzed *)
+    let embedded_status =
+      Option.map
+        (fun s ->
+          match Hft_analysis.Manifest.of_string s with
+          | Error e -> Error (Printf.sprintf "unparseable (%s)" e)
+          | Ok em ->
+            Hft_analysis.Manifest.validate
+              ~code:program.Hft_machine.Asm.code em)
+        embedded
+    in
+    (title, fs, manifest, embedded_status)
   in
   let lint_json runs =
     let b = Buffer.create 1024 in
@@ -1027,9 +1074,28 @@ let lint_cmd =
              | c -> String.make 1 c)
            (List.init (String.length s) (String.get s)))
     in
-    Buffer.add_string b "{\n  \"schema\": \"hftsim-lint/1\",\n  \"images\": [";
+    let manifest_summary (m : Hft_analysis.Manifest.t) =
+      Printf.sprintf
+        "{\"image_hash\": \"0x%x\", \"instructions\": %d, \"blocks\": %d, \
+         \"certified_blocks\": %d, \"superblocks\": %d, \
+         \"certified_superblocks\": %d, \"static_coverage\": %.4f, \
+         \"jr_sites\": %d, \"jr_unresolved\": %d, \
+         \"jr_resolved_by_vsa\": %d, \"fixpoint_iterations\": %d}"
+        m.Hft_analysis.Manifest.image_hash
+        m.Hft_analysis.Manifest.instructions
+        (List.length m.Hft_analysis.Manifest.blocks)
+        (Hft_analysis.Manifest.certified_blocks m)
+        (List.length m.Hft_analysis.Manifest.superblocks)
+        (Hft_analysis.Manifest.certified_superblocks m)
+        (Hft_analysis.Manifest.static_coverage m)
+        m.Hft_analysis.Manifest.jr_sites
+        m.Hft_analysis.Manifest.jr_unresolved
+        m.Hft_analysis.Manifest.jr_resolved_by_vsa
+        m.Hft_analysis.Manifest.fixpoint_iterations
+    in
+    Buffer.add_string b "{\n  \"schema\": \"hftsim-lint/2\",\n  \"images\": [";
     List.iteri
-      (fun i (title, fs) ->
+      (fun i (title, fs, manifest, _) ->
         if i > 0 then Buffer.add_string b ",";
         Buffer.add_string b
           (Printf.sprintf "\n    {\"title\": \"%s\", \"findings\": [" (esc title));
@@ -1048,10 +1114,12 @@ let lint_cmd =
                  (esc f.Hft_analysis.Finding.message)))
           fs;
         if fs <> [] then Buffer.add_string b "\n    ";
-        Buffer.add_string b "]}")
+        Buffer.add_string b "],\n     \"manifest\": ";
+        Buffer.add_string b (manifest_summary manifest);
+        Buffer.add_string b "}")
       runs;
     Buffer.add_string b "\n  ],\n";
-    let all = List.concat_map snd runs in
+    let all = List.concat_map (fun (_, fs, _, _) -> fs) runs in
     let errors = List.length (Hft_analysis.Finding.errors all) in
     let warnings = List.length (Hft_analysis.Finding.warnings all) in
     Buffer.add_string b
@@ -1060,7 +1128,84 @@ let lint_cmd =
          errors warnings (List.length all));
     Buffer.contents b
   in
-  let action workload all image rewrite_el rewritten strict json =
+  (* A committed manifest-set baseline: certification must not regress
+     for any image present in both sets.  New images are fine (they
+     extend the baseline); a disappeared image is a regression. *)
+  let baseline_regressions ~path runs =
+    let module J = Hft_obs.Json in
+    let module M = Hft_analysis.Manifest in
+    let ic = open_in path in
+    let doc =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> In_channel.input_all ic)
+    in
+    match J.parse doc with
+    | Error e -> [ Printf.sprintf "baseline %s: parse error: %s" path e ]
+    | Ok j ->
+      let entries =
+        match J.member "images" j |> Option.map J.to_list_opt with
+        | Some (Some l) -> l
+        | _ -> []
+      in
+      let baseline =
+        List.filter_map
+          (fun e ->
+            match
+              ( J.member "title" e |> Option.map J.to_string_opt,
+                J.member "manifest" e )
+            with
+            | Some (Some title), Some mj -> (
+              match M.of_json mj with
+              | Ok m -> Some (title, m)
+              | Error _ -> None)
+            | _ -> None)
+          entries
+      in
+      List.concat_map
+        (fun (title, old) ->
+          match
+            List.find_opt (fun (t, _, _, _) -> t = title) runs
+          with
+          | None ->
+            [ Printf.sprintf "%s: present in baseline, not analyzed" title ]
+          | Some (_, _, m, _) ->
+            let check what o n =
+              if n < o then
+                [ Printf.sprintf "%s: %s regressed %d -> %d" title what o n ]
+              else []
+            in
+            check "certified blocks" (M.certified_blocks old)
+              (M.certified_blocks m)
+            @ check "certified superblocks"
+                (M.certified_superblocks old)
+                (M.certified_superblocks m)
+            @
+            if M.static_coverage m < M.static_coverage old -. 1e-9 then
+              [
+                Printf.sprintf "%s: static coverage regressed %.4f -> %.4f"
+                  title (M.static_coverage old) (M.static_coverage m);
+              ]
+            else [])
+        baseline
+  in
+  let manifest_set_json runs =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n  \"schema\": \"hftsim-manifest-set/1\",\n";
+    Buffer.add_string b "  \"images\": [";
+    List.iteri
+      (fun i (title, _, m, _) ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf "\n    {\"title\": %S,\n     \"manifest\": %s}"
+             title
+             (Hft_analysis.Manifest.to_json m)))
+      runs;
+    Buffer.add_string b "\n  ]\n}\n";
+    Buffer.contents b
+  in
+  let action workload all image rewrite_el rewritten strict json manifest
+      manifest_out manifest_baseline =
     let quiet = json = Some "-" in
     let runs =
       if all then
@@ -1089,10 +1234,12 @@ let lint_cmd =
       else
         match image with
         | Some path ->
-          let program = Hft_machine.Image.load ~path in
+          let program, embedded =
+            Hft_machine.Image.load_with_manifest ~path
+          in
           [
             lint_one ~quiet ~title:path ~rewritten ~rewrite_el ~data_init:[]
-              program;
+              ?embedded program;
           ]
         | None ->
           [
@@ -1102,6 +1249,16 @@ let lint_cmd =
               workload.Hft_guest.Workload.program;
           ]
     in
+    if manifest && not quiet then
+      List.iter
+        (fun (title, _, m, embedded) ->
+          Format.printf "%s: %a@." title Hft_analysis.Manifest.pp_summary m;
+          match embedded with
+          | None -> ()
+          | Some (Ok ()) -> Format.printf "%s: embedded manifest valid@." title
+          | Some (Error e) ->
+            Format.printf "%s: embedded manifest STALE: %s@." title e)
+        runs;
     (match json with
     | Some "-" -> print_string (lint_json runs)
     | Some path ->
@@ -1110,7 +1267,35 @@ let lint_cmd =
       close_out oc;
       Format.printf "wrote %s@." path
     | None -> ());
-    let findings = List.concat_map snd runs in
+    (match manifest_out with
+    | None -> ()
+    | Some path ->
+      let doc =
+        match runs with
+        | [ (_, _, m, _) ] -> Hft_analysis.Manifest.to_json m ^ "\n"
+        | _ -> manifest_set_json runs
+      in
+      if path = "-" then print_string doc
+      else begin
+        let oc = open_out path in
+        output_string oc doc;
+        close_out oc;
+        if not quiet then Format.printf "wrote %s@." path
+      end);
+    let regressions =
+      match manifest_baseline with
+      | None -> []
+      | Some path -> baseline_regressions ~path runs
+    in
+    if (not quiet) && regressions <> [] then
+      List.iter (fun r -> Format.eprintf "regression: %s@." r) regressions;
+    let findings = List.concat_map (fun (_, fs, _, _) -> fs) runs in
+    let stale =
+      List.filter_map
+        (fun (title, _, _, e) ->
+          match e with Some (Error _) -> Some title | _ -> None)
+        runs
+    in
     let errors = List.length (Hft_analysis.Finding.errors findings) in
     let warnings = List.length (Hft_analysis.Finding.warnings findings) in
     if (not quiet) && List.length runs > 1 then
@@ -1118,6 +1303,16 @@ let lint_cmd =
         (Hft_analysis.Finding.summary findings);
     if errors > 0 then
       `Error (false, Printf.sprintf "%d lint error(s)" errors)
+    else if stale <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "stale embedded manifest in %s"
+            (String.concat ", " stale) )
+    else if regressions <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "%d certification regression(s) vs baseline"
+            (List.length regressions) )
     else if strict && warnings > 0 then
       `Error (false, Printf.sprintf "%d lint warning(s) with --strict" warnings)
     else `Ok ()
@@ -1126,15 +1321,22 @@ let lint_cmd =
     Term.(
       ret
         (const action $ workload_arg $ all_arg $ image_arg $ rewrite_el
-       $ rewritten_arg $ strict_arg $ json_arg))
+       $ rewritten_arg $ strict_arg $ json_arg $ manifest_arg
+       $ manifest_out_arg $ manifest_baseline_arg))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyze a guest image against the paper's assumptions: \
           privilege/virtualizability (section 3.1), determinism of replica \
-          inputs, and epoch-counting safety (section 2.1).  Exits non-zero \
-          if any error-severity finding is reported.")
+          inputs, and epoch-counting safety (section 2.1).  Also certifies \
+          the image into a compilation manifest (hftsim-manifest/1): \
+          per-block Deterministic/Priv0/Epoch_bounded certificates over \
+          VSA-refined control flow and superblocks \
+          ($(b,--manifest)/$(b,--manifest-out)/$(b,--manifest-baseline)).  \
+          Exits non-zero if any error-severity finding is reported, an \
+          embedded manifest is stale, or certification regressed against \
+          the baseline.")
     term
 
 (* ---------- check ---------- *)
@@ -1540,12 +1742,21 @@ let disasm_cmd =
       & info [ "save" ] ~docv:"FILE"
           ~doc:"Also write the program image to FILE (HFT1 format).")
   in
-  let action workload rewrite_el save_path =
+  let embed_manifest =
+    Arg.(
+      value & flag
+      & info [ "embed-manifest" ]
+          ~doc:
+            "Analyze the image and embed its compilation manifest \
+             (hftsim-manifest/1) in the saved file's $(b,M) line, so \
+             loaders can validate it against the code before running.")
+  in
+  let action workload rewrite_el save_path embed_manifest =
     let program = workload.Hft_guest.Workload.program in
-    let program =
+    let program, rewritten =
       match rewrite_el with
-      | Some el -> Hft_machine.Rewrite.rewrite_program ~every:el program
-      | None -> program
+      | Some el -> (Hft_machine.Rewrite.rewrite_program ~every:el program, true)
+      | None -> (program, false)
     in
     Format.printf "%a" Hft_machine.Asm.pp_program program;
     Format.printf "; %d instructions, image hash 0x%x@."
@@ -1553,14 +1764,22 @@ let disasm_cmd =
       (Hft_machine.Encode.program_hash program.Hft_machine.Asm.code);
     match save_path with
     | Some path ->
-      Hft_machine.Image.save ~path program;
-      Format.printf "; image written to %s@." path
+      let manifest =
+        if embed_manifest then
+          Some
+            (Hft_analysis.Manifest.to_json
+               (Hft_analysis.Manifest.of_program ~rewritten program))
+        else None
+      in
+      Hft_machine.Image.save ?manifest ~path program;
+      Format.printf "; image written to %s%s@." path
+        (if embed_manifest then " (manifest embedded)" else "")
     | None -> ()
   in
   Cmd.v
     (Cmd.info "disasm"
        ~doc:"Print a workload's program listing (optionally rewritten).")
-    Term.(const action $ workload_arg $ rewrite_el $ save_path)
+    Term.(const action $ workload_arg $ rewrite_el $ save_path $ embed_manifest)
 
 let () =
   let doc =

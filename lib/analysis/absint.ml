@@ -8,17 +8,57 @@ module type DOMAIN = sig
   val transfer : int -> Isa.instr -> state -> state
 end
 
+(* Worklist keyed by (reverse-postorder rank, address): popping the
+   minimum processes nodes in roughly topological order, so loop
+   bodies stabilize before their back edges re-queue the header. *)
+module Work = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+let rpo_ranks (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.code in
+  let rank = Array.make n max_int in
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec visit a =
+    if not visited.(a) then begin
+      visited.(a) <- true;
+      List.iter visit cfg.Cfg.succs.(a);
+      post := a :: !post
+    end
+  in
+  List.iter visit cfg.Cfg.roots;
+  (* [post] accumulates head-first, so it is already reverse postorder. *)
+  List.iteri (fun i a -> rank.(a) <- i) !post;
+  rank
+
 module Make (D : DOMAIN) = struct
-  let solve (cfg : Cfg.t) ~entries =
+  let solve ?stats ?(order = `Rpo) (cfg : Cfg.t) ~entries =
     let n = Array.length cfg.Cfg.code in
     let states = Array.make n None in
-    let work = Queue.create () in
+    let rank = match order with `Fifo -> [||] | `Rpo -> rpo_ranks cfg in
     let queued = Array.make n false in
+    let fifo = Queue.create () in
+    let heap = ref Work.empty in
     let push a =
       if not queued.(a) then begin
         queued.(a) <- true;
-        Queue.push a work
+        match order with
+        | `Fifo -> Queue.push a fifo
+        | `Rpo -> heap := Work.add (rank.(a), a) !heap
       end
+    in
+    let pop () =
+      match order with
+      | `Fifo -> if Queue.is_empty fifo then None else Some (Queue.pop fifo)
+      | `Rpo -> (
+        match Work.min_elt_opt !heap with
+        | None -> None
+        | Some ((_, a) as e) ->
+          heap := Work.remove e !heap;
+          Some a)
     in
     let update a s =
       match states.(a) with
@@ -33,15 +73,23 @@ module Make (D : DOMAIN) = struct
         end
     in
     List.iter (fun (a, s) -> if a >= 0 && a < n then update a s) entries;
-    while not (Queue.is_empty work) do
-      let a = Queue.pop work in
-      queued.(a) <- false;
-      match states.(a) with
+    let rec drain () =
+      match pop () with
       | None -> ()
-      | Some s ->
-        let out = D.transfer a cfg.Cfg.code.(a) s in
-        List.iter (fun succ -> update succ out) cfg.Cfg.succs.(a)
-    done;
+      | Some a ->
+        queued.(a) <- false;
+        (match states.(a) with
+        | None -> ()
+        | Some s ->
+          (match stats with
+          | None -> ()
+          | Some st ->
+            st.Finding.fixpoint_iterations <- st.Finding.fixpoint_iterations + 1);
+          let out = D.transfer a cfg.Cfg.code.(a) s in
+          List.iter (fun succ -> update succ out) cfg.Cfg.succs.(a));
+        drain ()
+    in
+    drain ();
     states
 end
 
@@ -134,8 +182,8 @@ module Consts = struct
 
   module Solver = Make (D)
 
-  let solve cfg =
+  let solve ?stats ?order cfg =
     let top () = Array.make Isa.num_regs Value.Top in
     let entries = List.map (fun r -> (r, top ())) cfg.Cfg.roots in
-    Solver.solve cfg ~entries
+    Solver.solve ?stats ?order cfg ~entries
 end

@@ -19,9 +19,23 @@ module type DOMAIN = sig
       [instr] at [addr] in pre-state [s]. *)
 end
 
+val rpo_ranks : Cfg.t -> int array
+(** Reverse-postorder rank of every instruction over the CFG's
+    successor edges from its roots; [max_int] on unreachable code. *)
+
 module Make (D : DOMAIN) : sig
-  val solve : Cfg.t -> entries:(int * D.state) list -> D.state option array
-  (** In-state of every instruction; [None] if no entry reaches it. *)
+  val solve :
+    ?stats:Finding.stats ->
+    ?order:[ `Fifo | `Rpo ] ->
+    Cfg.t ->
+    entries:(int * D.state) list ->
+    D.state option array
+  (** In-state of every instruction; [None] if no entry reaches it.
+      [order] picks the worklist discipline: [`Rpo] (default) pops the
+      pending node with the smallest reverse-postorder rank so loop
+      bodies stabilize before back edges re-queue their header; [`Fifo]
+      is the naive queue, kept for differential iteration-count tests.
+      [stats] counts transfer-function applications. *)
 end
 
 (** The value lattice: bottom, a known constant, a value carrying the
@@ -43,10 +57,16 @@ end
 module Consts : sig
   type state = Value.t array  (** indexed by register *)
 
-  val solve : Cfg.t -> state option array
+  val solve :
+    ?stats:Finding.stats -> ?order:[ `Fifo | `Rpo ] -> Cfg.t ->
+    state option array
   (** In-states seeded [Top]-everywhere at each {!Cfg.t.roots}. *)
 
   val reg : state option -> int -> Value.t
   (** [reg st r]: [r]'s abstract value, [Top] when the state is
       unavailable; [Const 0] for register 0. *)
+
+  val word_alu : Hft_machine.Isa.alu_op -> int -> int -> int
+  (** Concrete 32-bit ALU semantics, shared with the value-set
+      analysis ({!Vsa}). *)
 end

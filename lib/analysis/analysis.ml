@@ -12,19 +12,28 @@ let cfg_findings ~syms (cfg : Cfg.t) =
            (Array.length cfg.Cfg.code)))
     cfg.Cfg.bad_targets
 
-let check ?(rewritten = false) ?(random_tlb = false) ?(data_init = [])
+let check ?stats ?(rewritten = false) ?(random_tlb = false) ?(data_init = [])
     ?mmio_base (p : Asm.program) =
-  let cfg = Cfg.of_program p in
+  let coarse = Cfg.of_program p in
+  (* Value-set analysis first: enumerating indirect-jump targets the
+     flow-insensitive candidate sets could not resolve shrinks the CFG
+     every checker then runs on (fewer spurious edges, fewer
+     unresolved-Jr epoch errors). *)
+  let vsa = Vsa.solve ?stats coarse in
+  let cfg = Vsa.refine coarse vsa in
   let syms = Symtab.of_program p in
-  let consts = Absint.Consts.solve cfg in
+  let consts = Absint.Consts.solve ?stats cfg in
   let findings =
     cfg_findings ~syms cfg
-    @ Privilege.check ~syms cfg consts
-    @ Determinism.check ~syms ~rewritten ~random_tlb ~data_init ?mmio_base cfg
-        consts
+    @ Privilege.check ?stats ~syms cfg consts
+    @ Determinism.check ?stats ~syms ~rewritten ~random_tlb ~data_init
+        ?mmio_base cfg consts
     @ Epoch.check ~syms ~rewritten cfg
   in
-  List.stable_sort Finding.compare findings
+  (* [sort_uniq]: a location reachable from several roots (trap vector
+     plus fall-through) or a sink consuming the same register twice
+     can produce byte-identical findings; report each once. *)
+  List.sort_uniq Finding.compare findings
 
 let pp_report fmt findings =
   List.iter (fun f -> Format.fprintf fmt "%a@." Finding.pp f) findings;

@@ -20,6 +20,7 @@
     line, exiting non-zero on errors. *)
 
 val check :
+  ?stats:Finding.stats ->
   ?rewritten:bool ->
   ?random_tlb:bool ->
   ?data_init:int list ->
@@ -29,7 +30,12 @@ val check :
 (** [data_init] lists addresses the host writes before boot (a
     workload's [config] addresses); defaults are [rewritten:false],
     [random_tlb:false], [data_init:[]], and the default CPU
-    configuration's [mmio_base]. *)
+    configuration's [mmio_base].  [stats] accumulates the fixpoint
+    iteration counts of every solver run.  Control flow is first
+    refined by value-set analysis ({!Vsa}), so indirect jumps whose
+    targets it enumerates no longer widen the CFG or trip the epoch
+    checker.  Byte-identical findings (one location reachable from
+    several roots) are reported once. *)
 
 val pp_report : Format.formatter -> Finding.t list -> unit
 (** The full lint report: one {!Finding.pp} line per finding and a

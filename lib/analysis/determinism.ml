@@ -29,6 +29,8 @@ module Init = struct
     match def i with Some rd -> s lor (1 lsl rd) | None -> s
 end
 
+let def = Init.def
+
 let uses (i : Isa.instr) =
   match i with
   | Isa.Alu (_, _, r1, r2) | Isa.Br (_, r1, r2, _) | Isa.Tlbw (r1, r2) ->
@@ -40,21 +42,25 @@ let uses (i : Isa.instr) =
   | Isa.St (rv, rb, _) -> [ rv; rb ]
   | _ -> []
 
-let check ?(syms = Symtab.empty) ?(rewritten = false) ?(random_tlb = false)
-    ?(data_init = []) ?(mmio_base = Cpu.default_config.Cpu.mmio_base)
-    (cfg : Cfg.t) consts =
+(* Boot enters with only r0 defined — plus, under object-code
+   editing, the counter register the hypervisor seeds with the epoch
+   length before the guest starts.  A trap root inherits the
+   interrupted context, which replicas agree on. *)
+let boot_mask ~rewritten =
+  1 lor if rewritten then 1 lsl Rewrite.counter_reg else 0
+
+let init_solve ?stats ~rewritten (cfg : Cfg.t) =
   let module S = Absint.Make (Init) in
-  (* Boot enters with only r0 defined — plus, under object-code
-     editing, the counter register the hypervisor seeds with the epoch
-     length before the guest starts.  A trap root inherits the
-     interrupted context, which replicas agree on. *)
-  let boot_mask =
-    1 lor if rewritten then 1 lsl Rewrite.counter_reg else 0
-  in
+  let bm = boot_mask ~rewritten in
   let entries =
-    List.map (fun r -> (r, if r = 0 then boot_mask else all_regs)) cfg.Cfg.roots
+    List.map (fun r -> (r, if r = 0 then bm else all_regs)) cfg.Cfg.roots
   in
-  let init = S.solve cfg ~entries in
+  S.solve ?stats cfg ~entries
+
+let check ?stats ?(syms = Symtab.empty) ?(rewritten = false)
+    ?(random_tlb = false) ?(data_init = [])
+    ?(mmio_base = Cpu.default_config.Cpu.mmio_base) (cfg : Cfg.t) consts =
+  let init = init_solve ?stats ~rewritten cfg in
   let findings = ref [] in
   let add severity addr msg =
     findings :=

@@ -25,7 +25,23 @@
       replacement policy is random, so insertions evict different
       entries on primary and backup. *)
 
+val def : Hft_machine.Isa.instr -> int option
+(** The register an instruction writes, if any. *)
+
+val uses : Hft_machine.Isa.instr -> int list
+(** Registers an instruction reads (with duplicates; register 0 is
+    always initialized and callers filter it). *)
+
+val init_solve :
+  ?stats:Finding.stats -> rewritten:bool -> Cfg.t -> int option array
+(** Per-instruction must-initialized register bitmask (bit [r] set iff
+    [r] is written on every path from its roots to the instruction);
+    [None] on unreachable code.  Boot enters with r0 only (plus the
+    counter register when [rewritten]); trap roots start fully
+    initialized. *)
+
 val check :
+  ?stats:Finding.stats ->
   ?syms:Symtab.t ->
   ?rewritten:bool ->
   ?random_tlb:bool ->

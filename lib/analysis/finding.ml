@@ -45,3 +45,7 @@ let summary fs =
 let pp fmt f =
   Format.fprintf fmt "%s %s %s: %s" (severity_name f.severity) f.checker
     f.where f.message
+
+type stats = { mutable fixpoint_iterations : int }
+
+let new_stats () = { fixpoint_iterations = 0 }

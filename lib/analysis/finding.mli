@@ -43,3 +43,12 @@ val summary : t list -> string
 
 val pp : Format.formatter -> t -> unit
 (** One line: [error privilege k_user+2: message]. *)
+
+(** Analysis-cost accounting shared by the fixpoint solvers: how many
+    transfer-function applications the worklist performed before
+    stabilizing.  The reverse-postorder iteration order keeps this
+    measurably lower than FIFO on loopy images; [hftsim lint --json]
+    surfaces the total. *)
+type stats = { mutable fixpoint_iterations : int }
+
+val new_stats : unit -> stats

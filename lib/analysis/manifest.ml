@@ -1,0 +1,446 @@
+open Hft_machine
+
+let schema = "hftsim-manifest/1"
+
+type cert = Deterministic | Priv0 | Epoch_bounded of int
+
+type block = { leader : int; len : int; certs : cert list; region : int }
+
+type superblock = {
+  sid : int;
+  head : int;
+  members : int list;
+  bound : int option;
+  certified : bool;
+}
+
+type t = {
+  image_hash : int;
+  instructions : int;
+  rewritten : bool;
+  random_tlb : bool;
+  mmio_base : int;
+  blocks : block list;
+  superblocks : superblock list;
+  fixpoint_iterations : int;
+  jr_sites : int;
+  jr_unresolved : int;
+  jr_resolved_by_vsa : int;
+}
+
+let cert_name = function
+  | Deterministic -> "deterministic"
+  | Priv0 -> "priv0"
+  | Epoch_bounded n -> Printf.sprintf "epoch_bounded:%d" n
+
+let cert_of_name s =
+  match s with
+  | "deterministic" -> Ok Deterministic
+  | "priv0" -> Ok Priv0
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "epoch_bounded"
+           && int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+              <> None ->
+      Ok
+        (Epoch_bounded
+           (int_of_string (String.sub s (i + 1) (String.length s - i - 1))))
+    | _ -> Error (Printf.sprintf "unknown certificate %S" s))
+
+let certified_blocks t =
+  List.length (List.filter (fun b -> b.certs <> []) t.blocks)
+
+let certified_superblocks t =
+  List.length (List.filter (fun s -> s.certified) t.superblocks)
+
+(* Fraction of the reachable instructions covered by certified
+   superblocks: what the runtime coverage counters converge to on a
+   workload that spends its time inside certified code. *)
+let static_coverage t =
+  let reachable = List.fold_left (fun acc b -> acc + b.len) 0 t.blocks in
+  if reachable = 0 then 0.
+  else begin
+    let in_cert = Hashtbl.create 16 in
+    List.iter
+      (fun s -> if s.certified then Hashtbl.replace in_cert s.sid ())
+      t.superblocks;
+    let covered =
+      List.fold_left
+        (fun acc b ->
+          if b.region >= 0 && Hashtbl.mem in_cert b.region then acc + b.len
+          else acc)
+        0 t.blocks
+    in
+    float_of_int covered /. float_of_int reachable
+  end
+
+let of_code ?(rewritten = false) ?(random_tlb = false)
+    ?(mmio_base = Cpu.default_config.Cpu.mmio_base) ?(code_refs = []) code =
+  let stats = Finding.new_stats () in
+  let coarse = Cfg.build ~code_refs code in
+  let vsa = Vsa.solve ~stats coarse in
+  let cfg = Vsa.refine coarse vsa in
+  let consts = Absint.Consts.solve ~stats cfg in
+  let privs = Privilege.solve ~stats cfg consts in
+  let init = Determinism.init_solve ~stats ~rewritten cfg in
+  let dom = Domtree.build cfg in
+  let sb = Superblock.discover cfg dom in
+  let nb = dom.Domtree.nblocks in
+  let det_ok = Array.make nb true in
+  let priv0_ok = Array.make nb true in
+  for b = 0 to nb - 1 do
+    let l = dom.Domtree.leaders.(b) in
+    for a = l to l + dom.Domtree.lens.(b) - 1 do
+      let uses_init =
+        match init.(a) with
+        | None -> false
+        | Some mask ->
+          List.for_all
+            (fun r -> r = 0 || mask land (1 lsl r) <> 0)
+            (Determinism.uses code.(a))
+      in
+      let instr_det =
+        match code.(a) with
+        | Isa.Probe _ -> false
+        | Isa.Tlbw _ -> not random_tlb
+        | Isa.Ld (_, rb, off) -> (
+          match Vsa.addr_range (Vsa.value_at vsa ~addr:a ~reg:rb) off with
+          | Some (_, hi) -> hi < mmio_base
+          | None -> false)
+        | _ -> true
+      in
+      if not (uses_init && instr_det) then det_ok.(b) <- false;
+      (match privs.(a) with
+      | Some 1 -> () (* only level 0 reaches *)
+      | _ -> priv0_ok.(b) <- false)
+    done
+  done;
+  let bounds =
+    Array.map (fun r -> Superblock.bound dom r) sb.Superblock.regions
+  in
+  let cert_list b =
+    let r = sb.Superblock.region_of.(b) in
+    List.concat
+      [
+        (if det_ok.(b) then [ Deterministic ] else []);
+        (if priv0_ok.(b) then [ Priv0 ] else []);
+        (match if r >= 0 then bounds.(r) else None with
+        | Some n -> [ Epoch_bounded n ]
+        | None -> []);
+      ]
+  in
+  let blocks =
+    List.init nb (fun b ->
+        {
+          leader = dom.Domtree.leaders.(b);
+          len = dom.Domtree.lens.(b);
+          certs = cert_list b;
+          region = sb.Superblock.region_of.(b);
+        })
+  in
+  let superblocks =
+    Array.to_list sb.Superblock.regions
+    |> List.map (fun (r : Superblock.region) ->
+           {
+             sid = r.Superblock.id;
+             head = dom.Domtree.leaders.(r.Superblock.head);
+             members =
+               List.map (fun b -> dom.Domtree.leaders.(b)) r.Superblock.blocks;
+             bound = bounds.(r.Superblock.id);
+             certified =
+               List.for_all (fun b -> cert_list b <> []) r.Superblock.blocks;
+           })
+  in
+  let jr_sites =
+    let n = ref 0 in
+    Array.iteri
+      (fun a i ->
+        match i with
+        | Isa.Jr _ when cfg.Cfg.reachable.(a) -> incr n
+        | _ -> ())
+      code;
+    !n
+  in
+  {
+    image_hash = Encode.program_hash code;
+    instructions = Array.length code;
+    rewritten;
+    random_tlb;
+    mmio_base;
+    blocks;
+    superblocks;
+    fixpoint_iterations = stats.Finding.fixpoint_iterations;
+    jr_sites;
+    jr_unresolved = List.length cfg.Cfg.jr_unresolved;
+    jr_resolved_by_vsa =
+      List.length coarse.Cfg.jr_unresolved - List.length cfg.Cfg.jr_unresolved;
+  }
+
+let of_program ?rewritten ?random_tlb ?mmio_base (p : Asm.program) =
+  of_code ?rewritten ?random_tlb ?mmio_base ~code_refs:p.Asm.code_refs
+    p.Asm.code
+
+(* Analyzing an image is pure in the image and the analysis knobs, and
+   every hypervisor of every trial of a chaos campaign would otherwise
+   redo it; memoize on the image hash and the knobs. *)
+let cache : (int * bool * bool * int * int, t) Hashtbl.t = Hashtbl.create 8
+
+let of_code_cached ?(rewritten = false) ?(random_tlb = false)
+    ?(mmio_base = Cpu.default_config.Cpu.mmio_base) ?(code_refs = []) code =
+  let key =
+    ( Encode.program_hash code,
+      rewritten,
+      random_tlb,
+      mmio_base,
+      Hashtbl.hash code_refs )
+  in
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+    let m = of_code ~rewritten ~random_tlb ~mmio_base ~code_refs code in
+    Hashtbl.replace cache key m;
+    m
+
+let validate ~code t =
+  if Array.length code <> t.instructions then
+    Error
+      (Printf.sprintf "manifest is for a %d-instruction image, code has %d"
+         t.instructions (Array.length code))
+  else begin
+    let h = Encode.program_hash code in
+    if h <> t.image_hash then
+      Error
+        (Printf.sprintf
+           "stale manifest: image hash 0x%x does not match manifest hash 0x%x"
+           h t.image_hash)
+    else Ok ()
+  end
+
+(* Hand the certificates to the interpreter's runtime validator.
+   [Priv0] is a {e virtual}-level property; under the hypervisor's
+   deprivileging (section 3.1) virtual level 0 runs at real level 1,
+   so the allowed real-privilege mask maps through [deprivileged]. *)
+let install t ~deprivileged cpu =
+  (match validate ~code:(Cpu.code cpu) t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Manifest.install: " ^ msg));
+  let n = t.instructions in
+  let code = Cpu.code cpu in
+  let priv_ok = Array.make n (-1) in
+  let det = Array.make n false in
+  let uses = Array.make n 0 in
+  let def = Array.make n 0 in
+  let region = Array.make n (-1) in
+  Array.iteri
+    (fun a i ->
+      uses.(a) <-
+        List.fold_left
+          (fun acc r -> if r = 0 then acc else acc lor (1 lsl r))
+          0 (Determinism.uses i);
+      def.(a) <-
+        (match Determinism.def i with
+        | Some rd when rd <> 0 -> 1 lsl rd
+        | _ -> 0))
+    code;
+  let priv0_mask = if deprivileged then 1 lsl 1 else 1 in
+  let cert_regions =
+    List.filter (fun s -> s.certified) t.superblocks
+    |> List.mapi (fun k s -> (s.sid, k, s))
+  in
+  let rhead = Array.make (List.length cert_regions) 0 in
+  let rbound = Array.make (List.length cert_regions) max_int in
+  List.iter
+    (fun (_, k, s) ->
+      rhead.(k) <- s.head;
+      rbound.(k) <- (match s.bound with Some b -> b | None -> max_int))
+    cert_regions;
+  let region_renumber = Hashtbl.create 8 in
+  List.iter (fun (sid, k, _) -> Hashtbl.replace region_renumber sid k) cert_regions;
+  List.iter
+    (fun b ->
+      for a = b.leader to b.leader + b.len - 1 do
+        if List.mem Deterministic b.certs then det.(a) <- true;
+        if List.mem Priv0 b.certs then priv_ok.(a) <- priv0_mask;
+        match Hashtbl.find_opt region_renumber b.region with
+        | Some k -> region.(a) <- k
+        | None -> ()
+      done)
+    t.blocks;
+  Cpu.install_validator cpu ~priv_ok ~det ~uses ~def ~region ~rhead ~rbound
+    ~random_tlb:t.random_tlb
+
+(* ---- JSON ---- *)
+
+let buf_add_json_certs b certs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S" (cert_name c)))
+    certs;
+  Buffer.add_char b ']'
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":%S,\"image_hash\":\"0x%x\",\"instructions\":%d,\
+        \"rewritten\":%b,\"random_tlb\":%b,\"mmio_base\":%d,\
+        \"fixpoint_iterations\":%d,\"jr\":{\"sites\":%d,\"unresolved\":%d,\
+        \"resolved_by_vsa\":%d},\"certified_blocks\":%d,\
+        \"certified_superblocks\":%d,\"static_coverage\":%.4f,\"blocks\":["
+       schema t.image_hash t.instructions t.rewritten t.random_tlb t.mmio_base
+       t.fixpoint_iterations t.jr_sites t.jr_unresolved t.jr_resolved_by_vsa
+       (certified_blocks t) (certified_superblocks t) (static_coverage t));
+  List.iteri
+    (fun i blk ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"leader\":%d,\"len\":%d,\"region\":%d,\"certs\":"
+           blk.leader blk.len blk.region);
+      buf_add_json_certs b blk.certs;
+      Buffer.add_char b '}')
+    t.blocks;
+  Buffer.add_string b "],\"superblocks\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":%d,\"head\":%d,\"bound\":%s,\"certified\":%b,\"blocks\":[%s]}"
+           s.sid s.head
+           (match s.bound with Some n -> string_of_int n | None -> "null")
+           s.certified
+           (String.concat "," (List.map string_of_int s.members))))
+    t.superblocks;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+module J = Hft_obs.Json
+
+let ( let* ) = Result.bind
+
+let jint name j =
+  match Option.bind (J.member name j) J.to_float_opt with
+  | Some f -> Ok (int_of_float f)
+  | None -> Error (Printf.sprintf "manifest: missing number %S" name)
+
+let jbool name j =
+  match J.member name j with
+  | Some (J.Bool v) -> Ok v
+  | _ -> Error (Printf.sprintf "manifest: missing bool %S" name)
+
+let jlist name j =
+  match Option.bind (J.member name j) J.to_list_opt with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "manifest: missing array %S" name)
+
+let of_json j =
+  let* s =
+    match Option.bind (J.member "schema" j) J.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error "manifest: missing schema"
+  in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Printf.sprintf "manifest: schema %S, expected %S" s schema)
+  in
+  let* image_hash =
+    match Option.bind (J.member "image_hash" j) J.to_string_opt with
+    | Some h -> (
+      match int_of_string_opt h with
+      | Some v -> Ok v
+      | None -> Error "manifest: bad image_hash")
+    | None -> Error "manifest: missing image_hash"
+  in
+  let* instructions = jint "instructions" j in
+  let* rewritten = jbool "rewritten" j in
+  let* random_tlb = jbool "random_tlb" j in
+  let* mmio_base = jint "mmio_base" j in
+  let* fixpoint_iterations = jint "fixpoint_iterations" j in
+  let* jr =
+    match J.member "jr" j with
+    | Some o -> Ok o
+    | None -> Error "manifest: missing jr"
+  in
+  let* jr_sites = jint "sites" jr in
+  let* jr_unresolved = jint "unresolved" jr in
+  let* jr_resolved_by_vsa = jint "resolved_by_vsa" jr in
+  let* bl = jlist "blocks" j in
+  let* blocks =
+    List.fold_left
+      (fun acc bj ->
+        let* acc = acc in
+        let* leader = jint "leader" bj in
+        let* len = jint "len" bj in
+        let* region = jint "region" bj in
+        let* cl = jlist "certs" bj in
+        let* certs =
+          List.fold_left
+            (fun acc cj ->
+              let* acc = acc in
+              match J.to_string_opt cj with
+              | Some s ->
+                let* c = cert_of_name s in
+                Ok (c :: acc)
+              | None -> Error "manifest: certificate is not a string")
+            (Ok []) cl
+        in
+        Ok ({ leader; len; region; certs = List.rev certs } :: acc))
+      (Ok []) bl
+  in
+  let* sl = jlist "superblocks" j in
+  let* superblocks =
+    List.fold_left
+      (fun acc sj ->
+        let* acc = acc in
+        let* sid = jint "id" sj in
+        let* head = jint "head" sj in
+        let* certified = jbool "certified" sj in
+        let bound =
+          match Option.bind (J.member "bound" sj) J.to_float_opt with
+          | Some f -> Some (int_of_float f)
+          | None -> None
+        in
+        let* ml = jlist "blocks" sj in
+        let* members =
+          List.fold_left
+            (fun acc mj ->
+              let* acc = acc in
+              match J.to_float_opt mj with
+              | Some f -> Ok (int_of_float f :: acc)
+              | None -> Error "manifest: superblock member is not a number")
+            (Ok []) ml
+        in
+        Ok
+          ({ sid; head; certified; bound; members = List.rev members } :: acc))
+      (Ok []) sl
+  in
+  Ok
+    {
+      image_hash;
+      instructions;
+      rewritten;
+      random_tlb;
+      mmio_base;
+      blocks = List.rev blocks;
+      superblocks = List.rev superblocks;
+      fixpoint_iterations;
+      jr_sites;
+      jr_unresolved;
+      jr_resolved_by_vsa;
+    }
+
+let of_string s =
+  let* j = J.parse s in
+  of_json j
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "%d/%d blocks certified, %d/%d superblocks (coverage %.1f%%), %d/%d \
+     indirect jumps unresolved (%d resolved by value-set analysis)"
+    (certified_blocks t) (List.length t.blocks) (certified_superblocks t)
+    (List.length t.superblocks)
+    (100. *. static_coverage t)
+    t.jr_unresolved t.jr_sites t.jr_resolved_by_vsa

@@ -1,0 +1,112 @@
+(** The compilation manifest: a versioned ([hftsim-manifest/1]),
+    machine-readable certification of a guest image, per basic block
+    and per superblock — what a threaded-code engine needs to know to
+    pre-decode guest code without breaking the paper's assumptions.
+
+    Certificates:
+    - [Deterministic]: every register read is written on every path
+      from its roots, no [Probe], every load provably stays below the
+      MMIO window (value-set analysis), no TLB insertion under random
+      replacement — execution is a pure function of replicated state
+      (the paper's section 3.1 obligations);
+    - [Priv0]: the block never executes above virtual privilege level
+      0, so privileged instructions in it never trap for privilege
+      reasons (under the hypervisor's deprivileging virtual 0 runs at
+      real 1);
+    - [Epoch_bounded n]: one pass through the block's superblock
+      (entered at its head) completes at most [n] instructions, so the
+      section 4 recovery counter can be charged per superblock instead
+      of per instruction.
+
+    A superblock is {e certified} when every member block carries at
+    least one certificate.  {!install} arms the interpreter's runtime
+    validator ({!Hft_machine.Cpu.install_validator}) with the same
+    facts, making the static pass differentially testable against the
+    dynamic oracle: any [Cert_violation] stop is an analyzer bug or a
+    stale manifest. *)
+
+type cert = Deterministic | Priv0 | Epoch_bounded of int
+
+type block = {
+  leader : int;
+  len : int;
+  certs : cert list;
+  region : int;  (** superblock id, [-1] for dirty blocks *)
+}
+
+type superblock = {
+  sid : int;
+  head : int;         (** leader address of the unique entry block *)
+  members : int list; (** member leader addresses *)
+  bound : int option; (** worst-case instructions per entry, if acyclic *)
+  certified : bool;
+}
+
+type t = {
+  image_hash : int;   (** {!Hft_machine.Encode.program_hash} of the image *)
+  instructions : int;
+  rewritten : bool;
+  random_tlb : bool;
+  mmio_base : int;
+  blocks : block list;
+  superblocks : superblock list;
+  fixpoint_iterations : int;
+  jr_sites : int;         (** reachable indirect jumps *)
+  jr_unresolved : int;    (** still unresolved after value-set analysis *)
+  jr_resolved_by_vsa : int;
+}
+
+val schema : string
+
+val of_code :
+  ?rewritten:bool ->
+  ?random_tlb:bool ->
+  ?mmio_base:int ->
+  ?code_refs:int list ->
+  Hft_machine.Isa.instr array ->
+  t
+
+val of_program :
+  ?rewritten:bool ->
+  ?random_tlb:bool ->
+  ?mmio_base:int ->
+  Hft_machine.Asm.program ->
+  t
+
+val of_code_cached :
+  ?rewritten:bool ->
+  ?random_tlb:bool ->
+  ?mmio_base:int ->
+  ?code_refs:int list ->
+  Hft_machine.Isa.instr array ->
+  t
+(** Memoized {!of_code} keyed on the image hash and the analysis knobs
+    — every hypervisor of every chaos trial would otherwise re-analyze
+    the same image. *)
+
+val validate : code:Hft_machine.Isa.instr array -> t -> (unit, string) result
+(** Refuse a stale manifest: the image hash and length must match. *)
+
+val install : t -> deprivileged:bool -> Hft_machine.Cpu.t -> unit
+(** Arm the CPU's runtime certificate validator with this manifest's
+    certificates.  [deprivileged] maps the [Priv0] virtual level
+    through the hypervisor's section 3.1 deprivileging (virtual 0 runs
+    at real 1); pass [false] for the bare machine.
+    @raise Invalid_argument when {!validate} fails against the CPU's
+    code image. *)
+
+val certified_blocks : t -> int
+val certified_superblocks : t -> int
+
+val static_coverage : t -> float
+(** Fraction of reachable instructions inside certified superblocks. *)
+
+val cert_name : cert -> string
+val cert_of_name : string -> (cert, string) result
+
+val to_json : t -> string
+val of_json : Hft_obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: certified blocks/superblocks, coverage, [Jr] resolution. *)

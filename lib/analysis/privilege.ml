@@ -34,7 +34,7 @@ let taint_sinks (i : Isa.instr) =
     [ (r1, "used as a TLB tag"); (r2, "used as a TLB entry") ]
   | _ -> []
 
-let check ?(syms = Symtab.empty) (cfg : Cfg.t) consts =
+let solve ?stats (cfg : Cfg.t) consts =
   let module S = Absint.Make (struct
     include Priv
 
@@ -50,9 +50,10 @@ let check ?(syms = Symtab.empty) (cfg : Cfg.t) consts =
         end
       | _ -> s
   end) in
-  let privs =
-    S.solve cfg ~entries:(List.map (fun r -> (r, 1)) cfg.Cfg.roots)
-  in
+  S.solve ?stats cfg ~entries:(List.map (fun r -> (r, 1)) cfg.Cfg.roots)
+
+let check ?stats ?(syms = Symtab.empty) (cfg : Cfg.t) consts =
+  let privs = solve ?stats cfg consts in
   let has_vector = List.exists (fun r -> r <> 0) cfg.Cfg.roots in
   let findings = ref [] in
   let add severity addr msg =

@@ -25,7 +25,19 @@
       [Jr] that shifts the bits back out) makes behaviour differ
       between bare and virtualized runs (warning). *)
 
+val solve :
+  ?stats:Finding.stats ->
+  Cfg.t ->
+  Absint.Consts.state option array ->
+  int option array
+(** Per-instruction bitmask of privilege levels that can be live there
+    (bit [l] set iff level [l] reaches the instruction); [None] on
+    unreachable code.  A mask of exactly [0b0001] certifies the
+    instruction never executes above level 0 — the {!Manifest} [Priv0]
+    certificate. *)
+
 val check :
+  ?stats:Finding.stats ->
   ?syms:Symtab.t ->
   Cfg.t ->
   Absint.Consts.state option array ->

@@ -1,0 +1,259 @@
+open Hft_machine
+module Iset = Set.Make (Int)
+
+(* A value is a small finite set of 32-bit words, an unsigned
+   interval, or unknown.  Finite sets cap at [max_fin] elements and
+   hull to an interval; intervals widen to the word extremes after
+   [widen_after] growing joins at the same instruction, which bounds
+   every ascending chain. *)
+
+let max_fin = 8
+let widen_after = 8
+let word_max = Word.mask (-1)
+
+type value = Bot | Fin of Iset.t | Itv of int * int | Top
+
+type t = {
+  states : value array option array;  (** per-address in-states *)
+  resolved : (int * int list) list;
+      (** formerly-unresolved [Jr] sites with their enumerated targets *)
+}
+
+let fin1 x = Fin (Iset.singleton (Word.mask x))
+
+let hull s = Itv (Iset.min_elt s, Iset.max_elt s)
+
+let norm = function
+  | Fin s when Iset.is_empty s -> Bot
+  | Fin s when Iset.cardinal s > max_fin -> hull s
+  | Itv (lo, hi) when lo = hi -> Fin (Iset.singleton lo)
+  | v -> v
+
+let join_value a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Top, _ | _, Top -> Top
+  | Fin x, Fin y -> norm (Fin (Iset.union x y))
+  | _ ->
+    let bounds = function
+      | Itv (lo, hi) -> (lo, hi)
+      | Fin s -> (Iset.min_elt s, Iset.max_elt s)
+      | _ -> assert false
+    in
+    let l1, h1 = bounds a and l2, h2 = bounds b in
+    Itv (min l1 l2, max h1 h2)
+
+let equal_value a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Fin x, Fin y -> Iset.equal x y
+  | Itv (a1, a2), Itv (b1, b2) -> a1 = b1 && a2 = b2
+  | _ -> false
+
+(* Widen [j] relative to [old]: any interval bound that grew snaps to
+   its extreme, so chains of growing joins terminate. *)
+let widen_value old j =
+  match (old, j) with
+  | Itv (lo, hi), Itv (lo', hi') ->
+    Itv ((if lo' < lo then 0 else lo'), (if hi' > hi then word_max else hi'))
+  | (Fin _ | Bot | Top), _ -> j
+  | Itv _, _ -> j
+
+let eval op a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Fin x, Fin y when Iset.cardinal x * Iset.cardinal y <= 64 ->
+    let acc = ref Iset.empty in
+    Iset.iter
+      (fun vx ->
+        Iset.iter
+          (fun vy -> acc := Iset.add (Absint.Consts.word_alu op vx vy) !acc)
+          y)
+      x;
+    norm (Fin !acc)
+  | _ -> (
+    (* Interval arithmetic only where monotone and overflow-free:
+       address computation in practice is Add/Sub with constants. *)
+    let bounds = function
+      | Fin s -> Some (Iset.min_elt s, Iset.max_elt s)
+      | Itv (lo, hi) -> Some (lo, hi)
+      | _ -> None
+    in
+    match (op, bounds a, bounds b) with
+    | Isa.Add, Some (l1, h1), Some (l2, h2) when h1 + h2 <= word_max ->
+      Itv (l1 + l2, h1 + h2)
+    | Isa.Sub, Some (l1, h1), Some (l2, h2) when l1 - h2 >= 0 ->
+      Itv (l1 - h2, h1 - l2)
+    | (Isa.Slt | Isa.Sltu), _, _ -> Itv (0, 1)
+    | Isa.Srl, Some (l1, h1), Some (l2, h2) when l2 = h2 && l2 < 32 ->
+      Itv (l1 lsr l2, h1 lsr l2)
+    | Isa.And, _, Some (l2, h2) when l2 = h2 -> Itv (0, h2)
+    | _ -> Top)
+
+type state = value array
+
+let get (s : state) r = if r = 0 then fin1 0 else s.(r)
+
+let set (s : state) r v =
+  if r = 0 then s
+  else begin
+    let s' = Array.copy s in
+    s'.(r) <- v;
+    s'
+  end
+
+let transfer addr (i : Isa.instr) s =
+  let n_hint = addr + 1 in
+  match i with
+  | Isa.Ldi (rd, v) -> set s rd (fin1 v)
+  | Isa.Alu (op, rd, r1, r2) -> set s rd (eval op (get s r1) (get s r2))
+  | Isa.Alui (op, rd, rs, imm) ->
+    set s rd (eval op (get s rs) (fin1 (Word.of_signed imm)))
+  | Isa.Jal (rd, _) ->
+    (* deposits ((site+1) lsl 2) lor real_priv, real_priv in 0..3 *)
+    let base = Word.mask (n_hint lsl 2) in
+    set s rd (Itv (base, base lor 3))
+  | Isa.Probe rd -> set s rd (Itv (0, 3))
+  | Isa.Ld (rd, _, _) | Isa.Mfcr (rd, _) | Isa.Rdtod rd | Isa.Rdtmr rd ->
+    set s rd Top
+  | Isa.Nop | Isa.St _ | Isa.Br _ | Isa.Jmp _ | Isa.Jr _ | Isa.Halt | Isa.Wfi
+  | Isa.Wrtmr _ | Isa.Out _ | Isa.Trapc _ | Isa.Mtcr _ | Isa.Tlbw _ | Isa.Rfi
+    ->
+    s
+
+let equal_state a b = Array.for_all2 equal_value a b
+let join_state a b = Array.map2 join_value a b
+let widen_state old j = Array.map2 widen_value old j
+
+module Work = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+(* A bespoke fixpoint rather than {!Absint.Make}: widening needs the
+   per-address join count, which a pure DOMAIN.join cannot see. *)
+let solve ?stats (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.code in
+  let states = Array.make n None in
+  let joins = Array.make n 0 in
+  let rank = Absint.rpo_ranks cfg in
+  let heap = ref Work.empty in
+  let queued = Array.make n false in
+  let push a =
+    if not queued.(a) then begin
+      queued.(a) <- true;
+      heap := Work.add (rank.(a), a) !heap
+    end
+  in
+  let update a s =
+    match states.(a) with
+    | None ->
+      states.(a) <- Some s;
+      push a
+    | Some old ->
+      let j = join_state old s in
+      if not (equal_state j old) then begin
+        joins.(a) <- joins.(a) + 1;
+        let j = if joins.(a) > widen_after then widen_state old j else j in
+        states.(a) <- Some j;
+        push a
+      end
+  in
+  let top () = Array.make Isa.num_regs Top in
+  List.iter (fun r -> update r (top ())) cfg.Cfg.roots;
+  let rec drain () =
+    match Work.min_elt_opt !heap with
+    | None -> ()
+    | Some ((_, a) as e) ->
+      heap := Work.remove e !heap;
+      queued.(a) <- false;
+      (match states.(a) with
+      | None -> ()
+      | Some s ->
+        (match stats with
+        | None -> ()
+        | Some st ->
+          st.Finding.fixpoint_iterations <- st.Finding.fixpoint_iterations + 1);
+        let out = transfer a cfg.Cfg.code.(a) s in
+        List.iter (fun succ -> update succ out) cfg.Cfg.succs.(a));
+      drain ()
+  in
+  drain ();
+  (* Enumerate targets for the unresolved indirect jumps.  [Jr]
+     computes [rs >> 2]; a target outside the code faults at run time
+     rather than transferring control, so out-of-range candidates
+     contribute no edge (matching {!Cfg.build}). *)
+  let in_range t = t >= 0 && t < n in
+  let resolved =
+    List.filter_map
+      (fun site ->
+        match cfg.Cfg.code.(site) with
+        | Isa.Jr rs -> (
+          match states.(site) with
+          | None -> None
+          | Some s -> (
+            match get s rs with
+            | Fin vals ->
+              Some
+                ( site,
+                  Iset.elements (Iset.map (fun v -> v lsr 2) vals)
+                  |> List.filter in_range )
+            | Itv (lo, hi) when hi lsr 2 - (lo lsr 2) <= max_fin ->
+              let t0 = lo lsr 2 and t1 = hi lsr 2 in
+              let rec enum t acc =
+                if t > t1 then List.rev acc
+                else enum (t + 1) (if in_range t then t :: acc else acc)
+              in
+              Some (site, enum t0 [])
+            | _ -> None))
+        | _ -> None)
+      cfg.Cfg.jr_unresolved
+  in
+  { states; resolved }
+
+let value_at t ~addr ~reg =
+  if reg = 0 then fin1 0
+  else
+    match t.states.(addr) with None -> Top | Some s -> s.(reg)
+
+(* Unsigned range of [v + off] when provably wrap-free, else None. *)
+let addr_range v off =
+  let bounds = function
+    | Fin s when not (Iset.is_empty s) -> Some (Iset.min_elt s, Iset.max_elt s)
+    | Itv (lo, hi) -> Some (lo, hi)
+    | _ -> None
+  in
+  match bounds v with
+  | Some (lo, hi) when lo + off >= 0 && hi + off <= word_max ->
+    Some (lo + off, hi + off)
+  | _ -> None
+
+let refine (cfg : Cfg.t) t =
+  if t.resolved = [] then cfg
+  else begin
+    let succs = Array.copy cfg.Cfg.succs in
+    let fixed = Hashtbl.create 8 in
+    List.iter
+      (fun (site, tgts) ->
+        Hashtbl.replace fixed site ();
+        succs.(site) <- List.sort_uniq Int.compare tgts)
+      t.resolved;
+    let jr_unresolved =
+      List.filter (fun s -> not (Hashtbl.mem fixed s)) cfg.Cfg.jr_unresolved
+    in
+    let n = Array.length cfg.Cfg.code in
+    let reachable = Array.make n false in
+    let rec visit a =
+      if not reachable.(a) then begin
+        reachable.(a) <- true;
+        List.iter visit succs.(a)
+      end
+    in
+    List.iter visit cfg.Cfg.roots;
+    let preds = Array.make n [] in
+    Array.iteri
+      (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+      succs;
+    { cfg with Cfg.succs; preds; reachable; jr_unresolved }
+  end

@@ -28,6 +28,7 @@ let create ?(params = Params.default) ?(disk_seed = 42) ~workload () =
     Cpu.create ~config:params.Params.cpu_config
       ~code:workload.Hft_guest.Workload.program.Asm.code ()
   in
+  Hypervisor.arm_manifest_validator ~params ~workload ~deprivileged:false cpu;
   let disk =
     Disk.create ~engine ~rng:(Rng.create disk_seed) params.Params.disk
   in
@@ -203,6 +204,9 @@ and handle_stop t stop =
       Cpu.deliver_trap t.cpu ~cause:Isa.Cause.syscall ~epc:(Cpu.pc t.cpu + 1);
       schedule_step t t.p.Params.bare_trap_latency
     | Cpu.Fault msg -> failwith ("Bare: guest fault: " ^ msg)
+    | Cpu.Cert_violation { addr; msg } ->
+      failwith
+        (Printf.sprintf "Bare: certificate violation at %d: %s" addr msg)
 
 type outcome = {
   time : Time.t;

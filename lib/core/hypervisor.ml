@@ -224,12 +224,33 @@ let vm_state_hash t =
   Array.iter (fun v -> h := (!h lxor v) * fnv_prime land fnv_mask) t.vcrs;
   !h
 
+(* Analyze the guest image and arm the interpreter's runtime
+   certificate validator with the resulting manifest, so every run
+   differentially tests the static certificates against execution.
+   [deprivileged] maps Priv0 through section 3.1's deprivileging. *)
+let arm_manifest_validator ~params ~workload ~deprivileged cpu =
+  if params.Params.validate_manifest then begin
+    let program = workload.Hft_guest.Workload.program in
+    let m =
+      Hft_analysis.Manifest.of_code_cached
+        ~rewritten:(params.Params.epoch_mechanism = Params.Code_rewriting)
+        ~random_tlb:
+          (match params.Params.cpu_config.Cpu.tlb_policy with
+          | Tlb.Random _ -> true
+          | Tlb.Round_robin -> false)
+        ~mmio_base:params.Params.cpu_config.Cpu.mmio_base
+        ~code_refs:program.Asm.code_refs program.Asm.code
+    in
+    Hft_analysis.Manifest.install m ~deprivileged cpu
+  end
+
 let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock
     ?(obs = Hft_obs.Recorder.null) () =
   let vm =
     Cpu.create ~config:params.Params.cpu_config
       ~code:workload.Hft_guest.Workload.program.Asm.code ()
   in
+  arm_manifest_validator ~params ~workload ~deprivileged:true vm;
   {
     name_ = name;
     engine;
@@ -519,6 +540,9 @@ and deliver_virtual_trap t ~cause ~badvaddr ~epc =
   let s = Isa.status_with_mmu_enable s false in
   set_vcr t Isa.Cr_status s;
   apply_vstatus t;
+  (* virtual trap delivery enters a trap root without the real trap
+     path, so reset the certificate validator's written set by hand *)
+  Cpu.validator_amnesty t.vm;
   Cpu.set_pc t.vm (vcr t Isa.Cr_ivec)
 
 (* Deliver one buffered interrupt into the VM. *)
@@ -593,6 +617,13 @@ and continue_vm t =
         let res = Cpu.run t.vm ~fuel in
         t.st.Stats.instructions <-
           t.st.Stats.instructions + res.Cpu.executed;
+        (* the coverage counters are cumulative over the CPU's
+           lifetime, so overwrite rather than accumulate *)
+        (match Cpu.validator_coverage t.vm with
+        | Some (covered, checked) ->
+          t.st.Stats.certified_instructions <- covered;
+          t.st.Stats.validated_instructions <- checked
+        | None -> ());
         let dt = Time.scale t.p.Params.instr_time res.Cpu.executed in
         ignore
           (Engine.after t.engine ~label:"stop" ~actor:t.name_ dt
@@ -654,6 +685,9 @@ and handle_stop t stop =
       reflect_trap t ~cause:Isa.Cause.syscall ~badvaddr:0
         ~epc:(Cpu.pc t.vm + 1)
     | Cpu.Fault msg -> failwith (t.name_ ^ ": guest fault: " ^ msg)
+    | Cpu.Cert_violation { addr; msg } ->
+      failwith
+        (Printf.sprintf "%s: certificate violation at %d: %s" t.name_ addr msg)
 
 (* An instruction the hypervisor simulated has completed: advance
    (unless the simulation moved the pc itself), count it against the

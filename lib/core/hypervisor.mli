@@ -40,6 +40,19 @@ type role = Primary | Backup | Promoted
 
 type t
 
+val arm_manifest_validator :
+  params:Params.t ->
+  workload:Hft_guest.Workload.t ->
+  deprivileged:bool ->
+  Hft_machine.Cpu.t ->
+  unit
+(** When [params.validate_manifest] is set, analyze the workload's
+    (possibly rewritten) image into a compilation manifest
+    ({!Hft_analysis.Manifest.of_code_cached}) and arm [cpu]'s runtime
+    certificate validator with it.  [deprivileged] maps the [Priv0]
+    certificate through section 3.1's deprivileging (virtual 0 runs at
+    real 1); {!Bare} passes [false].  A no-op when validation is off. *)
+
 val create :
   name:string ->
   role:role ->

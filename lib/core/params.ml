@@ -37,6 +37,7 @@ type t = {
   disk : Hft_devices.Disk.params;
   cpu_config : Hft_machine.Cpu.config;
   hash_scheme : hash_scheme;
+  validate_manifest : bool;
 }
 
 let default =
@@ -69,6 +70,7 @@ let default =
     disk = Hft_devices.Disk.default_params;
     cpu_config = Hft_machine.Cpu.default_config;
     hash_scheme = Incremental;
+    validate_manifest = true;
   }
 
 let hsim t = Time.add t.hv_entry_exit t.hv_work
@@ -82,6 +84,7 @@ let with_link t link = { t with link }
 let with_retransmit t retransmit = { t with retransmit }
 let with_ack_wait t ack_wait = { t with ack_wait }
 let with_hash_scheme t hash_scheme = { t with hash_scheme }
+let with_validate_manifest t validate_manifest = { t with validate_manifest }
 
 let pp_protocol fmt = function
   | Original -> Format.pp_print_string fmt "original"

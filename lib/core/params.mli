@@ -114,6 +114,13 @@ type t = {
   disk : Hft_devices.Disk.params;
   cpu_config : Hft_machine.Cpu.config;
   hash_scheme : hash_scheme;
+  validate_manifest : bool;
+      (** analyze the guest image at boot and arm the interpreter's
+          runtime certificate validator
+          ({!Hft_machine.Cpu.install_validator}) with the resulting
+          compilation manifest, so every run differentially tests the
+          static certificates against actual execution.  On by
+          default; benchmarks turn it off for clean timings. *)
 }
 
 val default : t
@@ -129,6 +136,7 @@ val with_link : t -> Hft_net.Link.t -> t
 val with_retransmit : t -> bool -> t
 val with_ack_wait : t -> bool -> t
 val with_hash_scheme : t -> hash_scheme -> t
+val with_validate_manifest : t -> bool -> t
 
 val pp_protocol : Format.formatter -> protocol -> unit
 val pp : Format.formatter -> t -> unit

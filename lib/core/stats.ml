@@ -26,6 +26,8 @@ type t = {
   mutable recovery_cycles : int;
   mutable recovery_escalations : int;
   mutable recovery_windows : Time.t list;
+  mutable certified_instructions : int;
+  mutable validated_instructions : int;
   mutable ack_wait : Time.t;
   mutable boundary : Time.t;
   mutable idle : Time.t;
@@ -59,6 +61,8 @@ let create () =
     recovery_cycles = 0;
     recovery_escalations = 0;
     recovery_windows = [];
+    certified_instructions = 0;
+    validated_instructions = 0;
     ack_wait = Time.zero;
     boundary = Time.zero;
     idle = Time.zero;
@@ -72,6 +76,13 @@ let add_time t kind d =
   | `Idle -> t.idle <- Time.add t.idle d
   | `Intr_delay -> t.intr_delay <- Time.add t.intr_delay d
 
+let certified_coverage t =
+  if t.validated_instructions = 0 then None
+  else
+    Some
+      (float_of_int t.certified_instructions
+      /. float_of_int t.validated_instructions)
+
 let mean_intr_delay_us t =
   if t.interrupts_delivered = 0 then 0.0
   else Time.to_us t.intr_delay /. float_of_int t.interrupts_delivered
@@ -84,11 +95,17 @@ let pp fmt t =
      %d@ channel: %d retransmits, %d duplicates dropped, %d corruptions \
      detected@ hashing: %d pages hashed, %d skipped@ snapshot bytes: %d@ \
      recovery: %d hv faults, %d microreboots, %d ios + %d msgs reconciled@ \
+     certified: %d of %d validated instructions%s@ \
      ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: %.1fus@]"
     t.instructions t.simulated t.epochs t.interrupts_buffered
     t.interrupts_delivered t.env_values t.io_submitted t.io_suppressed
     t.uncertain_synthesized t.tlb_fills t.reflected_traps t.retransmits
     t.duplicates_dropped t.corruptions_detected t.pages_hashed
     t.pages_skipped t.snapshot_delta_bytes t.hv_faults_injected
-    t.microreboots t.reconciled_ios t.reconciled_msgs Time.pp t.ack_wait
+    t.microreboots t.reconciled_ios t.reconciled_msgs
+    t.certified_instructions t.validated_instructions
+    (match certified_coverage t with
+    | Some c -> Printf.sprintf " (%.1f%%)" (100.0 *. c)
+    | None -> "")
+    Time.pp t.ack_wait
     Time.pp t.boundary Time.pp t.idle (mean_intr_delay_us t)

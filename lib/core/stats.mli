@@ -56,6 +56,14 @@ type t = {
   mutable recovery_windows : Hft_sim.Time.t list;
       (** per-microreboot wall time from fault injection to the end of
           reconciliation, newest first *)
+  mutable certified_instructions : int;
+      (** instructions completed inside certified superblocks, as
+          observed by the runtime certificate validator
+          ({!Hft_machine.Cpu.validator_coverage}); 0 when
+          [Params.validate_manifest] is off *)
+  mutable validated_instructions : int;
+      (** instructions completed while the validator was armed — the
+          denominator of the dynamic certified coverage *)
   mutable ack_wait : Hft_sim.Time.t;
       (** time the primary spent awaiting acknowledgements *)
   mutable boundary : Hft_sim.Time.t;
@@ -70,6 +78,10 @@ val create : unit -> t
 
 val add_time :
   t -> [ `Ack_wait | `Boundary | `Idle | `Intr_delay ] -> Hft_sim.Time.t -> unit
+
+val certified_coverage : t -> float option
+(** [certified_instructions / validated_instructions], or [None] when
+    nothing was validated. *)
 
 val mean_intr_delay_us : t -> float
 (** Average buffered-to-delivered latency of an interrupt, in

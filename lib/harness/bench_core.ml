@@ -26,6 +26,10 @@ type t = {
   epoch_points : epoch_point list;
   snapshot_first_bytes : int;
   snapshot_delta_bytes : int;
+  certified_superblocks : int;
+  static_coverage : float;
+  certified_coverage : float;
+  validated_instrs_per_sec : float;
 }
 
 (* A store-heavy loop whose write set stays inside one page: the
@@ -90,6 +94,34 @@ let bench_epochs ~budget ~el mode =
       Cpu.set_recovery cpu el;
       1)
 
+(* Certify the bench workload and replay it under the runtime
+   certificate validator: [certified_coverage] is the fraction of
+   executed instructions inside certified superblocks — the share a
+   threaded-code engine could pre-decode — and the validated rate
+   prices the validator itself against the plain interpreter. *)
+let bench_certification ~budget =
+  let m = Hft_analysis.Manifest.of_code workload_code in
+  let cpu = fresh_cpu () in
+  Hft_analysis.Manifest.install m ~deprivileged:false cpu;
+  let fuel = 100_000 in
+  let validated_rate =
+    rate ~budget (fun () ->
+        let r = Cpu.run cpu ~fuel in
+        (match r.Cpu.stop with
+        | Cpu.Fuel -> ()
+        | s -> Fmt.failwith "bench: unexpected stop %a" Cpu.pp_stop s);
+        r.Cpu.executed)
+  in
+  let covered, checked =
+    match Cpu.validator_coverage cpu with
+    | Some c -> c
+    | None -> Fmt.failwith "bench: validator not installed"
+  in
+  let coverage =
+    if checked = 0 then 0.0 else float_of_int covered /. float_of_int checked
+  in
+  (m, validated_rate, coverage)
+
 let bench_snapshot () =
   let cpu = fresh_cpu () in
   ignore (Cpu.run cpu ~fuel:5_000);
@@ -126,12 +158,20 @@ let run ?(quick = false) () =
       epoch_lengths
   in
   let snapshot_first_bytes, snapshot_delta_bytes = bench_snapshot () in
+  let manifest, validated_instrs_per_sec, certified_coverage =
+    bench_certification ~budget
+  in
   {
     quick;
     instrs_per_sec;
     epoch_points;
     snapshot_first_bytes;
     snapshot_delta_bytes;
+    certified_superblocks =
+      Hft_analysis.Manifest.certified_superblocks manifest;
+    static_coverage = Hft_analysis.Manifest.static_coverage manifest;
+    certified_coverage;
+    validated_instrs_per_sec;
   }
 
 let point t el = List.find_opt (fun p -> p.el = el) t.epoch_points
@@ -141,7 +181,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let f = Printf.bprintf in
   f b "{\n";
-  f b "  \"schema\": \"hftsim-bench-core/1\",\n";
+  f b "  \"schema\": \"hftsim-bench-core/2\",\n";
   f b "  \"quick\": %b,\n" t.quick;
   f b "  \"interpreter\": { \"instrs_per_sec\": %.4e },\n" t.instrs_per_sec;
   f b "  \"epoch_boundaries\": [\n";
@@ -161,6 +201,12 @@ let to_json t =
         (if i = List.length t.epoch_points - 1 then "" else ","))
     t.epoch_points;
   f b "  ],\n";
+  f b "  \"manifest\": { \"certified_superblocks\": %d,\n"
+    t.certified_superblocks;
+  f b "                 \"static_coverage\": %.4f,\n" t.static_coverage;
+  f b "                 \"certified_coverage\": %.4f,\n" t.certified_coverage;
+  f b "                 \"validated_instrs_per_sec\": %.4e },\n"
+    t.validated_instrs_per_sec;
   f b "  \"snapshot\": { \"first_bytes\": %d, \"delta_bytes\": %d }\n"
     t.snapshot_first_bytes t.snapshot_delta_bytes;
   f b "}\n";
@@ -189,4 +235,11 @@ let report ?out t =
   Format.fprintf out "interpreter    : %.1f M instrs/sec@."
     (t.instrs_per_sec /. 1e6);
   Format.fprintf out "snapshot bytes : %d first, %d delta@."
-    t.snapshot_first_bytes t.snapshot_delta_bytes
+    t.snapshot_first_bytes t.snapshot_delta_bytes;
+  Format.fprintf out
+    "certification  : %d superblocks, %.1f%% static, %.1f%% executed, \
+     %.1f M instrs/sec validated@."
+    t.certified_superblocks
+    (100.0 *. t.static_coverage)
+    (100.0 *. t.certified_coverage)
+    (t.validated_instrs_per_sec /. 1e6)

@@ -29,6 +29,19 @@ type t = {
   epoch_points : epoch_point list;
   snapshot_first_bytes : int;
   snapshot_delta_bytes : int;
+  certified_superblocks : int;
+      (** superblocks of the bench workload whose every block is
+          certified ({!Hft_analysis.Manifest}) *)
+  static_coverage : float;
+      (** fraction of reachable instructions inside certified
+          superblocks, per the static manifest *)
+  certified_coverage : float;
+      (** fraction of {e executed} instructions inside certified
+          superblocks, measured by the runtime certificate validator —
+          the share a threaded-code engine could pre-decode *)
+  validated_instrs_per_sec : float;
+      (** interpreter rate with the validator armed; compare against
+          [instrs_per_sec] for the validator's cost *)
 }
 
 val epoch_lengths : int list

@@ -163,3 +163,14 @@ let host_hashing ?(out = std) stats =
     "state hashing  : %d pages hashed, %d reused from cache (%.1f%%), %d \
      snapshot bytes copied@."
     hashed skipped pct snap
+
+let certification ?(out = std) stats =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let covered = sum (fun s -> s.Hft_core.Stats.certified_instructions) in
+  let checked = sum (fun s -> s.Hft_core.Stats.validated_instructions) in
+  if checked > 0 then
+    Format.fprintf out
+      "certification  : %d of %d validated instructions inside certified \
+       superblocks (%.1f%%)@."
+      covered checked
+      (100.0 *. float_of_int covered /. float_of_int checked)

@@ -75,3 +75,9 @@ val host_hashing :
     vs reused from the page-digest cache at epoch boundaries, and
     snapshot bytes actually copied) over the given per-hypervisor
     stats. *)
+
+val certification : ?out:Format.formatter -> Hft_core.Stats.t list -> unit
+(** One line summing the runtime certificate validator's coverage
+    (instructions executed inside certified superblocks vs all
+    validated instructions) over the given per-hypervisor stats.
+    Prints nothing when validation was off. *)

@@ -29,7 +29,29 @@ let lint ~params (w : Hft_guest.Workload.t) =
     ~data_init:(List.map fst w.Hft_guest.Workload.config)
     program
 
-let replicated ?(lockstep = false) ?(lint_gate = true) ?obs ~params workload =
+(* The image a run will actually execute (see [lint] above). *)
+let executed_program ~params (w : Hft_guest.Workload.t) =
+  if params.Params.epoch_mechanism = Params.Code_rewriting then
+    Hft_machine.Rewrite.rewrite_program ~every:params.Params.epoch_length
+      w.Hft_guest.Workload.program
+  else w.Hft_guest.Workload.program
+
+let replicated ?(lockstep = false) ?(lint_gate = true) ?manifest ?obs ~params
+    workload =
+  (match manifest with
+  | None -> ()
+  | Some m -> (
+    let program = executed_program ~params workload in
+    match
+      Hft_analysis.Manifest.validate ~code:program.Hft_machine.Asm.code m
+    with
+    | Ok () -> ()
+    | Error e ->
+      failwith
+        (Printf.sprintf
+           "Scenario.replicated: image %S carries a stale manifest (%s); \
+            regenerate it with hftsim lint --manifest-out"
+           workload.Hft_guest.Workload.name e)));
   if lint_gate then begin
     let fs = lint ~params workload in
     if Hft_analysis.Finding.has_errors fs then begin

@@ -30,6 +30,7 @@ val lint :
 val replicated :
   ?lockstep:bool ->
   ?lint_gate:bool ->
+  ?manifest:Hft_analysis.Manifest.t ->
   ?obs:Hft_obs.Recorder.t ->
   params:Hft_core.Params.t ->
   Hft_guest.Workload.t ->
@@ -39,8 +40,12 @@ val replicated :
     it.  [lint_gate] (default on) runs {!lint} first and raises
     [Failure] — after printing the report to stderr — if the analyzer
     finds errors: a guest that violates the paper's assumptions would
-    diverge or wedge the replicas, so it never starts.  [obs] collects
-    the run's typed protocol events (see {!Hft_obs}). *)
+    diverge or wedge the replicas, so it never starts.  [manifest] is
+    a compilation manifest claimed to certify this workload (e.g. one
+    embedded in a loaded image): it is checked against the image the
+    run will actually execute and a stale or mismatched manifest
+    raises [Failure] before the system boots.  [obs] collects the
+    run's typed protocol events (see {!Hft_obs}). *)
 
 val normalized :
   ?bare:Hft_sim.Time.t ->

@@ -28,8 +28,30 @@ type stop =
   | Protection of { vaddr : int; write : bool }
   | Syscall of int
   | Fault of string
+  | Cert_violation of { addr : int; msg : string }
 
 type run_result = { executed : int; stop : stop }
+
+(* Runtime certificate validator (the dynamic oracle for the static
+   analyzer's compilation manifest).  All per-address tables are
+   indexed by code address; region tables by certified-superblock id.
+   Installed only in [Params.validate_manifest] debug runs — the hot
+   loop pays one [match] on the hoisted option when absent. *)
+type validator = {
+  v_priv_ok : int array;  (* allowed real-privilege bitmask *)
+  v_det : bool array;     (* inside a [Deterministic]-certified block *)
+  v_uses : int array;     (* registers read (bitmask, r0 excluded) *)
+  v_def : int array;      (* registers written (bitmask, r0 excluded) *)
+  v_region : int array;   (* certified superblock id, -1 outside *)
+  v_rhead : int array;    (* region id -> head address *)
+  v_rbound : int array;   (* region id -> instruction bound, max_int if none *)
+  v_random_tlb : bool;
+  mutable v_written : int;      (* registers written since boot/trap/restore *)
+  mutable v_cur_region : int;
+  mutable v_rcount : int;
+  mutable v_covered : int;      (* completed instrs inside certified regions *)
+  mutable v_checked : int;      (* completed instrs while validating *)
+}
 
 type t = {
   cfg : config;
@@ -44,6 +66,7 @@ type t = {
       (* shadow image the delta-snapshot path copies dirty pages into;
          [None] until the first snapshot *)
   mutable snap_bytes : int; (* cumulative bytes copied by snapshots *)
+  mutable validator : validator option;
 }
 
 let create ?(config = default_config) ~code () =
@@ -59,7 +82,53 @@ let create ?(config = default_config) ~code () =
     retired = 0;
     snap_base = None;
     snap_bytes = 0;
+    validator = None;
   }
+
+let install_validator t ~priv_ok ~det ~uses ~def ~region ~rhead ~rbound
+    ~random_tlb =
+  let n = Array.length t.code in
+  if
+    Array.length priv_ok <> n || Array.length det <> n
+    || Array.length uses <> n || Array.length def <> n
+    || Array.length region <> n
+  then invalid_arg "Cpu.install_validator: table length mismatch";
+  t.validator <-
+    Some
+      {
+        v_priv_ok = priv_ok;
+        v_det = det;
+        v_uses = uses;
+        v_def = def;
+        v_region = region;
+        v_rhead = rhead;
+        v_rbound = rbound;
+        v_random_tlb = random_tlb;
+        v_written = 1;
+        v_cur_region = -1;
+        v_rcount = 0;
+        v_covered = 0;
+        v_checked = 0;
+      }
+
+let clear_validator t = t.validator <- None
+let validator_active t = t.validator <> None
+
+let validator_coverage t =
+  match t.validator with
+  | None -> None
+  | Some v -> Some (v.v_covered, v.v_checked)
+
+(* The architectural events that legitimately reset the validator's
+   path-sensitive state: trap delivery enters a root whose context the
+   static analysis models as fully initialized, and a snapshot restore
+   installs a register file that is itself replicated state. *)
+let validator_amnesty t =
+  match t.validator with
+  | None -> ()
+  | Some v ->
+    v.v_written <- -1;
+    v.v_cur_region <- -1
 
 let config t = t.cfg
 let code t = t.code
@@ -71,7 +140,14 @@ let set_pc t v = t.pc_ <- v
 let advance_pc t = t.pc_ <- t.pc_ + 1
 
 let reg t r = t.regs.(r)
-let set_reg t r v = if r <> 0 then t.regs.(r) <- Word.mask v
+
+let set_reg t r v =
+  if r <> 0 then begin
+    t.regs.(r) <- Word.mask v;
+    match t.validator with
+    | None -> ()
+    | Some vd -> vd.v_written <- vd.v_written lor (1 lsl r)
+  end
 
 let cr t c = t.crs.(Isa.cr_index c)
 let set_cr t c v = t.crs.(Isa.cr_index c) <- Word.mask v
@@ -110,6 +186,7 @@ let tick_recovery t =
 let interrupts_enabled t = Isa.status_int_enable (status t)
 
 let deliver_trap_impl t ~cause ~badvaddr ~epc =
+  validator_amnesty t;
   let s = status t in
   set_cr t Isa.Cr_istatus s;
   set_cr t Isa.Cr_epc epc;
@@ -176,6 +253,66 @@ let[@inline never] fault_load paddr =
 let[@inline never] fault_store paddr =
   Stop_exec (Fault (Printf.sprintf "store to bad address 0x%x" paddr))
 
+let[@inline never] cert_viol addr msg = Stop_exec (Cert_violation { addr; msg })
+
+(* Pre-dispatch certificate checks: run at the privilege level the
+   instruction is about to execute at, before any state mutates (safe
+   to re-run on a TLB-miss retry of the same instruction). *)
+let[@inline never] validate_pre v pc (instr : Isa.instr) spriv =
+  if v.v_priv_ok.(pc) land (1 lsl spriv) = 0 then
+    raise
+      (cert_viol pc
+         (Printf.sprintf
+            "Priv0-certified block executes at real privilege level %d" spriv));
+  if v.v_det.(pc) then begin
+    let missing = v.v_uses.(pc) land lnot v.v_written in
+    if missing <> 0 then
+      raise
+        (cert_viol pc
+           (Printf.sprintf
+              "Deterministic-certified block reads register mask 0x%x before \
+               any write reaches it"
+              missing));
+    match instr with
+    | Isa.Probe _ ->
+      raise
+        (cert_viol pc
+           "Probe (environment-state read) inside a Deterministic-certified \
+            block")
+    | Isa.Tlbw _ when v.v_random_tlb ->
+      raise
+        (cert_viol pc
+           "TLB insertion under random replacement inside a \
+            Deterministic-certified block")
+    | _ -> ()
+  end
+
+(* Post-completion bookkeeping: definition tracking, coverage, and the
+   per-superblock instruction bound.  Arms that stop the processor
+   raise before the shared completion point and are charged by their
+   executor instead — undercounting the region, never overcounting. *)
+let[@inline never] validate_post v pc =
+  v.v_checked <- v.v_checked + 1;
+  let d = v.v_def.(pc) in
+  if d <> 0 then v.v_written <- v.v_written lor d;
+  let r = v.v_region.(pc) in
+  if r < 0 then v.v_cur_region <- -1
+  else begin
+    if r <> v.v_cur_region || pc = v.v_rhead.(r) then begin
+      v.v_cur_region <- r;
+      v.v_rcount <- 0
+    end;
+    v.v_rcount <- v.v_rcount + 1;
+    v.v_covered <- v.v_covered + 1;
+    if v.v_rcount > v.v_rbound.(r) then
+      raise
+        (cert_viol pc
+           (Printf.sprintf
+              "Epoch_bounded certificate exceeded: %d instructions inside a \
+               superblock bounded at %d"
+              v.v_rcount v.v_rbound.(r)))
+  end
+
 (* The hot loop avoids per-instruction work that only rarely matters:
 
    - the status-register flags (privilege, MMU enable, recovery-counter
@@ -221,11 +358,15 @@ let run t ~fuel =
     end
   in
   refresh_status ();
+  let vd = t.validator in
   let stop_reason = ref Fuel in
   (try
      while !executed < fuel do
        let pc = t.pc_ in
        if pc < 0 || pc >= code_len then raise (fault_bad_pc pc);
+       (match vd with
+       | None -> ()
+       | Some v -> validate_pre v pc code.(pc) !spriv);
        (match code.(pc) with
        | Isa.Nop -> t.pc_ <- pc + 1
        | Isa.Ldi (rd, v) ->
@@ -336,12 +477,32 @@ let run t ~fuel =
        (* every arm that does not complete the instruction raises, so
           falling through here means one more completed instruction *)
        incr executed;
+       (match vd with None -> () | Some v -> validate_post v pc);
        if !executed = !expire_at then begin
          stop_reason := Recovery;
          raise (Stop_exec Recovery)
        end
      done
-   with Stop_exec st -> stop_reason := st);
+   with Stop_exec st ->
+     stop_reason :=
+       (* An MMIO load reached from a Deterministic-certified block is
+          itself a certificate violation: the static pass claimed the
+          address stays below the MMIO window.  [pc_] still points at
+          the faulting load.  Only with the MMU off — the static bound
+          is on the virtual address, and a mapped page may
+          legitimately target the MMIO window. *)
+       (match (vd, st) with
+       | Some v, Mmio_read _
+         when (not !smmu) && t.pc_ >= 0 && t.pc_ < code_len && v.v_det.(t.pc_)
+         ->
+         Cert_violation
+           {
+             addr = t.pc_;
+             msg =
+               "MMIO load inside a Deterministic-certified block: the \
+                static address bound was wrong";
+           }
+       | _ -> st));
   sync_rc ();
   t.retired <- t.retired + !executed;
   { executed = !executed; stop = !stop_reason }
@@ -407,6 +568,7 @@ let snapshot_bytes_copied t = t.snap_bytes
 let restore t snap =
   if snap.s_code_len <> Array.length t.code then
     invalid_arg "Cpu.restore: code image mismatch";
+  validator_amnesty t;
   Array.blit snap.s_regs 0 t.regs 0 (Array.length t.regs);
   Array.blit snap.s_crs 0 t.crs 0 (Array.length t.crs);
   t.pc_ <- snap.s_pc;
@@ -430,3 +592,5 @@ let pp_stop fmt = function
     Format.fprintf fmt "protection(0x%x, %s)" vaddr (if write then "w" else "r")
   | Syscall code -> Format.fprintf fmt "syscall(%d)" code
   | Fault msg -> Format.fprintf fmt "fault(%s)" msg
+  | Cert_violation { addr; msg } ->
+    Format.fprintf fmt "cert-violation(@%d: %s)" addr msg

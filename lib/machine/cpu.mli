@@ -50,6 +50,11 @@ type stop =
   | Syscall of int    (** [Trapc code]; pc still points at it *)
   | Fault of string   (** architectural error: bad pc, bad physical
                           address, invalid control register *)
+  | Cert_violation of { addr : int; msg : string }
+      (** the runtime certificate validator caught a certified block
+          violating its compilation-manifest certificate — a static
+          analyzer bug or a stale manifest; executors treat it as
+          fatal *)
 
 type run_result = {
   executed : int;  (** ordinary instructions completed during this run *)
@@ -95,6 +100,46 @@ val tick_recovery : t -> bool
 
 val run : t -> fuel:int -> run_result
 (** Execute up to [fuel] instructions.  [fuel] must be positive. *)
+
+val install_validator :
+  t ->
+  priv_ok:int array ->
+  det:bool array ->
+  uses:int array ->
+  def:int array ->
+  region:int array ->
+  rhead:int array ->
+  rbound:int array ->
+  random_tlb:bool ->
+  unit
+(** Arm the runtime certificate validator (the dynamic oracle for the
+    static compilation manifest — see [Hft_analysis.Manifest]).  The
+    first five tables are indexed by code address and must match the
+    code length; [rhead]/[rbound] are indexed by certified-superblock
+    id.  [priv_ok] is the bitmask of {e real} privilege levels allowed
+    at the address (callers map a [Priv0] certificate through the
+    hypervisor's deprivileging); [det] marks addresses inside
+    [Deterministic]-certified blocks, whose register reads are checked
+    against the runtime written set and whose loads must stay below
+    the MMIO window; [region]/[rhead]/[rbound] drive the
+    [Epoch_bounded] per-superblock instruction count.  {!run} stops
+    with {!stop.Cert_violation} on the first breach.  Trap delivery
+    and {!restore} reset the written set (trap roots start fully
+    initialized; snapshot registers are replicated state). *)
+
+val clear_validator : t -> unit
+val validator_active : t -> bool
+
+val validator_amnesty : t -> unit
+(** Reset the validator's path-sensitive state (written-register set,
+    current superblock).  {!deliver_trap} and {!restore} call this
+    internally; the hypervisor calls it on {e virtual} trap delivery,
+    which enters a trap root without touching the real trap path. *)
+
+val validator_coverage : t -> (int * int) option
+(** [(covered, checked)]: instructions completed inside certified
+    superblocks vs all instructions completed while validating, over
+    the CPU's lifetime.  [None] when no validator is installed. *)
 
 val deliver_trap : ?badvaddr:int -> t -> cause:int -> epc:int -> unit
 (** Hardware trap/interrupt delivery: saves [epc] and the status

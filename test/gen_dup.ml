@@ -1,0 +1,19 @@
+(* Emits the duplicate-findings image for the pinned dedupe fixture:
+   [Br (c, r1, r1)] on a branch-and-link value makes the taint checker
+   visit the same (register, sink) pair once per operand, producing
+   byte-identical findings that the analyzer must report once.
+   Mirrors [test_manifest.test_duplicate_findings_collapse]. *)
+
+let () =
+  let p =
+    Hft_machine.Asm.(
+      assemble
+        [
+          comment "branch on a link value, both operands the same register";
+          jal r1 (lbl "f");
+          halt;
+          label "f";
+          beq r1 r1 (lbl "f");
+        ])
+  in
+  print_string (Hft_machine.Image.to_string p)

@@ -1,0 +1,544 @@
+(* Certifying-analyzer tests: compilation manifests (certificates,
+   superblocks, JSON round-trip, staleness), value-set analysis
+   refinement, dominator trees, worklist-order iteration counts, the
+   runtime certificate validator, and symbol survival of findings
+   through object-code rewriting. *)
+
+open Hft_machine
+open Hft_analysis
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let named_workloads () =
+  let open Hft_guest.Workload in
+  [
+    dhrystone ~iterations:100;
+    disk_write ~ops:2 ();
+    disk_read ~ops:2 ();
+    mixed ~compute:4 ~ops:2 ();
+    clock_sampler ~samples:4;
+    timer_tick ~period_us:200 ~ticks:2;
+    console_hello ~text:"hi";
+    probe_priv;
+    masked_io ~ops:2;
+    queued_io ~pairs:2;
+    server ~requests:2 ~period_us:200;
+  ]
+
+(* Every image the repo ships, analyzed both as assembled and after
+   object-code editing — the shapes the system actually runs. *)
+let shipped_images () =
+  List.concat_map
+    (fun (w : Hft_guest.Workload.t) ->
+      let p = w.Hft_guest.Workload.program in
+      [
+        (w.Hft_guest.Workload.name, false, p);
+        ( w.Hft_guest.Workload.name ^ " (rewritten)",
+          true,
+          Rewrite.rewrite_program ~every:4096 p );
+      ])
+    (named_workloads ())
+
+(* The refined pipeline the manifest is built from, exposed for
+   structural property checks. *)
+let analyze (p : Asm.program) =
+  let coarse = Cfg.of_program p in
+  let cfg = Vsa.refine coarse (Vsa.solve coarse) in
+  let dom = Domtree.build cfg in
+  let sb = Superblock.discover cfg dom in
+  (cfg, dom, sb)
+
+(* ---------- manifests over shipped images ---------- *)
+
+let test_workloads_certify () =
+  List.iter
+    (fun (name, rewritten, p) ->
+      let m = Manifest.of_program ~rewritten p in
+      if Manifest.certified_superblocks m < 1 then
+        Alcotest.failf "%s: no certified superblock" name;
+      if Manifest.static_coverage m <= 0.0 then
+        Alcotest.failf "%s: zero certified coverage" name;
+      (* the manifest matches the image it was computed from *)
+      match Manifest.validate ~code:p.Asm.code m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: self-validation failed: %s" name e)
+    (shipped_images ())
+
+let test_json_round_trip () =
+  List.iter
+    (fun (name, rewritten, p) ->
+      let m = Manifest.of_program ~rewritten p in
+      match Manifest.of_string (Manifest.to_json m) with
+      | Error e -> Alcotest.failf "%s: reparse failed: %s" name e
+      | Ok m' ->
+        Alcotest.(check string)
+          (name ^ ": JSON is a fixed point")
+          (Manifest.to_json m) (Manifest.to_json m');
+        Alcotest.(check int)
+          (name ^ ": certified blocks survive")
+          (Manifest.certified_blocks m)
+          (Manifest.certified_blocks m'))
+    (shipped_images ())
+
+let test_stale_manifest () =
+  let cpu = Hft_guest.Workload.dhrystone ~iterations:100 in
+  let hello = Hft_guest.Workload.console_hello ~text:"hi" in
+  let m = Manifest.of_program cpu.Hft_guest.Workload.program in
+  (match
+     Manifest.validate ~code:hello.Hft_guest.Workload.program.Asm.code m
+   with
+  | Ok () -> Alcotest.fail "stale manifest accepted"
+  | Error _ -> ());
+  (* install refuses it too *)
+  let c =
+    Cpu.create ~code:hello.Hft_guest.Workload.program.Asm.code ()
+  in
+  (match Manifest.install m ~deprivileged:false c with
+  | () -> Alcotest.fail "install accepted a stale manifest"
+  | exception Invalid_argument _ -> ());
+  (* and the scenario driver refuses to boot on it *)
+  match
+    Hft_harness.Scenario.replicated ~manifest:m
+      ~params:Hft_core.Params.default hello
+  with
+  | _ -> Alcotest.fail "Scenario.replicated booted on a stale manifest"
+  | exception Failure msg ->
+    if not (contains msg "stale") then
+      Alcotest.failf "unexpected failure message: %s" msg
+
+let test_fresh_manifest_accepted () =
+  let hello = Hft_guest.Workload.console_hello ~text:"hi" in
+  let m = Manifest.of_program hello.Hft_guest.Workload.program in
+  let o =
+    Hft_harness.Scenario.replicated ~manifest:m
+      ~params:Hft_core.Params.default hello
+  in
+  ignore (o : Hft_core.System.outcome)
+
+(* ---------- superblock structure ---------- *)
+
+let test_superblock_single_entry () =
+  List.iter
+    (fun (name, _, p) ->
+      let _cfg, dom, sb = analyze p in
+      Array.iter
+        (fun (r : Superblock.region) ->
+          List.iter
+            (fun b ->
+              if b <> r.Superblock.head then
+                List.iter
+                  (fun pred ->
+                    if sb.Superblock.region_of.(pred) <> r.Superblock.id then
+                      Alcotest.failf
+                        "%s: region %d member block %d has external \
+                         predecessor %d"
+                        name r.Superblock.id b pred)
+                  dom.Domtree.bpreds.(b))
+            r.Superblock.blocks)
+        sb.Superblock.regions)
+    (shipped_images ())
+
+let test_superblock_bounds () =
+  List.iter
+    (fun (name, _, p) ->
+      let _cfg, dom, sb = analyze p in
+      Array.iter
+        (fun (r : Superblock.region) ->
+          match Superblock.bound dom r with
+          | None -> ()
+          | Some n ->
+            let total =
+              List.fold_left
+                (fun acc b -> acc + dom.Domtree.lens.(b))
+                0 r.Superblock.blocks
+            in
+            if n < dom.Domtree.lens.(r.Superblock.head) || n > total then
+              Alcotest.failf
+                "%s: region %d bound %d outside [head len %d, total %d]"
+                name r.Superblock.id n
+                dom.Domtree.lens.(r.Superblock.head)
+                total)
+        sb.Superblock.regions)
+    (shipped_images ())
+
+(* ---------- dominator tree ---------- *)
+
+let test_domtree_diamond () =
+  (* A(0) -> B(1,2) and C(3); both -> D(4): idom(B)=idom(C)=idom(D)=A *)
+  let p =
+    Asm.(
+      assemble
+        [
+          beq r1 r0 (lbl "c");
+          addi r2 r0 1;
+          insn (Isa.Jmp 4);
+          label "c";
+          addi r2 r0 2;
+          label "d";
+          halt;
+        ])
+  in
+  let _cfg, dom, _sb = analyze p in
+  let b_of a = dom.Domtree.block_of.(a) in
+  let a = b_of 0 and b = b_of 1 and c = b_of 3 and d = b_of 4 in
+  Alcotest.(check int) "idom(B) = A" a dom.Domtree.idom.(b);
+  Alcotest.(check int) "idom(C) = A" a dom.Domtree.idom.(c);
+  Alcotest.(check int) "idom(D) = A" a dom.Domtree.idom.(d);
+  Alcotest.(check int)
+    "idom(A) is the virtual root" (Domtree.virtual_root dom)
+    dom.Domtree.idom.(a);
+  Alcotest.(check bool) "A dominates D" true (Domtree.dominates dom a d);
+  Alcotest.(check bool) "B does not dominate D" false
+    (Domtree.dominates dom b d)
+
+let test_domtree_loop () =
+  let p =
+    Asm.(
+      assemble
+        [ ldi r1 4; label "lp"; subi r1 r1 1; bne r1 r0 (lbl "lp"); halt ])
+  in
+  let _cfg, dom, _sb = analyze p in
+  let header = dom.Domtree.block_of.(1) in
+  Alcotest.(check (list int)) "one natural-loop header" [ header ]
+    (Domtree.loop_headers dom);
+  match Domtree.back_edges dom with
+  | [ (u, h) ] ->
+    Alcotest.(check int) "back edge targets the header" header h;
+    Alcotest.(check bool) "header dominates the latch" true
+      (Domtree.dominates dom h u)
+  | es -> Alcotest.failf "expected one back edge, got %d" (List.length es)
+
+(* ---------- value-set analysis ---------- *)
+
+let test_vsa_resolves_computed_jr () =
+  (* r2 <- encoded addr 4, then +4 -> addr 5.  The flow-insensitive
+     candidate pass gives up on any register an ALU op writes; VSA
+     follows the arithmetic. *)
+  let code =
+    Isa.
+      [|
+        Ldi (2, 16); Alui (Add, 2, 2, 4); Jr 2; Halt; Halt; Halt;
+      |]
+  in
+  let coarse = Cfg.build code in
+  Alcotest.(check (list int)) "coarse analysis cannot resolve it" [ 2 ]
+    coarse.Cfg.jr_unresolved;
+  let cfg = Vsa.refine coarse (Vsa.solve coarse) in
+  Alcotest.(check (list int)) "VSA resolves it" [] cfg.Cfg.jr_unresolved;
+  Alcotest.(check (list int)) "to the computed target" [ 5 ] cfg.Cfg.succs.(2);
+  let m = Manifest.of_code code in
+  Alcotest.(check int) "manifest credits the resolution" 1
+    m.Manifest.jr_resolved_by_vsa;
+  Alcotest.(check int) "nothing left unresolved" 0 m.Manifest.jr_unresolved
+
+let test_vsa_jal_link () =
+  let p = Asm.(assemble [ jal r1 (lbl "f"); halt; label "f"; jr r1 ]) in
+  let cfg = Cfg.of_program p in
+  let vsa = Vsa.solve cfg in
+  (* the link value is (site+1) << 2 | priv, priv in 0..3 *)
+  match Vsa.value_at vsa ~addr:2 ~reg:1 with
+  | v ->
+    Alcotest.(check bool)
+      "link value covers the privilege low bits" true
+      (Vsa.equal_value v (Vsa.join_value v (Vsa.Itv (4, 7))))
+
+(* ---------- worklist order (satellite: RPO beats FIFO) ---------- *)
+
+let test_rpo_fewer_iterations () =
+  let total order =
+    List.fold_left
+      (fun acc (_, _, (p : Asm.program)) ->
+        let st = Finding.new_stats () in
+        ignore
+          (Absint.Consts.solve ~stats:st ~order (Cfg.of_program p)
+            : Absint.Consts.state option array);
+        acc + st.Finding.fixpoint_iterations)
+      0 (shipped_images ())
+  in
+  let fifo = total `Fifo and rpo = total `Rpo in
+  if rpo >= fifo then
+    Alcotest.failf
+      "reverse-postorder iteration should beat FIFO: rpo=%d fifo=%d" rpo fifo
+
+(* ---------- finding dedupe (satellite) ---------- *)
+
+let test_duplicate_findings_collapse () =
+  (* [Br (c, r1, r1)] reports "branched on" per operand: two
+     byte-identical findings before dedupe. *)
+  let p =
+    Asm.(assemble [ jal r1 (lbl "f"); halt; label "f"; beq r1 r1 (lbl "f") ])
+  in
+  let fs = Analysis.check p in
+  Alcotest.(check int)
+    "identical findings are reported once"
+    (List.length (List.sort_uniq Finding.compare fs))
+    (List.length fs);
+  let branched =
+    List.filter (fun f -> contains f.Finding.message "branched on") fs
+  in
+  Alcotest.(check int) "one branched-on finding for Br(c,r,r)" 1
+    (List.length branched)
+
+(* ---------- findings map to symbols through rewriting ---------- *)
+
+let test_findings_symbolize_through_rewrite () =
+  (* Rewrite with a tiny marker spacing so every image gains many
+     instrumentation sites (including Jal return points), then check
+     that every finding and every marker site still resolves to a
+     label+offset of the original program through the rebound symbol
+     table — not to a bare "@addr". *)
+  List.iter
+    (fun (w : Hft_guest.Workload.t) ->
+      let p = w.Hft_guest.Workload.program in
+      if p.Asm.labels = [] then ()
+      else begin
+        let rw = Rewrite.rewrite_program ~every:64 p in
+        let syms = Symtab.of_program rw in
+        let original_labels = List.map fst p.Asm.labels in
+        let check_addr what addr =
+          let where = Symtab.resolve syms addr in
+          if String.length where > 0 && where.[0] = '@' then
+            Alcotest.failf "%s: %s at %d resolves to no label (%s)"
+              w.Hft_guest.Workload.name what addr where;
+          let label = List.hd (String.split_on_char '+' where) in
+          if not (List.mem label original_labels) then
+            Alcotest.failf "%s: %s at %d maps to %S, not an original label"
+              w.Hft_guest.Workload.name what addr label
+        in
+        let data_init = List.map fst w.Hft_guest.Workload.config in
+        List.iter
+          (fun (f : Finding.t) -> check_addr "finding" f.Finding.addr)
+          (Analysis.check ~rewritten:true ~data_init rw);
+        Array.iteri
+          (fun addr i ->
+            match i with
+            | Isa.Trapc c when c = Rewrite.epoch_marker_code ->
+              check_addr "epoch marker" addr
+            | _ -> ())
+          rw.Asm.code
+      end)
+    (named_workloads ())
+
+(* ---------- runtime certificate validator ---------- *)
+
+let no_regions len =
+  ( Array.make len (-1) (* region *),
+    [||] (* rhead *),
+    [||] (* rbound *) )
+
+let test_validator_priv_violation () =
+  (* The code legitimately raises its privilege to 3; a manifest that
+     certifies the block Priv0 is wrong and must trap at the first
+     instruction executed above level 0. *)
+  let code =
+    Isa.[| Ldi (1, 3); Mtcr (Cr_status, 1); Alu (Add, 2, 0, 0); Halt |]
+  in
+  let c = Cpu.create ~code () in
+  let len = Array.length code in
+  let region, rhead, rbound = no_regions len in
+  Cpu.install_validator c
+    ~priv_ok:(Array.make len 1) (* level 0 only *)
+    ~det:(Array.make len false) ~uses:(Array.make len 0)
+    ~def:(Array.make len 0) ~region ~rhead ~rbound ~random_tlb:false;
+  match (Cpu.run c ~fuel:10).Cpu.stop with
+  | Cpu.Cert_violation { addr; msg } ->
+    Alcotest.(check int) "traps at the deprivileged instruction" 2 addr;
+    Alcotest.(check bool) "names the certificate" true
+      (contains msg "Priv0")
+  | s -> Alcotest.failf "expected Cert_violation, got %a" Cpu.pp_stop s
+
+let test_validator_uninit_read () =
+  let code = Isa.[| Alu (Add, 2, 1, 1); Halt |] in
+  let c = Cpu.create ~code () in
+  let region, rhead, rbound = no_regions 2 in
+  Cpu.install_validator c
+    ~priv_ok:(Array.make 2 0xf)
+    ~det:(Array.make 2 true)
+    ~uses:[| 1 lsl 1; 0 |]
+    ~def:[| 1 lsl 2; 0 |]
+    ~region ~rhead ~rbound ~random_tlb:false;
+  match (Cpu.run c ~fuel:10).Cpu.stop with
+  | Cpu.Cert_violation { addr; msg } ->
+    Alcotest.(check int) "traps at the uninitialized read" 0 addr;
+    Alcotest.(check bool) "names determinism" true
+      (contains msg "Deterministic")
+  | s -> Alcotest.failf "expected Cert_violation, got %a" Cpu.pp_stop s
+
+let test_validator_epoch_bound () =
+  (* a 2-instruction loop certified with a bound of 1 must trap on the
+     second instruction of the first pass *)
+  let code = Isa.[| Alui (Add, 1, 1, 1); Jmp 0 |] in
+  let c = Cpu.create ~code () in
+  Cpu.install_validator c
+    ~priv_ok:(Array.make 2 0xf)
+    ~det:(Array.make 2 false) ~uses:(Array.make 2 0) ~def:(Array.make 2 0)
+    ~region:[| 0; 0 |] ~rhead:[| 0 |] ~rbound:[| 1 |] ~random_tlb:false;
+  match (Cpu.run c ~fuel:10).Cpu.stop with
+  | Cpu.Cert_violation { msg; _ } ->
+    Alcotest.(check bool) "names the bound" true
+      (contains msg "Epoch_bounded")
+  | s -> Alcotest.failf "expected Cert_violation, got %a" Cpu.pp_stop s
+
+let test_validator_clean_run_covers () =
+  (* a correct manifest on a straight-line program: runs to Halt with
+     full coverage and no violation *)
+  let code =
+    Isa.[| Ldi (1, 7); Alui (Add, 2, 1, 1); Alu (Xor, 3, 2, 1); Halt |]
+  in
+  let m = Manifest.of_code code in
+  let c = Cpu.create ~code () in
+  Manifest.install m ~deprivileged:false c;
+  (match (Cpu.run c ~fuel:10).Cpu.stop with
+  | Cpu.Stop_halt -> ()
+  | s -> Alcotest.failf "expected Stop_halt, got %a" Cpu.pp_stop s);
+  match Cpu.validator_coverage c with
+  | Some (covered, checked) ->
+    Alcotest.(check int) "three instructions validated" 3 checked;
+    Alcotest.(check int) "all of them certified" 3 covered
+  | None -> Alcotest.fail "validator not installed"
+
+let test_validator_amnesty_on_trap () =
+  (* r2 is written only before the trap; the handler reads it.  The
+     static model treats trap roots as fully initialized (registers
+     are replicated state), so delivery must reset the written set
+     instead of flagging a stale mask. *)
+  let code =
+    Isa.
+      [|
+        (* 0: *) Ldi (1, 8);
+        (* 1: *) Mtcr (Cr_ivec, 1);
+        (* 2: *) Ldi (2, 5);
+        (* 3: *) Trapc 7;
+        (* 4: *) Halt;
+        (* 5: *) Halt;
+        (* handler: *)
+        (* 6: would be unreachable *) Halt;
+        (* 7: *) Halt;
+        (* 8: *) Alu (Add, 3, 2, 2);
+        (* 9: *) Halt;
+      |]
+  in
+  let c = Cpu.create ~code () in
+  let len = Array.length code in
+  let region, rhead, rbound = no_regions len in
+  let uses = Array.make len 0 in
+  uses.(8) <- 1 lsl 2;
+  Cpu.install_validator c
+    ~priv_ok:(Array.make len 0xf)
+    ~det:(Array.make len true) ~uses ~def:(Array.make len 0) ~region ~rhead
+    ~rbound ~random_tlb:false;
+  (* run to the Trapc stop, deliver the trap, continue into the
+     handler: the read of r2 at 8 must pass via amnesty *)
+  (match (Cpu.run c ~fuel:10).Cpu.stop with
+  | Cpu.Syscall _ -> ()
+  | s -> Alcotest.failf "expected Syscall, got %a" Cpu.pp_stop s);
+  Cpu.deliver_trap c ~cause:9 ~epc:(Cpu.pc c);
+  match (Cpu.run c ~fuel:10).Cpu.stop with
+  | Cpu.Stop_halt -> ()
+  | s -> Alcotest.failf "expected Stop_halt after handler, got %a" Cpu.pp_stop s
+
+(* ---------- image embedding ---------- *)
+
+let test_image_embeds_manifest () =
+  let w = Hft_guest.Workload.console_hello ~text:"hi" in
+  let p = w.Hft_guest.Workload.program in
+  let m = Manifest.of_program p in
+  let s = Image.to_string ~manifest:(Manifest.to_json m) p in
+  (* the embedded line round-trips and still validates *)
+  (match Image.manifest_of_string s with
+  | None -> Alcotest.fail "no manifest line in the image"
+  | Some j -> (
+    match Manifest.of_string j with
+    | Error e -> Alcotest.failf "embedded manifest unparseable: %s" e
+    | Ok m' -> (
+      match Manifest.validate ~code:p.Asm.code m' with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "embedded manifest stale: %s" e)));
+  (* the program itself is unchanged by the M line *)
+  let p' = Image.of_string s in
+  Alcotest.(check int) "code survives" (Array.length p.Asm.code)
+    (Array.length p'.Asm.code);
+  Alcotest.(check int) "image hash survives"
+    (Encode.program_hash p.Asm.code)
+    (Encode.program_hash p'.Asm.code)
+
+(* ---------- differential: validator armed on a full run ---------- *)
+
+let test_replicated_run_validates () =
+  let params =
+    Hft_core.Params.with_epoch_length Hft_core.Params.default 512
+  in
+  let w = Hft_guest.Workload.dhrystone ~iterations:200 in
+  let o = Hft_harness.Scenario.replicated ~lockstep:true ~params w in
+  let st = o.Hft_core.System.primary_stats in
+  if st.Hft_core.Stats.validated_instructions = 0 then
+    Alcotest.fail "validator did not observe the run";
+  match Hft_core.Stats.certified_coverage st with
+  | Some c ->
+    if c < 0.5 then
+      Alcotest.failf "certified coverage unexpectedly low: %.2f" c
+  | None -> Alcotest.fail "no coverage recorded"
+
+let () =
+  Alcotest.run "manifest"
+    [
+      ( "manifest",
+        [
+          Alcotest.test_case "shipped images certify" `Quick
+            test_workloads_certify;
+          Alcotest.test_case "JSON round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "stale manifest refused everywhere" `Quick
+            test_stale_manifest;
+          Alcotest.test_case "fresh manifest boots" `Quick
+            test_fresh_manifest_accepted;
+          Alcotest.test_case "image embeds manifest" `Quick
+            test_image_embeds_manifest;
+        ] );
+      ( "superblocks",
+        [
+          Alcotest.test_case "single entry" `Quick
+            test_superblock_single_entry;
+          Alcotest.test_case "bounds bracket region size" `Quick
+            test_superblock_bounds;
+        ] );
+      ( "domtree",
+        [
+          Alcotest.test_case "diamond" `Quick test_domtree_diamond;
+          Alcotest.test_case "natural loop" `Quick test_domtree_loop;
+        ] );
+      ( "vsa",
+        [
+          Alcotest.test_case "resolves computed jr" `Quick
+            test_vsa_resolves_computed_jr;
+          Alcotest.test_case "jal link interval" `Quick test_vsa_jal_link;
+        ] );
+      ( "absint",
+        [
+          Alcotest.test_case "rpo beats fifo" `Quick
+            test_rpo_fewer_iterations;
+        ] );
+      ( "findings",
+        [
+          Alcotest.test_case "duplicates collapse" `Quick
+            test_duplicate_findings_collapse;
+          Alcotest.test_case "symbols survive rewriting" `Quick
+            test_findings_symbolize_through_rewrite;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "priv violation" `Quick
+            test_validator_priv_violation;
+          Alcotest.test_case "uninitialized read" `Quick
+            test_validator_uninit_read;
+          Alcotest.test_case "epoch bound" `Quick test_validator_epoch_bound;
+          Alcotest.test_case "clean run covers" `Quick
+            test_validator_clean_run_covers;
+          Alcotest.test_case "amnesty on trap delivery" `Quick
+            test_validator_amnesty_on_trap;
+          Alcotest.test_case "replicated run validates" `Quick
+            test_replicated_run_validates;
+        ] );
+    ]
