@@ -103,7 +103,32 @@ let mechanism_arg =
         ~doc:
           "Epoch mechanism: recovery-register (the PA-RISC feature the            prototype used) or code-rewriting (section 2.1's object-code            editing alternative).")
 
-let params_of ~epoch ~protocol ~link ~mechanism =
+let backend_conv =
+  Arg.conv
+    ( (fun s ->
+        match Params.backend_of_name s with
+        | Some b -> Ok b
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown backend %S (interp|threaded|differential)" s))),
+      Params.pp_backend )
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Params.Interp
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Guest execution backend: interp (the reference interpreter), \
+           threaded (manifest-certified superblocks pre-decoded into \
+           direct-threaded closure chains, interpreter on the cold path), \
+           or differential (the primary runs threaded while the backup \
+           runs the interpreter as an oracle; the first state-digest \
+           divergence at an epoch boundary is fatal).")
+
+let params_of ?(backend = Params.Interp) ~epoch ~protocol ~link ~mechanism () =
   {
     (Params.with_link
        (Params.with_protocol (Params.with_epoch_length Params.default epoch)
@@ -111,6 +136,7 @@ let params_of ~epoch ~protocol ~link ~mechanism =
        link)
     with
     Params.epoch_mechanism = mechanism;
+    exec_backend = backend;
   }
 
 (* ---------- observability artifacts ---------- *)
@@ -187,6 +213,8 @@ let print_outcome (o : System.outcome) =
     [ o.System.primary_stats; o.System.backup_stats ];
   Hft_harness.Report.certification
     [ o.System.primary_stats; o.System.backup_stats ];
+  Hft_harness.Report.translation
+    [ o.System.primary_stats; o.System.backup_stats ];
   Format.printf "disk history   : %s@."
     (if o.System.disk_consistent then "single-processor consistent"
      else "INCONSISTENT");
@@ -244,9 +272,9 @@ let run_cmd =
              corrupt-rtx; the fault strikes mid-way through EPOCH and is \
              healed by an in-place microreboot (ReHype extension).")
   in
-  let action workload epoch protocol link mechanism bare crash_ms
+  let action workload epoch protocol link mechanism backend bare crash_ms
       reintegrate_ms hv_fault_list trace_out metrics metrics_out =
-    let params = params_of ~epoch ~protocol ~link ~mechanism in
+    let params = params_of ~backend ~epoch ~protocol ~link ~mechanism () in
     if bare then begin
       let b = Bare.create ~params ~workload () in
       Bare.init_disk_blocks b;
@@ -255,6 +283,16 @@ let run_cmd =
       Format.printf "virtual time   : %a@." Hft_sim.Time.pp o.Bare.time;
       Format.printf "instructions   : %d@." o.Bare.instructions;
       Format.printf "guest results  : %a@." Guest_results.pp o.Bare.results;
+      (match Hft_machine.Cpu.translation (Bare.cpu b) with
+      | Some tx when tx.Hft_machine.Translate.threaded_instrs > 0 ->
+        Format.printf
+          "translation    : %d instructions direct-threaded, %d entries \
+           over %d blocks (%d fused)@."
+          tx.Hft_machine.Translate.threaded_instrs
+          tx.Hft_machine.Translate.entries_taken
+          tx.Hft_machine.Translate.translated_blocks
+          tx.Hft_machine.Translate.fused
+      | _ -> ());
       if o.Bare.console <> "" then
         Format.printf "console        : %S@." o.Bare.console
     end
@@ -287,8 +325,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
-      $ mechanism_arg $ bare $ crash_ms $ reintegrate_ms $ hv_fault_specs
-      $ trace_out_arg $ metrics $ metrics_out)
+      $ mechanism_arg $ backend_arg $ bare $ crash_ms $ reintegrate_ms
+      $ hv_fault_specs $ trace_out_arg $ metrics $ metrics_out)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload, bare or replicated.")
@@ -312,7 +350,7 @@ let sweep_cmd =
   let action workload epochs protocol link both =
     let params =
       params_of ~epoch:4096 ~protocol ~link
-        ~mechanism:Params.Recovery_register
+        ~mechanism:Params.Recovery_register ()
     in
     let protocols =
       if both then [ Params.Original; Params.Revised ] else [ protocol ]
@@ -450,6 +488,7 @@ let trace_cmd =
       let quiet = jsonl = Some "-" in
       let params =
         params_of ~epoch ~protocol ~link ~mechanism:Params.Recovery_register
+          ()
       in
       let obs = Obs.Recorder.create ~dispatch () in
       let sys = System.create ~params ~obs ~workload () in
@@ -708,7 +747,7 @@ let chaos_cmd =
             "Write the campaign summary as machine-readable JSON (schema \
              hftsim-chaos/1) to PATH.")
   in
-  let action workload epoch protocol link seed trials loss dup corrupt
+  let action workload epoch protocol link backend seed trials loss dup corrupt
       delay_us no_retransmit exact crash_epoch backup_crash_epoch reintegrate
       no_shrink hv_faults hv_fault_list json trace_out =
     let bad_rate r = r < 0. || r >= 1. in
@@ -719,7 +758,8 @@ let chaos_cmd =
         )
     else begin
     let params =
-      params_of ~epoch ~protocol ~link ~mechanism:Params.Recovery_register
+      params_of ~backend ~epoch ~protocol ~link
+        ~mechanism:Params.Recovery_register ()
     in
     let params = Params.with_retransmit params (not no_retransmit) in
     let cfg =
@@ -835,10 +875,10 @@ let chaos_cmd =
     Term.(
       ret
         (const action $ workload_arg $ epoch_arg $ protocol_arg $ link_arg
-       $ seed_arg $ trials_arg $ loss_arg $ dup_arg $ corrupt_arg $ delay_arg
-       $ no_retransmit $ exact $ crash_epoch $ backup_crash_epoch
-       $ reintegrate $ no_shrink $ hv_faults_flag $ hv_fault_specs $ json_arg
-       $ trace_out_arg))
+       $ backend_arg $ seed_arg $ trials_arg $ loss_arg $ dup_arg
+       $ corrupt_arg $ delay_arg $ no_retransmit $ exact $ crash_epoch
+       $ backup_crash_epoch $ reintegrate $ no_shrink $ hv_faults_flag
+       $ hv_fault_specs $ json_arg $ trace_out_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1493,7 +1533,7 @@ let check_cmd =
   in
   let action scenario all list_scenarios depth max_states json replay
       save_replay no_dpor no_fp compare_naive no_retransmit no_ack_wait
-      max_violations no_shrink trace_out =
+      max_violations no_shrink trace_out backend =
     if list_scenarios then begin
       List.iter
         (fun sc ->
@@ -1542,6 +1582,17 @@ let check_cmd =
         match scenarios with
         | Error m -> `Error (false, m)
         | Ok scenarios ->
+          let scenarios =
+            List.map
+              (fun sc ->
+                {
+                  sc with
+                  Hft_harness.Scenarios.sc_params =
+                    Params.with_exec_backend
+                      sc.Hft_harness.Scenarios.sc_params backend;
+                })
+              scenarios
+          in
           let variant =
             {
               Hft_harness.Scenarios.retransmit = not no_retransmit;
@@ -1648,7 +1699,7 @@ let check_cmd =
        $ max_states_arg $ json_arg $ replay_arg $ save_replay_arg
        $ no_dpor_arg $ no_fp_arg $ compare_naive_arg $ no_retransmit_arg
        $ no_ack_wait_arg $ max_violations_arg $ no_shrink_arg
-       $ trace_out_arg))
+       $ trace_out_arg $ backend_arg))
 
 (* ---------- bench ---------- *)
 
@@ -1687,30 +1738,50 @@ let bench_cmd =
              the no-hashing epoch rate at EL=1024 — a loose guard against \
              accidentally reintroducing full re-hashing.")
   in
-  let action json_path quick min_speedup max_overhead =
-    let r = Hft_harness.Bench_core.run ~quick () in
-    Hft_harness.Bench_core.report r;
+  let min_threaded =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-threaded-speedup" ] ~docv:"R"
+          ~doc:
+            "Fail (exit non-zero) unless direct-threaded execution beats \
+             the interpreter by at least this factor (the committed full \
+             bench holds 2x; CI's quick smoke gates 1.5x, since quick \
+             budgets are noisier).")
+  in
+  let action json_path quick min_speedup max_overhead min_threaded =
+    let b = Hft_harness.Bench_core.run ~quick () in
+    Hft_harness.Bench_core.report b;
     (match json_path with
     | Some path ->
-      Hft_harness.Bench_core.write_json r path;
+      Hft_harness.Bench_core.write_json b path;
       Format.printf "wrote %s@." path
     | None -> ());
     let p =
-      match Hft_harness.Bench_core.point r 1024 with
+      match Hft_harness.Bench_core.point b 1024 with
       | Some p -> p
       | None -> assert false (* 1024 is always measured *)
     in
     let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
-    match (min_speedup, max_overhead) with
-    | Some r, _ when p.Hft_harness.Bench_core.speedup < r ->
+    if not b.Hft_harness.Bench_core.digest_match then
       fail
-        "incremental hashing speedup %.2fx at EL=1024 is below the %.2fx guard"
-        p.Hft_harness.Bench_core.speedup r
-    | _, Some r when p.Hft_harness.Bench_core.hash_overhead > r ->
-      fail
-        "lockstep hashing overhead %.2fx at EL=1024 exceeds the %.2fx guard"
-        p.Hft_harness.Bench_core.hash_overhead r
-    | _ -> Ok ()
+        "threaded and interpreter state digests diverged — the translation \
+         is architecturally wrong and every threaded number is invalid"
+    else
+      match (min_speedup, max_overhead, min_threaded) with
+      | Some r, _, _ when p.Hft_harness.Bench_core.speedup < r ->
+        fail
+          "incremental hashing speedup %.2fx at EL=1024 is below the %.2fx \
+           guard"
+          p.Hft_harness.Bench_core.speedup r
+      | _, Some r, _ when p.Hft_harness.Bench_core.hash_overhead > r ->
+        fail
+          "lockstep hashing overhead %.2fx at EL=1024 exceeds the %.2fx guard"
+          p.Hft_harness.Bench_core.hash_overhead r
+      | _, _, Some r when b.Hft_harness.Bench_core.threaded_speedup < r ->
+        fail "threaded speedup %.2fx is below the %.2fx guard"
+          b.Hft_harness.Bench_core.threaded_speedup r
+      | _ -> Ok ()
   in
   Cmd.v
     (Cmd.info "bench"
@@ -1722,7 +1793,8 @@ let bench_cmd =
           time, not simulated time.")
     Term.(
       term_result'
-        (const action $ json_path $ quick $ min_speedup $ max_overhead))
+        (const action $ json_path $ quick $ min_speedup $ max_overhead
+       $ min_threaded))
 
 (* ---------- disasm ---------- *)
 
@@ -1751,7 +1823,17 @@ let disasm_cmd =
              (hftsim-manifest/1) in the saved file's $(b,M) line, so \
              loaders can validate it against the code before running.")
   in
-  let action workload rewrite_el save_path embed_manifest =
+  let translated_flag =
+    Arg.(
+      value & flag
+      & info [ "translated" ]
+          ~doc:
+            "Also print the direct-threaded translation listing: every \
+             certified superblock's fused superinstruction chains and \
+             entry prechecks, plus the reason any certified superblock \
+             was left to the interpreter.")
+  in
+  let action workload rewrite_el translated save_path embed_manifest =
     let program = workload.Hft_guest.Workload.program in
     let program, rewritten =
       match rewrite_el with
@@ -1762,6 +1844,23 @@ let disasm_cmd =
     Format.printf "; %d instructions, image hash 0x%x@."
       (Array.length program.Hft_machine.Asm.code)
       (Hft_machine.Encode.program_hash program.Hft_machine.Asm.code);
+    if translated then begin
+      (* compile against a throwaway CPU exactly as the hypervisor
+         would (bare view: no deprivileging of the entry prechecks) *)
+      let cpu =
+        Hft_machine.Cpu.create ~code:program.Hft_machine.Asm.code ()
+      in
+      let manifest = Hft_analysis.Manifest.of_program ~rewritten program in
+      match
+        Hft_analysis.Manifest.install_translation manifest
+          ~deprivileged:false cpu
+      with
+      | Error m -> Format.printf "; not translated: %s@." m
+      | Ok _ -> (
+        match Hft_machine.Cpu.translation cpu with
+        | Some tx -> Format.printf "%a" Hft_machine.Translate.pp_listing tx
+        | None -> ())
+    end;
     match save_path with
     | Some path ->
       let manifest =
@@ -1779,7 +1878,9 @@ let disasm_cmd =
   Cmd.v
     (Cmd.info "disasm"
        ~doc:"Print a workload's program listing (optionally rewritten).")
-    Term.(const action $ workload_arg $ rewrite_el $ save_path $ embed_manifest)
+    Term.(
+      const action $ workload_arg $ rewrite_el $ translated_flag $ save_path
+      $ embed_manifest)
 
 let () =
   let doc =

@@ -257,9 +257,11 @@ let install t ~deprivileged cpu =
     cert_regions;
   let region_renumber = Hashtbl.create 8 in
   List.iter (fun (sid, k, _) -> Hashtbl.replace region_renumber sid k) cert_regions;
+  let blk_end = Array.init n (fun a -> a + 1) in
   List.iter
     (fun b ->
       for a = b.leader to b.leader + b.len - 1 do
+        blk_end.(a) <- b.leader + b.len;
         if List.mem Deterministic b.certs then det.(a) <- true;
         if List.mem Priv0 b.certs then priv_ok.(a) <- priv0_mask;
         match Hashtbl.find_opt region_renumber b.region with
@@ -267,8 +269,51 @@ let install t ~deprivileged cpu =
         | None -> ()
       done)
     t.blocks;
-  Cpu.install_validator cpu ~priv_ok ~det ~uses ~def ~region ~rhead ~rbound
-    ~random_tlb:t.random_tlb
+  Cpu.install_validator cpu ~blk_end ~priv_ok ~det ~uses ~def ~region ~rhead
+    ~rbound ~random_tlb:t.random_tlb
+
+(* Hand the certified superblocks to the direct-threaded translator.
+   Unlike {!install} this returns the staleness check as a result: a
+   stale manifest must not abort the run, it must leave the CPU on the
+   full-interpreter path (the executor logs and carries on).  The
+   region's privilege precheck is the conjunction of its members'
+   [Priv0] masks — entering at any other level falls back to the
+   interpreter, whose per-instruction validator enforces the exact
+   per-block certificate. *)
+let install_translation t ~deprivileged cpu =
+  match validate ~code:(Cpu.code cpu) t with
+  | Error msg -> Error msg
+  | Ok () ->
+    let priv0_mask = if deprivileged then 1 lsl 1 else 1 in
+    let block_tbl = Hashtbl.create 64 in
+    List.iter (fun b -> Hashtbl.replace block_tbl b.leader b) t.blocks;
+    let regions =
+      List.filter (fun s -> s.certified) t.superblocks
+      |> List.map (fun s ->
+             let members = List.filter_map (Hashtbl.find_opt block_tbl) s.members in
+             let mask =
+               List.fold_left
+                 (fun acc b ->
+                   acc land (if List.mem Priv0 b.certs then priv0_mask else -1))
+                 (-1) members
+             in
+             {
+               Translate.pr_head = s.head;
+               pr_blocks =
+                 List.map
+                   (fun b ->
+                     { Translate.pb_leader = b.leader; pb_len = b.len })
+                   members;
+               pr_priv_mask = mask;
+             })
+    in
+    Cpu.install_translation cpu regions;
+    let translated =
+      match Cpu.translation cpu with
+      | Some tx -> tx.Translate.translated_regions
+      | None -> 0
+    in
+    Ok translated
 
 (* ---- JSON ---- *)
 

@@ -95,6 +95,17 @@ val install : t -> deprivileged:bool -> Hft_machine.Cpu.t -> unit
     @raise Invalid_argument when {!validate} fails against the CPU's
     code image. *)
 
+val install_translation :
+  t -> deprivileged:bool -> Hft_machine.Cpu.t -> (int, string) result
+(** Compile this manifest's certified superblocks into the CPU's
+    direct-threaded translation cache
+    ({!Hft_machine.Cpu.install_translation}) and return how many
+    superblocks translated.  Unlike {!install} a stale manifest is not
+    fatal: it returns [Error] and the CPU stays on the full-interpreter
+    path — the safe fallback the threaded backend degrades to.
+    [deprivileged] maps [Priv0] entry prechecks exactly as in
+    {!install}. *)
+
 val certified_blocks : t -> int
 val certified_superblocks : t -> int
 

@@ -29,6 +29,9 @@ let create ?(params = Params.default) ?(disk_seed = 42) ~workload () =
       ~code:workload.Hft_guest.Workload.program.Asm.code ()
   in
   Hypervisor.arm_manifest_validator ~params ~workload ~deprivileged:false cpu;
+  (* a single machine has no oracle to differ from, so [Differential]
+     degenerates to [Threaded] here *)
+  Hypervisor.arm_translation ~params ~workload ~deprivileged:false cpu;
   let disk =
     Disk.create ~engine ~rng:(Rng.create disk_seed) params.Params.disk
   in

@@ -244,6 +244,30 @@ let arm_manifest_validator ~params ~workload ~deprivileged cpu =
     Hft_analysis.Manifest.install m ~deprivileged cpu
   end
 
+(* Under the [Threaded] (or [Differential], which maps to [Threaded]
+   on one replica) backend, additionally compile the manifest's
+   certified superblocks into the CPU's direct-threaded translation
+   cache.  A stale manifest is not fatal here — the CPU simply stays
+   on the full-interpreter path, which is the semantic oracle. *)
+let arm_translation ~params ~workload ~deprivileged cpu =
+  match params.Params.exec_backend with
+  | Params.Interp -> ()
+  | Params.Threaded | Params.Differential ->
+    let program = workload.Hft_guest.Workload.program in
+    let m =
+      Hft_analysis.Manifest.of_code_cached
+        ~rewritten:(params.Params.epoch_mechanism = Params.Code_rewriting)
+        ~random_tlb:
+          (match params.Params.cpu_config.Cpu.tlb_policy with
+          | Tlb.Random _ -> true
+          | Tlb.Round_robin -> false)
+        ~mmio_base:params.Params.cpu_config.Cpu.mmio_base
+        ~code_refs:program.Asm.code_refs program.Asm.code
+    in
+    (match Hft_analysis.Manifest.install_translation m ~deprivileged cpu with
+    | Ok _ -> ()
+    | Error _ -> () (* stale manifest: full interpreter fallback *))
+
 let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock
     ?(obs = Hft_obs.Recorder.null) () =
   let vm =
@@ -251,6 +275,7 @@ let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock
       ~code:workload.Hft_guest.Workload.program.Asm.code ()
   in
   arm_manifest_validator ~params ~workload ~deprivileged:true vm;
+  arm_translation ~params ~workload ~deprivileged:true vm;
   {
     name_ = name;
     engine;
@@ -623,6 +648,19 @@ and continue_vm t =
         | Some (covered, checked) ->
           t.st.Stats.certified_instructions <- covered;
           t.st.Stats.validated_instructions <- checked
+        | None -> ());
+        (match Cpu.translation t.vm with
+        | Some tx ->
+          t.st.Stats.blocks_translated <- tx.Translate.translated_blocks;
+          t.st.Stats.superinstructions_fused <- tx.Translate.fused;
+          t.st.Stats.threaded_instrs <- tx.Translate.threaded_instrs;
+          t.st.Stats.threaded_entries <- tx.Translate.entries_taken;
+          t.st.Stats.fallback_budget <- tx.Translate.fb_budget;
+          t.st.Stats.fallback_priv <- tx.Translate.fb_priv;
+          t.st.Stats.fallback_link <- tx.Translate.fb_link;
+          t.st.Stats.fallback_indirect <- tx.Translate.fb_indirect;
+          t.st.Stats.fallback_bail <- tx.Translate.fb_bail;
+          t.st.Stats.fallback_stop <- tx.Translate.fb_stop
         | None -> ());
         let dt = Time.scale t.p.Params.instr_time res.Cpu.executed in
         ignore

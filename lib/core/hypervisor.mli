@@ -53,6 +53,19 @@ val arm_manifest_validator :
     certificate through section 3.1's deprivileging (virtual 0 runs at
     real 1); {!Bare} passes [false].  A no-op when validation is off. *)
 
+val arm_translation :
+  params:Params.t ->
+  workload:Hft_guest.Workload.t ->
+  deprivileged:bool ->
+  Hft_machine.Cpu.t ->
+  unit
+(** When [params.exec_backend] is [Threaded] or [Differential],
+    analyze the workload's image and compile its certified superblocks
+    into [cpu]'s direct-threaded translation cache
+    ({!Hft_analysis.Manifest.install_translation}).  A stale manifest
+    degrades silently to the full-interpreter path.  A no-op under
+    [Interp]. *)
+
 val create :
   name:string ->
   role:role ->

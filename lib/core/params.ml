@@ -8,6 +8,8 @@ type epoch_mechanism = Recovery_register | Code_rewriting
 
 type hash_scheme = Incremental | Full_rehash
 
+type exec_backend = Interp | Threaded | Differential
+
 type t = {
   epoch_length : int;
   protocol : protocol;
@@ -38,6 +40,7 @@ type t = {
   cpu_config : Hft_machine.Cpu.config;
   hash_scheme : hash_scheme;
   validate_manifest : bool;
+  exec_backend : exec_backend;
 }
 
 let default =
@@ -71,6 +74,7 @@ let default =
     cpu_config = Hft_machine.Cpu.default_config;
     hash_scheme = Incremental;
     validate_manifest = true;
+    exec_backend = Interp;
   }
 
 let hsim t = Time.add t.hv_entry_exit t.hv_work
@@ -85,10 +89,24 @@ let with_retransmit t retransmit = { t with retransmit }
 let with_ack_wait t ack_wait = { t with ack_wait }
 let with_hash_scheme t hash_scheme = { t with hash_scheme }
 let with_validate_manifest t validate_manifest = { t with validate_manifest }
+let with_exec_backend t exec_backend = { t with exec_backend }
+
+let backend_name = function
+  | Interp -> "interp"
+  | Threaded -> "threaded"
+  | Differential -> "differential"
+
+let backend_of_name = function
+  | "interp" -> Some Interp
+  | "threaded" -> Some Threaded
+  | "differential" -> Some Differential
+  | _ -> None
 
 let pp_protocol fmt = function
   | Original -> Format.pp_print_string fmt "original"
   | Revised -> Format.pp_print_string fmt "revised"
+
+let pp_backend fmt b = Format.pp_print_string fmt (backend_name b)
 
 let pp fmt t =
   Format.fprintf fmt

@@ -51,6 +51,21 @@ type hash_scheme =
           benchmark baseline.  Both schemes produce identical hash
           values, so replicas may differ in this setting. *)
 
+type exec_backend =
+  | Interp
+      (** the decode-per-step interpreter — the reference semantics *)
+  | Threaded
+      (** manifest-certified superblocks execute as direct-threaded
+          closure chains ({!Hft_machine.Translate}); everything else —
+          and every trap, exit, or stale manifest — falls back to the
+          interpreter *)
+  | Differential
+      (** both at once, as the paper's own lockstep makes possible:
+          the primary runs [Threaded], the backup runs [Interp], and
+          the first state-digest divergence at an epoch boundary
+          faults the run immediately — the interpreter is the oracle
+          for the translator *)
+
 type t = {
   epoch_length : int;        (** instructions per epoch (the recovery
                                  register load, or the marker spacing
@@ -121,6 +136,12 @@ type t = {
           compilation manifest, so every run differentially tests the
           static certificates against actual execution.  On by
           default; benchmarks turn it off for clean timings. *)
+  exec_backend : exec_backend;
+      (** how guest instructions execute between stops; [Interp] by
+          default.  [Threaded]/[Differential] additionally compile the
+          manifest's certified superblocks into the CPU's translation
+          cache at boot ({!Hft_analysis.Manifest.install_translation});
+          a stale manifest logs and degrades to full interpretation. *)
 }
 
 val default : t
@@ -137,6 +158,11 @@ val with_retransmit : t -> bool -> t
 val with_ack_wait : t -> bool -> t
 val with_hash_scheme : t -> hash_scheme -> t
 val with_validate_manifest : t -> bool -> t
+val with_exec_backend : t -> exec_backend -> t
+
+val backend_name : exec_backend -> string
+val backend_of_name : string -> exec_backend option
 
 val pp_protocol : Format.formatter -> protocol -> unit
+val pp_backend : Format.formatter -> exec_backend -> unit
 val pp : Format.formatter -> t -> unit

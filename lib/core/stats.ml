@@ -28,6 +28,16 @@ type t = {
   mutable recovery_windows : Time.t list;
   mutable certified_instructions : int;
   mutable validated_instructions : int;
+  mutable blocks_translated : int;
+  mutable superinstructions_fused : int;
+  mutable threaded_instrs : int;
+  mutable threaded_entries : int;
+  mutable fallback_budget : int;
+  mutable fallback_priv : int;
+  mutable fallback_link : int;
+  mutable fallback_indirect : int;
+  mutable fallback_bail : int;
+  mutable fallback_stop : int;
   mutable ack_wait : Time.t;
   mutable boundary : Time.t;
   mutable idle : Time.t;
@@ -63,6 +73,16 @@ let create () =
     recovery_windows = [];
     certified_instructions = 0;
     validated_instructions = 0;
+    blocks_translated = 0;
+    superinstructions_fused = 0;
+    threaded_instrs = 0;
+    threaded_entries = 0;
+    fallback_budget = 0;
+    fallback_priv = 0;
+    fallback_link = 0;
+    fallback_indirect = 0;
+    fallback_bail = 0;
+    fallback_stop = 0;
     ack_wait = Time.zero;
     boundary = Time.zero;
     idle = Time.zero;
@@ -87,6 +107,11 @@ let mean_intr_delay_us t =
   if t.interrupts_delivered = 0 then 0.0
   else Time.to_us t.intr_delay /. float_of_int t.interrupts_delivered
 
+let threaded_fraction t =
+  if t.instructions = 0 then None
+  else if t.threaded_instrs = 0 then None
+  else Some (float_of_int t.threaded_instrs /. float_of_int t.instructions)
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>instructions: %d@ simulated: %d@ epochs: %d@ interrupts: %d \
@@ -96,6 +121,8 @@ let pp fmt t =
      detected@ hashing: %d pages hashed, %d skipped@ snapshot bytes: %d@ \
      recovery: %d hv faults, %d microreboots, %d ios + %d msgs reconciled@ \
      certified: %d of %d validated instructions%s@ \
+     threaded: %d instrs%s over %d entries (%d blocks, %d fused); fallbacks: \
+     %d budget, %d priv, %d link, %d indirect, %d bail, %d stop@ \
      ack wait: %a@ boundary: %a@ idle: %a@ mean intr delay: %.1fus@]"
     t.instructions t.simulated t.epochs t.interrupts_buffered
     t.interrupts_delivered t.env_values t.io_submitted t.io_suppressed
@@ -107,5 +134,12 @@ let pp fmt t =
     (match certified_coverage t with
     | Some c -> Printf.sprintf " (%.1f%%)" (100.0 *. c)
     | None -> "")
+    t.threaded_instrs
+    (match threaded_fraction t with
+    | Some f -> Printf.sprintf " (%.1f%%)" (100.0 *. f)
+    | None -> "")
+    t.threaded_entries t.blocks_translated t.superinstructions_fused
+    t.fallback_budget t.fallback_priv t.fallback_link t.fallback_indirect
+    t.fallback_bail t.fallback_stop
     Time.pp t.ack_wait
     Time.pp t.boundary Time.pp t.idle (mean_intr_delay_us t)

@@ -64,6 +64,28 @@ type t = {
   mutable validated_instructions : int;
       (** instructions completed while the validator was armed — the
           denominator of the dynamic certified coverage *)
+  mutable blocks_translated : int;
+      (** basic blocks compiled into the direct-threaded translation
+          cache at boot; 0 under the [Interp] backend *)
+  mutable superinstructions_fused : int;
+      (** adjacent instruction pairs fused into one closure *)
+  mutable threaded_instrs : int;
+      (** instructions completed inside translated superblocks *)
+  mutable threaded_entries : int;
+      (** dispatch-loop entries into translated code *)
+  mutable fallback_budget : int;
+      (** threaded exits/refusals: block would overrun fuel or the
+          recovery counter *)
+  mutable fallback_priv : int;
+      (** entry refused: privilege outside the certified mask *)
+  mutable fallback_link : int;
+      (** control left the translated region *)
+  mutable fallback_indirect : int;
+      (** indirect jump ([Jr]) with a runtime target *)
+  mutable fallback_bail : int;
+      (** non-ordinary instruction handed back to the interpreter *)
+  mutable fallback_stop : int;
+      (** memory stop (MMIO, TLB miss, protection, fault) mid-block *)
   mutable ack_wait : Hft_sim.Time.t;
       (** time the primary spent awaiting acknowledgements *)
   mutable boundary : Hft_sim.Time.t;
@@ -86,5 +108,9 @@ val certified_coverage : t -> float option
 val mean_intr_delay_us : t -> float
 (** Average buffered-to-delivered latency of an interrupt, in
     microseconds; 0 when none were delivered. *)
+
+val threaded_fraction : t -> float option
+(** [threaded_instrs / instructions], or [None] when nothing ran
+    threaded. *)
 
 val pp : Format.formatter -> t -> unit

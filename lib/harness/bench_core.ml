@@ -30,6 +30,16 @@ type t = {
   static_coverage : float;
   certified_coverage : float;
   validated_instrs_per_sec : float;
+  translate_us : float;  (* wall time to compile the bench image *)
+  translated_blocks : int;
+  fused_superinstructions : int;
+  threaded_instrs_per_sec : float;  (* translation cache armed, no validator *)
+  threaded_speedup : float;  (* threaded rate over interpreter rate *)
+  threaded_fraction : float;  (* share of instructions executed threaded *)
+  validator_overhead : float;
+      (* interpreter rate over validated rate: what the per-block
+         certificate cache leaves of the old ~29% per-instruction cost *)
+  digest_match : bool;  (* interp and threaded agree after a fixed run *)
 }
 
 (* A store-heavy loop whose write set stays inside one page: the
@@ -53,16 +63,24 @@ let workload_code =
 let fresh_cpu () = Cpu.create ~code:workload_code ()
 
 (* Repeat [step] until [budget] CPU-seconds elapse (at least once) and
-   return completed units per second. *)
+   return completed units per second.  The budget is split into three
+   windows and the fastest wins: on a shared host, competing load only
+   ever makes a window slower, so the peak is the least-disturbed
+   estimate — and, applied uniformly to every backend, the most stable
+   basis for the committed speedup ratios. *)
 let rate ~budget step =
-  let t0 = Sys.time () in
-  let units = ref 0 in
-  let elapsed = ref 0.0 in
-  while !elapsed < budget do
-    units := !units + step ();
-    elapsed := Sys.time () -. t0
-  done;
-  float_of_int !units /. !elapsed
+  let window budget =
+    let t0 = Sys.time () in
+    let units = ref 0 in
+    let elapsed = ref 0.0 in
+    while !elapsed < budget do
+      units := !units + step ();
+      elapsed := Sys.time () -. t0
+    done;
+    float_of_int !units /. !elapsed
+  in
+  let w = budget /. 3.0 in
+  max (window w) (max (window w) (window w))
 
 let bench_interpreter ~budget =
   let cpu = fresh_cpu () in
@@ -122,6 +140,70 @@ let bench_certification ~budget =
   in
   (m, validated_rate, coverage)
 
+(* The tentpole measurement: pre-decode the certified superblocks into
+   direct-threaded closure chains and price the same fuel against the
+   interpreter.  Run without the validator — the entry precheck
+   replaces it inside translated code — and close with a differential
+   digest: both executions must land in the identical architectural
+   state or the speedup number is meaningless. *)
+let bench_translation ~budget ~interp_rate m =
+  let cpu = fresh_cpu () in
+  let t0 = Sys.time () in
+  (match Hft_analysis.Manifest.install_translation m ~deprivileged:false cpu with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "bench: translation refused: %s" e);
+  let translate_us = (Sys.time () -. t0) *. 1e6 in
+  let fuel = 100_000 in
+  let threaded_rate =
+    rate ~budget (fun () ->
+        let r = Cpu.run cpu ~fuel in
+        (match r.Cpu.stop with
+        | Cpu.Fuel -> ()
+        | s -> Fmt.failwith "bench: unexpected stop %a" Cpu.pp_stop s);
+        r.Cpu.executed)
+  in
+  let tx =
+    match Cpu.translation cpu with
+    | Some tx -> tx
+    | None -> Fmt.failwith "bench: translation not installed"
+  in
+  let fraction =
+    let total = Cpu.instructions_retired cpu in
+    if total = 0 then 0.0
+    else float_of_int tx.Translate.threaded_instrs /. float_of_int total
+  in
+  (* differential digest over a fixed, fuel-sliced run *)
+  let digest_match =
+    let ci = fresh_cpu () in
+    let ct = fresh_cpu () in
+    (match
+       Hft_analysis.Manifest.install_translation m ~deprivileged:false ct
+     with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "bench: translation refused: %s" e);
+    let ok = ref true in
+    for _ = 1 to 50 do
+      ignore (Cpu.run ci ~fuel:9973);
+      let rec drive need =
+        if need > 0 then begin
+          let r = Cpu.run ct ~fuel:need in
+          drive (need - r.Cpu.executed)
+        end
+      in
+      drive 9973;
+      if Cpu.state_hash ~full:true ci <> Cpu.state_hash ~full:true ct then
+        ok := false
+    done;
+    !ok
+  in
+  ( translate_us,
+    tx.Translate.translated_blocks,
+    tx.Translate.fused,
+    threaded_rate,
+    threaded_rate /. interp_rate,
+    fraction,
+    digest_match )
+
 let bench_snapshot () =
   let cpu = fresh_cpu () in
   ignore (Cpu.run cpu ~fuel:5_000);
@@ -161,6 +243,15 @@ let run ?(quick = false) () =
   let manifest, validated_instrs_per_sec, certified_coverage =
     bench_certification ~budget
   in
+  let ( translate_us,
+        translated_blocks,
+        fused_superinstructions,
+        threaded_instrs_per_sec,
+        threaded_speedup,
+        threaded_fraction,
+        digest_match ) =
+    bench_translation ~budget ~interp_rate:instrs_per_sec manifest
+  in
   {
     quick;
     instrs_per_sec;
@@ -172,6 +263,14 @@ let run ?(quick = false) () =
     static_coverage = Hft_analysis.Manifest.static_coverage manifest;
     certified_coverage;
     validated_instrs_per_sec;
+    translate_us;
+    translated_blocks;
+    fused_superinstructions;
+    threaded_instrs_per_sec;
+    threaded_speedup;
+    threaded_fraction;
+    validator_overhead = instrs_per_sec /. validated_instrs_per_sec;
+    digest_match;
   }
 
 let point t el = List.find_opt (fun p -> p.el = el) t.epoch_points
@@ -181,7 +280,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let f = Printf.bprintf in
   f b "{\n";
-  f b "  \"schema\": \"hftsim-bench-core/2\",\n";
+  f b "  \"schema\": \"hftsim-bench-core/3\",\n";
   f b "  \"quick\": %b,\n" t.quick;
   f b "  \"interpreter\": { \"instrs_per_sec\": %.4e },\n" t.instrs_per_sec;
   f b "  \"epoch_boundaries\": [\n";
@@ -205,8 +304,18 @@ let to_json t =
     t.certified_superblocks;
   f b "                 \"static_coverage\": %.4f,\n" t.static_coverage;
   f b "                 \"certified_coverage\": %.4f,\n" t.certified_coverage;
-  f b "                 \"validated_instrs_per_sec\": %.4e },\n"
+  f b "                 \"validated_instrs_per_sec\": %.4e,\n"
     t.validated_instrs_per_sec;
+  f b "                 \"validator_overhead\": %.4f },\n" t.validator_overhead;
+  f b "  \"translation\": { \"translate_us\": %.1f,\n" t.translate_us;
+  f b "                    \"translated_blocks\": %d,\n" t.translated_blocks;
+  f b "                    \"fused_superinstructions\": %d,\n"
+    t.fused_superinstructions;
+  f b "                    \"threaded_instrs_per_sec\": %.4e,\n"
+    t.threaded_instrs_per_sec;
+  f b "                    \"threaded_speedup\": %.2f,\n" t.threaded_speedup;
+  f b "                    \"threaded_fraction\": %.4f,\n" t.threaded_fraction;
+  f b "                    \"digest_match\": %b },\n" t.digest_match;
   f b "  \"snapshot\": { \"first_bytes\": %d, \"delta_bytes\": %d }\n"
     t.snapshot_first_bytes t.snapshot_delta_bytes;
   f b "}\n";
@@ -238,8 +347,18 @@ let report ?out t =
     t.snapshot_first_bytes t.snapshot_delta_bytes;
   Format.fprintf out
     "certification  : %d superblocks, %.1f%% static, %.1f%% executed, \
-     %.1f M instrs/sec validated@."
+     %.1f M instrs/sec validated (%.2fx overhead)@."
     t.certified_superblocks
     (100.0 *. t.static_coverage)
     (100.0 *. t.certified_coverage)
     (t.validated_instrs_per_sec /. 1e6)
+    t.validator_overhead;
+  Format.fprintf out
+    "translation    : %.1f us to compile %d blocks (%d fused), %.1f M \
+     instrs/sec threaded (%.2fx over interpreter, %.1f%% threaded), digests \
+     %s@."
+    t.translate_us t.translated_blocks t.fused_superinstructions
+    (t.threaded_instrs_per_sec /. 1e6)
+    t.threaded_speedup
+    (100.0 *. t.threaded_fraction)
+    (if t.digest_match then "match" else "DIVERGED")

@@ -42,6 +42,30 @@ type t = {
   validated_instrs_per_sec : float;
       (** interpreter rate with the validator armed; compare against
           [instrs_per_sec] for the validator's cost *)
+  translate_us : float;
+      (** wall time to compile the bench image's certified superblocks
+          into direct-threaded closure chains *)
+  translated_blocks : int;
+  fused_superinstructions : int;
+      (** adjacent instruction pairs merged into one closure *)
+  threaded_instrs_per_sec : float;
+      (** execution rate with the translation cache armed and the
+          validator off — the tentpole number; compare against
+          [instrs_per_sec] *)
+  threaded_speedup : float;
+      (** [threaded_instrs_per_sec / instrs_per_sec]; the full bench
+          commits this >= 2, CI's quick mode gates >= 1.5 *)
+  threaded_fraction : float;
+      (** share of the threaded run's instructions that actually
+          executed inside translated superblocks *)
+  validator_overhead : float;
+      (** [instrs_per_sec / validated_instrs_per_sec]: the residue of
+          the old ~29% per-instruction validator cost after the
+          per-block certificate cache *)
+  digest_match : bool;
+      (** the interpreter and the threaded backend landed in the
+          identical architectural state after a fixed fuel-sliced run;
+          a [false] here invalidates the speedup and fails CI *)
 }
 
 val epoch_lengths : int list

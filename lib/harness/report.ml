@@ -164,6 +164,33 @@ let host_hashing ?(out = std) stats =
      snapshot bytes copied@."
     hashed skipped pct snap
 
+let translation ?(out = std) stats =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let threaded = sum (fun s -> s.Hft_core.Stats.threaded_instrs) in
+  if threaded > 0 then begin
+    let total = sum (fun s -> s.Hft_core.Stats.instructions) in
+    let pct =
+      if total = 0 then 0.0
+      else 100.0 *. float_of_int threaded /. float_of_int total
+    in
+    Format.fprintf out
+      "translation    : %d of %d instructions direct-threaded (%.1f%%), %d \
+       entries over %d blocks (%d fused)@."
+      threaded total pct
+      (sum (fun s -> s.Hft_core.Stats.threaded_entries))
+      (sum (fun s -> s.Hft_core.Stats.blocks_translated))
+      (sum (fun s -> s.Hft_core.Stats.superinstructions_fused));
+    Format.fprintf out
+      "  fallbacks    : %d budget, %d priv, %d link, %d indirect, %d bail, \
+       %d stop@."
+      (sum (fun s -> s.Hft_core.Stats.fallback_budget))
+      (sum (fun s -> s.Hft_core.Stats.fallback_priv))
+      (sum (fun s -> s.Hft_core.Stats.fallback_link))
+      (sum (fun s -> s.Hft_core.Stats.fallback_indirect))
+      (sum (fun s -> s.Hft_core.Stats.fallback_bail))
+      (sum (fun s -> s.Hft_core.Stats.fallback_stop))
+  end
+
 let certification ?(out = std) stats =
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
   let covered = sum (fun s -> s.Hft_core.Stats.certified_instructions) in

@@ -76,6 +76,14 @@ val host_hashing :
     snapshot bytes actually copied) over the given per-hypervisor
     stats. *)
 
+val translation : ?out:Format.formatter -> Hft_core.Stats.t list -> unit
+(** Two lines summing the direct-threaded execution counters
+    (instructions run inside translated superblocks, dispatch entries,
+    compiled blocks, fused superinstructions, and the fallback-exit
+    taxonomy) over the given per-hypervisor stats.  Prints nothing
+    when no instruction ran threaded — in particular under the
+    [Interp] backend. *)
+
 val certification : ?out:Format.formatter -> Hft_core.Stats.t list -> unit
 (** One line summing the runtime certificate validator's coverage
     (instructions executed inside certified superblocks vs all

@@ -46,6 +46,17 @@ type validator = {
   v_rhead : int array;    (* region id -> head address *)
   v_rbound : int array;   (* region id -> instruction bound, max_int if none *)
   v_random_tlb : bool;
+  (* per-block hoisting of the pre-dispatch checks: [v_run_end.(a)] is
+     the exclusive end of a's basic block (a+1 when block structure is
+     unknown), [v_run_ubd.(a)] the registers read before being written
+     on the straight-line run [a, end), and [v_run_hazard.(a)] whether
+     that run's strict suffix contains an instruction needing its own
+     per-address check (Probe, or Tlbw under random replacement) *)
+  v_run_end : int array;
+  v_run_ubd : int array;
+  v_run_hazard : bool array;
+  mutable v_skip_from : int;    (* current validated window, [from, until) *)
+  mutable v_skip_until : int;
   mutable v_written : int;      (* registers written since boot/trap/restore *)
   mutable v_cur_region : int;
   mutable v_rcount : int;
@@ -67,6 +78,7 @@ type t = {
          [None] until the first snapshot *)
   mutable snap_bytes : int; (* cumulative bytes copied by snapshots *)
   mutable validator : validator option;
+  mutable trans : Translate.t option;
 }
 
 let create ?(config = default_config) ~code () =
@@ -83,16 +95,50 @@ let create ?(config = default_config) ~code () =
     snap_base = None;
     snap_bytes = 0;
     validator = None;
+    trans = None;
   }
 
-let install_validator t ~priv_ok ~det ~uses ~def ~region ~rhead ~rbound
-    ~random_tlb =
+let install_validator ?blk_end t ~priv_ok ~det ~uses ~def ~region ~rhead
+    ~rbound ~random_tlb =
   let n = Array.length t.code in
   if
     Array.length priv_ok <> n || Array.length det <> n
     || Array.length uses <> n || Array.length def <> n
     || Array.length region <> n
   then invalid_arg "Cpu.install_validator: table length mismatch";
+  let run_end =
+    match blk_end with
+    | Some e ->
+      if Array.length e <> n then
+        invalid_arg "Cpu.install_validator: blk_end length mismatch";
+      e
+    | None ->
+      (* no block structure: every window is a singleton, which makes
+         the hoisted path behave exactly like per-instruction checks *)
+      Array.init n (fun a -> a + 1)
+  in
+  (* straight-line suffix summaries, computed backwards inside each
+     block: uses-before-def feeding the one-shot window check, and a
+     hazard flag forcing per-address checks when the suffix contains a
+     Probe (or a Tlbw under random replacement) *)
+  let run_ubd = Array.make (max n 1) 0 in
+  let run_hazard = Array.make (max n 1) false in
+  let hazardous a =
+    match t.code.(a) with
+    | Isa.Probe _ -> true
+    | Isa.Tlbw _ -> random_tlb
+    | _ -> false
+  in
+  for a = n - 1 downto 0 do
+    if a + 1 < run_end.(a) then begin
+      run_ubd.(a) <- uses.(a) lor (run_ubd.(a + 1) land lnot def.(a));
+      run_hazard.(a) <- run_hazard.(a + 1) || hazardous (a + 1)
+    end
+    else begin
+      run_ubd.(a) <- uses.(a);
+      run_hazard.(a) <- false
+    end
+  done;
   t.validator <-
     Some
       {
@@ -104,6 +150,11 @@ let install_validator t ~priv_ok ~det ~uses ~def ~region ~rhead ~rbound
         v_rhead = rhead;
         v_rbound = rbound;
         v_random_tlb = random_tlb;
+        v_run_end = run_end;
+        v_run_ubd = run_ubd;
+        v_run_hazard = run_hazard;
+        v_skip_from = 0;
+        v_skip_until = 0;
         v_written = 1;
         v_cur_region = -1;
         v_rcount = 0;
@@ -129,6 +180,16 @@ let validator_amnesty t =
   | Some v ->
     v.v_written <- -1;
     v.v_cur_region <- -1
+
+let install_translation t plan =
+  t.trans <-
+    Some
+      (Translate.compile ~code:t.code ~regs:t.regs ~mem:t.memory
+         ~tlb:t.tlb_state ~mmio_base:t.cfg.mmio_base
+         ~page_shift:t.cfg.page_shift plan)
+
+let clear_translation t = t.trans <- None
+let translation t = t.trans
 
 let config t = t.cfg
 let code t = t.code
@@ -287,6 +348,41 @@ let[@inline never] validate_pre v pc (instr : Isa.instr) spriv =
     | _ -> ()
   end
 
+(* Per-block hoisting of the pre-dispatch checks: validate the current
+   address exactly as before, then try to certify the rest of its
+   basic block in one shot.  The block's certificates are uniform
+   (privilege mask, determinism flag), the written-register set only
+   ever grows between status changes, and blocks are single-entry, so
+   once the suffix's uses-before-def mask is covered and the suffix
+   holds no per-address hazard, every later address in the block would
+   pass [validate_pre] too — the loop then skips the call while the pc
+   stays inside the window.  Status changes reset the window. *)
+let[@inline never] validate_pre_block v pc (instr : Isa.instr) spriv =
+  validate_pre v pc instr spriv;
+  let e = v.v_run_end.(pc) in
+  if
+    e > pc + 1
+    && (not v.v_run_hazard.(pc))
+    && ((not v.v_det.(pc)) || v.v_run_ubd.(pc) land lnot v.v_written = 0)
+  then begin
+    v.v_skip_from <- pc;
+    v.v_skip_until <- e
+  end
+  else begin
+    v.v_skip_from <- 0;
+    v.v_skip_until <- 0
+  end
+
+let convert_stop : Translate.stop -> stop = function
+  | Translate.X_mmio_read { paddr; reg } -> Mmio_read { paddr; reg }
+  | Translate.X_mmio_write { paddr; value } -> Mmio_write { paddr; value }
+  | Translate.X_tlb_miss { vaddr; write } -> Tlb_miss { vaddr; write }
+  | Translate.X_protection { vaddr; write } -> Protection { vaddr; write }
+  | Translate.X_fault_load paddr ->
+    Fault (Printf.sprintf "load from bad address 0x%x" paddr)
+  | Translate.X_fault_store paddr ->
+    Fault (Printf.sprintf "store to bad address 0x%x" paddr)
+
 (* Post-completion bookkeeping: definition tracking, coverage, and the
    per-superblock instruction bound.  Arms that stop the processor
    raise before the shared completion point and are charged by their
@@ -337,6 +433,8 @@ let run t ~fuel =
   let spriv = ref 0 and smmu = ref false and src = ref false in
   let rc_base = ref 0 in
   let expire_at = ref max_int in
+  let vd = t.validator in
+  let tr = t.trans in
   let refresh_status () =
     let s = crs.(status_index) in
     spriv := Isa.status_priv s;
@@ -347,7 +445,14 @@ let run t ~fuel =
       if !src then
         let v = Word.signed crs.(rc_index) in
         !executed + (if v < 0 then 1 else v + 1)
-      else max_int
+      else max_int;
+    (* a status change invalidates the validator's skip window: the
+       per-block certificate was checked at the old privilege level *)
+    match vd with
+    | None -> ()
+    | Some v ->
+      v.v_skip_from <- 0;
+      v.v_skip_until <- 0
   in
   let sync_rc () =
     if !src then begin
@@ -358,15 +463,86 @@ let run t ~fuel =
     end
   in
   refresh_status ();
-  let vd = t.validator in
   let stop_reason = ref Fuel in
+  (* Enter a translated superblock: charge the whole head block (and
+     every block chained after it) against a budget that can never
+     overshoot the fuel or the recovery counter, run the closure
+     chain, then fold the results back into the interpreter's
+     accounting.  Returns false — caller falls back to interpreting —
+     when the entry prechecks refuse or no instruction completed. *)
+  let enter_threaded tx (e : Translate.entry) epc =
+    let budget = (if fuel < !expire_at then fuel else !expire_at) - !executed in
+    if budget < e.Translate.e_cost then begin
+      Translate.note_entry_refused_budget tx;
+      false
+    end
+    else if e.Translate.e_priv_mask land (1 lsl !spriv) = 0 then begin
+      Translate.note_entry_refused_priv tx;
+      false
+    end
+    else begin
+      let st = tx.Translate.state in
+      st.Translate.x_pc <- epc;
+      st.Translate.x_remaining <- budget;
+      st.Translate.x_smmu <- !smmu;
+      st.Translate.x_spriv <- !spriv;
+      st.Translate.x_stop <- None;
+      st.Translate.x_exit <- Translate.exit_budget;
+      e.Translate.e_run ();
+      (* blocks only ever decrement the budget (exits refund the
+         unexecuted tail), so the completed count falls out of it *)
+      let d = budget - st.Translate.x_remaining in
+      executed := !executed + d;
+      t.pc_ <- st.Translate.x_pc;
+      tx.Translate.entries_taken <- tx.Translate.entries_taken + 1;
+      tx.Translate.threaded_instrs <- tx.Translate.threaded_instrs + d;
+      Translate.note_exit tx;
+      (match vd with
+      | None -> ()
+      | Some v ->
+        (* threaded instructions count as validated and covered: the
+           entry precheck plus the static certificates stand in for
+           the per-instruction checks.  The written set takes the
+           region's static def mask (an overapproximation that loses
+           dynamic precision, never soundness), and the region bound
+           restarts — consistent with the undercounting stance above. *)
+        v.v_checked <- v.v_checked + d;
+        v.v_covered <- v.v_covered + d;
+        v.v_written <- v.v_written lor e.Translate.e_def;
+        v.v_cur_region <- -1;
+        v.v_skip_from <- 0;
+        v.v_skip_until <- 0);
+      (* the recovery check precedes any pending memory stop, exactly
+         as the interpreter checks expiry after the last completed
+         instruction before attempting the next one *)
+      if !executed = !expire_at then begin
+        stop_reason := Recovery;
+        raise (Stop_exec Recovery)
+      end;
+      (match st.Translate.x_stop with
+      | Some s -> raise (Stop_exec (convert_stop s))
+      | None -> ());
+      d > 0
+    end
+  in
   (try
      while !executed < fuel do
        let pc = t.pc_ in
        if pc < 0 || pc >= code_len then raise (fault_bad_pc pc);
+       let threaded =
+         match tr with
+         | None -> false
+         | Some tx -> (
+           match tx.Translate.entries.(pc) with
+           | None -> false
+           | Some e -> enter_threaded tx e pc)
+       in
+       if not threaded then begin
        (match vd with
        | None -> ()
-       | Some v -> validate_pre v pc code.(pc) !spriv);
+       | Some v ->
+         if pc >= v.v_skip_from && pc < v.v_skip_until then ()
+         else validate_pre_block v pc code.(pc) !spriv);
        (match code.(pc) with
        | Isa.Nop -> t.pc_ <- pc + 1
        | Isa.Ldi (rd, v) ->
@@ -481,6 +657,7 @@ let run t ~fuel =
        if !executed = !expire_at then begin
          stop_reason := Recovery;
          raise (Stop_exec Recovery)
+       end
        end
      done
    with Stop_exec st ->

@@ -102,6 +102,7 @@ val run : t -> fuel:int -> run_result
 (** Execute up to [fuel] instructions.  [fuel] must be positive. *)
 
 val install_validator :
+  ?blk_end:int array ->
   t ->
   priv_ok:int array ->
   det:bool array ->
@@ -125,7 +126,14 @@ val install_validator :
     [Epoch_bounded] per-superblock instruction count.  {!run} stops
     with {!stop.Cert_violation} on the first breach.  Trap delivery
     and {!restore} reset the written set (trap roots start fully
-    initialized; snapshot registers are replicated state). *)
+    initialized; snapshot registers are replicated state).
+
+    [blk_end] maps each address to the exclusive end of its basic
+    block; when given, the per-instruction pre-dispatch checks hoist
+    into one per-block check that certifies a skip window over the
+    block's straight-line run (see the manifest's ~29% validator
+    overhead in BENCH_core.json).  Without it every window is a
+    singleton and checking is exactly per-instruction. *)
 
 val clear_validator : t -> unit
 val validator_active : t -> bool
@@ -140,6 +148,19 @@ val validator_coverage : t -> (int * int) option
 (** [(covered, checked)]: instructions completed inside certified
     superblocks vs all instructions completed while validating, over
     the CPU's lifetime.  [None] when no validator is installed. *)
+
+val install_translation : t -> Translate.plan_region list -> unit
+(** Compile the plan's certified superblocks to direct-threaded
+    closure chains ({!Translate.compile}) and arm {!run}'s dispatch
+    loop: when the pc lands on a translated superblock head and the
+    entry prechecks pass (instruction budget, certified privilege
+    mask), execution proceeds through the closure chain instead of the
+    decode loop, with the recovery-counter charge batched per basic
+    block.  Exits, traps, and untranslated code fall back to the
+    interpreter, which remains the semantic oracle. *)
+
+val clear_translation : t -> unit
+val translation : t -> Translate.t option
 
 val deliver_trap : ?badvaddr:int -> t -> cause:int -> epc:int -> unit
 (** Hardware trap/interrupt delivery: saves [epc] and the status

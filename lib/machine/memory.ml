@@ -79,6 +79,20 @@ let[@inline] write t addr v =
   t.words.(addr) <- Word.mask v;
   mark t addr
 
+(* Unchecked fast paths for the translated-code engine (Translate):
+   the caller has already proved [0 <= addr < size t] — masked words
+   are non-negative, so one compare against [size] suffices — and, for
+   writes, that [v] is already a masked word (register values are).
+   Dirty-page tracking is identical to [write]. *)
+let[@inline] read_fast t addr = Array.unsafe_get t.words addr
+
+let[@inline] write_fast t addr v =
+  Array.unsafe_set t.words addr v;
+  let p = addr lsr t.page_shift in
+  Array.unsafe_set t.stale p true;
+  Array.unsafe_set t.snap_dirty p true;
+  t.clean <- false
+
 let mark_range t ~addr ~len =
   if len > 0 then begin
     let first = addr lsr t.page_shift

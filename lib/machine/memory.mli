@@ -39,6 +39,17 @@ val write : t -> int -> Word.t -> unit
 
 val in_range : t -> int -> bool
 
+val read_fast : t -> int -> Word.t
+(** Unchecked read for the translated-code engine: the caller must
+    have proved [0 <= addr < size t] (a masked word is non-negative,
+    so one compare against [size] suffices). *)
+
+val write_fast : t -> int -> Word.t -> unit
+(** Unchecked write for the translated-code engine: same address
+    obligation as {!read_fast}, plus the value must already be a
+    masked 32-bit word (register values are).  Dirty-page tracking is
+    identical to {!write}. *)
+
 val blit_in : t -> addr:int -> Word.t array -> unit
 (** Copy a block of words into memory starting at [addr] (DMA). *)
 

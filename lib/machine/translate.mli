@@ -1,0 +1,151 @@
+(** Direct-threaded translation of manifest-certified superblocks.
+
+    The translator pre-decodes each certified superblock into a chain
+    of OCaml closures — one per instruction, with adjacent
+    straight-line pairs fused into superinstructions — so the hot path
+    pays no per-instruction decode, no per-instruction recovery-counter
+    bookkeeping (the charge is batched per basic block against a
+    pre-computed budget), and no per-instruction certificate checks
+    (one privilege precheck at superblock entry stands in for them;
+    the certificates themselves are the static proof).
+
+    The module is deliberately below {!Cpu} in the dependency order:
+    it defines the execution-state record the closures mutate and the
+    stop conditions they can produce, and {!Cpu.run}'s dispatch loop
+    owns entering translated code and converting exits back into
+    interpreter stops.  Translated execution is semantically identical
+    to the interpreter on the instructions it executes — anything
+    whose behaviour is not a pure function of the threaded state
+    (environment instructions, privileged instructions, trap calls)
+    compiles to a {e bail} exit that hands the program counter back to
+    the interpreter untouched. *)
+
+(** One basic block of a certified superblock, by leader address. *)
+type plan_block = { pb_leader : int; pb_len : int }
+
+(** One certified superblock: the head is the unique entry; the
+    privilege mask is the bitmask of {e real} privilege levels the
+    whole region is certified for ([-1] when unconstrained). *)
+type plan_region = {
+  pr_head : int;
+  pr_blocks : plan_block list;
+  pr_priv_mask : int;
+}
+
+(** Stop conditions translated code can produce mid-block.  These
+    mirror the memory subset of {!Cpu.stop}; the dispatch loop
+    converts them.  The faulting instruction has {e not} completed —
+    its cost is refunded and [x_pc] points at it. *)
+type stop =
+  | X_mmio_read of { paddr : int; reg : Isa.reg }
+  | X_mmio_write of { paddr : int; value : Word.t }
+  | X_tlb_miss of { vaddr : int; write : bool }
+  | X_protection of { vaddr : int; write : bool }
+  | X_fault_load of int
+  | X_fault_store of int
+
+(** Why translated execution returned to the dispatch loop. *)
+
+val exit_budget : int
+(** the next block does not fit the remaining instruction budget *)
+
+val exit_link : int
+(** control left the translated region (branch/jump/fall-through) *)
+
+val exit_indirect : int
+(** an indirect jump ([Jr]); [x_pc] holds the runtime target *)
+
+val exit_bail : int
+(** a non-ordinary instruction; the interpreter resumes {e at} it *)
+
+val exit_stop : int
+(** a memory stop; [x_stop] holds it *)
+
+val exit_name : int -> string
+
+(** Mutable execution state shared between the dispatch loop and the
+    compiled closures.  The register file, memory, and TLB are aliases
+    of the owning CPU's; the rest is (re)initialized per entry. *)
+type st = {
+  x_regs : int array;
+  x_mem : Memory.t;
+  x_tlb : Tlb.t;
+  x_mmio_base : int;
+  x_page_shift : int;
+  mutable x_pc : int;
+  mutable x_remaining : int;
+      (** instruction budget still available; the dispatch loop derives
+          the completed count as entry budget minus this *)
+  mutable x_smmu : bool;
+  mutable x_spriv : int;
+  mutable x_stop : stop option;
+  mutable x_exit : int;
+}
+
+(** A translated superblock entry point. *)
+type entry = {
+  e_cost : int;       (** instruction cost of the head block *)
+  e_priv_mask : int;  (** allowed real-privilege bitmask, [-1] any *)
+  e_def : int;
+      (** registers the region may write (static over-approximation
+          over every member block) — credited to the validator's
+          written-register set at entry instead of per block *)
+  e_run : unit -> unit;
+}
+
+type block_listing = { l_leader : int; l_len : int; l_ops : string list }
+
+type region_listing = {
+  l_head : int;
+  l_cost : int;
+  l_priv_mask : int;
+  l_blocks : block_listing list;
+}
+
+type t = {
+  entries : entry option array;
+      (** indexed by code address; [Some] at every translated member
+          leader that begins with an ordinary instruction — any of
+          them is a legal re-entry point after a mid-region exit *)
+  state : st;
+  translated_regions : int;
+  translated_blocks : int;
+  translated_instrs : int;
+  fused : int;  (** superinstructions formed *)
+  listing : region_listing list;
+  untranslated : (int * string) list;
+      (** region head, reason it was left to the interpreter *)
+  mutable entries_taken : int;
+  mutable threaded_instrs : int;
+  mutable fb_budget : int;
+  mutable fb_priv : int;
+  mutable fb_link : int;
+  mutable fb_indirect : int;
+  mutable fb_bail : int;
+  mutable fb_stop : int;
+}
+
+val compile :
+  code:Isa.instr array ->
+  regs:int array ->
+  mem:Memory.t ->
+  tlb:Tlb.t ->
+  mmio_base:int ->
+  page_shift:int ->
+  plan_region list ->
+  t
+(** Compile every region of the plan.  Regions that cannot make
+    guaranteed progress under translation (a head block opening with a
+    non-ordinary instruction) or that fail basic sanity checks are
+    recorded in [untranslated] and left to the interpreter. *)
+
+val note_entry_refused_budget : t -> unit
+val note_entry_refused_priv : t -> unit
+
+val note_exit : t -> unit
+(** Charge the fallback counter matching [state.x_exit] after a run. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** The [hftsim disasm --translated] listing: per-superblock fused
+    superinstructions, entry prechecks, and per-region fallback
+    reasons for untranslated superblocks. *)

@@ -1,0 +1,424 @@
+(* Direct-threaded translation: the interpreter is the oracle.
+   Every test here runs the same guest twice — once decode-per-step,
+   once through the translation cache — and demands bit-identical
+   architectural state, plus the specific fallback behaviours the
+   backend promises (stale manifest -> full interpretation, stops and
+   traps -> interpreter). *)
+
+open Hft_machine
+open Hft_core
+module Manifest = Hft_analysis.Manifest
+module Workload = Hft_guest.Workload
+module Kernel = Hft_guest.Kernel
+module Layout = Hft_guest.Layout
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---------- raw-CPU lockstep ---------- *)
+
+(* Run a compute-only image on a bare Cpu until it halts, with and
+   without the translation cache, comparing the full state hash. *)
+let run_to_halt c =
+  let rec go budget =
+    if budget = 0 then Alcotest.fail "guest did not halt";
+    match (Cpu.run c ~fuel:10_000).Cpu.stop with
+    | Cpu.Stop_halt -> ()
+    | Cpu.Fuel | Cpu.Recovery -> go (budget - 1)
+    | s -> Alcotest.failf "unexpected stop %a" Cpu.pp_stop s
+  in
+  go 10_000
+
+let compute_loop =
+  (* a bounded loop over loads, stores and ALU traffic: exactly the
+     shape the translator fuses *)
+  Asm.(
+    assemble
+      [
+        ldi r1 0x1234;
+        ldi r2 0;
+        ldi r3 64;
+        ldi r4 0x1000;
+        label "loop";
+        insn (Isa.Alu (Isa.Xor, 5, 1, 2));
+        st r5 r4 0;
+        ld r6 r4 0;
+        insn (Isa.Alu (Isa.Add, 1, 1, 6));
+        addi r4 r4 1;
+        addi r2 r2 1;
+        blt r2 r3 (lbl "loop");
+        st r1 r0 Layout.res_checksum;
+        halt;
+      ])
+
+let test_raw_cpu_lockstep () =
+  let code = compute_loop.Asm.code in
+  let m = Manifest.of_code code in
+  let interp = Cpu.create ~code () in
+  let threaded = Cpu.create ~code () in
+  (match Manifest.install_translation m ~deprivileged:false threaded with
+  | Ok n -> Alcotest.(check bool) "some superblocks translated" true (n > 0)
+  | Error e -> Alcotest.failf "translation refused a fresh manifest: %s" e);
+  run_to_halt interp;
+  run_to_halt threaded;
+  Alcotest.(check int)
+    "same instruction count"
+    (Cpu.instructions_retired interp)
+    (Cpu.instructions_retired threaded);
+  Alcotest.(check int)
+    "same architectural state"
+    (Cpu.state_hash ~full:true interp)
+    (Cpu.state_hash ~full:true threaded);
+  match Cpu.translation threaded with
+  | None -> Alcotest.fail "translation cache missing"
+  | Some tx ->
+    Alcotest.(check bool) "translated code actually ran" true
+      (tx.Translate.threaded_instrs > 0);
+    Alcotest.(check bool) "most instructions ran threaded" true
+      (tx.Translate.threaded_instrs
+      > Cpu.instructions_retired threaded / 2)
+
+let test_fuel_slicing_matches () =
+  (* odd fuel slices land mid-superblock; the budget precheck and the
+     refund path must keep the two executions in instruction-exact
+     agreement at every stop *)
+  let code = compute_loop.Asm.code in
+  let m = Manifest.of_code code in
+  let interp = Cpu.create ~code () in
+  let threaded = Cpu.create ~code () in
+  (match Manifest.install_translation m ~deprivileged:false threaded with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "translation refused: %s" e);
+  let rec go i =
+    if i > 2_000 then Alcotest.fail "guest did not halt" else
+    let fuel = 1 + (i * 7 mod 13) in
+    let ri = Cpu.run interp ~fuel in
+    (* drive the threaded side to the same instruction count, however
+       many slices that takes: a budget-refused entry can stop short *)
+    let rec catch_up need =
+      if need > 0 then begin
+        let rt = Cpu.run threaded ~fuel:need in
+        (match rt.Cpu.stop with
+        | Cpu.Fuel | Cpu.Recovery -> ()
+        | Cpu.Stop_halt ->
+          if ri.Cpu.stop <> Cpu.Stop_halt then
+            Alcotest.fail "threaded halted early"
+        | s -> Alcotest.failf "unexpected threaded stop %a" Cpu.pp_stop s);
+        catch_up (need - rt.Cpu.executed)
+      end
+    in
+    (match ri.Cpu.stop with
+    | Cpu.Stop_halt ->
+      catch_up ri.Cpu.executed;
+      Alcotest.(check int) "state at halt"
+        (Cpu.state_hash ~full:true interp)
+        (Cpu.state_hash ~full:true threaded)
+    | Cpu.Fuel | Cpu.Recovery ->
+      catch_up ri.Cpu.executed;
+      Alcotest.(check int)
+        (Printf.sprintf "retired after slice %d" i)
+        (Cpu.instructions_retired interp)
+        (Cpu.instructions_retired threaded);
+      if Cpu.state_hash ~full:true interp
+         <> Cpu.state_hash ~full:true threaded
+      then Alcotest.failf "state diverged after slice %d" i;
+      go (i + 1)
+    | s -> Alcotest.failf "unexpected stop %a" Cpu.pp_stop s)
+  in
+  go 0
+
+(* ---------- stale manifest: full interpreter fallback ---------- *)
+
+let test_stale_manifest_falls_back () =
+  let fresh = Workload.dhrystone ~iterations:50 in
+  let other = Workload.console_hello ~text:"hi" in
+  let stale = Manifest.of_program other.Workload.program in
+  let code = fresh.Workload.program.Asm.code in
+  let c = Cpu.create ~code () in
+  (match Manifest.install_translation stale ~deprivileged:false c with
+  | Ok _ -> Alcotest.fail "stale manifest accepted for translation"
+  | Error msg ->
+    Alcotest.(check bool) "refusal names the mismatch" true
+      (String.length msg > 0));
+  (match Cpu.translation c with
+  | None -> ()
+  | Some _ -> Alcotest.fail "translation cache armed from a stale manifest");
+  (* the threaded backend on a System degrades the same way: a run
+     under Threaded with nothing translated is just the interpreter *)
+  let params =
+    Params.with_exec_backend
+      { Params.default with Params.epoch_length = 256 }
+      Params.Threaded
+  in
+  let sys = System.create ~params ~lockstep:true ~workload:fresh () in
+  let o = System.run sys in
+  Alcotest.(check (list int)) "no mismatches" [] o.System.lockstep_mismatches
+
+(* ---------- listing / fusion sanity ---------- *)
+
+let test_listing_and_fusion () =
+  let w = Workload.dhrystone ~iterations:10 in
+  let code = w.Workload.program.Asm.code in
+  let m = Manifest.of_code code in
+  let c = Cpu.create ~code () in
+  (match Manifest.install_translation m ~deprivileged:false c with
+  | Ok n -> Alcotest.(check bool) "superblocks translated" true (n > 0)
+  | Error e -> Alcotest.failf "fresh manifest refused: %s" e);
+  match Cpu.translation c with
+  | None -> Alcotest.fail "no translation installed"
+  | Some tx ->
+    Alcotest.(check bool) "blocks counted" true
+      (tx.Translate.translated_blocks > 0);
+    Alcotest.(check bool) "some pairs fused" true (tx.Translate.fused > 0);
+    let listing = Format.asprintf "%a" Translate.pp_listing tx in
+    Alcotest.(check bool) "listing shows superblocks" true
+      (contains listing "superblock");
+    Alcotest.(check bool) "listing shows fused pairs" true
+      (contains listing " + ")
+
+(* ---------- Bare: backend equivalence over shipped workloads ---------- *)
+
+let bare_outcome backend w =
+  let params =
+    Params.with_exec_backend
+      (Params.with_validate_manifest Params.default false)
+      backend
+  in
+  let b = Bare.create ~params ~workload:w () in
+  Bare.init_disk_blocks b;
+  let o = Bare.run b in
+  (o, Cpu.state_hash ~full:true (Bare.cpu b), Cpu.translation (Bare.cpu b))
+
+let test_bare_backend_equivalence () =
+  List.iter
+    (fun (name, w) ->
+      let oi, hi, _ = bare_outcome Params.Interp w in
+      let ot, ht, tx = bare_outcome Params.Threaded w in
+      Alcotest.(check bool)
+        (name ^ ": results equal") true
+        (Guest_results.equal oi.Bare.results ot.Bare.results);
+      Alcotest.(check string) (name ^ ": console equal") oi.Bare.console
+        ot.Bare.console;
+      Alcotest.(check int)
+        (name ^ ": instructions equal")
+        oi.Bare.instructions ot.Bare.instructions;
+      Alcotest.(check bool)
+        (name ^ ": same halt time") true
+        (oi.Bare.time = ot.Bare.time);
+      Alcotest.(check int) (name ^ ": same final state") hi ht;
+      match tx with
+      | None -> Alcotest.failf "%s: threaded backend left no cache" name
+      | Some tx ->
+        Alcotest.(check bool)
+          (name ^ ": translated code ran")
+          true
+          (tx.Translate.threaded_instrs > 0))
+    [
+      ("dhrystone", Workload.dhrystone ~iterations:200);
+      ("clock-sampler", Workload.clock_sampler ~samples:50);
+      ("hello", Workload.console_hello ~text:"threaded backend");
+      ("queued-io", Workload.queued_io ~pairs:6);
+    ]
+
+(* ---------- replicated system: threaded and differential ---------- *)
+
+let run_sys ?(backend = Params.Interp) w =
+  let params =
+    Params.with_exec_backend
+      { Params.default with Params.epoch_length = 512 }
+      backend
+  in
+  let sys = System.create ~params ~lockstep:true ~workload:w () in
+  (sys, System.run sys)
+
+let test_threaded_system_lockstep () =
+  let w = Workload.mixed ~compute:300 ~ops:6 () in
+  let sys, o = run_sys ~backend:Params.Threaded w in
+  Alcotest.(check (list int)) "no mismatches" [] o.System.lockstep_mismatches;
+  Alcotest.(check bool) "epochs compared" true (o.System.epochs_compared > 0);
+  Alcotest.(check int) "replicas agree"
+    (Hypervisor.vm_state_hash (System.primary sys))
+    (Hypervisor.vm_state_hash (System.backup sys));
+  let st = Hypervisor.stats (System.primary sys) in
+  Alcotest.(check bool) "threaded instructions counted" true
+    (st.Stats.threaded_instrs > 0);
+  Alcotest.(check bool) "blocks translated" true
+    (st.Stats.blocks_translated > 0)
+
+let test_differential_system () =
+  let w = Workload.mixed ~compute:300 ~ops:6 () in
+  let sys, o = run_sys ~backend:Params.Differential w in
+  Alcotest.(check (list int)) "no divergence" [] o.System.lockstep_mismatches;
+  let p = Hypervisor.stats (System.primary sys) in
+  let b = Hypervisor.stats (System.backup sys) in
+  Alcotest.(check bool) "primary ran threaded" true
+    (p.Stats.threaded_instrs > 0);
+  Alcotest.(check int) "backup stayed on the interpreter" 0
+    b.Stats.threaded_instrs;
+  Alcotest.(check int) "replicas agree"
+    (Hypervisor.vm_state_hash (System.primary sys))
+    (Hypervisor.vm_state_hash (System.backup sys))
+
+let test_differential_interp_equivalence () =
+  (* the threaded run must also match a pure-interpreter run of the
+     same system, not merely its own backup *)
+  let w = Workload.dhrystone ~iterations:500 in
+  let sys_i, o_i = run_sys ~backend:Params.Interp w in
+  let sys_t, o_t = run_sys ~backend:Params.Threaded w in
+  Alcotest.(check bool) "same guest results" true
+    (Guest_results.equal o_i.System.results o_t.System.results);
+  Alcotest.(check bool) "same completion time" true
+    (o_i.System.time = o_t.System.time);
+  Alcotest.(check int) "same final VM state"
+    (Hypervisor.vm_state_hash (System.primary sys_i))
+    (Hypervisor.vm_state_hash (System.primary sys_t));
+  Alcotest.(check int) "same instruction count"
+    (Hypervisor.stats (System.primary sys_i)).Stats.instructions
+    (Hypervisor.stats (System.primary sys_t)).Stats.instructions
+
+(* ---------- randomized differential properties ---------- *)
+
+(* Structured random programs with bounded loops, as in test_core —
+   the strongest oracle we have: a random certified image must execute
+   identically under every backend, epoch by epoch. *)
+let structured_main_gen =
+  let open QCheck.Gen in
+  let fresh =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "t%d" !n
+  in
+  let reg = int_range 1 9 in
+  let alu_op =
+    oneofl Isa.[ Add; Sub; Mul; Xor; And; Or; Sll; Srl; Slt ]
+  in
+  let simple =
+    frequency
+      [
+        (5, map (fun ((op, a), (b, c)) -> [ Asm.insn (Isa.Alu (op, a, b, c)) ])
+              (pair (pair alu_op reg) (pair reg reg)));
+        (2, map2 (fun r v -> [ Asm.ldi r v ]) reg (int_range 0 65535));
+        (2, map2 (fun r off -> [ Asm.st r 0 off ]) reg (int_range 0x1200 0x15FF));
+        (2, map2 (fun r off -> [ Asm.ld r 0 off ]) reg (int_range 0x1200 0x15FF));
+        (1, map (fun r -> [ Asm.rdtod r ]) reg);
+        (1, map (fun r -> [ Asm.out r ]) reg);
+        (1, return [ Asm.trapc 1 ]);
+      ]
+  in
+  let loop body_gen =
+    map2
+      (fun n bodies ->
+        let l = fresh () in
+        [ Asm.ldi 10 0; Asm.ldi 11 n; Asm.label l ]
+        @ List.concat bodies
+        @ [ Asm.addi 10 10 1; Asm.blt 10 11 (Asm.lbl l) ])
+      (int_range 1 12)
+      (list_size (int_range 1 8) body_gen)
+  in
+  let block = frequency [ (3, simple); (1, loop simple) ] in
+  map
+    (fun blocks ->
+      List.concat blocks
+      @ [ Asm.st 1 0 Layout.res_checksum; Asm.halt ])
+    (list_size (int_range 3 25) block)
+
+let workload_of_main main =
+  {
+    Workload.name = "random-threaded";
+    description = "random program, threaded backend";
+    program = Kernel.program ~main;
+    config = [];
+    instructions_per_iteration = 1;
+  }
+
+let prop_threaded_lockstep =
+  QCheck.Test.make ~name:"random programs: threaded replicas stay in lockstep"
+    ~count:15 (QCheck.make structured_main_gen) (fun main ->
+      let w = workload_of_main main in
+      let params =
+        Params.with_exec_backend
+          { Params.default with Params.epoch_length = 128 }
+          Params.Threaded
+      in
+      let sys = System.create ~params ~lockstep:true ~workload:w () in
+      let o = System.run sys in
+      o.System.lockstep_mismatches = []
+      && Hypervisor.vm_state_hash (System.primary sys)
+         = Hypervisor.vm_state_hash (System.backup sys))
+
+let prop_differential_oracle =
+  QCheck.Test.make
+    ~name:"random programs: differential backend never diverges" ~count:15
+    (QCheck.make structured_main_gen) (fun main ->
+      let w = workload_of_main main in
+      let params =
+        Params.with_exec_backend
+          { Params.default with Params.epoch_length = 128 }
+          Params.Differential
+      in
+      (* record_boundary faults loudly on the first divergence, so
+         completing the run is the property *)
+      let sys = System.create ~params ~lockstep:true ~workload:w () in
+      let o = System.run sys in
+      o.System.lockstep_mismatches = []
+      && Hypervisor.vm_state_hash (System.primary sys)
+         = Hypervisor.vm_state_hash (System.backup sys))
+
+let prop_bare_backends_agree =
+  QCheck.Test.make
+    ~name:"random programs: bare interp and threaded outcomes identical"
+    ~count:15 (QCheck.make structured_main_gen) (fun main ->
+      let w = workload_of_main main in
+      let oi, hi, _ = bare_outcome Params.Interp w in
+      let ot, ht, _ = bare_outcome Params.Threaded w in
+      Guest_results.equal oi.Bare.results ot.Bare.results
+      && oi.Bare.console = ot.Bare.console
+      && oi.Bare.instructions = ot.Bare.instructions
+      && oi.Bare.time = ot.Bare.time
+      && hi = ht)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hft_translate"
+    [
+      ( "raw-cpu",
+        [
+          Alcotest.test_case "threaded run matches the interpreter to the halt"
+            `Quick test_raw_cpu_lockstep;
+          Alcotest.test_case "odd fuel slices keep instruction-exact agreement"
+            `Quick test_fuel_slicing_matches;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "stale manifest forces full interpretation" `Quick
+            test_stale_manifest_falls_back;
+        ] );
+      ( "listing",
+        [
+          Alcotest.test_case "fusion counts and listing render" `Quick
+            test_listing_and_fusion;
+        ] );
+      ( "bare",
+        [
+          Alcotest.test_case "backend equivalence over shipped workloads"
+            `Quick test_bare_backend_equivalence;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "threaded replicas stay in lockstep" `Quick
+            test_threaded_system_lockstep;
+          Alcotest.test_case "differential: threaded primary, interp backup"
+            `Quick test_differential_system;
+          Alcotest.test_case "threaded system matches a pure-interp system"
+            `Quick test_differential_interp_equivalence;
+        ] );
+      ( "properties",
+        [
+          q prop_threaded_lockstep;
+          q prop_differential_oracle;
+          q prop_bare_backends_agree;
+        ] );
+    ]
