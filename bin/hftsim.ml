@@ -1044,9 +1044,21 @@ let lint_cmd =
       & info [ "json" ] ~docv:"PATH"
           ~doc:
             "Write the findings as machine-readable JSON \
-             (schema hftsim-lint/2, including a per-image compilation \
-             manifest summary) to PATH; $(b,-) writes JSON to stdout \
-             and suppresses the human report.")
+             (schema hftsim-lint/3, including a per-image compilation \
+             manifest summary with loop-bound coverage) to PATH; \
+             $(b,-) writes JSON to stdout and suppresses the human \
+             report.")
+  in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"PATH"
+          ~doc:
+            "Write the findings as a SARIF 2.1.0 log (one run, driver \
+             $(b,hftsim-lint), one result per finding with the guest \
+             address as the line number) to PATH; $(b,-) writes SARIF \
+             to stdout and suppresses the human report.")
   in
   let manifest_arg =
     Arg.(
@@ -1065,7 +1077,7 @@ let lint_cmd =
       & info [ "manifest-out" ] ~docv:"PATH"
           ~doc:
             "Write the compilation manifest(s) as JSON: schema \
-             hftsim-manifest/1 for a single image, hftsim-manifest-set/1 \
+             hftsim-manifest/2 for a single image, hftsim-manifest-set/1 \
              (one manifest per analyzed image) with $(b,--all).")
   in
   let manifest_baseline_arg =
@@ -1120,7 +1132,9 @@ let lint_cmd =
          \"certified_blocks\": %d, \"superblocks\": %d, \
          \"certified_superblocks\": %d, \"static_coverage\": %.4f, \
          \"jr_sites\": %d, \"jr_unresolved\": %d, \
-         \"jr_resolved_by_vsa\": %d, \"fixpoint_iterations\": %d}"
+         \"jr_resolved_by_vsa\": %d, \"fixpoint_iterations\": %d, \
+         \"loops\": %d, \"bounded_loops\": %d, \
+         \"loop_bound_coverage\": %.4f}"
         m.Hft_analysis.Manifest.image_hash
         m.Hft_analysis.Manifest.instructions
         (List.length m.Hft_analysis.Manifest.blocks)
@@ -1132,8 +1146,11 @@ let lint_cmd =
         m.Hft_analysis.Manifest.jr_unresolved
         m.Hft_analysis.Manifest.jr_resolved_by_vsa
         m.Hft_analysis.Manifest.fixpoint_iterations
+        (Hft_analysis.Manifest.loop_count m)
+        (Hft_analysis.Manifest.bounded_loops m)
+        (Hft_analysis.Manifest.loop_bound_coverage m)
     in
-    Buffer.add_string b "{\n  \"schema\": \"hftsim-lint/2\",\n  \"images\": [";
+    Buffer.add_string b "{\n  \"schema\": \"hftsim-lint/3\",\n  \"images\": [";
     List.iteri
       (fun i (title, fs, manifest, _) ->
         if i > 0 then Buffer.add_string b ",";
@@ -1166,6 +1183,81 @@ let lint_cmd =
       (Printf.sprintf
          "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"findings\": %d}\n}\n"
          errors warnings (List.length all));
+    Buffer.contents b
+  in
+  (* SARIF 2.1.0: one run, one result per finding.  Guest images have
+     no source files, so the artifact is the image title and the
+     "line" is the guest instruction address plus one (SARIF lines are
+     1-based). *)
+  let sarif_json runs =
+    let b = Buffer.create 2048 in
+    let esc s =
+      String.concat ""
+        (List.map
+           (function
+             | '"' -> "\\\""
+             | '\\' -> "\\\\"
+             | '\n' -> "\\n"
+             | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    in
+    let level f =
+      match f.Hft_analysis.Finding.severity with
+      | Hft_analysis.Finding.Error -> "error"
+      | Hft_analysis.Finding.Warning -> "warning"
+      | Hft_analysis.Finding.Info -> "note"
+    in
+    let rules =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (_, fs, _, _) ->
+             List.map (fun f -> f.Hft_analysis.Finding.checker) fs)
+           runs)
+    in
+    Buffer.add_string b
+      "{\n\
+      \  \"$schema\": \
+       \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+      \  \"version\": \"2.1.0\",\n\
+      \  \"runs\": [\n\
+      \    {\"tool\": {\"driver\": {\"name\": \"hftsim-lint\",\n\
+      \       \"informationUri\": \
+       \"https://example.invalid/hftsim\",\n\
+      \       \"rules\": [";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n         {\"id\": \"%s\", \"shortDescription\": {\"text\": \
+              \"%s checker\"}}"
+             (esc r) (esc r)))
+      rules;
+    Buffer.add_string b "\n       ]}},\n     \"results\": [";
+    let first = ref true in
+    List.iter
+      (fun (title, fs, _, _) ->
+        List.iter
+          (fun f ->
+            if not !first then Buffer.add_string b ",";
+            first := false;
+            Buffer.add_string b
+              (Printf.sprintf
+                 "\n\
+                 \       {\"ruleId\": \"%s\", \"level\": \"%s\",\n\
+                 \        \"message\": {\"text\": \"%s [%s]\"},\n\
+                 \        \"locations\": [{\"physicalLocation\": \
+                  {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": \
+                  {\"startLine\": %d}}}]}"
+                 (esc f.Hft_analysis.Finding.checker)
+                 (level f)
+                 (esc f.Hft_analysis.Finding.message)
+                 (esc f.Hft_analysis.Finding.where)
+                 (esc title)
+                 (f.Hft_analysis.Finding.addr + 1)))
+          fs)
+      runs;
+    Buffer.add_string b "\n     ]}\n  ]\n}\n";
     Buffer.contents b
   in
   (* A committed manifest-set baseline: certification must not regress
@@ -1220,11 +1312,23 @@ let lint_cmd =
             @ check "certified superblocks"
                 (M.certified_superblocks old)
                 (M.certified_superblocks m)
+            @ check "bounded loops" (M.bounded_loops old)
+                (M.bounded_loops m)
+            @ (if M.static_coverage m < M.static_coverage old -. 1e-9 then
+                 [
+                   Printf.sprintf
+                     "%s: static coverage regressed %.4f -> %.4f" title
+                     (M.static_coverage old) (M.static_coverage m);
+                 ]
+               else [])
             @
-            if M.static_coverage m < M.static_coverage old -. 1e-9 then
+            if
+              M.loop_bound_coverage m < M.loop_bound_coverage old -. 1e-9
+            then
               [
-                Printf.sprintf "%s: static coverage regressed %.4f -> %.4f"
-                  title (M.static_coverage old) (M.static_coverage m);
+                Printf.sprintf
+                  "%s: loop-bound coverage regressed %.4f -> %.4f" title
+                  (M.loop_bound_coverage old) (M.loop_bound_coverage m);
               ]
             else [])
         baseline
@@ -1244,9 +1348,9 @@ let lint_cmd =
     Buffer.add_string b "\n  ]\n}\n";
     Buffer.contents b
   in
-  let action workload all image rewrite_el rewritten strict json manifest
-      manifest_out manifest_baseline =
-    let quiet = json = Some "-" in
+  let action workload all image rewrite_el rewritten strict json sarif
+      manifest manifest_out manifest_baseline =
+    let quiet = json = Some "-" || sarif = Some "-" in
     let runs =
       if all then
         List.concat_map
@@ -1293,12 +1397,32 @@ let lint_cmd =
       List.iter
         (fun (title, _, m, embedded) ->
           Format.printf "%s: %a@." title Hft_analysis.Manifest.pp_summary m;
+          (* unbounded loops: print the header-to-latch witness path so
+             the reader can retrace why inference gave up *)
+          List.iter
+            (fun (l : Hft_analysis.Manifest.loop_info) ->
+              if l.Hft_analysis.Manifest.l_bound = None then
+                Format.printf
+                  "%s:   loop @%d unbounded; witness path: %s@." title
+                  l.Hft_analysis.Manifest.l_header
+                  (String.concat " -> "
+                     (List.map string_of_int
+                        l.Hft_analysis.Manifest.l_witness)))
+            m.Hft_analysis.Manifest.loops;
           match embedded with
           | None -> ()
           | Some (Ok ()) -> Format.printf "%s: embedded manifest valid@." title
           | Some (Error e) ->
             Format.printf "%s: embedded manifest STALE: %s@." title e)
         runs;
+    (match sarif with
+    | Some "-" -> print_string (sarif_json runs)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (sarif_json runs);
+      close_out oc;
+      Format.printf "wrote %s@." path
+    | None -> ());
     (match json with
     | Some "-" -> print_string (lint_json runs)
     | Some path ->
@@ -1361,7 +1485,7 @@ let lint_cmd =
     Term.(
       ret
         (const action $ workload_arg $ all_arg $ image_arg $ rewrite_el
-       $ rewritten_arg $ strict_arg $ json_arg $ manifest_arg
+       $ rewritten_arg $ strict_arg $ json_arg $ sarif_arg $ manifest_arg
        $ manifest_out_arg $ manifest_baseline_arg))
   in
   Cmd.v
@@ -1370,9 +1494,10 @@ let lint_cmd =
          "Statically analyze a guest image against the paper's assumptions: \
           privilege/virtualizability (section 3.1), determinism of replica \
           inputs, and epoch-counting safety (section 2.1).  Also certifies \
-          the image into a compilation manifest (hftsim-manifest/1): \
+          the image into a compilation manifest (hftsim-manifest/2): \
           per-block Deterministic/Priv0/Epoch_bounded certificates over \
-          VSA-refined control flow and superblocks \
+          VSA-refined control flow and superblocks, plus per-loop trip \
+          bounds and worst-case costs \
           ($(b,--manifest)/$(b,--manifest-out)/$(b,--manifest-baseline)).  \
           Exits non-zero if any error-severity finding is reported, an \
           embedded manifest is stale, or certification regressed against \
@@ -1749,7 +1874,19 @@ let bench_cmd =
              bench holds 2x; CI's quick smoke gates 1.5x, since quick \
              budgets are noisier).")
   in
-  let action json_path quick min_speedup max_overhead min_threaded =
+  let min_loop_hoist =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-loop-hoist-speedup" ] ~docv:"R"
+          ~doc:
+            "Fail (exit non-zero) unless spending loop-bound certificates \
+             (batched budget prologues) beats the non-hoisted threaded \
+             backend on the loop workload by at least this factor (CI \
+             gates 1.15x).")
+  in
+  let action json_path quick min_speedup max_overhead min_threaded
+      min_loop_hoist =
     let b = Hft_harness.Bench_core.run ~quick () in
     Hft_harness.Bench_core.report b;
     (match json_path with
@@ -1767,20 +1904,29 @@ let bench_cmd =
       fail
         "threaded and interpreter state digests diverged — the translation \
          is architecturally wrong and every threaded number is invalid"
+    else if not b.Hft_harness.Bench_core.loop_digest_match then
+      fail
+        "hoisted-loop and interpreter state digests diverged on the loop \
+         workload — the batched budget accounting is wrong and the hoist \
+         speedup is invalid"
     else
-      match (min_speedup, max_overhead, min_threaded) with
-      | Some r, _, _ when p.Hft_harness.Bench_core.speedup < r ->
+      match (min_speedup, max_overhead, min_threaded, min_loop_hoist) with
+      | Some r, _, _, _ when p.Hft_harness.Bench_core.speedup < r ->
         fail
           "incremental hashing speedup %.2fx at EL=1024 is below the %.2fx \
            guard"
           p.Hft_harness.Bench_core.speedup r
-      | _, Some r, _ when p.Hft_harness.Bench_core.hash_overhead > r ->
+      | _, Some r, _, _ when p.Hft_harness.Bench_core.hash_overhead > r ->
         fail
           "lockstep hashing overhead %.2fx at EL=1024 exceeds the %.2fx guard"
           p.Hft_harness.Bench_core.hash_overhead r
-      | _, _, Some r when b.Hft_harness.Bench_core.threaded_speedup < r ->
+      | _, _, Some r, _ when b.Hft_harness.Bench_core.threaded_speedup < r ->
         fail "threaded speedup %.2fx is below the %.2fx guard"
           b.Hft_harness.Bench_core.threaded_speedup r
+      | _, _, _, Some r when b.Hft_harness.Bench_core.loop_hoist_speedup < r
+        ->
+        fail "loop-hoist speedup %.2fx is below the %.2fx guard"
+          b.Hft_harness.Bench_core.loop_hoist_speedup r
       | _ -> Ok ()
   in
   Cmd.v
@@ -1794,7 +1940,7 @@ let bench_cmd =
     Term.(
       term_result'
         (const action $ json_path $ quick $ min_speedup $ max_overhead
-       $ min_threaded))
+       $ min_threaded $ min_loop_hoist))
 
 (* ---------- disasm ---------- *)
 

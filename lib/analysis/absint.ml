@@ -34,6 +34,21 @@ let rpo_ranks (cfg : Cfg.t) =
   List.iteri (fun i a -> rank.(a) <- i) !post;
   rank
 
+(* Every cycle of the CFG contains at least one retreating edge with
+   respect to any depth-first order, so widening only at retreating-edge
+   targets still cuts every ascending chain — while straight-line code
+   and loop-exit joins keep their precise values. *)
+let retreating_targets (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.code in
+  let rank = rpo_ranks cfg in
+  let target = Array.make n false in
+  Array.iteri
+    (fun a succs ->
+      if rank.(a) < max_int then
+        List.iter (fun s -> if rank.(s) <= rank.(a) then target.(s) <- true) succs)
+    cfg.Cfg.succs;
+  target
+
 module Make (D : DOMAIN) = struct
   let solve ?stats ?(order = `Rpo) (cfg : Cfg.t) ~entries =
     let n = Array.length cfg.Cfg.code in

@@ -23,6 +23,13 @@ val rpo_ranks : Cfg.t -> int array
 (** Reverse-postorder rank of every instruction over the CFG's
     successor edges from its roots; [max_int] on unreachable code. *)
 
+val retreating_targets : Cfg.t -> bool array
+(** [retreating_targets cfg].(a) iff some CFG edge into [a] retreats
+    with respect to the {!rpo_ranks} order (its source's rank is at
+    least [a]'s).  Every cycle contains a retreating edge, so these
+    addresses are exactly where a widening fixpoint must give ground —
+    and the only places it needs to. *)
+
 module Make (D : DOMAIN) : sig
   val solve :
     ?stats:Finding.stats ->

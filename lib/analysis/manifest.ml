@@ -1,6 +1,6 @@
 open Hft_machine
 
-let schema = "hftsim-manifest/1"
+let schema = "hftsim-manifest/2"
 
 type cert = Deterministic | Priv0 | Epoch_bounded of int
 
@@ -11,8 +11,21 @@ type superblock = {
   head : int;
   members : int list;
   bound : int option;
+  wcet : int option;
   certified : bool;
 }
+
+type loop_info = {
+  l_header : int;
+  l_latches : int list;
+  l_blocks : int list;
+  l_bound : int option;
+  l_body_cost : int option;
+  l_wcet : int option;
+  l_witness : int list;
+}
+
+type func_info = { f_entry : int; f_cost : Wcet.func_cost }
 
 type t = {
   image_hash : int;
@@ -22,6 +35,8 @@ type t = {
   mmio_base : int;
   blocks : block list;
   superblocks : superblock list;
+  loops : loop_info list;
+  functions : func_info list;
   fixpoint_iterations : int;
   jr_sites : int;
   jr_unresolved : int;
@@ -53,6 +68,14 @@ let certified_blocks t =
 
 let certified_superblocks t =
   List.length (List.filter (fun s -> s.certified) t.superblocks)
+
+let loop_count t = List.length t.loops
+let bounded_loops t = List.length (List.filter (fun l -> l.l_bound <> None) t.loops)
+
+let loop_bound_coverage t =
+  match t.loops with
+  | [] -> 1.0
+  | ls -> float_of_int (bounded_loops t) /. float_of_int (List.length ls)
 
 (* Fraction of the reachable instructions covered by certified
    superblocks: what the runtime coverage counters converge to on a
@@ -116,8 +139,17 @@ let of_code ?(rewritten = false) ?(random_tlb = false)
       | _ -> priv0_ok.(b) <- false)
     done
   done;
+  let lb = Loopbound.analyze cfg dom vsa in
+  let wc = Wcet.analyze cfg dom sb lb in
+  (* the loop-free per-pass bound where one exists; otherwise the
+     loop-collapsed WCET rescues regions with bounded interior loops *)
   let bounds =
-    Array.map (fun r -> Superblock.bound dom r) sb.Superblock.regions
+    Array.mapi
+      (fun i r ->
+        match Superblock.bound dom r with
+        | Some b -> Some b
+        | None -> wc.Wcet.region_wcet.(i))
+      sb.Superblock.regions
   in
   let cert_list b =
     let r = sb.Superblock.region_of.(b) in
@@ -148,9 +180,27 @@ let of_code ?(rewritten = false) ?(random_tlb = false)
              members =
                List.map (fun b -> dom.Domtree.leaders.(b)) r.Superblock.blocks;
              bound = bounds.(r.Superblock.id);
+             wcet = wc.Wcet.region_wcet.(r.Superblock.id);
              certified =
                List.for_all (fun b -> cert_list b <> []) r.Superblock.blocks;
            })
+  in
+  let leader_of b = dom.Domtree.leaders.(b) in
+  let loops =
+    Array.to_list lb.Loopbound.loops
+    |> List.map (fun (l : Loopbound.loop) ->
+           {
+             l_header = leader_of l.Loopbound.header;
+             l_latches = List.map leader_of l.Loopbound.latches;
+             l_blocks = List.map leader_of l.Loopbound.blocks;
+             l_bound = l.Loopbound.bound;
+             l_body_cost = wc.Wcet.loop_iter.(l.Loopbound.id);
+             l_wcet = wc.Wcet.loop_total.(l.Loopbound.id);
+             l_witness = List.map leader_of l.Loopbound.witness;
+           })
+  in
+  let functions =
+    List.map (fun (entry, c) -> { f_entry = entry; f_cost = c }) wc.Wcet.functions
   in
   let jr_sites =
     let n = ref 0 in
@@ -170,6 +220,8 @@ let of_code ?(rewritten = false) ?(random_tlb = false)
     mmio_base;
     blocks;
     superblocks;
+    loops;
+    functions;
     fixpoint_iterations = stats.Finding.fixpoint_iterations;
     jr_sites;
     jr_unresolved = List.length cfg.Cfg.jr_unresolved;
@@ -269,8 +321,41 @@ let install t ~deprivileged cpu =
         | None -> ()
       done)
     t.blocks;
-  Cpu.install_validator cpu ~blk_end ~priv_ok ~det ~uses ~def ~region ~rhead
-    ~rbound ~random_tlb:t.random_tlb
+  (* loop-bound certificates, renumbered over the bounded loops only;
+     smallest span first so nested loops claim their addresses from
+     the innermost outwards *)
+  let block_len = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace block_len b.leader b.len) t.blocks;
+  let span l =
+    List.fold_left
+      (fun acc ldr ->
+        acc + (match Hashtbl.find_opt block_len ldr with Some v -> v | None -> 0))
+      0 l.l_blocks
+  in
+  let bounded =
+    List.filter (fun l -> l.l_bound <> None) t.loops
+    |> List.sort (fun a b -> compare (span a) (span b))
+  in
+  let nl = List.length bounded in
+  let loop_of = Array.make (max n 1) (-1) in
+  let lhead = Array.make nl 0 in
+  let lbound = Array.make nl 0 in
+  List.iteri
+    (fun k l ->
+      lhead.(k) <- l.l_header;
+      lbound.(k) <- (match l.l_bound with Some b -> b | None -> 0);
+      List.iter
+        (fun ldr ->
+          match Hashtbl.find_opt block_len ldr with
+          | None -> ()
+          | Some len ->
+            for a = ldr to min (n - 1) (ldr + len - 1) do
+              if loop_of.(a) < 0 then loop_of.(a) <- k
+            done)
+        l.l_blocks)
+    bounded;
+  Cpu.install_validator cpu ~blk_end ~loop_of ~lhead ~lbound ~priv_ok ~det
+    ~uses ~def ~region ~rhead ~rbound ~random_tlb:t.random_tlb
 
 (* Hand the certified superblocks to the direct-threaded translator.
    Unlike {!install} this returns the staleness check as a result: a
@@ -280,13 +365,24 @@ let install t ~deprivileged cpu =
    [Priv0] masks — entering at any other level falls back to the
    interpreter, whose per-instruction validator enforces the exact
    per-block certificate. *)
-let install_translation t ~deprivileged cpu =
+let install_translation ?(hoist_loops = true) t ~deprivileged cpu =
   match validate ~code:(Cpu.code cpu) t with
   | Error msg -> Error msg
   | Ok () ->
     let priv0_mask = if deprivileged then 1 lsl 1 else 1 in
     let block_tbl = Hashtbl.create 64 in
     List.iter (fun b -> Hashtbl.replace block_tbl b.leader b) t.blocks;
+    (* hoistable loops: single-block self-loops with a certified trip
+       bound — the shape the translator can batch *)
+    let hoistable = Hashtbl.create 8 in
+    if hoist_loops then
+      List.iter
+        (fun l ->
+          match (l.l_blocks, l.l_bound) with
+          | [ ldr ], Some b when ldr = l.l_header ->
+            Hashtbl.replace hoistable ldr b
+          | _ -> ())
+        t.loops;
     let regions =
       List.filter (fun s -> s.certified) t.superblocks
       |> List.map (fun s ->
@@ -305,6 +401,14 @@ let install_translation t ~deprivileged cpu =
                      { Translate.pb_leader = b.leader; pb_len = b.len })
                    members;
                pr_priv_mask = mask;
+               pr_loops =
+                 List.filter_map
+                   (fun b ->
+                     match Hashtbl.find_opt hoistable b.leader with
+                     | Some bound ->
+                       Some { Translate.pl_leader = b.leader; pl_bound = bound }
+                     | None -> None)
+                   members;
              })
     in
     Cpu.install_translation cpu regions;
@@ -326,6 +430,9 @@ let buf_add_json_certs b certs =
     certs;
   Buffer.add_char b ']'
 
+let jopt_int = function Some n -> string_of_int n | None -> "null"
+let jint_array l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
 let to_json t =
   let b = Buffer.create 1024 in
   Buffer.add_string b
@@ -334,10 +441,12 @@ let to_json t =
         \"rewritten\":%b,\"random_tlb\":%b,\"mmio_base\":%d,\
         \"fixpoint_iterations\":%d,\"jr\":{\"sites\":%d,\"unresolved\":%d,\
         \"resolved_by_vsa\":%d},\"certified_blocks\":%d,\
-        \"certified_superblocks\":%d,\"static_coverage\":%.4f,\"blocks\":["
+        \"certified_superblocks\":%d,\"static_coverage\":%.4f,\"loops\":%d,\
+        \"bounded_loops\":%d,\"loop_bound_coverage\":%.4f,\"blocks\":["
        schema t.image_hash t.instructions t.rewritten t.random_tlb t.mmio_base
        t.fixpoint_iterations t.jr_sites t.jr_unresolved t.jr_resolved_by_vsa
-       (certified_blocks t) (certified_superblocks t) (static_coverage t));
+       (certified_blocks t) (certified_superblocks t) (static_coverage t)
+       (loop_count t) (bounded_loops t) (loop_bound_coverage t));
   List.iteri
     (fun i blk ->
       if i > 0 then Buffer.add_char b ',';
@@ -353,12 +462,34 @@ let to_json t =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           "{\"id\":%d,\"head\":%d,\"bound\":%s,\"certified\":%b,\"blocks\":[%s]}"
-           s.sid s.head
-           (match s.bound with Some n -> string_of_int n | None -> "null")
-           s.certified
+           "{\"id\":%d,\"head\":%d,\"bound\":%s,\"wcet\":%s,\"certified\":%b,\
+            \"blocks\":[%s]}"
+           s.sid s.head (jopt_int s.bound) (jopt_int s.wcet) s.certified
            (String.concat "," (List.map string_of_int s.members))))
     t.superblocks;
+  Buffer.add_string b "],\"loop_info\":[";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"header\":%d,\"latches\":%s,\"blocks\":%s,\"bound\":%s,\
+            \"body_cost\":%s,\"wcet\":%s,\"witness\":%s}"
+           l.l_header (jint_array l.l_latches) (jint_array l.l_blocks)
+           (jopt_int l.l_bound) (jopt_int l.l_body_cost) (jopt_int l.l_wcet)
+           (jint_array l.l_witness)))
+    t.loops;
+  Buffer.add_string b "],\"functions\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"entry\":%d,\"cost\":%s}" f.f_entry
+           (match f.f_cost with
+           | Wcet.Fwcet c -> string_of_int c
+           | Wcet.Frecursive -> "\"recursive\""
+           | Wcet.Funbounded -> "\"unbounded\"")))
+    t.functions;
   Buffer.add_string b "]}";
   Buffer.contents b
 
@@ -380,6 +511,22 @@ let jlist name j =
   match Option.bind (J.member name j) J.to_list_opt with
   | Some l -> Ok l
   | None -> Error (Printf.sprintf "manifest: missing array %S" name)
+
+let jopt name j =
+  match Option.bind (J.member name j) J.to_float_opt with
+  | Some f -> Some (int_of_float f)
+  | None -> None
+
+let jints name j =
+  let* l = jlist name j in
+  List.fold_left
+    (fun acc e ->
+      let* acc = acc in
+      match J.to_float_opt e with
+      | Some f -> Ok (int_of_float f :: acc)
+      | None -> Error (Printf.sprintf "manifest: %S element is not a number" name))
+    (Ok []) l
+  |> Result.map List.rev
 
 let of_json j =
   let* s =
@@ -448,19 +595,51 @@ let of_json j =
           | Some f -> Some (int_of_float f)
           | None -> None
         in
-        let* ml = jlist "blocks" sj in
-        let* members =
-          List.fold_left
-            (fun acc mj ->
-              let* acc = acc in
-              match J.to_float_opt mj with
-              | Some f -> Ok (int_of_float f :: acc)
-              | None -> Error "manifest: superblock member is not a number")
-            (Ok []) ml
-        in
-        Ok
-          ({ sid; head; certified; bound; members = List.rev members } :: acc))
+        let wcet = jopt "wcet" sj in
+        let* members = jints "blocks" sj in
+        Ok ({ sid; head; certified; bound; wcet; members } :: acc))
       (Ok []) sl
+  in
+  let* ll = jlist "loop_info" j in
+  let* loops =
+    List.fold_left
+      (fun acc lj ->
+        let* acc = acc in
+        let* l_header = jint "header" lj in
+        let* l_latches = jints "latches" lj in
+        let* l_blocks = jints "blocks" lj in
+        let* l_witness = jints "witness" lj in
+        Ok
+          ({
+             l_header;
+             l_latches;
+             l_blocks;
+             l_bound = jopt "bound" lj;
+             l_body_cost = jopt "body_cost" lj;
+             l_wcet = jopt "wcet" lj;
+             l_witness;
+           }
+          :: acc))
+      (Ok []) ll
+  in
+  let* fl = jlist "functions" j in
+  let* functions =
+    List.fold_left
+      (fun acc fj ->
+        let* acc = acc in
+        let* f_entry = jint "entry" fj in
+        let* f_cost =
+          match J.member "cost" fj with
+          | Some (J.Str "recursive") -> Ok Wcet.Frecursive
+          | Some (J.Str "unbounded") -> Ok Wcet.Funbounded
+          | Some c -> (
+            match J.to_float_opt c with
+            | Some f -> Ok (Wcet.Fwcet (int_of_float f))
+            | None -> Error "manifest: bad function cost")
+          | None -> Error "manifest: missing function cost"
+        in
+        Ok ({ f_entry; f_cost } :: acc))
+      (Ok []) fl
   in
   Ok
     {
@@ -471,6 +650,8 @@ let of_json j =
       mmio_base;
       blocks = List.rev blocks;
       superblocks = List.rev superblocks;
+      loops = List.rev loops;
+      functions = List.rev functions;
       fixpoint_iterations;
       jr_sites;
       jr_unresolved;
@@ -484,8 +665,11 @@ let of_string s =
 let pp_summary fmt t =
   Format.fprintf fmt
     "%d/%d blocks certified, %d/%d superblocks (coverage %.1f%%), %d/%d \
-     indirect jumps unresolved (%d resolved by value-set analysis)"
+     indirect jumps unresolved (%d resolved by value-set analysis), %d/%d \
+     loops bounded (loop coverage %.1f%%)"
     (certified_blocks t) (List.length t.blocks) (certified_superblocks t)
     (List.length t.superblocks)
     (100. *. static_coverage t)
-    t.jr_unresolved t.jr_sites t.jr_resolved_by_vsa
+    t.jr_unresolved t.jr_sites t.jr_resolved_by_vsa (bounded_loops t)
+    (loop_count t)
+    (100. *. loop_bound_coverage t)

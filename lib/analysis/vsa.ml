@@ -50,12 +50,30 @@ let equal_value a b =
   | Itv (a1, a2), Itv (b1, b2) -> a1 = b1 && a2 = b2
   | _ -> false
 
-(* Widen [j] relative to [old]: any interval bound that grew snaps to
-   its extreme, so chains of growing joins terminate. *)
+(* Widen [j] relative to [old]: any interval bound that grew jumps to
+   the next rung of a finite threshold ladder instead of snapping to
+   the word extreme, so chains of growing joins still terminate (the
+   ladder is finite) but a loop whose branch clamps the value settles
+   on the first rung above its real range rather than losing it
+   entirely.  Applied only at retreating-edge targets — see [solve]. *)
+let widen_thresholds = [ 16; 256; 4096; 65536; 1 lsl 20 ]
+
+let widen_up hi =
+  match List.find_opt (fun t -> t >= hi) widen_thresholds with
+  | Some t -> t
+  | None -> word_max
+
+let widen_down lo =
+  match List.find_opt (fun t -> t <= lo) (List.rev widen_thresholds) with
+  | Some t -> t
+  | None -> 0
+
 let widen_value old j =
   match (old, j) with
   | Itv (lo, hi), Itv (lo', hi') ->
-    Itv ((if lo' < lo then 0 else lo'), (if hi' > hi then word_max else hi'))
+    Itv
+      ( (if lo' < lo then widen_down lo' else lo'),
+        if hi' > hi then widen_up hi' else hi' )
   | (Fin _ | Bot | Top), _ -> j
   | Itv _, _ -> j
 
@@ -94,6 +112,24 @@ type state = value array
 
 let get (s : state) r = if r = 0 then fin1 0 else s.(r)
 
+let range_of = function
+  | Bot -> None
+  | Fin s when Iset.is_empty s -> None
+  | Fin s -> Some (Iset.min_elt s, Iset.max_elt s)
+  | Itv (lo, hi) -> Some (lo, hi)
+  | Top -> Some (0, word_max)
+
+let meet_range v (lo, hi) =
+  if lo > hi then Bot
+  else
+    match v with
+    | Bot -> Bot
+    | Top -> norm (Itv (lo, hi))
+    | Fin s -> norm (Fin (Iset.filter (fun x -> x >= lo && x <= hi) s))
+    | Itv (l, h) ->
+      let l' = max l lo and h' = min h hi in
+      if l' > h' then Bot else norm (Itv (l', h'))
+
 let set (s : state) r v =
   if r = 0 then s
   else begin
@@ -121,6 +157,54 @@ let transfer addr (i : Isa.instr) s =
     ->
     s
 
+(* Branch-edge refinement: on the taken edge of [Br (c, r1, r2, _)]
+   the condition holds, on the fall-through its negation does.
+   Meeting the operands with the implied unsigned ranges is what lets
+   a counted loop's induction variable converge to a finite interval —
+   without it every back-edge join grows and widening is the only (and
+   lossy) brake.  Signed comparisons refine only when both operands
+   provably stay below 2^31, where signed and unsigned order agree. *)
+let refine_ltu s r1 r2 holds =
+  match (range_of (get s r1), range_of (get s r2)) with
+  | Some (l1, h1), Some (l2, h2) ->
+    if holds then begin
+      (* r1 < r2: r1 <= max r2 - 1, r2 >= min r1 + 1 *)
+      let s =
+        if h2 = 0 then set s r1 Bot
+        else set s r1 (meet_range (get s r1) (0, h2 - 1))
+      in
+      if l1 = word_max then set s r2 Bot
+      else set s r2 (meet_range (get s r2) (l1 + 1, word_max))
+    end
+    else begin
+      (* r1 >= r2 *)
+      let s = set s r1 (meet_range (get s r1) (l2, word_max)) in
+      set s r2 (meet_range (get s r2) (0, h1))
+    end
+  | _ -> s
+
+let refine_eq s r1 r2 =
+  match (range_of (get s r1), range_of (get s r2)) with
+  | Some (l1, h1), Some (l2, h2) ->
+    let s = set s r1 (meet_range (get s r1) (l2, h2)) in
+    set s r2 (meet_range (get s r2) (l1, h1))
+  | _ -> s
+
+let signed_safe s r1 r2 =
+  match (range_of (get s r1), range_of (get s r2)) with
+  | Some (_, h1), Some (_, h2) -> h1 < 1 lsl 31 && h2 < 1 lsl 31
+  | _ -> false
+
+let refine_branch s (c : Isa.cond) r1 r2 taken =
+  match c with
+  | Isa.Ltu -> refine_ltu s r1 r2 taken
+  | Isa.Geu -> refine_ltu s r1 r2 (not taken)
+  | Isa.Lt when signed_safe s r1 r2 -> refine_ltu s r1 r2 taken
+  | Isa.Ge when signed_safe s r1 r2 -> refine_ltu s r1 r2 (not taken)
+  | Isa.Eq when taken -> refine_eq s r1 r2
+  | Isa.Ne when not taken -> refine_eq s r1 r2
+  | _ -> s
+
 let equal_state a b = Array.for_all2 equal_value a b
 let join_state a b = Array.map2 join_value a b
 let widen_state old j = Array.map2 widen_value old j
@@ -132,12 +216,16 @@ module Work = Set.Make (struct
 end)
 
 (* A bespoke fixpoint rather than {!Absint.Make}: widening needs the
-   per-address join count, which a pure DOMAIN.join cannot see. *)
+   per-address join count, which a pure DOMAIN.join cannot see.
+   Widening gives ground only at retreating-edge targets — the loop
+   headers where ascending chains actually arise — so straight-line
+   joins keep full precision; see {!Absint.retreating_targets}. *)
 let solve ?stats (cfg : Cfg.t) =
   let n = Array.length cfg.Cfg.code in
   let states = Array.make n None in
   let joins = Array.make n 0 in
   let rank = Absint.rpo_ranks cfg in
+  let widen_site = Absint.retreating_targets cfg in
   let heap = ref Work.empty in
   let queued = Array.make n false in
   let push a =
@@ -155,7 +243,10 @@ let solve ?stats (cfg : Cfg.t) =
       let j = join_state old s in
       if not (equal_state j old) then begin
         joins.(a) <- joins.(a) + 1;
-        let j = if joins.(a) > widen_after then widen_state old j else j in
+        let j =
+          if widen_site.(a) && joins.(a) > widen_after then widen_state old j
+          else j
+        in
         states.(a) <- Some j;
         push a
       end
@@ -176,7 +267,12 @@ let solve ?stats (cfg : Cfg.t) =
         | Some st ->
           st.Finding.fixpoint_iterations <- st.Finding.fixpoint_iterations + 1);
         let out = transfer a cfg.Cfg.code.(a) s in
-        List.iter (fun succ -> update succ out) cfg.Cfg.succs.(a));
+        (match cfg.Cfg.code.(a) with
+        | Isa.Br (c, r1, r2, tgt) when tgt <> a + 1 ->
+          List.iter
+            (fun succ -> update succ (refine_branch out c r1 r2 (succ = tgt)))
+            cfg.Cfg.succs.(a)
+        | _ -> List.iter (fun succ -> update succ out) cfg.Cfg.succs.(a)));
       drain ()
   in
   drain ();
@@ -216,6 +312,16 @@ let value_at t ~addr ~reg =
   if reg = 0 then fin1 0
   else
     match t.states.(addr) with None -> Top | Some s -> s.(reg)
+
+(* Out-state value of [reg] after the instruction at [addr]: the
+   in-state pushed through one transfer.  Loop-bound inference reads
+   loop-entry values off each preheader's out edge this way. *)
+let out_value_at t ~code ~addr ~reg =
+  if reg = 0 then fin1 0
+  else
+    match t.states.(addr) with
+    | None -> Top
+    | Some s -> get (transfer addr code.(addr) s) reg
 
 (* Unsigned range of [v + off] when provably wrap-free, else None. *)
 let addr_range v off =

@@ -5,9 +5,13 @@
     MMIO window for the {!Manifest} [Deterministic] certificate.
 
     The value lattice is a finite set of words (capped at 8 elements,
-    hulled to an interval beyond that) or an unsigned interval;
-    interval bounds widen to the word extremes after repeated growing
-    joins at the same instruction, bounding every ascending chain.
+    hulled to an interval beyond that) or an unsigned interval.
+    Conditional-branch edges refine the operand ranges, and interval
+    bounds that keep growing at a retreating-edge target climb a
+    finite threshold ladder (16, 256, ..., then the word extremes), so
+    every ascending chain is bounded while a counted loop's induction
+    variable settles on the first rung above its real range instead of
+    losing it to the old snap-to-extremes widening.
     The analysis runs on the {e coarse} CFG — a superset of the real
     edges — so its states are sound; {!refine} then narrows the CFG
     with the enumerated targets. *)
@@ -27,6 +31,12 @@ val solve : ?stats:Finding.stats -> Cfg.t -> t
 
 val value_at : t -> addr:int -> reg:int -> value
 (** In-state value of [reg] at [addr]; [Top] when unreachable. *)
+
+val out_value_at :
+  t -> code:Hft_machine.Isa.instr array -> addr:int -> reg:int -> value
+(** Out-state value of [reg] {e after} the instruction at [addr] (the
+    in-state pushed through one transfer) — how loop-bound inference
+    reads an induction variable's entry value off a preheader edge. *)
 
 val addr_range : value -> int -> (int * int) option
 (** [addr_range v off]: unsigned range of [v + off] when provably

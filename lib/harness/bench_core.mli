@@ -66,6 +66,24 @@ type t = {
       (** the interpreter and the threaded backend landed in the
           identical architectural state after a fixed fuel-sliced run;
           a [false] here invalidates the speedup and fails CI *)
+  loop_bound_coverage : float;
+      (** fraction of the loop workload's natural loops with a
+          certified trip bound (one of its two loops, by design) *)
+  hoisted_loops : int;
+      (** loop blocks the translator compiled as batched unrolls *)
+  loop_interp_per_sec : float;
+  loop_threaded_per_sec : float;
+      (** loop-workload rate with translation armed but loop hoisting
+          off — the prior translator on this shape *)
+  loop_hoisted_per_sec : float;
+      (** same with the loop-bound certificates spent: one budget
+          prologue per batch instead of per iteration *)
+  loop_hoist_speedup : float;
+      (** [loop_hoisted_per_sec / loop_threaded_per_sec]; CI gates
+          this >= 1.15 *)
+  loop_digest_match : bool;
+      (** interpreter vs hoisted backend after a fixed fuel-sliced
+          run; [false] invalidates the hoist speedup and fails CI *)
 }
 
 val epoch_lengths : int list

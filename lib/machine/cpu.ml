@@ -45,6 +45,9 @@ type validator = {
   v_region : int array;   (* certified superblock id, -1 outside *)
   v_rhead : int array;    (* region id -> head address *)
   v_rbound : int array;   (* region id -> instruction bound, max_int if none *)
+  v_loop_of : int array;  (* innermost bounded-loop id, -1 outside *)
+  v_lhead : int array;    (* loop id -> header leader address *)
+  v_lbound : int array;   (* loop id -> certified max header visits *)
   v_random_tlb : bool;
   (* per-block hoisting of the pre-dispatch checks: [v_run_end.(a)] is
      the exclusive end of a's basic block (a+1 when block structure is
@@ -60,6 +63,8 @@ type validator = {
   mutable v_written : int;      (* registers written since boot/trap/restore *)
   mutable v_cur_region : int;
   mutable v_rcount : int;
+  mutable v_cur_loop : int;     (* loop the pc has stayed inside, -1 none *)
+  mutable v_lcount : int;       (* header visits since entering it *)
   mutable v_covered : int;      (* completed instrs inside certified regions *)
   mutable v_checked : int;      (* completed instrs while validating *)
 }
@@ -98,14 +103,24 @@ let create ?(config = default_config) ~code () =
     trans = None;
   }
 
-let install_validator ?blk_end t ~priv_ok ~det ~uses ~def ~region ~rhead
-    ~rbound ~random_tlb =
+let install_validator ?blk_end ?loop_of ?(lhead = [||]) ?(lbound = [||]) t
+    ~priv_ok ~det ~uses ~def ~region ~rhead ~rbound ~random_tlb =
   let n = Array.length t.code in
   if
     Array.length priv_ok <> n || Array.length det <> n
     || Array.length uses <> n || Array.length def <> n
     || Array.length region <> n
   then invalid_arg "Cpu.install_validator: table length mismatch";
+  let loop_of =
+    match loop_of with
+    | Some l ->
+      if Array.length l <> n then
+        invalid_arg "Cpu.install_validator: loop_of length mismatch";
+      l
+    | None -> Array.make (max n 1) (-1)
+  in
+  if Array.length lhead <> Array.length lbound then
+    invalid_arg "Cpu.install_validator: loop table length mismatch";
   let run_end =
     match blk_end with
     | Some e ->
@@ -149,6 +164,9 @@ let install_validator ?blk_end t ~priv_ok ~det ~uses ~def ~region ~rhead
         v_region = region;
         v_rhead = rhead;
         v_rbound = rbound;
+        v_loop_of = loop_of;
+        v_lhead = lhead;
+        v_lbound = lbound;
         v_random_tlb = random_tlb;
         v_run_end = run_end;
         v_run_ubd = run_ubd;
@@ -158,6 +176,8 @@ let install_validator ?blk_end t ~priv_ok ~det ~uses ~def ~region ~rhead
         v_written = 1;
         v_cur_region = -1;
         v_rcount = 0;
+        v_cur_loop = -1;
+        v_lcount = 0;
         v_covered = 0;
         v_checked = 0;
       }
@@ -179,7 +199,8 @@ let validator_amnesty t =
   | None -> ()
   | Some v ->
     v.v_written <- -1;
-    v.v_cur_region <- -1
+    v.v_cur_region <- -1;
+    v.v_cur_loop <- -1
 
 let install_translation t plan =
   t.trans <-
@@ -407,6 +428,29 @@ let[@inline never] validate_post v pc =
               "Epoch_bounded certificate exceeded: %d instructions inside a \
                superblock bounded at %d"
               v.v_rcount v.v_rbound.(r)))
+  end;
+  (* loop-bound certificates: count header visits for as long as the
+     pc stays inside one bounded loop.  Leaving the loop (or moving to
+     a different innermost loop) resets the count, so re-entries and
+     outer-loop iterations each get a fresh allowance — undercounting
+     like the region check, never overcounting. *)
+  let l = v.v_loop_of.(pc) in
+  if l < 0 then v.v_cur_loop <- -1
+  else begin
+    if l <> v.v_cur_loop then begin
+      v.v_cur_loop <- l;
+      v.v_lcount <- 0
+    end;
+    if pc = v.v_lhead.(l) then begin
+      v.v_lcount <- v.v_lcount + 1;
+      if v.v_lcount > v.v_lbound.(l) then
+        raise
+          (cert_viol pc
+             (Printf.sprintf
+                "loop-bound certificate exceeded: %d iterations of a loop \
+                 bounded at %d"
+                v.v_lcount v.v_lbound.(l)))
+    end
   end
 
 (* The hot loop avoids per-instruction work that only rarely matters:
@@ -510,6 +554,7 @@ let run t ~fuel =
         v.v_covered <- v.v_covered + d;
         v.v_written <- v.v_written lor e.Translate.e_def;
         v.v_cur_region <- -1;
+        v.v_cur_loop <- -1;
         v.v_skip_from <- 0;
         v.v_skip_until <- 0);
       (* the recovery check precedes any pending memory stop, exactly

@@ -103,6 +103,9 @@ val run : t -> fuel:int -> run_result
 
 val install_validator :
   ?blk_end:int array ->
+  ?loop_of:int array ->
+  ?lhead:int array ->
+  ?lbound:int array ->
   t ->
   priv_ok:int array ->
   det:bool array ->
@@ -133,7 +136,16 @@ val install_validator :
     into one per-block check that certifies a skip window over the
     block's straight-line run (see the manifest's ~29% validator
     overhead in BENCH_core.json).  Without it every window is a
-    singleton and checking is exactly per-instruction. *)
+    singleton and checking is exactly per-instruction.
+
+    [loop_of]/[lhead]/[lbound] arm the loop-bound certificates:
+    [loop_of] maps each address to its innermost {e bounded} loop (or
+    [-1]), [lhead] that loop's header address and [lbound] its
+    certified worst-case header visits per entry.  The validator
+    counts header visits while the pc stays inside one loop's
+    addresses — any excursion resets the count, so the dynamic check
+    undercounts and never falsely trips — and stops with
+    {!stop.Cert_violation} when a count exceeds its bound. *)
 
 val clear_validator : t -> unit
 val validator_active : t -> bool
