@@ -169,11 +169,39 @@ let trace_out_arg =
 
 (* Shared post-run artifact emission: Chrome trace, metrics JSON,
    span-quantile table, and — whenever a crash was recorded — the
-   failover post-mortem timeline. *)
+   failover post-mortem timeline.  [registry] is the windowed
+   aggregation registry tapped into the recorder at creation: its
+   counters and windows go into the hftsim-metrics/2 artifact and,
+   under [--metrics], a windowed-summary table — aggregates survive
+   ring wraparound because the tap saw every event. *)
+let window_rows registry =
+  List.filter_map
+    (fun (w : Obs.Metrics.window) ->
+      if w.Obs.Metrics.w_len_ns = 0 then None
+      else
+        Some
+          [
+            Printf.sprintf "%.1f" (float w.Obs.Metrics.w_t0_ns /. 1e6);
+            Printf.sprintf "%.1f" (float w.Obs.Metrics.w_len_ns /. 1e6);
+            string_of_int w.Obs.Metrics.w_epochs;
+            Printf.sprintf "%.1f" (Obs.Hist.p50_us w.Obs.Metrics.w_epoch);
+            Printf.sprintf "%.1f" (Obs.Hist.p99_us w.Obs.Metrics.w_epoch);
+            string_of_int (Obs.Hist.count w.Obs.Metrics.w_ack);
+            Printf.sprintf "%.1f" (Obs.Hist.p99_us w.Obs.Metrics.w_ack);
+            Printf.sprintf "%.4f" (Obs.Metrics.availability w);
+          ])
+    (Obs.Metrics.windows registry)
+
 let emit_artifacts ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
-    obs =
+    ?registry obs =
   if Obs.Recorder.enabled obs then begin
     let entries = Obs.Recorder.entries obs in
+    let dropped = Obs.Recorder.dropped obs in
+    if dropped > 0 then
+      Format.printf
+        "warning: ring wraparound discarded %d oldest event(s); spans and \
+         timelines below are incomplete (windowed aggregates are not)@."
+        dropped;
     (match trace_out with
     | Some path ->
       write_file path (Obs.Export.chrome entries);
@@ -184,10 +212,25 @@ let emit_artifacts ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
     in
     (match metrics_out with
     | Some path ->
-      write_file path (Obs.Export.metrics_json (Lazy.force hists));
-      Format.printf "metrics written: %s@." path
+      write_file path
+        (Obs.Export.metrics_json ?registry ~dropped (Lazy.force hists));
+      Format.printf "metrics written: %s (%s)@." path Obs.Export.metrics_schema
     | None -> ());
-    if metrics then Hft_harness.Report.span_metrics (Lazy.force hists);
+    if metrics then begin
+      Hft_harness.Report.span_metrics (Lazy.force hists);
+      match registry with
+      | Some reg ->
+        let rows = window_rows reg in
+        if rows <> [] then
+          Hft_harness.Report.table ~title:"windowed metrics"
+            ~header:
+              [
+                "t0_ms"; "len_ms"; "epochs"; "ep_p50us"; "ep_p99us";
+                "acks"; "ack_p99us"; "avail";
+              ]
+            rows
+      | None -> ()
+    end;
     Hft_harness.Report.failover_postmortem entries;
     Hft_harness.Report.recovery_postmortem entries
   end
@@ -258,8 +301,9 @@ let run_cmd =
       & opt (some string) None
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:
-            "Write the span histograms as machine-readable JSON (schema \
-             hftsim-metrics/1) to FILE.")
+            "Write the aggregated metrics as machine-readable JSON (schema \
+             hftsim-metrics/2: span histograms plus labeled counters and \
+             rolling windowed aggregates) to FILE.")
   in
   let hv_fault_specs =
     Arg.(
@@ -297,11 +341,12 @@ let run_cmd =
         Format.printf "console        : %S@." o.Bare.console
     end
     else begin
+      let registry = Obs.Metrics.create () in
       let obs =
         if
           trace_out <> None || metrics || metrics_out <> None
           || crash_ms <> None || hv_fault_list <> []
-        then Obs.Recorder.create ()
+        then Obs.Recorder.create ~tap:(Obs.Metrics.tap registry) ()
         else Obs.Recorder.null
       in
       let sys = System.create ~params ~obs ~workload () in
@@ -319,7 +364,7 @@ let run_cmd =
       | None -> ());
       Format.printf "replicated system (%a)@." Params.pp params;
       print_outcome (System.run sys);
-      emit_artifacts ~trace_out ~metrics ~metrics_out obs
+      emit_artifacts ~trace_out ~metrics ~metrics_out ~registry obs
     end
   in
   let term =
@@ -482,6 +527,11 @@ let trace_cmd =
       match Obs.Export.validate contents with
       | Ok s ->
         Format.printf "%s: %a@." path Obs.Export.pp_summary s;
+        if s.Obs.Export.drops > 0 then
+          Format.printf
+            "warning: %d event(s) were discarded by ring wraparound before \
+             export — the timeline is truncated at its oldest end@."
+            s.Obs.Export.drops;
         `Ok ()
       | Error m -> `Error (false, Printf.sprintf "%s: %s" path m))
     | None ->
@@ -519,9 +569,12 @@ let trace_cmd =
           Format.printf "trace written  : %s (chrome trace-event JSON)@." path
       | None -> ());
       (match jsonl with
-      | Some "-" -> print_string (Obs.Export.jsonl entries)
+      | Some "-" ->
+        print_string
+          (Obs.Export.jsonl ~dropped:(Obs.Recorder.dropped obs) entries)
       | Some path ->
-        write_file path (Obs.Export.jsonl entries);
+        write_file path
+          (Obs.Export.jsonl ~dropped:(Obs.Recorder.dropped obs) entries);
         if not quiet then
           Format.printf "trace written  : %s (%s JSONL)@." path
             Obs.Export.schema
@@ -988,6 +1041,72 @@ let selftest_cmd =
          "Run the conformance matrix: every workload replicated with           lockstep checking, protocol/mechanism variants, failover and           reintegration.")
     Term.(ret (const action $ const ()))
 
+(* ---------- profiling drivers (shared by profile and lint) ---------- *)
+
+(* Wrap a loaded image file in a workload record so the bare executor
+   can drive it.  No configuration words: an image carries none. *)
+let workload_of_program ~name program =
+  {
+    Hft_guest.Workload.name;
+    description = "image under profile";
+    program;
+    config = [];
+    instructions_per_iteration = 70;
+  }
+
+(* The manifest the hypervisor arms for this parameter set — computed
+   with the same analysis knobs as [Hypervisor.arm_manifest_validator],
+   so the positional WCET-slack join ({!Hft_analysis.Slack.of_cpu})
+   lines up with the validator's arming order. *)
+let armed_manifest ~params (workload : Hft_guest.Workload.t) =
+  let program = workload.Hft_guest.Workload.program in
+  Hft_analysis.Manifest.of_code_cached
+    ~rewritten:(params.Params.epoch_mechanism = Params.Code_rewriting)
+    ~random_tlb:
+      (match params.Params.cpu_config.Hft_machine.Cpu.tlb_policy with
+      | Hft_machine.Tlb.Random _ -> true
+      | Hft_machine.Tlb.Round_robin -> false)
+    ~mmio_base:params.Params.cpu_config.Hft_machine.Cpu.mmio_base
+    ~code_refs:program.Hft_machine.Asm.code_refs program.Hft_machine.Asm.code
+
+(* Run a workload to completion on the bare machine, optionally with
+   the retirement profiler armed.  Returns the CPU (for its profile
+   and observed-bounds arrays) and whether the guest halted within the
+   fuel limit; a partial run still yields usable counters. *)
+let driven_bare ?(profile = false) ~params ~limit workload =
+  let b = Bare.create ~params ~workload () in
+  if profile then Hft_machine.Cpu.install_profile (Bare.cpu b);
+  Bare.init_disk_blocks b;
+  let halted = try ignore (Bare.run ~limit b) ; true with Failure _ -> false in
+  (Bare.cpu b, halted)
+
+(* Fold the manifest's basic blocks into the machine-agnostic shape
+   {!Hft_obs.Profile.attribute} takes, with each certified region
+   rendered as a collapsed-stack frame named by its symbolized head. *)
+let profile_blocks m ~symbol =
+  let open Hft_analysis in
+  List.map
+    (fun (b : Manifest.block) ->
+      let region =
+        if b.Manifest.region < 0 then None
+        else
+          List.find_opt
+            (fun (s : Manifest.superblock) -> s.Manifest.sid = b.Manifest.region)
+            m.Manifest.superblocks
+          |> Option.map (fun (s : Manifest.superblock) ->
+                 Printf.sprintf "sb%d@%s" s.Manifest.sid (symbol s.Manifest.head))
+      in
+      {
+        Obs.Profile.b_leader = b.Manifest.leader;
+        b_len = b.Manifest.len;
+        b_region = region;
+      })
+    m.Manifest.blocks
+
+let symbolizer (workload : Hft_guest.Workload.t) =
+  Hft_analysis.Symtab.resolve
+    (Hft_analysis.Symtab.of_program workload.Hft_guest.Workload.program)
+
 (* ---------- lint ---------- *)
 
 let lint_cmd =
@@ -1090,7 +1209,7 @@ let lint_cmd =
              baseline: exit non-zero if any image in both sets lost \
              certified blocks, certified superblocks, or static coverage.")
   in
-  let lint_one ~quiet ~title ~rewritten ~rewrite_el ~data_init ?embedded
+  let lint_one ~quiet ~title ~rewritten ~rewrite_el ~data_init ?embedded ?drive
       program =
     let program, rewritten =
       match rewrite_el with
@@ -1112,7 +1231,7 @@ let lint_cmd =
               ~code:program.Hft_machine.Asm.code em)
         embedded
     in
-    (title, fs, manifest, embedded_status)
+    (title, fs, manifest, embedded_status, drive)
   in
   let lint_json runs =
     let b = Buffer.create 1024 in
@@ -1152,7 +1271,7 @@ let lint_cmd =
     in
     Buffer.add_string b "{\n  \"schema\": \"hftsim-lint/3\",\n  \"images\": [";
     List.iteri
-      (fun i (title, fs, manifest, _) ->
+      (fun i (title, fs, manifest, _, _) ->
         if i > 0 then Buffer.add_string b ",";
         Buffer.add_string b
           (Printf.sprintf "\n    {\"title\": \"%s\", \"findings\": [" (esc title));
@@ -1176,7 +1295,7 @@ let lint_cmd =
         Buffer.add_string b "}")
       runs;
     Buffer.add_string b "\n  ],\n";
-    let all = List.concat_map (fun (_, fs, _, _) -> fs) runs in
+    let all = List.concat_map (fun (_, fs, _, _, _) -> fs) runs in
     let errors = List.length (Hft_analysis.Finding.errors all) in
     let warnings = List.length (Hft_analysis.Finding.warnings all) in
     Buffer.add_string b
@@ -1210,7 +1329,7 @@ let lint_cmd =
     let rules =
       List.sort_uniq compare
         (List.concat_map
-           (fun (_, fs, _, _) ->
+           (fun (_, fs, _, _, _) ->
              List.map (fun f -> f.Hft_analysis.Finding.checker) fs)
            runs)
     in
@@ -1236,7 +1355,7 @@ let lint_cmd =
     Buffer.add_string b "\n       ]}},\n     \"results\": [";
     let first = ref true in
     List.iter
-      (fun (title, fs, _, _) ->
+      (fun (title, fs, _, _, _) ->
         List.iter
           (fun f ->
             if not !first then Buffer.add_string b ",";
@@ -1297,11 +1416,11 @@ let lint_cmd =
       List.concat_map
         (fun (title, old) ->
           match
-            List.find_opt (fun (t, _, _, _) -> t = title) runs
+            List.find_opt (fun (t, _, _, _, _) -> t = title) runs
           with
           | None ->
             [ Printf.sprintf "%s: present in baseline, not analyzed" title ]
-          | Some (_, _, m, _) ->
+          | Some (_, _, m, _, _) ->
             let check what o n =
               if n < o then
                 [ Printf.sprintf "%s: %s regressed %d -> %d" title what o n ]
@@ -1338,7 +1457,7 @@ let lint_cmd =
     Buffer.add_string b "{\n  \"schema\": \"hftsim-manifest-set/1\",\n";
     Buffer.add_string b "  \"images\": [";
     List.iteri
-      (fun i (title, _, m, _) ->
+      (fun i (title, _, m, _, _) ->
         if i > 0 then Buffer.add_string b ",";
         Buffer.add_string b
           (Printf.sprintf "\n    {\"title\": %S,\n     \"manifest\": %s}"
@@ -1364,7 +1483,7 @@ let lint_cmd =
               let el = Params.default.Params.epoch_length in
               let plain =
                 lint_one ~quiet ~title:(name ^ " (as assembled)")
-                  ~rewritten:false ~rewrite_el:None ~data_init
+                  ~rewritten:false ~rewrite_el:None ~data_init ~drive:w
                   w.Hft_guest.Workload.program
               in
               let rewritten =
@@ -1383,19 +1502,26 @@ let lint_cmd =
           in
           [
             lint_one ~quiet ~title:path ~rewritten ~rewrite_el ~data_init:[]
-              ?embedded program;
+              ?embedded
+              ?drive:
+                (if rewritten || rewrite_el <> None then None
+                 else Some (workload_of_program ~name:path program))
+              program;
           ]
         | None ->
           [
             lint_one ~quiet ~title:workload.Hft_guest.Workload.name ~rewritten
               ~rewrite_el
               ~data_init:(List.map fst workload.Hft_guest.Workload.config)
+              ?drive:
+                (if rewritten || rewrite_el <> None then None
+                 else Some workload)
               workload.Hft_guest.Workload.program;
           ]
     in
     if manifest && not quiet then
       List.iter
-        (fun (title, _, m, embedded) ->
+        (fun (title, _, m, embedded, drive) ->
           Format.printf "%s: %a@." title Hft_analysis.Manifest.pp_summary m;
           (* unbounded loops: print the header-to-latch witness path so
              the reader can retrace why inference gave up *)
@@ -1409,11 +1535,25 @@ let lint_cmd =
                      (List.map string_of_int
                         l.Hft_analysis.Manifest.l_witness)))
             m.Hft_analysis.Manifest.loops;
-          match embedded with
+          (match embedded with
           | None -> ()
           | Some (Ok ()) -> Format.printf "%s: embedded manifest valid@." title
           | Some (Error e) ->
-            Format.printf "%s: embedded manifest STALE: %s@." title e)
+            Format.printf "%s: embedded manifest STALE: %s@." title e);
+          (* WCET-vs-actual: drive the image briefly on the bare
+             machine with the certificate validator armed and join the
+             observed maxima back against the certified bounds *)
+          match drive with
+          | None -> ()
+          | Some w -> (
+            let params = Params.default in
+            let cpu, _halted = driven_bare ~params ~limit:10_000_000 w in
+            match
+              Hft_analysis.Slack.of_cpu (armed_manifest ~params w)
+                ~symbol:(symbolizer w) cpu
+            with
+            | Some slack -> Hft_harness.Report.wcet_slack slack
+            | None -> ()))
         runs;
     (match sarif with
     | Some "-" -> print_string (sarif_json runs)
@@ -1436,7 +1576,7 @@ let lint_cmd =
     | Some path ->
       let doc =
         match runs with
-        | [ (_, _, m, _) ] -> Hft_analysis.Manifest.to_json m ^ "\n"
+        | [ (_, _, m, _, _) ] -> Hft_analysis.Manifest.to_json m ^ "\n"
         | _ -> manifest_set_json runs
       in
       if path = "-" then print_string doc
@@ -1453,10 +1593,10 @@ let lint_cmd =
     in
     if (not quiet) && regressions <> [] then
       List.iter (fun r -> Format.eprintf "regression: %s@." r) regressions;
-    let findings = List.concat_map (fun (_, fs, _, _) -> fs) runs in
+    let findings = List.concat_map (fun (_, fs, _, _, _) -> fs) runs in
     let stale =
       List.filter_map
-        (fun (title, _, _, e) ->
+        (fun (title, _, _, e, _) ->
           match e with Some (Error _) -> Some title | _ -> None)
         runs
     in
@@ -1885,8 +2025,19 @@ let bench_cmd =
              backend on the loop workload by at least this factor (CI \
              gates 1.15x).")
   in
+  let max_metrics_overhead =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-metrics-overhead" ] ~docv:"R"
+          ~doc:
+            "Fail (exit non-zero) if driving epoch boundaries through the \
+             windowed metrics registry costs more than R times the plain \
+             epoch rate (CI gates 1.05x — aggregation-first metrics must \
+             stay under 5%%).")
+  in
   let action json_path quick min_speedup max_overhead min_threaded
-      min_loop_hoist =
+      min_loop_hoist max_metrics_overhead =
     let b = Hft_harness.Bench_core.run ~quick () in
     Hft_harness.Bench_core.report b;
     (match json_path with
@@ -1909,24 +2060,37 @@ let bench_cmd =
         "hoisted-loop and interpreter state digests diverged on the loop \
          workload — the batched budget accounting is wrong and the hoist \
          speedup is invalid"
+    else if not b.Hft_harness.Bench_core.profile_totals_match then
+      fail
+        "interpreter and threaded per-block retirement counts diverged — \
+         the profiler's exactness contract is broken and every hftsim \
+         profile attribution is suspect"
     else
-      match (min_speedup, max_overhead, min_threaded, min_loop_hoist) with
-      | Some r, _, _, _ when p.Hft_harness.Bench_core.speedup < r ->
+      match
+        (min_speedup, max_overhead, min_threaded, min_loop_hoist,
+         max_metrics_overhead)
+      with
+      | Some r, _, _, _, _ when p.Hft_harness.Bench_core.speedup < r ->
         fail
           "incremental hashing speedup %.2fx at EL=1024 is below the %.2fx \
            guard"
           p.Hft_harness.Bench_core.speedup r
-      | _, Some r, _, _ when p.Hft_harness.Bench_core.hash_overhead > r ->
+      | _, Some r, _, _, _ when p.Hft_harness.Bench_core.hash_overhead > r ->
         fail
           "lockstep hashing overhead %.2fx at EL=1024 exceeds the %.2fx guard"
           p.Hft_harness.Bench_core.hash_overhead r
-      | _, _, Some r, _ when b.Hft_harness.Bench_core.threaded_speedup < r ->
+      | _, _, Some r, _, _ when b.Hft_harness.Bench_core.threaded_speedup < r
+        ->
         fail "threaded speedup %.2fx is below the %.2fx guard"
           b.Hft_harness.Bench_core.threaded_speedup r
-      | _, _, _, Some r when b.Hft_harness.Bench_core.loop_hoist_speedup < r
+      | _, _, _, Some r, _ when b.Hft_harness.Bench_core.loop_hoist_speedup < r
         ->
         fail "loop-hoist speedup %.2fx is below the %.2fx guard"
           b.Hft_harness.Bench_core.loop_hoist_speedup r
+      | _, _, _, _, Some r when b.Hft_harness.Bench_core.metrics_overhead > r
+        ->
+        fail "windowed-metrics overhead %.2fx exceeds the %.2fx guard"
+          b.Hft_harness.Bench_core.metrics_overhead r
       | _ -> Ok ()
   in
   Cmd.v
@@ -1940,7 +2104,7 @@ let bench_cmd =
     Term.(
       term_result'
         (const action $ json_path $ quick $ min_speedup $ max_overhead
-       $ min_threaded $ min_loop_hoist))
+       $ min_threaded $ min_loop_hoist $ max_metrics_overhead))
 
 (* ---------- disasm ---------- *)
 
@@ -2028,6 +2192,134 @@ let disasm_cmd =
       const action $ workload_arg $ rewrite_el $ translated_flag $ save_path
       $ embed_manifest)
 
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let image_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "image" ] ~docv:"FILE"
+          ~doc:"Profile a saved image file instead of a built-in workload.")
+  in
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"PATH"
+          ~doc:
+            "Write the collapsed-stack flamegraph text (one \
+             $(i,region;symbol count) line per block, the input format \
+             of flamegraph.pl, inferno and speedscope) to PATH; $(b,-) \
+             writes it to stdout.")
+  in
+  let min_coverage_arg =
+    Arg.(
+      value & opt float 0.95
+      & info [ "min-coverage" ] ~docv:"FRACTION"
+          ~doc:
+            "Exit non-zero unless at least this fraction of retired \
+             instructions is attributed to symbolized manifest blocks.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt int 50_000_000
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Instruction fuel per backend run.")
+  in
+  let action workload image flame min_coverage limit =
+    let workload =
+      match image with
+      | Some path ->
+        let program, _embedded = Hft_machine.Image.load_with_manifest ~path in
+        workload_of_program ~name:(Filename.basename path) program
+      | None -> workload
+    in
+    let run backend =
+      let params = Params.with_exec_backend Params.default backend in
+      driven_bare ~profile:true ~params ~limit workload
+    in
+    (* interpreter first (its validator records the observed WCET
+       maxima), then the direct-threaded backend over the identical
+       run — the per-block counts must agree exactly *)
+    let ci, halted_i = run Params.Interp in
+    let ct, halted_t = run Params.Threaded in
+    if not (halted_i && halted_t) then
+      Format.printf
+        "warning: guest did not halt within %d instructions; profiling the \
+         partial run (backend agreement not checked)@."
+        limit;
+    let params = Params.default in
+    let m = armed_manifest ~params workload in
+    let symbol = symbolizer workload in
+    let counts cpu =
+      match Hft_machine.Cpu.profile cpu with Some p -> p | None -> [||]
+    in
+    let report =
+      Obs.Profile.attribute ~blocks:(profile_blocks m ~symbol) ~symbol
+        (counts ci)
+    in
+    (* the two backends disagree per address (the threaded backend
+       credits whole blocks at their leaders) but must agree exactly
+       per block and in total *)
+    let block_sums cpu =
+      let p = counts cpu in
+      List.map
+        (fun (b : Hft_analysis.Manifest.block) ->
+          let s = ref 0 in
+          for a = b.Hft_analysis.Manifest.leader
+              to b.Hft_analysis.Manifest.leader + b.Hft_analysis.Manifest.len - 1
+          do
+            if a < Array.length p then s := !s + p.(a)
+          done;
+          !s)
+        m.Hft_analysis.Manifest.blocks
+    in
+    let ti = Hft_machine.Cpu.profile_total ci in
+    let tt = Hft_machine.Cpu.profile_total ct in
+    let agree = ti = tt && block_sums ci = block_sums ct in
+    Hft_harness.Report.heat report;
+    Format.printf "backends       : interp retired %d, threaded retired %d -- %s@."
+      ti tt
+      (if agree then "identical per block (exactness contract holds)"
+       else "DIVERGED");
+    (match Hft_analysis.Slack.of_cpu m ~symbol ci with
+    | Some slack -> Hft_harness.Report.wcet_slack slack
+    | None -> ());
+    (match flame with
+    | None -> ()
+    | Some "-" -> print_string (Obs.Profile.flamegraph report)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Profile.flamegraph report);
+      close_out oc;
+      Format.printf "wrote %s@." path);
+    if halted_i && halted_t && not agree then
+      `Error (false, "the two backends disagree on retirement counts")
+    else if Obs.Profile.coverage report < min_coverage then
+      `Error
+        ( false,
+          Printf.sprintf "attribution coverage %.1f%% below the %.1f%% floor"
+            (100.0 *. Obs.Profile.coverage report)
+            (100.0 *. min_coverage) )
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload (or a saved image) under both CPU backends with the \
+          exact per-block retirement profiler armed, print the symbolized \
+          hot-spot heat table and the WCET-slack report (certified bound vs \
+          observed maximum per certified superblock and bounded loop), and \
+          optionally write collapsed-stack flamegraph text.  Exits non-zero \
+          if the backends disagree on per-block retirement counts or \
+          attribution coverage falls below $(b,--min-coverage).")
+    Term.(
+      ret
+        (const action $ workload_arg $ image_arg $ flame_arg $ min_coverage_arg
+       $ limit_arg))
+
 let () =
   let doc =
     "hypervisor-based fault-tolerance: primary/backup virtual-machine \
@@ -2046,6 +2338,7 @@ let () =
             lint_cmd;
             check_cmd;
             disasm_cmd;
+            profile_cmd;
             bench_cmd;
             selftest_cmd;
           ]))

@@ -1,0 +1,137 @@
+(* WCET-vs-actual attribution: join the observed per-entry maxima the
+   runtime validator records (Cpu.observed_bounds) against the static
+   certificates the manifest carries, producing per-superblock and
+   per-loop slack — how much of each certified bound a run actually
+   consumed.  The join key is positional: [Manifest.install] arms the
+   validator with certified superblocks in manifest list order and
+   bounded loops sorted by span ascending, and this module reproduces
+   exactly that ordering, so index k of the observed arrays is the
+   k-th element of the corresponding list here. *)
+
+type region_slack = {
+  rs_head : int;
+  rs_symbol : string;
+  rs_bound : int option;  (* certified worst-case instructions/entry *)
+  rs_observed : int;      (* largest per-entry count actually reached *)
+}
+
+type loop_slack = {
+  ls_header : int;
+  ls_symbol : string;
+  ls_bound : int;         (* certified worst-case header visits/entry *)
+  ls_observed : int;      (* largest visit count actually reached *)
+}
+
+type t = { regions : region_slack list; loops : loop_slack list }
+
+(* Mirrors Manifest.install's span sort for the bounded-loop order. *)
+let bounded_loops_in_validator_order (m : Manifest.t) =
+  let block_len = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Manifest.block) -> Hashtbl.replace block_len b.leader b.len)
+    m.blocks;
+  let span (l : Manifest.loop_info) =
+    List.fold_left
+      (fun acc ldr ->
+        acc + (match Hashtbl.find_opt block_len ldr with Some v -> v | None -> 0))
+      0 l.l_blocks
+  in
+  List.filter (fun (l : Manifest.loop_info) -> l.l_bound <> None) m.loops
+  |> List.sort (fun a b -> compare (span a) (span b))
+
+let join (m : Manifest.t) ~symbol ~rmax ~lmax =
+  let regions =
+    List.filter (fun (s : Manifest.superblock) -> s.certified) m.superblocks
+    |> List.mapi (fun k (s : Manifest.superblock) ->
+           {
+             rs_head = s.head;
+             rs_symbol = symbol s.head;
+             rs_bound = s.bound;
+             rs_observed = (if k < Array.length rmax then rmax.(k) else 0);
+           })
+  in
+  let loops =
+    bounded_loops_in_validator_order m
+    |> List.mapi (fun k (l : Manifest.loop_info) ->
+           {
+             ls_header = l.l_header;
+             ls_symbol = symbol l.l_header;
+             ls_bound = (match l.l_bound with Some b -> b | None -> 0);
+             ls_observed = (if k < Array.length lmax then lmax.(k) else 0);
+           })
+  in
+  { regions; loops }
+
+let of_cpu m ~symbol cpu =
+  match Hft_machine.Cpu.observed_bounds cpu with
+  | None -> None
+  | Some (rmax, lmax) -> Some (join m ~symbol ~rmax ~lmax)
+
+let ratio ~bound ~observed =
+  if bound <= 0 then 0.0 else float observed /. float bound
+
+let region_ratio r =
+  match r.rs_bound with
+  | Some b -> Some (ratio ~bound:b ~observed:r.rs_observed)
+  | None -> None
+
+let loop_ratio l = ratio ~bound:l.ls_bound ~observed:l.ls_observed
+
+(* The dynamic counters undercount by design (any excursion resets
+   them), so observed > certified is only possible on a manifest that
+   does not match the code that ran. *)
+let violations t =
+  List.filter_map
+    (fun r ->
+      match r.rs_bound with
+      | Some b when r.rs_observed > b ->
+        Some
+          (Printf.sprintf
+             "superblock %s@%d: observed %d instructions/entry exceeds \
+              certified bound %d"
+             r.rs_symbol r.rs_head r.rs_observed b)
+      | _ -> None)
+    t.regions
+  @ List.filter_map
+      (fun l ->
+        if l.ls_observed > l.ls_bound then
+          Some
+            (Printf.sprintf
+               "loop %s@%d: observed %d header visits exceeds certified \
+                bound %d"
+               l.ls_symbol l.ls_header l.ls_observed l.ls_bound)
+        else None)
+      t.loops
+
+let pct v = Printf.sprintf "%5.1f%%" (v *. 100.0)
+
+(* Rows for Report.table: kind | where | certified | observed | slack |
+   used.  Never-entered regions show 0 observed and 0% used — still a
+   row, so the report covers every certified region. *)
+let table_rows t =
+  List.map
+    (fun r ->
+      [
+        "superblock";
+        Printf.sprintf "%s@%d" r.rs_symbol r.rs_head;
+        (match r.rs_bound with Some b -> string_of_int b | None -> "-");
+        string_of_int r.rs_observed;
+        (match r.rs_bound with
+        | Some b -> string_of_int (b - r.rs_observed)
+        | None -> "-");
+        (match region_ratio r with Some v -> pct v | None -> "-");
+      ])
+    t.regions
+  @ List.map
+      (fun l ->
+        [
+          "loop";
+          Printf.sprintf "%s@%d" l.ls_symbol l.ls_header;
+          string_of_int l.ls_bound;
+          string_of_int l.ls_observed;
+          string_of_int (l.ls_bound - l.ls_observed);
+          pct (loop_ratio l);
+        ])
+      t.loops
+
+let table_header = [ "kind"; "where"; "certified"; "observed"; "slack"; "used" ]

@@ -1,0 +1,62 @@
+(** WCET-vs-actual attribution.
+
+    The runtime validator records, per certified superblock and per
+    bounded loop, the largest per-entry count a run actually reached
+    ({!Hft_machine.Cpu.observed_bounds}).  This module joins those
+    observed maxima back to the static certificates in the manifest —
+    the join key is positional and reproduces {!Manifest.install}'s
+    arming order exactly (certified superblocks in manifest list
+    order; bounded loops sorted by span ascending) — yielding the
+    slack report: how much headroom each certified bound kept.
+
+    Because the dynamic counters undercount by design, [observed <=
+    certified] holds on any manifest that matches the code that ran;
+    {!violations} reports the breaches that would indicate a stale
+    manifest or analyzer bug. *)
+
+type region_slack = {
+  rs_head : int;
+  rs_symbol : string;
+  rs_bound : int option;
+      (** certified worst-case instructions per entry; [None] when the
+          superblock is certified but unbounded *)
+  rs_observed : int;
+      (** largest per-entry instruction count actually reached; 0 when
+          the region was never entered *)
+}
+
+type loop_slack = {
+  ls_header : int;
+  ls_symbol : string;
+  ls_bound : int;     (** certified worst-case header visits per entry *)
+  ls_observed : int;  (** largest visit count actually reached *)
+}
+
+type t = { regions : region_slack list; loops : loop_slack list }
+
+val join :
+  Manifest.t -> symbol:(int -> string) -> rmax:int array -> lmax:int array -> t
+(** [rmax]/[lmax] are the arrays {!Hft_machine.Cpu.observed_bounds}
+    returns; every certified superblock and bounded loop of the
+    manifest gets a row (missing indices observe 0). *)
+
+val of_cpu :
+  Manifest.t -> symbol:(int -> string) -> Hft_machine.Cpu.t -> t option
+(** {!join} against the CPU's live validator; [None] when no validator
+    is installed. *)
+
+val region_ratio : region_slack -> float option
+(** [observed / bound]; [None] for unbounded regions. *)
+
+val loop_ratio : loop_slack -> float
+
+val violations : t -> string list
+(** Human-readable description of every observed-exceeds-certified
+    breach (empty on a valid manifest). *)
+
+val table_header : string list
+
+val table_rows : t -> string list list
+(** Rows for {!Hft_harness.Report.table} under {!table_header}: one per
+    certified superblock and bounded loop, including never-entered
+    ones. *)

@@ -275,6 +275,7 @@ let create ~name ~role ~port ~engine ~params ~workload ~disk ~console ~clock
       ~code:workload.Hft_guest.Workload.program.Asm.code ()
   in
   arm_manifest_validator ~params ~workload ~deprivileged:true vm;
+  if params.Params.profile_guest then Cpu.install_profile vm;
   arm_translation ~params ~workload ~deprivileged:true vm;
   {
     name_ = name;

@@ -41,6 +41,7 @@ type t = {
   hash_scheme : hash_scheme;
   validate_manifest : bool;
   exec_backend : exec_backend;
+  profile_guest : bool;
 }
 
 let default =
@@ -75,6 +76,7 @@ let default =
     hash_scheme = Incremental;
     validate_manifest = true;
     exec_backend = Interp;
+    profile_guest = false;
   }
 
 let hsim t = Time.add t.hv_entry_exit t.hv_work
@@ -90,6 +92,7 @@ let with_ack_wait t ack_wait = { t with ack_wait }
 let with_hash_scheme t hash_scheme = { t with hash_scheme }
 let with_validate_manifest t validate_manifest = { t with validate_manifest }
 let with_exec_backend t exec_backend = { t with exec_backend }
+let with_profile_guest t profile_guest = { t with profile_guest }
 
 let backend_name = function
   | Interp -> "interp"

@@ -47,6 +47,15 @@ type t = {
   loop_hoisted_per_sec : float;   (* translation armed, hoisting on *)
   loop_hoist_speedup : float;  (* hoisted rate over non-hoisted threaded *)
   loop_digest_match : bool;  (* interp vs hoisted after a fixed run *)
+  metrics_epochs_per_sec : float;  (* epoch driving, registry tap armed *)
+  metrics_overhead : float;  (* no-metrics epoch rate / metrics rate *)
+  profiled_instrs_per_sec : float;  (* interpreter, retirement counters on *)
+  profiler_overhead : float;  (* interp rate / profiled interp rate *)
+  threaded_profiled_instrs_per_sec : float;
+  profiler_threaded_overhead : float;  (* threaded rate / profiled threaded *)
+  profile_totals_match : bool;
+      (* interp and threaded per-address retirement arrays identical
+         after the same fixed fuel-sliced run *)
 }
 
 (* A store-heavy loop whose write set stays inside one page: the
@@ -330,6 +339,117 @@ let bench_loop_hoisting ~budget =
     hoisted_rate /. plain_rate,
     digest_match )
 
+(* The observability phase prices the PR's two collectors.
+
+   Aggregated-metrics mode is an epoch-rate measurement: the real
+   deployment emits a handful of protocol events per epoch into a
+   recorder whose tap feeds the windowed registry, so the honest
+   denominator is epochs driven per second, not raw instructions —
+   per-instruction work is untouched by design.  Profiling overhead
+   *is* per-instruction (one array bump in the interpreter, one
+   credit per block entry threaded), so those are instruction rates
+   against the matching unprofiled backend. *)
+let bench_metrics ~budget ~el =
+  let plain = bench_epochs ~budget ~el No_hash in
+  let metrics_rate =
+    let cpu = fresh_cpu () in
+    Cpu.set_recovery cpu el;
+    let registry = Hft_obs.Metrics.create () in
+    let rec_ =
+      Hft_obs.Recorder.create ~capacity:256
+        ~tap:(Hft_obs.Metrics.tap registry) ()
+    in
+    let epoch = ref 0 in
+    let epoch_ns = el * 20 in
+    rate ~budget (fun () ->
+        let time = Hft_sim.Time.of_ns (!epoch * epoch_ns) in
+        Hft_obs.Recorder.emit rec_ ~time ~source:"primary"
+          (Hft_obs.Event.Epoch_begin { epoch = !epoch });
+        let r = Cpu.run cpu ~fuel:(el + 8) in
+        (match r.Cpu.stop with
+        | Cpu.Recovery -> ()
+        | s -> Fmt.failwith "bench: unexpected stop %a" Cpu.pp_stop s);
+        let time = Hft_sim.Time.of_ns (((!epoch + 1) * epoch_ns) - 1) in
+        Hft_obs.Recorder.emit rec_ ~time ~source:"primary"
+          (Hft_obs.Event.Epoch_end { epoch = !epoch; interrupts = 0 });
+        incr epoch;
+        Cpu.set_recovery cpu el;
+        1)
+  in
+  (metrics_rate, plain /. metrics_rate)
+
+let bench_profiler ~budget ~interp_rate ~threaded_rate m =
+  let fuel = 100_000 in
+  let measure cpu =
+    rate ~budget (fun () ->
+        let r = Cpu.run cpu ~fuel in
+        (match r.Cpu.stop with
+        | Cpu.Fuel -> ()
+        | s -> Fmt.failwith "bench: unexpected stop %a" Cpu.pp_stop s);
+        r.Cpu.executed)
+  in
+  let profiled_rate =
+    let cpu = fresh_cpu () in
+    Cpu.install_profile cpu;
+    measure cpu
+  in
+  let threaded_profiled_rate =
+    let cpu = fresh_cpu () in
+    Cpu.install_profile cpu;
+    (match Hft_analysis.Manifest.install_translation m ~deprivileged:false cpu with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "bench: translation refused: %s" e);
+    measure cpu
+  in
+  (* the exactness contract: identical totals and identical per-block
+     retirement counts from both backends over the same fixed
+     fuel-sliced run.  (Per block, not per address: the interpreter
+     counts each completed instruction at its own address while the
+     threaded backend credits whole blocks at the leader — the two
+     agree exactly at block granularity, which is what [hftsim
+     profile] attributes.) *)
+  let totals_match =
+    let ci = fresh_cpu () in
+    Cpu.install_profile ci;
+    let ct = fresh_cpu () in
+    Cpu.install_profile ct;
+    (match Hft_analysis.Manifest.install_translation m ~deprivileged:false ct with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "bench: translation refused: %s" e);
+    let rec drive cpu need =
+      if need > 0 then begin
+        let r = Cpu.run cpu ~fuel:need in
+        drive cpu (need - r.Cpu.executed)
+      end
+    in
+    let block_sums cpu =
+      let p = match Cpu.profile cpu with Some p -> p | None -> [||] in
+      List.map
+        (fun (b : Hft_analysis.Manifest.block) ->
+          let s = ref 0 in
+          for a = b.leader to min (b.leader + b.len - 1) (Array.length p - 1) do
+            s := !s + p.(a)
+          done;
+          (b.leader, !s))
+        m.Hft_analysis.Manifest.blocks
+    in
+    let ok = ref true in
+    for _ = 1 to 50 do
+      drive ci 9973;
+      drive ct 9973;
+      if
+        Cpu.profile_total ci <> Cpu.profile_total ct
+        || block_sums ci <> block_sums ct
+      then ok := false
+    done;
+    !ok && Cpu.profile_total ci > 0
+  in
+  ( profiled_rate,
+    interp_rate /. profiled_rate,
+    threaded_profiled_rate,
+    threaded_rate /. threaded_profiled_rate,
+    totals_match )
+
 let bench_snapshot () =
   let cpu = fresh_cpu () in
   ignore (Cpu.run cpu ~fuel:5_000);
@@ -387,6 +507,17 @@ let run ?(quick = false) () =
         loop_digest_match ) =
     bench_loop_hoisting ~budget
   in
+  let metrics_epochs_per_sec, metrics_overhead =
+    bench_metrics ~budget ~el:4096
+  in
+  let ( profiled_instrs_per_sec,
+        profiler_overhead,
+        threaded_profiled_instrs_per_sec,
+        profiler_threaded_overhead,
+        profile_totals_match ) =
+    bench_profiler ~budget ~interp_rate:instrs_per_sec
+      ~threaded_rate:threaded_instrs_per_sec manifest
+  in
   {
     quick;
     instrs_per_sec;
@@ -413,6 +544,13 @@ let run ?(quick = false) () =
     loop_hoisted_per_sec;
     loop_hoist_speedup;
     loop_digest_match;
+    metrics_epochs_per_sec;
+    metrics_overhead;
+    profiled_instrs_per_sec;
+    profiler_overhead;
+    threaded_profiled_instrs_per_sec;
+    profiler_threaded_overhead;
+    profile_totals_match;
   }
 
 let point t el = List.find_opt (fun p -> p.el = el) t.epoch_points
@@ -422,7 +560,7 @@ let to_json t =
   let b = Buffer.create 1024 in
   let f = Printf.bprintf in
   f b "{\n";
-  f b "  \"schema\": \"hftsim-bench-core/4\",\n";
+  f b "  \"schema\": \"hftsim-bench-core/5\",\n";
   f b "  \"quick\": %b,\n" t.quick;
   f b "  \"interpreter\": { \"instrs_per_sec\": %.4e },\n" t.instrs_per_sec;
   f b "  \"epoch_boundaries\": [\n";
@@ -470,6 +608,18 @@ let to_json t =
   f b "                      \"loop_hoist_speedup\": %.2f,\n"
     t.loop_hoist_speedup;
   f b "                      \"digest_match\": %b },\n" t.loop_digest_match;
+  f b "  \"observability\": { \"metrics_epochs_per_sec\": %.4e,\n"
+    t.metrics_epochs_per_sec;
+  f b "                      \"metrics_overhead\": %.4f,\n" t.metrics_overhead;
+  f b "                      \"profiled_instrs_per_sec\": %.4e,\n"
+    t.profiled_instrs_per_sec;
+  f b "                      \"profiler_overhead\": %.4f,\n" t.profiler_overhead;
+  f b "                      \"threaded_profiled_instrs_per_sec\": %.4e,\n"
+    t.threaded_profiled_instrs_per_sec;
+  f b "                      \"profiler_threaded_overhead\": %.4f,\n"
+    t.profiler_threaded_overhead;
+  f b "                      \"profile_totals_match\": %b },\n"
+    t.profile_totals_match;
   f b "  \"snapshot\": { \"first_bytes\": %d, \"delta_bytes\": %d }\n"
     t.snapshot_first_bytes t.snapshot_delta_bytes;
   f b "}\n";
@@ -525,4 +675,13 @@ let report ?out t =
     (t.loop_threaded_per_sec /. 1e6)
     (t.loop_hoisted_per_sec /. 1e6)
     t.loop_hoist_speedup
-    (if t.loop_digest_match then "match" else "DIVERGED")
+    (if t.loop_digest_match then "match" else "DIVERGED");
+  Format.fprintf out
+    "observability  : metrics %.0f epochs/sec (%.2fx overhead); profiler \
+     %.1f M interp (%.2fx), %.1f M threaded (%.2fx) instrs/sec, profiles %s@."
+    t.metrics_epochs_per_sec t.metrics_overhead
+    (t.profiled_instrs_per_sec /. 1e6)
+    t.profiler_overhead
+    (t.threaded_profiled_instrs_per_sec /. 1e6)
+    t.profiler_threaded_overhead
+    (if t.profile_totals_match then "match" else "DIVERGED")

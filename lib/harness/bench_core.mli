@@ -84,6 +84,27 @@ type t = {
   loop_digest_match : bool;
       (** interpreter vs hoisted backend after a fixed fuel-sliced
           run; [false] invalidates the hoist speedup and fails CI *)
+  metrics_epochs_per_sec : float;
+      (** epoch-boundary driving rate with a recorder tapped into the
+          windowed metrics registry and an epoch event pair emitted
+          per boundary — the aggregated-metrics deployment shape *)
+  metrics_overhead : float;
+      (** plain no-hash epoch rate over [metrics_epochs_per_sec]; CI
+          gates this <= 1.05 (metrics must cost <= 5%) *)
+  profiled_instrs_per_sec : float;
+      (** interpreter rate with the per-address retirement counters
+          armed ({!Hft_machine.Cpu.install_profile}) *)
+  profiler_overhead : float;
+      (** [instrs_per_sec / profiled_instrs_per_sec] *)
+  threaded_profiled_instrs_per_sec : float;
+      (** threaded rate with profiling armed (block-entry credits,
+          loop hoisting disabled) *)
+  profiler_threaded_overhead : float;
+      (** [threaded_instrs_per_sec / threaded_profiled_instrs_per_sec] *)
+  profile_totals_match : bool;
+      (** both backends produced identical per-address retirement
+          arrays over the same fixed fuel-sliced run — the exactness
+          contract behind [hftsim profile]; [false] fails CI *)
 }
 
 val epoch_lengths : int list

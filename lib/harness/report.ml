@@ -198,6 +198,23 @@ let translation ?(out = std) stats =
       (sum (fun s -> s.Hft_core.Stats.fallback_stop))
   end
 
+let heat ?(out = std) r =
+  table ~out ~title:"guest hot spots (exact retirement counts)"
+    ~header:[ "addr"; "symbol"; "region"; "len"; "retired"; "share"; "cum" ]
+    (Hft_obs.Profile.heat_table r);
+  Format.fprintf out
+    "%d of %d retired instructions attributed to blocks (%.1f%%)@."
+    r.Hft_obs.Profile.attributed r.Hft_obs.Profile.total
+    (100.0 *. Hft_obs.Profile.coverage r)
+
+let wcet_slack ?(out = std) slack =
+  let open Hft_analysis in
+  table ~out ~title:"WCET slack (certified bound vs observed max)"
+    ~header:Slack.table_header (Slack.table_rows slack);
+  List.iter
+    (fun v -> Format.fprintf out "VIOLATION: %s@." v)
+    (Slack.violations slack)
+
 let certification ?(out = std) stats =
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
   let covered = sum (fun s -> s.Hft_core.Stats.certified_instructions) in

@@ -58,6 +58,14 @@ type validator = {
   v_run_end : int array;
   v_run_ubd : int array;
   v_run_hazard : bool array;
+  (* observed maxima, the dynamic side of the WCET-slack join: highest
+     in-region instruction count per superblock and highest header
+     visit count per bounded loop actually seen.  Same undercounting
+     stance as the checks themselves — threaded excursions reset the
+     running counts, so the recorded maxima never exceed what the
+     interpreter demonstrably executed. *)
+  v_rmax : int array;
+  v_lmax : int array;
   mutable v_skip_from : int;    (* current validated window, [from, until) *)
   mutable v_skip_until : int;
   mutable v_written : int;      (* registers written since boot/trap/restore *)
@@ -84,6 +92,14 @@ type t = {
   mutable snap_bytes : int; (* cumulative bytes copied by snapshots *)
   mutable validator : validator option;
   mutable trans : Translate.t option;
+  mutable prof : int array option;
+      (* per-address retirement counters (hot-spot profiling): the
+         interpreter bumps the completed instruction's slot, the
+         threaded backend credits block entries and debits refunds so
+         both backends agree exactly *)
+  mutable plan : Translate.plan_region list option;
+      (* last installed translation plan, kept so toggling the
+         profiler can recompile the translation with matching hooks *)
 }
 
 let create ?(config = default_config) ~code () =
@@ -101,6 +117,8 @@ let create ?(config = default_config) ~code () =
     snap_bytes = 0;
     validator = None;
     trans = None;
+    prof = None;
+    plan = None;
   }
 
 let install_validator ?blk_end ?loop_of ?(lhead = [||]) ?(lbound = [||]) t
@@ -171,6 +189,8 @@ let install_validator ?blk_end ?loop_of ?(lhead = [||]) ?(lbound = [||]) t
         v_run_end = run_end;
         v_run_ubd = run_ubd;
         v_run_hazard = run_hazard;
+        v_rmax = Array.make (max (Array.length rhead) 1) 0;
+        v_lmax = Array.make (max (Array.length lhead) 1) 0;
         v_skip_from = 0;
         v_skip_until = 0;
         v_written = 1;
@@ -190,6 +210,16 @@ let validator_coverage t =
   | None -> None
   | Some v -> Some (v.v_covered, v.v_checked)
 
+let observed_bounds t =
+  match t.validator with
+  | None -> None
+  | Some v ->
+    let n_regions = Array.length v.v_rhead in
+    let n_loops = Array.length v.v_lhead in
+    Some
+      ( Array.sub v.v_rmax 0 n_regions,
+        Array.sub v.v_lmax 0 n_loops )
+
 (* The architectural events that legitimately reset the validator's
    path-sensitive state: trap delivery enters a root whose context the
    static analysis models as fully initialized, and a snapshot restore
@@ -203,14 +233,42 @@ let validator_amnesty t =
     v.v_cur_loop <- -1
 
 let install_translation t plan =
+  t.plan <- Some plan;
   t.trans <-
     Some
       (Translate.compile ~code:t.code ~regs:t.regs ~mem:t.memory
          ~tlb:t.tlb_state ~mmio_base:t.cfg.mmio_base
-         ~page_shift:t.cfg.page_shift plan)
+         ~page_shift:t.cfg.page_shift ?profile:t.prof plan)
 
-let clear_translation t = t.trans <- None
+let clear_translation t =
+  t.trans <- None;
+  t.plan <- None
+
 let translation t = t.trans
+
+(* Toggling the profiler recompiles any installed translation so the
+   closure chains carry (or drop) the retirement hooks: the check in
+   the block prologue is specialized away at compile time, keeping the
+   unprofiled hot path untouched. *)
+let install_profile t =
+  t.prof <- Some (Array.make (max (Array.length t.code) 1) 0);
+  match t.plan with
+  | Some plan when t.trans <> None -> install_translation t plan
+  | _ -> ()
+
+let clear_profile t =
+  t.prof <- None;
+  match t.plan with
+  | Some plan when t.trans <> None -> install_translation t plan
+  | _ -> ()
+
+let profile t = t.prof
+let profile_active t = t.prof <> None
+
+let profile_total t =
+  match t.prof with
+  | None -> 0
+  | Some p -> Array.fold_left ( + ) 0 p
 
 let config t = t.cfg
 let code t = t.code
@@ -421,6 +479,7 @@ let[@inline never] validate_post v pc =
     end;
     v.v_rcount <- v.v_rcount + 1;
     v.v_covered <- v.v_covered + 1;
+    if v.v_rcount > v.v_rmax.(r) then v.v_rmax.(r) <- v.v_rcount;
     if v.v_rcount > v.v_rbound.(r) then
       raise
         (cert_viol pc
@@ -443,6 +502,7 @@ let[@inline never] validate_post v pc =
     end;
     if pc = v.v_lhead.(l) then begin
       v.v_lcount <- v.v_lcount + 1;
+      if v.v_lcount > v.v_lmax.(l) then v.v_lmax.(l) <- v.v_lcount;
       if v.v_lcount > v.v_lbound.(l) then
         raise
           (cert_viol pc
@@ -479,6 +539,7 @@ let run t ~fuel =
   let expire_at = ref max_int in
   let vd = t.validator in
   let tr = t.trans in
+  let prof = t.prof in
   let refresh_status () =
     let s = crs.(status_index) in
     spriv := Isa.status_priv s;
@@ -666,6 +727,7 @@ let run t ~fuel =
             relinquishes the processor. *)
          t.pc_ <- pc + 1;
          incr executed;
+         (match prof with None -> () | Some p -> p.(pc) <- p.(pc) + 1);
          if !executed = !expire_at then stop_reason := Recovery
          else stop_reason := Stop_wfi;
          raise (Stop_exec !stop_reason)
@@ -698,6 +760,7 @@ let run t ~fuel =
        (* every arm that does not complete the instruction raises, so
           falling through here means one more completed instruction *)
        incr executed;
+       (match prof with None -> () | Some p -> p.(pc) <- p.(pc) + 1);
        (match vd with None -> () | Some v -> validate_post v pc);
        if !executed = !expire_at then begin
          stop_reason := Recovery;

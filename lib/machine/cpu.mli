@@ -161,6 +161,17 @@ val validator_coverage : t -> (int * int) option
     superblocks vs all instructions completed while validating, over
     the CPU's lifetime.  [None] when no validator is installed. *)
 
+val observed_bounds : t -> (int array * int array) option
+(** Per-certified-superblock and per-bounded-loop observed maxima, in
+    the same index order as [rhead]/[rbound] and [lhead]/[lbound] were
+    supplied to {!install_validator}: the largest per-entry instruction
+    count each superblock actually reached, and the largest header-visit
+    count each bounded loop actually reached.  Joined against the static
+    WCET certificates this yields the per-region slack report.  The
+    dynamic counters undercount by design (excursions reset them), so
+    observed [<=] certified always holds on a valid manifest.  [None]
+    when no validator is installed. *)
+
 val install_translation : t -> Translate.plan_region list -> unit
 (** Compile the plan's certified superblocks to direct-threaded
     closure chains ({!Translate.compile}) and arm {!run}'s dispatch
@@ -173,6 +184,29 @@ val install_translation : t -> Translate.plan_region list -> unit
 
 val clear_translation : t -> unit
 val translation : t -> Translate.t option
+
+val install_profile : t -> unit
+(** Arm exact guest hot-spot profiling: allocate a per-address
+    retirement counter array covering the code image and have both
+    backends maintain it — the interpreter bumps the completed
+    instruction's slot, translated blocks credit their length at the
+    leader and the cold exits debit refunds, so the two backends
+    produce identical totals on identical runs.  If a translation is
+    already installed it is recompiled from its stored plan (profiling
+    specialises block prologues and disables loop hoisting), so arming
+    order does not matter. *)
+
+val clear_profile : t -> unit
+(** Drop the counters (recompiling any installed translation without
+    the profiling prologues). *)
+
+val profile : t -> int array option
+(** The live counter array — retirement counts by code address. *)
+
+val profile_active : t -> bool
+
+val profile_total : t -> int
+(** Sum over the counter array; 0 when profiling is off. *)
 
 val deliver_trap : ?badvaddr:int -> t -> cause:int -> epc:int -> unit
 (** Hardware trap/interrupt delivery: saves [epc] and the status

@@ -44,6 +44,12 @@ type st = {
   mutable x_exit : int;
   mutable x_hoist_saved : int;
       (* per-block budget decrements avoided by loop hoisting *)
+  x_prof : int array;
+      (* per-address retirement counters, length 0 when profiling is
+         off.  Blocks credit their full length at the leader on entry;
+         the cold exit paths debit the refund, so the net charge is
+         exactly the completed instructions on every path. *)
+  mutable x_prof_leader : int;  (* leader currently holding the credit *)
 }
 
 type entry = {
@@ -92,12 +98,16 @@ let instr_name i = Format.asprintf "%a" Isa.pp i
    the dispatch loop derives it as entry budget minus [x_remaining]. *)
 let[@inline never] stop_at st refund at s =
   st.x_remaining <- st.x_remaining + refund;
+  if Array.length st.x_prof <> 0 then
+    st.x_prof.(st.x_prof_leader) <- st.x_prof.(st.x_prof_leader) - refund;
   st.x_pc <- at;
   st.x_stop <- Some s;
   st.x_exit <- exit_stop
 
 let[@inline never] bail_at st refund at =
   st.x_remaining <- st.x_remaining + refund;
+  if Array.length st.x_prof <> 0 then
+    st.x_prof.(st.x_prof_leader) <- st.x_prof.(st.x_prof_leader) - refund;
   st.x_pc <- at;
   st.x_exit <- exit_bail
 
@@ -630,16 +640,35 @@ let compile_block st code targets counter ~leader ~len =
   let defm = !defm in
   (* the block prologue is the only per-block overhead on the hot
      path: one budget compare and one decrement.  Written-register and
-     completed-count accounting live at the dispatch entry instead. *)
-  let blk () =
-    if st.x_remaining < len then begin
-      st.x_pc <- leader;
-      st.x_exit <- exit_budget
+     completed-count accounting live at the dispatch entry instead.
+     Under profiling a specialised prologue credits the whole block at
+     the leader (the cold exits debit refunds), keeping the hot path
+     free of the check when profiling is off. *)
+  let blk =
+    if Array.length st.x_prof <> 0 then begin
+      let p = st.x_prof in
+      fun () ->
+        if st.x_remaining < len then begin
+          st.x_pc <- leader;
+          st.x_exit <- exit_budget
+        end
+        else begin
+          st.x_remaining <- st.x_remaining - len;
+          p.(leader) <- p.(leader) + len;
+          st.x_prof_leader <- leader;
+          body ()
+        end
     end
-    else begin
-      st.x_remaining <- st.x_remaining - len;
-      body ()
-    end
+    else
+      fun () ->
+        if st.x_remaining < len then begin
+          st.x_pc <- leader;
+          st.x_exit <- exit_budget
+        end
+        else begin
+          st.x_remaining <- st.x_remaining - len;
+          body ()
+        end
   in
   let names =
     List.map (function Simple (_, n) | Mem (_, n) | Bail (_, n) -> n) ops
@@ -796,10 +825,16 @@ let compile_region st code counter (r : plan_region) =
         let blocks =
           List.map
             (fun b ->
+              (* hoisting batches k iterations under one prologue; its
+                 mid-batch refund paths would need per-copy leader
+                 bookkeeping to stay exact, so profiling simply
+                 disables it — exactness beats speed while measuring *)
               let hoist =
-                List.find_opt
-                  (fun pl -> pl.pl_leader = b.pb_leader)
-                  r.pr_loops
+                if Array.length st.x_prof <> 0 then None
+                else
+                  List.find_opt
+                    (fun pl -> pl.pl_leader = b.pb_leader)
+                    r.pr_loops
               in
               let blk, defm, l =
                 match
@@ -854,7 +889,7 @@ let compile_region st code counter (r : plan_region) =
             !hoisted )
       end
 
-let compile ~code ~regs ~mem ~tlb ~mmio_base ~page_shift plan =
+let compile ~code ~regs ~mem ~tlb ~mmio_base ~page_shift ?profile plan =
   let n = Array.length code in
   let st =
     {
@@ -870,6 +905,8 @@ let compile ~code ~regs ~mem ~tlb ~mmio_base ~page_shift plan =
       x_stop = None;
       x_exit = exit_budget;
       x_hoist_saved = 0;
+      x_prof = (match profile with Some p -> p | None -> [||]);
+      x_prof_leader = 0;
     }
   in
   let entries = Array.make (max n 1) None in

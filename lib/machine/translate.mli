@@ -95,6 +95,16 @@ type st = {
           credited at batch entry and debited on early loop exits, so
           the hot edge carries no accounting; a memory stop mid-batch
           can leave a small overcount (reporting only) *)
+  x_prof : int array;
+      (** per-address retirement counters when profiling, length 0
+          otherwise.  Block prologues credit the whole block at the
+          leader; the cold exit paths debit the refund, so the net
+          charge equals the completed instructions on every path and
+          agrees exactly with the interpreter's per-instruction
+          counts.  Loop hoisting is disabled while profiling to keep
+          the refunds per-block exact. *)
+  mutable x_prof_leader : int;
+      (** leader currently holding the profiling credit *)
 }
 
 (** A translated superblock entry point. *)
@@ -150,12 +160,18 @@ val compile :
   tlb:Tlb.t ->
   mmio_base:int ->
   page_shift:int ->
+  ?profile:int array ->
   plan_region list ->
   t
 (** Compile every region of the plan.  Regions that cannot make
     guaranteed progress under translation (a head block opening with a
     non-ordinary instruction) or that fail basic sanity checks are
-    recorded in [untranslated] and left to the interpreter. *)
+    recorded in [untranslated] and left to the interpreter.
+
+    [?profile] supplies a per-address retirement counter array (same
+    length as [code]): compiled blocks then maintain it exactly (see
+    [x_prof]) at the cost of one store and one counter bump per block
+    entry, and loop hoisting is disabled. *)
 
 val note_entry_refused_budget : t -> unit
 val note_entry_refused_priv : t -> unit

@@ -176,14 +176,16 @@ let chrome entries =
 (* ---------- hftsim-trace/1 JSONL ---------- *)
 
 let schema = "hftsim-trace/1"
+let metrics_schema = "hftsim-metrics/2"
 
-let jsonl entries =
+let jsonl ?(dropped = 0) entries =
   let spans = Span.of_entries entries in
   let hists = Span.histograms spans in
   let b = Buffer.create (1 lsl 16) in
   Printf.bprintf b
-    "{\"schema\":\"%s\",\"kind\":\"header\",\"events\":%d,\"spans\":%d,\"hists\":%d}\n"
-    schema (List.length entries) (List.length spans) (List.length hists);
+    "{\"schema\":\"%s\",\"kind\":\"header\",\"events\":%d,\"spans\":%d,\"hists\":%d,\"dropped\":%d}\n"
+    schema (List.length entries) (List.length spans) (List.length hists)
+    dropped;
   List.iter
     (fun { Recorder.time; source; ev } ->
       Printf.bprintf b
@@ -216,11 +218,22 @@ let jsonl entries =
     hists;
   Buffer.contents b
 
-(* ---------- hftsim-metrics/1 JSON ---------- *)
+(* ---------- hftsim-metrics/2 JSON ---------- *)
 
-let metrics_json hists =
+(* Schema note: /2 is a superset of /1.  The "histograms" array keeps
+   the exact /1 element shape, so /1 readers that ignore unknown
+   top-level members keep working; /2 adds "counters", "gauges",
+   "windows" (the rolling aggregation) and "dropped_events". *)
+
+let metrics_json ?registry ?(dropped = 0) hists =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"hftsim-metrics/1\",\"histograms\":[";
+  Printf.bprintf b
+    "{\"schema\":\"%s\",\n\
+     \"compat\":\"histograms is unchanged from hftsim-metrics/1; /2 adds \
+     counters, gauges, windows, dropped_events\",\n\
+     \"dropped_events\":%d,\n\
+     \"histograms\":["
+    metrics_schema dropped;
   List.iteri
     (fun i (cat, h) ->
       if i > 0 then Buffer.add_char b ',';
@@ -236,17 +249,63 @@ let metrics_json hists =
         (Hist.nonzero_buckets h);
       Buffer.add_string b "]}")
     hists;
+  Buffer.add_string b "\n],\n\"counters\":[";
+  (match registry with
+  | None -> ()
+  | Some m ->
+    List.iteri
+      (fun i (c : Metrics.counter) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\n{\"actor\":\"%s\",\"name\":\"%s\",\"value\":%d}"
+          (Json.escape c.Metrics.c_actor)
+          (Json.escape c.Metrics.c_name)
+          c.Metrics.c_val)
+      (Metrics.counters m));
+  Buffer.add_string b "\n],\n\"gauges\":[";
+  (match registry with
+  | None -> ()
+  | Some m ->
+    List.iteri
+      (fun i (g : Metrics.gauge) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\n{\"actor\":\"%s\",\"name\":\"%s\",\"value\":%d}"
+          (Json.escape g.Metrics.g_actor)
+          (Json.escape g.Metrics.g_name)
+          g.Metrics.g_val)
+      (Metrics.gauges m));
+  Buffer.add_string b "\n],\n\"windows\":[";
+  (match registry with
+  | None -> ()
+  | Some m ->
+    List.iteri
+      (fun i (w : Metrics.window) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b
+          "\n{\"t0_ns\":%d,\"len_ns\":%d,\"epochs\":%d,\"epoch_p50_us\":%.3f,\"epoch_p99_us\":%.3f,\"ack_count\":%d,\"ack_p99_us\":%.3f,\"availability\":%.4f}"
+          w.Metrics.w_t0_ns w.Metrics.w_len_ns w.Metrics.w_epochs
+          (Hist.p50_us w.Metrics.w_epoch)
+          (Hist.p99_us w.Metrics.w_epoch)
+          (Hist.count w.Metrics.w_ack)
+          (Hist.p99_us w.Metrics.w_ack)
+          (Metrics.availability w))
+      (Metrics.windows m));
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
 (* ---------- validation ---------- *)
 
 type summary = {
-  format : [ `Chrome | `Jsonl ];
+  format : [ `Chrome | `Jsonl | `Metrics ];
   events : int;
   spans : int;
   span_cats : string list;
   hists : int;
+  drops : int;
+      (** events the recorder ring discarded before export (jsonl
+          header [dropped], metrics [dropped_events]); 0 for formats
+          that do not carry the count *)
+  counters : int;  (** metrics documents only *)
+  windows : int;  (** metrics documents only *)
 }
 
 let sorted_cats tbl =
@@ -313,6 +372,9 @@ let validate_chrome_events evs =
       spans = !spans;
       span_cats = sorted_cats cats;
       hists = 0;
+      drops = 0;
+      counters = 0;
+      windows = 0;
     }
 
 let validate_jsonl content =
@@ -336,6 +398,13 @@ let validate_jsonl content =
       Error (Printf.sprintf "schema %S, expected %S" s schema)
     else begin
       let events = ref 0 and spans = ref 0 and hists = ref 0 in
+      let drops =
+        match
+          Option.bind (Json.member "dropped" h) Json.to_float_opt
+        with
+        | Some d -> int_of_float d
+        | None -> 0 (* pre-drop-counter captures *)
+      in
       let cats = Hashtbl.create 8 in
       let check_line i line =
         let ctx what = Printf.sprintf "line %d: %s" (i + 2) what in
@@ -346,6 +415,21 @@ let validate_jsonl content =
         in
         let str k = Option.bind (Json.member k v) Json.to_string_opt in
         let num k = Option.bind (Json.member k v) Json.to_float_opt in
+        (* a second schema declaration mid-stream means two artifacts
+           were concatenated — reject with the schemas named rather
+           than failing on whatever field differs first *)
+        let* () =
+          match str "schema" with
+          | Some s2 when s2 <> s ->
+            Error
+              (ctx
+                 (Printf.sprintf
+                    "mixed schemas: this line declares %S but the header \
+                     declared %S — artifacts of different schemas must not \
+                     be concatenated"
+                    s2 s))
+          | _ -> Ok ()
+        in
         let* kind = require (ctx "\"kind\"") (str "kind") in
         match kind with
         | "event" ->
@@ -368,6 +452,11 @@ let validate_jsonl content =
           let* _ = require (ctx "\"p99_us\"") (num "p99_us") in
           incr hists;
           Ok ()
+        | "header" ->
+          Error
+            (ctx
+               "unexpected second header — two artifacts must not be \
+                concatenated into one file")
         | other -> Error (ctx (Printf.sprintf "unknown \"kind\":%S" other))
       in
       let rec go i = function
@@ -384,8 +473,93 @@ let validate_jsonl content =
           spans = !spans;
           span_cats = sorted_cats cats;
           hists = !hists;
+          drops;
+          counters = 0;
+          windows = 0;
         }
     end
+
+let validate_metrics top s =
+  let arr k =
+    match Json.member k top |> Option.map Json.to_list_opt with
+    | Some (Some l) -> Ok l
+    | Some None -> Error (Printf.sprintf "%S is not an array" k)
+    | None -> Ok [] (* /1 has only histograms *)
+  in
+  let check_objs what l checks =
+    let rec go i = function
+      | [] -> Ok ()
+      | o :: rest ->
+        let rec fields = function
+          | [] -> Ok ()
+          | (k, `Num) :: more -> (
+            match Option.bind (Json.member k o) Json.to_float_opt with
+            | Some _ -> fields more
+            | None ->
+              Error (Printf.sprintf "%s[%d]: %S missing or not a number" what i k))
+          | (k, `Str) :: more -> (
+            match Option.bind (Json.member k o) Json.to_string_opt with
+            | Some _ -> fields more
+            | None ->
+              Error (Printf.sprintf "%s[%d]: %S missing or not a string" what i k))
+        in
+        let* () = fields checks in
+        go (i + 1) rest
+    in
+    go 0 l
+  in
+  let* hists = arr "histograms" in
+  let* () =
+    check_objs "histograms" hists
+      [ ("cat", `Str); ("count", `Num); ("p50_us", `Num); ("p99_us", `Num) ]
+  in
+  let* counters = arr "counters" in
+  let* () =
+    check_objs "counters" counters
+      [ ("actor", `Str); ("name", `Str); ("value", `Num) ]
+  in
+  let* gauges = arr "gauges" in
+  let* () =
+    check_objs "gauges" gauges
+      [ ("actor", `Str); ("name", `Str); ("value", `Num) ]
+  in
+  let* windows = arr "windows" in
+  let* () =
+    check_objs "windows" windows
+      [
+        ("t0_ns", `Num);
+        ("len_ns", `Num);
+        ("epochs", `Num);
+        ("epoch_p50_us", `Num);
+        ("epoch_p99_us", `Num);
+        ("availability", `Num);
+      ]
+  in
+  let* () =
+    if s = metrics_schema || s = "hftsim-metrics/1" then Ok ()
+    else
+      Error
+        (Printf.sprintf "metrics schema %S, expected %S (or the /1 subset)" s
+           metrics_schema)
+  in
+  let drops =
+    match
+      Option.bind (Json.member "dropped_events" top) Json.to_float_opt
+    with
+    | Some d -> int_of_float d
+    | None -> 0
+  in
+  Ok
+    {
+      format = `Metrics;
+      events = 0;
+      spans = 0;
+      span_cats = [];
+      hists = List.length hists;
+      drops;
+      counters = List.length counters;
+      windows = List.length windows;
+    }
 
 let validate content =
   let trimmed = String.trim content in
@@ -397,16 +571,41 @@ let validate content =
         (Option.bind (Json.member "traceEvents" top) Json.to_list_opt)
     in
     validate_chrome_events evs
+  | Ok top
+    when (match
+            Option.bind (Json.member "schema" top) Json.to_string_opt
+          with
+         | Some s ->
+           String.length s >= 15
+           && String.sub s 0 15 = "hftsim-metrics/"
+         | None -> false) ->
+    let s =
+      match Option.bind (Json.member "schema" top) Json.to_string_opt with
+      | Some s -> s
+      | None -> assert false
+    in
+    validate_metrics top s
   | _ -> validate_jsonl content
 
 let pp_summary fmt s =
-  Format.fprintf fmt "%s: %d events, %d spans across %d categories%s, %d histograms"
-    (match s.format with
-    | `Chrome -> "chrome trace"
-    | `Jsonl -> schema)
-    s.events s.spans
-    (List.length s.span_cats)
-    (match s.span_cats with
-    | [] -> ""
-    | cats -> " (" ^ String.concat ", " cats ^ ")")
-    s.hists
+  match s.format with
+  | `Metrics ->
+    Format.fprintf fmt
+      "%s: %d histograms, %d counters, %d windows%s"
+      metrics_schema s.hists s.counters s.windows
+      (if s.drops > 0 then
+         Printf.sprintf ", %d dropped event(s)" s.drops
+       else "")
+  | (`Chrome | `Jsonl) as f ->
+    Format.fprintf fmt
+      "%s: %d events, %d spans across %d categories%s, %d histograms%s"
+      (match f with `Chrome -> "chrome trace" | `Jsonl -> schema)
+      s.events s.spans
+      (List.length s.span_cats)
+      (match s.span_cats with
+      | [] -> ""
+      | cats -> " (" ^ String.concat ", " cats ^ ")")
+      s.hists
+      (if s.drops > 0 then
+         Printf.sprintf ", %d dropped event(s)" s.drops
+       else "")

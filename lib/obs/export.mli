@@ -20,24 +20,44 @@
 val schema : string
 (** ["hftsim-trace/1"]. *)
 
-val chrome : Recorder.entry list -> string
-val jsonl : Recorder.entry list -> string
+val metrics_schema : string
+(** ["hftsim-metrics/2"].  /2 is a superset of /1: the ["histograms"]
+    array keeps the /1 element shape, and /2 adds ["counters"],
+    ["gauges"], ["windows"] (the {!Metrics} rolling aggregation) and
+    ["dropped_events"].  The validator accepts both versions but
+    rejects anything else, and rejects files mixing schemas. *)
 
-val metrics_json : (string * Hist.t) list -> string
-(** [hftsim-metrics/1]: per-category quantiles plus the raw
-    log-bucket counts. *)
+val chrome : Recorder.entry list -> string
+
+val jsonl : ?dropped:int -> Recorder.entry list -> string
+(** [dropped] (default 0, pass {!Recorder.dropped}) records in the
+    header how many events the ring discarded before export. *)
+
+val metrics_json :
+  ?registry:Metrics.t -> ?dropped:int -> (string * Hist.t) list -> string
+(** [hftsim-metrics/2]: per-category quantiles plus the raw
+    log-bucket counts; with [registry], also its counters, gauges and
+    rolling windows. *)
 
 type summary = {
-  format : [ `Chrome | `Jsonl ];
+  format : [ `Chrome | `Jsonl | `Metrics ];
   events : int;
   spans : int;
   span_cats : string list;  (** sorted, distinct *)
   hists : int;
+  drops : int;
+      (** ring-discarded events the artifact reports; 0 when the
+          format predates the counter *)
+  counters : int;  (** metrics documents only *)
+  windows : int;  (** metrics documents only *)
 }
 
 val validate : string -> (summary, string) result
 (** Sniffs the format (a top-level object with [traceEvents] is a
-    Chrome trace, anything else is tried as JSONL) and checks every
-    record for the fields its [ph]/[kind] requires. *)
+    Chrome trace, a top-level ["hftsim-metrics/*"] schema is a metrics
+    document, anything else is tried as JSONL) and checks every record
+    for the fields its [ph]/[kind] requires.  JSONL lines that declare
+    a schema differing from the header's — concatenated artifacts —
+    are rejected with the two schemas named. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -38,6 +38,19 @@ let add t d =
   if ns < t.min_ns then t.min_ns <- ns;
   if ns > t.max_ns then t.max_ns <- ns
 
+(* Exact for everything Hist reports: bucket counts, count and sum add;
+   the extremes are the min/max of the operands' extremes. *)
+let merge a b =
+  let t = create () in
+  for i = 0 to num_buckets - 1 do
+    t.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+  done;
+  t.count <- a.count + b.count;
+  t.sum_ns <- a.sum_ns + b.sum_ns;
+  t.min_ns <- min a.min_ns b.min_ns;
+  t.max_ns <- max a.max_ns b.max_ns;
+  t
+
 let count t = t.count
 let max_ns t = if t.count = 0 then 0 else t.max_ns
 let min_ns t = if t.count = 0 then 0 else t.min_ns

@@ -9,6 +9,13 @@ type t
 
 val create : unit -> t
 val add : t -> Hft_sim.Time.t -> unit
+
+val merge : t -> t -> t
+(** A fresh histogram equivalent to having recorded both operands'
+    samples: buckets, counts and sums add exactly; the extremes are
+    the operands' extremes.  {!Metrics} uses it to collapse adjacent
+    time windows when the window budget fills. *)
+
 val count : t -> int
 val min_ns : t -> int
 val max_ns : t -> int

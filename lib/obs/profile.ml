@@ -1,0 +1,125 @@
+(* Guest hot-spot attribution: fold exact per-address retirement
+   counters (collected by the CPU backends) over a block map into a
+   per-block heat report, rendered as a heat table or as collapsed
+   stacks ("region;symbol count" lines) for flamegraph tooling.
+
+   The module is deliberately machine-agnostic — callers hand it the
+   block layout (typically manifest basic blocks), a symbolizer
+   (typically {!Symtab.resolve}) and the counter array, so the obs
+   layer stays below the machine and analysis layers. *)
+
+type block = {
+  b_leader : int;
+  b_len : int;
+  b_region : string option;
+      (** containing-region frame for the collapsed stacks, e.g.
+          ["sb0@12"] for a manifest superblock; [None] for code
+          outside every certified region *)
+}
+
+type row = {
+  r_leader : int;
+  r_len : int;
+  r_region : string option;
+  r_symbol : string;
+  r_count : int;  (** retired instructions attributed to the block *)
+  r_share : float;  (** fraction of the total retirement count *)
+}
+
+type report = {
+  total : int;  (** every retired instruction the counters saw *)
+  attributed : int;  (** retired within a known block *)
+  rows : row list;  (** hottest first; zero-count blocks dropped *)
+  orphans : (int * int) list;
+      (** (address, count) pairs outside every block, hottest first *)
+}
+
+let attribute ~blocks ~symbol counts =
+  let n = Array.length counts in
+  let owner = Array.make n (-1) in
+  let blocks = Array.of_list blocks in
+  Array.iteri
+    (fun bi b ->
+      for a = b.b_leader to min (b.b_leader + b.b_len - 1) (n - 1) do
+        if a >= 0 && owner.(a) < 0 then owner.(a) <- bi
+      done)
+    blocks;
+  let total = Array.fold_left ( + ) 0 counts in
+  let per_block = Array.make (Array.length blocks) 0 in
+  let orphans = ref [] in
+  Array.iteri
+    (fun a c ->
+      if c > 0 then
+        if owner.(a) >= 0 then
+          per_block.(owner.(a)) <- per_block.(owner.(a)) + c
+        else orphans := (a, c) :: !orphans)
+    counts;
+  let attributed = Array.fold_left ( + ) 0 per_block in
+  let rows = ref [] in
+  Array.iteri
+    (fun bi c ->
+      if c > 0 then
+        let b = blocks.(bi) in
+        rows :=
+          {
+            r_leader = b.b_leader;
+            r_len = b.b_len;
+            r_region = b.b_region;
+            r_symbol = symbol b.b_leader;
+            r_count = c;
+            r_share = (if total > 0 then float c /. float total else 0.0);
+          }
+          :: !rows)
+    per_block;
+  {
+    total;
+    attributed;
+    rows =
+      List.sort
+        (fun a b ->
+          match compare b.r_count a.r_count with
+          | 0 -> compare a.r_leader b.r_leader
+          | c -> c)
+        !rows;
+    orphans =
+      List.sort (fun (_, a) (_, b) -> compare b a) !orphans;
+  }
+
+let coverage r =
+  if r.total = 0 then 1.0 else float r.attributed /. float r.total
+
+(* Rows for Report.table: addr | symbol | region | len | retired |
+   share | cumulative share. *)
+let heat_table r =
+  let cum = ref 0 in
+  List.map
+    (fun row ->
+      cum := !cum + row.r_count;
+      [
+        Printf.sprintf "@%d" row.r_leader;
+        row.r_symbol;
+        (match row.r_region with Some s -> s | None -> "-");
+        string_of_int row.r_len;
+        string_of_int row.r_count;
+        Printf.sprintf "%5.1f%%" (row.r_share *. 100.0);
+        Printf.sprintf "%5.1f%%"
+          (if r.total > 0 then float !cum /. float r.total *. 100.0
+           else 0.0);
+      ])
+    r.rows
+
+(* Collapsed-stack text: one "frame;frame count" line per block,
+   loadable by flamegraph.pl / speedscope / inferno.  The region is
+   the outer frame so superblocks group visually. *)
+let flamegraph r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      (match row.r_region with
+      | Some reg -> Printf.bprintf b "%s;%s %d\n" reg row.r_symbol row.r_count
+      | None -> Printf.bprintf b "%s %d\n" row.r_symbol row.r_count))
+    r.rows;
+  List.iter
+    (fun (addr, c) -> Printf.bprintf b "untranslated;@%d %d\n" addr c)
+    r.orphans;
+  Buffer.contents b

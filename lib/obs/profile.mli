@@ -1,0 +1,51 @@
+(** Guest hot-spot attribution.
+
+    Both CPU backends can collect an exact per-address retirement
+    counter array ({!Hft_machine.Cpu.install_profile}): the
+    interpreter bumps the completed instruction's slot, the threaded
+    backend credits whole blocks at entry and debits refunds on early
+    exits, so the two agree exactly.  This module folds that array
+    over a block layout into a heat report — it stays machine-agnostic
+    by taking the blocks (manifest basic blocks), the symbolizer
+    ({!Symtab.resolve}) and optional per-block region frames as plain
+    data. *)
+
+type block = {
+  b_leader : int;
+  b_len : int;
+  b_region : string option;
+      (** collapsed-stack frame of the containing certified region,
+          [None] outside every region *)
+}
+
+type row = {
+  r_leader : int;
+  r_len : int;
+  r_region : string option;
+  r_symbol : string;
+  r_count : int;
+  r_share : float;
+}
+
+type report = {
+  total : int;
+  attributed : int;
+  rows : row list;  (** hottest first *)
+  orphans : (int * int) list;
+      (** retirement outside every supplied block *)
+}
+
+val attribute :
+  blocks:block list -> symbol:(int -> string) -> int array -> report
+(** Overlapping blocks are resolved first-wins in list order. *)
+
+val coverage : report -> float
+(** [attributed / total]; 1.0 for an empty profile. *)
+
+val heat_table : report -> string list list
+(** Rows for {!Hft_harness.Report.table}: address, symbol, region,
+    block length, retired count, share, cumulative share. *)
+
+val flamegraph : report -> string
+(** Collapsed-stack text ("region;symbol count" per line) accepted by
+    flamegraph.pl, inferno and speedscope. *)

@@ -8,24 +8,45 @@ type t = {
   mutable next : int;
   mutable total : int;
   dispatch : bool;
+  mutable tap : (entry -> unit) option;
 }
 
-let create ?(capacity = 262_144) ?(dispatch = false) () =
+let create ?(capacity = 262_144) ?(dispatch = false) ?tap () =
   if capacity <= 0 then
     invalid_arg "Recorder.create: capacity must be positive";
-  { capacity; buf = Array.make capacity None; next = 0; total = 0; dispatch }
+  {
+    capacity;
+    buf = Array.make capacity None;
+    next = 0;
+    total = 0;
+    dispatch;
+    tap;
+  }
 
-let null = { capacity = 0; buf = [||]; next = 0; total = 0; dispatch = false }
+let null =
+  {
+    capacity = 0;
+    buf = [||];
+    next = 0;
+    total = 0;
+    dispatch = false;
+    tap = None;
+  }
 
 let enabled t = t.capacity > 0
 let dispatch_enabled t = t.dispatch
+let set_tap t f = if t.capacity > 0 then t.tap <- Some f
 
 let emit t ~time ~source ev =
   if t.capacity > 0 then begin
-    t.buf.(t.next) <- Some { time; source; ev };
+    let e = { time; source; ev } in
+    (match t.tap with None -> () | Some f -> f e);
+    t.buf.(t.next) <- Some e;
     t.next <- (t.next + 1) mod t.capacity;
     t.total <- t.total + 1
   end
+
+let dropped t = if t.total > t.capacity then t.total - t.capacity else 0
 
 let entries t =
   let acc = ref [] in

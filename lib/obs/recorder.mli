@@ -10,11 +10,14 @@ type entry = { time : Hft_sim.Time.t; source : string; ev : Event.t }
 
 type t
 
-val create : ?capacity:int -> ?dispatch:bool -> unit -> t
+val create : ?capacity:int -> ?dispatch:bool -> ?tap:(entry -> unit) -> unit -> t
 (** Default capacity is 262144 entries.  [dispatch] (default false)
     opts into mirroring raw engine dispatches into the ring — useful
     for full timeline dumps, but high-frequency enough to evict the
-    protocol events on long runs, so it is off for artifacts. *)
+    protocol events on long runs, so it is off for artifacts.  [tap]
+    sees every entry {e before} it enters the ring, so a streaming
+    aggregator ({!Metrics}) observes events the wraparound later
+    discards. *)
 
 val null : t
 (** A shared sink that retains nothing; recording into it is free. *)
@@ -35,6 +38,17 @@ val length : t -> int
 
 val total_recorded : t -> int
 (** Number of entries ever recorded, including discarded ones. *)
+
+val dropped : t -> int
+(** Number of entries the ring wraparound has discarded
+    ([total_recorded - capacity] when positive).  Nonzero drops mean
+    span reconstruction and exported timelines are missing their
+    oldest events; {!Export.jsonl} records the count in its header and
+    [hftsim trace --validate] warns on it. *)
+
+val set_tap : t -> (entry -> unit) -> unit
+(** Attach (or replace) the streaming tap after creation.  No effect
+    on {!null}. *)
 
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -39,6 +39,41 @@ let hv_crash_fixpoint () =
   Alcotest.(check int) "no violations" 0 (List.length r.Checker.r_violations);
   Alcotest.(check int) "states pinned" 952 r.Checker.r_stats.Checker.states
 
+(* Observability neutrality: arming the guest hot-spot profiler
+   (which recompiles translated blocks with counting prologues and
+   disables loop hoisting) must not perturb any architectural state
+   the lockstep protocol hashes.  Each scenario's state space is
+   pinned to the same count the unprofiled explorations above and
+   [hftsim check --all] reach — a drift here means the profiler
+   leaked into System.fingerprint. *)
+let profiling_neutral () =
+  List.iter
+    (fun (name, states) ->
+      let sc = find_scenario name in
+      let sc =
+        {
+          sc with
+          Scenarios.sc_params =
+            Hft_core.Params.with_profile_guest sc.Scenarios.sc_params true;
+        }
+      in
+      let r = Checker.explore sc ~variant:Scenarios.correct in
+      Alcotest.(check bool) (name ^ " fixpoint") true r.Checker.r_complete;
+      Alcotest.(check int)
+        (name ^ " no violations")
+        0
+        (List.length r.Checker.r_violations);
+      Alcotest.(check int)
+        (name ^ " states unchanged under profiling")
+        states r.Checker.r_stats.Checker.states)
+    [
+      ("handoff", 618);
+      ("crash-write", 2998);
+      ("crash-loss", 3887);
+      ("reintegration-loss", 2819);
+      ("hv-crash", 952);
+    ]
+
 (* PR 1's failover-during-reintegration-snapshot bug, pinned
    exhaustively: every single-loss schedule across the reintegration
    handshake must satisfy the invariants. *)
@@ -152,6 +187,8 @@ let () =
             hv_crash_fixpoint;
           test_case "reintegration-loss regression pin" `Quick
             reintegration_regression;
+          test_case "profiling leaves every state space untouched" `Slow
+            profiling_neutral;
           test_case "correct variant survives crash-loss" `Quick
             correct_variant_survives;
           test_case "fault-free forced run is clean" `Quick

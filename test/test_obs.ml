@@ -104,6 +104,37 @@ let trace_ring_tests =
           (null < (active /. 2.) +. 0.01));
   ]
 
+(* ---------- ring wraparound drop accounting ---------- *)
+
+let dropped_tests =
+  let open Alcotest in
+  [
+    test_case "dropped counts ring-discarded events" `Quick (fun () ->
+        let r = Recorder.create ~capacity:3 () in
+        check int "empty" 0 (Recorder.dropped r);
+        for i = 1 to 3 do
+          emit_entry r (mk i (ev_note "x"))
+        done;
+        check int "full but nothing lost" 0 (Recorder.dropped r);
+        for i = 4 to 8 do
+          emit_entry r (mk i (ev_note "x"))
+        done;
+        check int "five evicted" 5 (Recorder.dropped r));
+    test_case "jsonl header carries the drop count" `Quick (fun () ->
+        let r = Recorder.create ~capacity:2 () in
+        for i = 1 to 6 do
+          emit_entry r (mk i (ev_note "x"))
+        done;
+        match
+          Export.validate
+            (Export.jsonl ~dropped:(Recorder.dropped r) (Recorder.entries r))
+        with
+        | Ok s ->
+          check int "drops surfaced" 4 s.Export.drops;
+          check bool "jsonl" true (s.Export.format = `Jsonl)
+        | Error m -> failf "jsonl with drops invalid: %s" m);
+  ]
+
 (* ---------- histogram ---------- *)
 
 let hist_tests =
@@ -216,6 +247,165 @@ let span_tests =
           check int "synthesized" 2 f.Span.synthesized;
           check bool "detector attributed" true (f.Span.detector_time <> None)
         | l -> failf "expected one failover, got %d" (List.length l));
+  ]
+
+(* ---------- histogram merge (window compression) ---------- *)
+
+let hist_merge_tests =
+  let open Alcotest in
+  [
+    test_case "merge sums buckets and combines extremes" `Quick (fun () ->
+        let a = Hist.create () and b = Hist.create () in
+        List.iter (fun us -> Hist.add a (Time.of_us us)) [ 10; 20 ];
+        List.iter (fun us -> Hist.add b (Time.of_us us)) [ 30; 400 ];
+        let m = Hist.merge a b in
+        check int "count" 4 (Hist.count m);
+        check int "min" 10_000 (Hist.min_ns m);
+        check int "max" 400_000 (Hist.max_ns m);
+        check int "empty merge is identity" 2
+          (Hist.count (Hist.merge a (Hist.create ()))));
+  ]
+
+(* ---------- metrics registry ---------- *)
+
+let mk_ns ?(source = "primary") ns ev =
+  { Recorder.time = Time.of_ns ns; source; ev }
+
+let metrics_tests =
+  let open Alcotest in
+  [
+    test_case "counter handles are stable find-or-register" `Quick (fun () ->
+        let m = Metrics.create () in
+        let s = Metrics.scope m "primary" in
+        let c = Metrics.counter s "msgs_sent" in
+        Metrics.incr c;
+        Metrics.add c 2;
+        check bool "same handle" true (c == Metrics.counter s "msgs_sent");
+        check int "value" 3 (Metrics.value (Metrics.counter s "msgs_sent"));
+        let g = Metrics.gauge s "depth" in
+        Metrics.set g 7;
+        check int "gauge" 7 (Metrics.gauge_value g);
+        check int "one counter registered" 1
+          (List.length (Metrics.counters m)));
+    test_case "epoch pairs fold into rolling windows" `Quick (fun () ->
+        (* 1 ms windows; epochs at 0.4 ms spacing span several *)
+        let m = Metrics.create ~window_ns:1_000_000 () in
+        for e = 0 to 9 do
+          let t0 = e * 400_000 in
+          Metrics.observe m (mk_ns t0 (Event.Epoch_begin { epoch = e }));
+          Metrics.observe m
+            (mk_ns (t0 + 100_000) (Event.Epoch_end { epoch = e; interrupts = 0 }))
+        done;
+        let ws = Metrics.windows m in
+        check bool "several windows" true (List.length ws >= 3);
+        let epochs =
+          List.fold_left (fun acc w -> acc + w.Metrics.w_epochs) 0 ws
+        in
+        check int "every epoch landed in a window" 10 epochs;
+        check int "cumulative histogram has them all" 10
+          (Hist.count (Metrics.epoch_hist m));
+        List.iter
+          (fun w ->
+            check bool "fully available" true (Metrics.availability w = 1.0))
+          ws);
+    test_case "window count stays bounded by pairwise merge" `Quick (fun () ->
+        let m = Metrics.create ~window_ns:1_000 ~max_windows:8 () in
+        for e = 0 to 999 do
+          let t0 = e * 1_000 in
+          Metrics.observe m (mk_ns t0 (Event.Epoch_begin { epoch = e }));
+          Metrics.observe m
+            (mk_ns (t0 + 400) (Event.Epoch_end { epoch = e; interrupts = 0 }))
+        done;
+        let ws = Metrics.windows m in
+        check bool "bounded" true (List.length ws <= 8);
+        check int "merging loses no epochs" 1000
+          (List.fold_left (fun acc w -> acc + w.Metrics.w_epochs) 0 ws));
+    test_case "crash-to-promotion downtime dents availability" `Quick
+      (fun () ->
+        let m = Metrics.create ~window_ns:10_000_000 () in
+        Metrics.observe m (mk_ns 0 (Event.Epoch_begin { epoch = 0 }));
+        Metrics.observe m
+          (mk_ns 1_000_000 (Event.Epoch_end { epoch = 0; interrupts = 0 }));
+        Metrics.observe m (mk_ns 2_000_000 Event.Crash);
+        Metrics.observe m
+          (mk_ns ~source:"backup" 7_000_000
+             (Event.Promoted { epoch = 1; relayed = 0; synthesized = 0 }));
+        Metrics.observe m
+          (mk_ns 9_000_000 (Event.Epoch_begin { epoch = 2 }));
+        (match Metrics.windows m with
+        | [ w ] ->
+          let a = Metrics.availability w in
+          check bool
+            (Printf.sprintf "availability %.2f dips below 1" a)
+            true
+            (a < 1.0 && a > 0.0)
+        | ws -> failf "expected one open window, got %d" (List.length ws));
+        check int "crash counted" 1
+          (Metrics.value (Metrics.counter (Metrics.scope m "primary") "crashes")));
+  ]
+
+(* ---------- metrics/2 schema and validator ---------- *)
+
+let metrics_schema_tests =
+  let open Alcotest in
+  [
+    test_case "metrics/2 document round-trips the validator" `Quick (fun () ->
+        let m = Metrics.create ~window_ns:1_000_000 () in
+        let c = Metrics.counter (Metrics.scope m "primary") "msgs_sent" in
+        Metrics.add c 5;
+        Metrics.observe m (mk_ns 0 (Event.Epoch_begin { epoch = 0 }));
+        Metrics.observe m
+          (mk_ns 200_000 (Event.Epoch_end { epoch = 0; interrupts = 0 }));
+        let h = Hist.create () in
+        Hist.add h (Time.of_us 50);
+        let doc =
+          Export.metrics_json ~registry:m ~dropped:3 [ ("epoch", h) ]
+        in
+        (match Export.validate doc with
+        | Ok s ->
+          check bool "metrics format" true (s.Export.format = `Metrics);
+          check int "drops" 3 s.Export.drops;
+          check bool "counters exported" true (s.Export.counters > 0);
+          check bool "windows exported" true (s.Export.windows > 0);
+          check int "histograms" 1 s.Export.hists
+        | Error e -> failf "metrics/2 invalid: %s" e);
+        check bool "declares the v2 schema" true
+          (match Json.parse doc with
+          | Ok (Json.Obj kv) ->
+            List.assoc_opt "schema" kv = Some (Json.Str Export.metrics_schema)
+          | _ -> false));
+    test_case "validator accepts v1, rejects unknown versions" `Quick
+      (fun () ->
+        let v1 = {|{"schema":"hftsim-metrics/1","histograms":[]}|} in
+        (match Export.validate v1 with
+        | Ok s -> check bool "metrics format" true (s.Export.format = `Metrics)
+        | Error e -> failf "v1 compat broken: %s" e);
+        match Export.validate {|{"schema":"hftsim-metrics/9","histograms":[]}|} with
+        | Ok _ -> failf "unknown metrics version accepted"
+        | Error e -> check bool "rejected with a reason" true (e <> ""));
+    test_case "concatenated jsonl with mixed schemas is rejected" `Quick
+      (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        let r = Recorder.create () in
+        emit_entry r (mk 1 (ev_note "x"));
+        let a = Export.jsonl (Recorder.entries r) in
+        let stray =
+          {|{"schema":"hftsim-trace/0","kind":"event","t_ns":1,"src":"s","ev":"note"}|}
+          ^ "\n"
+        in
+        match Export.validate (a ^ stray) with
+        | Ok _ -> failf "mixed-schema artifact accepted"
+        | Error e ->
+          check bool
+            (Printf.sprintf "error names both schemas: %s" e)
+            true
+            (contains e "hftsim-trace/0" && contains e "mixed schemas"));
   ]
 
 (* ---------- span reconstruction: seeded properties ---------- *)
@@ -393,8 +583,12 @@ let () =
   Alcotest.run "obs"
     [
       ("recorder", recorder_tests);
+      ("dropped", dropped_tests);
       ("trace-ring", trace_ring_tests);
       ("hist", hist_tests);
+      ("hist-merge", hist_merge_tests);
+      ("metrics", metrics_tests);
+      ("metrics-schema", metrics_schema_tests);
       ("spans", span_tests);
       ( "span-properties",
         [ QCheck_alcotest.to_alcotest ~long:false span_pairing_prop ] );

@@ -380,6 +380,92 @@ let prop_bare_backends_agree =
       && oi.Bare.time = ot.Bare.time
       && hi = ht)
 
+(* ---------- retirement profiler exactness ---------- *)
+
+(* The profiler's contract: the interpreter bumps each completed
+   instruction's address, the threaded backend credits whole blocks at
+   their leaders and debits refunds on cold exits — different
+   per-address shapes, identical per-block sums and identical totals
+   on the same run. *)
+let test_profiler_exactness () =
+  let code = compute_loop.Asm.code in
+  let m = Manifest.of_code code in
+  let interp = Cpu.create ~code () in
+  let threaded = Cpu.create ~code () in
+  Cpu.install_profile interp;
+  (* profile armed after translation: install_profile must recompile
+     the stored plan, so arming order is immaterial *)
+  (match Manifest.install_translation m ~deprivileged:false threaded with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "translation refused: %s" e);
+  Cpu.install_profile threaded;
+  run_to_halt interp;
+  run_to_halt threaded;
+  let total c = Cpu.profile_total c in
+  Alcotest.(check int)
+    "profiled totals equal" (total interp) (total threaded);
+  Alcotest.(check int)
+    "profile covers every retired instruction"
+    (Cpu.instructions_retired interp)
+    (total interp);
+  let counts c =
+    match Cpu.profile c with Some p -> p | None -> Alcotest.fail "no profile"
+  in
+  let block_sums c =
+    let p = counts c in
+    List.map
+      (fun (b : Manifest.block) ->
+        let s = ref 0 in
+        for a = b.Manifest.leader to b.Manifest.leader + b.Manifest.len - 1 do
+          s := !s + p.(a)
+        done;
+        !s)
+      m.Manifest.blocks
+  in
+  Alcotest.(check (list int))
+    "per-block sums identical" (block_sums interp) (block_sums threaded);
+  (match Cpu.translation threaded with
+  | None -> Alcotest.fail "translation cache missing"
+  | Some tx ->
+    Alcotest.(check bool) "translated code ran while profiling" true
+      (tx.Translate.threaded_instrs > 0));
+  (* and the two backends still landed in the same architectural state:
+     profiling is observation, not perturbation *)
+  Alcotest.(check int)
+    "same architectural state"
+    (Cpu.state_hash ~full:true interp)
+    (Cpu.state_hash ~full:true threaded);
+  (* disarming drops the counters and restores the unprofiled plan *)
+  Cpu.clear_profile threaded;
+  Alcotest.(check bool) "profile off" false (Cpu.profile_active threaded);
+  Alcotest.(check int) "total zero when off" 0 (Cpu.profile_total threaded)
+
+let test_profiler_fuel_slices () =
+  (* cold exits (budget refusals mid-superblock) must debit exactly
+     the uncompleted suffix: fuel-sliced runs stay per-block equal *)
+  let code = compute_loop.Asm.code in
+  let m = Manifest.of_code code in
+  let interp = Cpu.create ~code () in
+  let threaded = Cpu.create ~code () in
+  Cpu.install_profile interp;
+  Cpu.install_profile threaded;
+  (match Manifest.install_translation m ~deprivileged:false threaded with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "translation refused: %s" e);
+  let rec drive c budget =
+    if budget = 0 then Alcotest.fail "guest did not halt"
+    else
+      match (Cpu.run c ~fuel:7).Cpu.stop with
+      | Cpu.Stop_halt -> ()
+      | Cpu.Fuel | Cpu.Recovery -> drive c (budget - 1)
+      | s -> Alcotest.failf "unexpected stop %a" Cpu.pp_stop s
+  in
+  drive interp 10_000;
+  drive threaded 10_000;
+  Alcotest.(check int)
+    "totals equal under 7-instruction slices"
+    (Cpu.profile_total interp) (Cpu.profile_total threaded)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "hft_translate"
@@ -390,6 +476,13 @@ let () =
             `Quick test_raw_cpu_lockstep;
           Alcotest.test_case "odd fuel slices keep instruction-exact agreement"
             `Quick test_fuel_slicing_matches;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "per-block retirement counts are exact" `Quick
+            test_profiler_exactness;
+          Alcotest.test_case "cold-exit refunds survive tiny fuel slices"
+            `Quick test_profiler_fuel_slices;
         ] );
       ( "fallback",
         [
